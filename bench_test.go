@@ -1,0 +1,199 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation.
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the reproduced headline numbers as custom metrics
+// (overheads in percent, counts as units), so `go test -bench` output is
+// itself a compact reproduction report; cmd/rstibench renders the full
+// tables.
+package rsti_test
+
+import (
+	"testing"
+
+	"rsti/internal/eval"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// BenchmarkTable1AttackMatrix reruns the 12-attack security matrix
+// (Table 1): every attack must succeed on the baseline and be detected by
+// all three RSTI mechanisms.
+func BenchmarkTable1AttackMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.MeasureTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected := 0
+		for _, row := range res.Rows {
+			for _, mech := range sti.RSTIMechanisms {
+				if row.Results[mech].Detected {
+					detected++
+				}
+			}
+		}
+		b.ReportMetric(float64(len(res.Rows)), "attacks")
+		b.ReportMetric(float64(detected), "detections")
+		if detected != len(res.Rows)*len(sti.RSTIMechanisms) {
+			b.Fatalf("only %d detections", detected)
+		}
+	}
+}
+
+// BenchmarkTable3EquivalenceClasses regenerates the SPEC CPU2006
+// equivalence-class statistics from the full-size static programs.
+func BenchmarkTable3EquivalenceClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := eval.MeasureTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nv, rt int
+		for _, e := range entries {
+			nv += e.Measured.NV
+			rt += e.Measured.RTSTWC
+		}
+		b.ReportMetric(float64(nv), "NV-total")
+		b.ReportMetric(float64(rt), "RT-STWC-total")
+	}
+}
+
+// BenchmarkPointerToPointerCensus regenerates the §6.2.2 census (paper:
+// 7,489 pointer-to-pointer sites, 25 needing the CE/FE mechanism).
+func BenchmarkPointerToPointerCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, err := eval.MeasureTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, special := 0, 0
+		for _, e := range entries {
+			total += e.PPTotal
+			special += e.PPCE
+		}
+		b.ReportMetric(float64(total), "pp-sites")
+		b.ReportMetric(float64(special), "pp-CE-sites")
+	}
+}
+
+// BenchmarkFigure9Overheads measures every suite under the three RSTI
+// mechanisms and reports the per-suite and overall geometric means the
+// paper headlines (5.29% / 2.97% / 11.12%).
+func BenchmarkFigure9Overheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := eval.MeasureFigure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Overall[sti.STWC]*100, "%STWC")
+		b.ReportMetric(f.Overall[sti.STC]*100, "%STC")
+		b.ReportMetric(f.Overall[sti.STL]*100, "%STL")
+	}
+}
+
+// BenchmarkFigure10Distributions reports the SPEC2006 overhead
+// distribution extremes the box plots show.
+func BenchmarkFigure10Distributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := eval.MeasureFigure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var min, max float64
+		first := true
+		for _, r := range f.Rows["SPEC2006"] {
+			o := r.Overhead[sti.STWC]
+			if first || o < min {
+				min = o
+			}
+			if first || o > max {
+				max = o
+			}
+			first = false
+		}
+		b.ReportMetric(min*100, "%min-STWC")
+		b.ReportMetric(max*100, "%max-STWC")
+	}
+}
+
+// BenchmarkPARTSComparison reruns the §6.3.2 nbench comparison (paper:
+// PARTS 19.5% vs RSTI 1.54/0.52/2.78%).
+func BenchmarkPARTSComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := eval.MeasurePARTSComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.MeanPARTS*100, "%PARTS")
+		b.ReportMetric(p.MeanSTWC*100, "%STWC")
+		b.ReportMetric(p.MeanSTC*100, "%STC")
+		b.ReportMetric(p.MeanSTL*100, "%STL")
+	}
+}
+
+// BenchmarkPerBenchmarkSPEC2017 runs a single representative SPEC2017
+// benchmark per iteration, for profiling the pipeline itself.
+func BenchmarkPerBenchmarkSPEC2017(b *testing.B) {
+	bench := workload.SPEC2017()[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.MeasureBenchmark(bench, sti.RSTIMechanisms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Capabilities reruns the capability probes.
+func BenchmarkTable2Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := eval.RenderTable2()
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkAblationAdaptive measures the §7 future-work adaptive
+// mechanism against STWC and STL, reporting the overhead of each and the
+// fraction of pointer members whose class is location-bound (replay-proof).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.MeasureAdaptiveAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Overhead[sti.STWC]*100, "%STWC")
+		b.ReportMetric(res.Overhead[sti.Adaptive]*100, "%Adaptive")
+		b.ReportMetric(res.Overhead[sti.STL]*100, "%STL")
+		b.ReportMetric(res.LocBoundFrac[sti.Adaptive]*100, "%loc-bound")
+	}
+}
+
+// BenchmarkAblationTBI measures the PAC forgery acceptance rate with and
+// without Top-Byte-Ignore (8-bit vs 16-bit PAC).
+func BenchmarkAblationTBI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := eval.MeasureTBIAblation(40960)
+		b.ReportMetric(float64(res.AcceptedTBI), "accept-8bit")
+		b.ReportMetric(float64(res.AcceptedNoTBI), "accept-16bit")
+	}
+}
+
+// BenchmarkReplaySurface quantifies the §7 replay discussion: the number
+// of substitutable pointer pairs each mechanism leaves across SPEC2006.
+func BenchmarkReplaySurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.MeasureReplaySurface()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var stwc, stl int64
+		for _, r := range rows {
+			stwc += r.Pairs[sti.STWC]
+			stl += r.Pairs[sti.STL]
+		}
+		b.ReportMetric(float64(stwc), "pairs-STWC")
+		b.ReportMetric(float64(stl), "pairs-STL")
+	}
+}

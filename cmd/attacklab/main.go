@@ -1,0 +1,51 @@
+// Command attacklab runs the paper's full Table 1 attack matrix — ten
+// control-flow hijacking attacks and two data-oriented attacks — against
+// the uninstrumented baseline, the PARTS baseline, and all three RSTI
+// mechanisms, and prints the detection matrix plus the Table 2 capability
+// summary.
+//
+// Usage:
+//
+//	attacklab            # the matrix
+//	attacklab -v         # plus each attack's scope-type details
+//	attacklab -table2    # plus the mechanism capability summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsti/internal/eval"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each attack's scope-type details")
+	table2 := flag.Bool("table2", false, "print the Table 2 capability summary")
+	flag.Parse()
+
+	res, err := eval.MeasureTable1()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+
+	if *verbose {
+		for _, row := range res.Rows {
+			s := row.Scenario
+			fmt.Printf("%s\n", s.Name)
+			fmt.Printf("  corrupted: %s -> %s\n", s.Corrupted, s.Target)
+			fmt.Printf("  paper's scope-type:    %s\n", s.OriginalInfo)
+			if rt, err := s.MeasuredRSTIType(); err == nil {
+				fmt.Printf("  measured RSTI-type:    %s\n", rt)
+			}
+			fmt.Printf("  attacker substitutes:  %s\n", s.CorruptedInfo)
+			fmt.Println()
+		}
+	}
+
+	if *table2 {
+		fmt.Println(eval.RenderTable2())
+	}
+}

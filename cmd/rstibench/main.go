@@ -1,0 +1,104 @@
+// Command rstibench regenerates every table and figure of the paper's
+// evaluation (§6): the Table 1 attack matrix, the Table 3 equivalence
+// classes, the §6.2.2 pointer-to-pointer census, the Figure 9 overheads
+// and geomeans, the Figure 10 distributions, and the §6.3.2 PARTS
+// comparison.
+//
+// Usage:
+//
+//	rstibench            # everything
+//	rstibench -fig9      # overheads + geomeans only
+//	rstibench -fig10     # box-plot summaries only
+//	rstibench -table1    # attack matrix only
+//	rstibench -table3    # equivalence classes only
+//	rstibench -pp        # pointer-to-pointer census only
+//	rstibench -parts     # nbench PARTS comparison only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsti/internal/eval"
+	"rsti/internal/sti"
+)
+
+func main() {
+	fig9 := flag.Bool("fig9", false, "Figure 9: per-benchmark overheads and geomeans")
+	fig10 := flag.Bool("fig10", false, "Figure 10: overhead distributions")
+	table1 := flag.Bool("table1", false, "Table 1: attack matrix")
+	table3 := flag.Bool("table3", false, "Table 3: equivalence classes")
+	pp := flag.Bool("pp", false, "pointer-to-pointer census (§6.2.2)")
+	parts := flag.Bool("parts", false, "nbench PARTS comparison (§6.3.2)")
+	ablations := flag.Bool("ablations", false, "design-choice ablation studies")
+	replay := flag.Bool("replay", false, "replay attack surface per mechanism (§7)")
+	flag.Parse()
+
+	all := !*fig9 && !*fig10 && !*table1 && !*table3 && !*pp && !*parts && !*ablations && !*replay
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "rstibench:", err)
+		os.Exit(1)
+	}
+
+	if all || *table1 {
+		res, err := eval.MeasureTable1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+
+	if all || *table3 || *pp {
+		entries, err := eval.MeasureTable3()
+		if err != nil {
+			fail(err)
+		}
+		if all || *table3 {
+			fmt.Println(eval.RenderTable3(entries))
+		}
+		if all || *pp {
+			fmt.Println(eval.RenderPPCensus(entries))
+		}
+	}
+
+	if all || *fig9 || *fig10 {
+		f, err := eval.MeasureFigure9()
+		if err != nil {
+			fail(err)
+		}
+		if all || *fig9 {
+			fmt.Println(f.RenderFigure9())
+			corr := eval.Pearson(f.Rows["SPEC2006"], sti.STWC)
+			fmt.Printf("SPEC2006 correlation: PA ops vs STWC overhead, Pearson r = %.2f (paper: 0.75-0.8)\n\n", corr)
+		}
+		if all || *fig10 {
+			fmt.Println(f.RenderFigure10())
+		}
+	}
+
+	if all || *parts {
+		p, err := eval.MeasurePARTSComparison()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(p.Render())
+	}
+
+	if all || *ablations {
+		out, err := eval.RenderAblations()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+
+	if all || *replay {
+		rows, err := eval.MeasureReplaySurface()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderReplaySurface(rows))
+	}
+}

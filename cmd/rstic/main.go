@@ -1,0 +1,94 @@
+// Command rstic is the RSTI "compiler" front door: it compiles a program
+// in the supported C subset, runs the STI analysis, and prints any
+// combination of the analysis results and the (instrumented) IR.
+//
+// Usage:
+//
+//	rstic [flags] file.c
+//	  -mech string   mechanism to instrument for: none|parts|rsti-stwc|rsti-stc|rsti-stl (default rsti-stwc)
+//	  -dump          print the instrumented IR
+//	  -types         print the RSTI-type table (the paper's Figure 5 view)
+//	  -equiv         print equivalence-class statistics (Table 3 columns)
+//	  -pp            print the pointer-to-pointer census and CE assignments
+//	  -stats         print static instrumentation counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsti"
+	"rsti/internal/sti"
+)
+
+func main() {
+	mechName := flag.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
+	dump := flag.Bool("dump", false, "print the instrumented IR")
+	types := flag.Bool("types", false, "print the RSTI-type table")
+	equiv := flag.Bool("equiv", false, "print equivalence-class statistics")
+	pp := flag.Bool("pp", false, "print the pointer-to-pointer census")
+	stats := flag.Bool("stats", false, "print static instrumentation counts")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rstic [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	mech, ok := sti.ParseMechanism(*mechName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rstic: unknown mechanism %q\n", *mechName)
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rstic:", err)
+		os.Exit(1)
+	}
+	p, err := rsti.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rstic:", err)
+		os.Exit(1)
+	}
+
+	nothing := !*dump && !*types && !*equiv && !*pp && !*stats
+	if *types || nothing {
+		fmt.Println("RSTI-types:")
+		for _, rt := range p.Analysis().Types {
+			if len(rt.Vars)+len(rt.Fields) > 0 {
+				fmt.Printf("  %s  (%d vars, %d fields)\n", rt, len(rt.Vars), len(rt.Fields))
+			}
+		}
+	}
+	if *equiv || nothing {
+		eq := p.Equivalence()
+		fmt.Printf("equivalence: NT=%d NV=%d RT(STWC)=%d RT(STC)=%d largestECV(STWC)=%d largestECV(STC)=%d largestECT(STC)=%d\n",
+			eq.NT, eq.NV, eq.RTSTWC, eq.RTSTC, eq.LargestECVSTWC, eq.LargestECVSTC, eq.LargestECTSTC)
+	}
+	if *pp {
+		an := p.Analysis()
+		fmt.Printf("pointer-to-pointer: %d sites, %d CE/FE sites\n", an.PPTotalSites, len(an.PPSpecial))
+		for _, s := range an.PPSpecial {
+			fmt.Printf("  %s: %s -> %s (CE %d)\n", s.Fn, s.FromTy, s.ToTy, s.CE)
+		}
+	}
+	if *stats {
+		st, err := p.InstrumentationStats(mech)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rstic:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("instrumentation under %s: %d pac, %d aut, %d conversion pairs, %d pp ops (total %d)\n",
+			mech, st.Signs, st.Auths, st.ConvPairs,
+			st.PPAdds+st.PPSigns+st.PPAuths+st.PPTags, st.Total())
+	}
+	if *dump {
+		ir, err := p.DumpIR(mech)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rstic:", err)
+			os.Exit(1)
+		}
+		fmt.Print(ir)
+	}
+}

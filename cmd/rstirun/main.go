@@ -1,0 +1,95 @@
+// Command rstirun compiles and executes a program under a chosen defense
+// mechanism, reporting the exit status, any security trap, and the
+// execution statistics (cycles, PA instructions).
+//
+// Usage:
+//
+//	rstirun [-mech rsti-stwc] [-all] [-v] file.c
+//
+// With -all the program runs under every mechanism and a comparison table
+// is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsti"
+	"rsti/internal/report"
+	"rsti/internal/sti"
+)
+
+func main() {
+	mechName := flag.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
+	all := flag.Bool("all", false, "run under every mechanism and compare")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rstirun [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rstirun:", err)
+		os.Exit(1)
+	}
+	p, err := rsti.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rstirun:", err)
+		os.Exit(1)
+	}
+
+	if *all {
+		t := &report.Table{
+			Headers: []string{"mechanism", "exit", "cycles", "PA ops", "overhead", "status"},
+		}
+		var baseCycles int64
+		for _, mech := range rsti.Mechanisms {
+			res, err := p.Run(mech, rsti.WithOutput(os.Stdout))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rstirun:", err)
+				os.Exit(1)
+			}
+			if mech == rsti.None {
+				baseCycles = res.Stats.Cycles
+			}
+			status := "ok"
+			if res.Err != nil {
+				status = res.Err.Error()
+			}
+			over := "-"
+			if baseCycles > 0 && mech != rsti.None {
+				over = fmt.Sprintf("%+.2f%%", float64(res.Stats.Cycles-baseCycles)/float64(baseCycles)*100)
+			}
+			t.Add(mech.String(), fmt.Sprintf("%d", res.Exit),
+				fmt.Sprintf("%d", res.Stats.Cycles),
+				fmt.Sprintf("%d", res.Stats.PACOps()+res.Stats.PPOps),
+				over, status)
+		}
+		fmt.Println(t)
+		return
+	}
+
+	mech, ok := sti.ParseMechanism(*mechName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rstirun: unknown mechanism %q\n", *mechName)
+		os.Exit(2)
+	}
+	res, err := p.Run(mech, rsti.WithOutput(os.Stdout))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rstirun:", err)
+		os.Exit(1)
+	}
+	if res.Err != nil {
+		if res.Detected() {
+			fmt.Fprintf(os.Stderr, "rstirun: SECURITY TRAP: %v\n", res.Err)
+			os.Exit(42)
+		}
+		fmt.Fprintf(os.Stderr, "rstirun: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("exit=%d cycles=%d pa-ops=%d\n", res.Exit, res.Stats.Cycles, res.Stats.PACOps()+res.Stats.PPOps)
+	os.Exit(int(res.Exit) & 0x7f)
+}

@@ -1,0 +1,143 @@
+// The adaptive-mechanism extension (the paper's §7 future work): RSTI-STWC
+// leaves pointer *substitution within one equivalence class* on the table
+// — the paper's xalancbmk has 122 variables sharing an RSTI-type — while
+// RSTI-STL's blanket location binding is the costliest mechanism. The
+// Adaptive mechanism location-binds only the classes big enough for replay
+// to matter.
+//
+// This example builds a program with one large class (a table of handlers,
+// all the same type and scope) and one small class, replays a signed
+// pointer within each, and compares STWC, Adaptive and STL on detection
+// and cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rsti"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+func victim() string {
+	var b strings.Builder
+	b.WriteString("int ok(void) { return 1; }\nint alt(void) { return 2; }\n")
+	n := sti.AdaptiveECVThreshold + 8
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "int (*table%d)(void);\n", i)
+	}
+	b.WriteString("int (*lone_a)(void);\nint (*lone_b)(void);\n")
+	// A mid-sized pool below the threshold: hot flows here cost only
+	// under STL.
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "int (*mid%d)(void);\n", i)
+	}
+	b.WriteString("void setup(void) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\ttable%d = ok;\n", i)
+	}
+	b.WriteString("\tlone_a = ok;\n\tlone_b = alt;\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "\tmid%d = ok;\n", i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("int readback(void) {\n\tint s = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\ts += table%d();\n", i)
+	}
+	b.WriteString("\treturn s + lone_a() + lone_b();\n}\n")
+	// rotate moves handlers between same-class slots: free under STWC
+	// (one shared modifier), a re-sign pair per move once locations enter
+	// the modifier — this is where Adaptive and STL pay and STWC doesn't.
+	b.WriteString("void rotate(void) {\n")
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&b, "\ttable%d = table%d;\n", i, i+1)
+	}
+	fmt.Fprintf(&b, "\ttable%d = table0;\n", n-1)
+	b.WriteString("}\n")
+	b.WriteString("void rotate_mid(void) {\n")
+	for i := 0; i < 7; i++ {
+		fmt.Fprintf(&b, "\tmid%d = mid%d;\n", i, i+1)
+	}
+	b.WriteString("\tmid7 = mid0;\n}\n")
+	b.WriteString(`
+		int main(void) {
+			setup();
+			for (int i = 0; i < 200; i++) { rotate(); rotate_mid(); }
+			int before = readback();
+			__hook(1);
+			return readback() == before;
+		}
+	`)
+	return b.String()
+}
+
+func replay(src, dst string) rsti.RunOption {
+	return rsti.WithHook(1, func(m *vm.Machine) error {
+		s, _ := m.GlobalAddr(src)
+		d, _ := m.GlobalAddr(dst)
+		v, err := m.Mem.Peek(s, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(d, v, 8)
+	})
+}
+
+func main() {
+	p, err := rsti.Compile(victim())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	an := p.Analysis()
+	var largest int
+	for _, rt := range an.Types {
+		if n := len(rt.Vars) + len(rt.Fields); n > largest {
+			largest = n
+		}
+	}
+	fmt.Printf("largest equivalence class: %d members (threshold %d)\n\n",
+		largest, sti.AdaptiveECVThreshold)
+
+	mechs := []rsti.Mechanism{rsti.STWC, rsti.Adaptive, rsti.STL}
+
+	fmt.Println("replay INSIDE the large class (table1 -> table0):")
+	for _, mech := range mechs {
+		res, err := p.Run(mech, replay("table1", "table0"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "accepted (substitution works)"
+		if res.Detected() {
+			verdict = "DETECTED"
+		}
+		fmt.Printf("  %-13s %s\n", mech, verdict)
+	}
+
+	fmt.Println("\nreplay inside the two-member class (lone_b -> lone_a):")
+	for _, mech := range mechs {
+		res, err := p.Run(mech, replay("lone_b", "lone_a"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "accepted (below the threshold — the deliberate trade)"
+		if res.Detected() {
+			verdict = "DETECTED"
+		}
+		fmt.Printf("  %-13s %s\n", mech, verdict)
+	}
+
+	fmt.Println("\ncost on a benign run:")
+	base, _ := p.Run(rsti.None)
+	for _, mech := range mechs {
+		res, err := p.Run(mech)
+		if err != nil || res.Err != nil {
+			log.Fatal(err, res.Err)
+		}
+		fmt.Printf("  %-13s %+6.2f%%  (%d PA ops)\n",
+			mech, rsti.Overhead(base, res)*100, res.Stats.PACOps())
+	}
+}

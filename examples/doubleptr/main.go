@@ -1,0 +1,104 @@
+// The pointer-to-pointer walkthrough from the paper's Figure 7: a struct
+// node** cast to void** loses its original type statically, so RSTI
+// preserves it dynamically — a Compact Equivalent (CE) tag in the
+// Top-Byte-Ignore byte indexes the Full Equivalent (FE) type's modifier in
+// a read-only metadata store.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsti"
+)
+
+const figure7 = `
+	struct node { int key; struct node *next; };
+
+	// foo1 keeps the double pointer's type: no CE/FE machinery needed.
+	void foo1(struct node **pp1) {
+		if (*pp1 != NULL) {
+			(*pp1)->key = 1;
+		}
+	}
+
+	// foo2 receives a universal double pointer: the original type
+	// (struct node**) is statically gone. pp_auth recovers it from the
+	// CE tag when *pp2 is dereferenced.
+	void foo2(void **pp2) {
+		if (*pp2 != NULL) {
+			*pp2 = NULL;
+		}
+	}
+
+	int main(void) {
+		struct node *p = (struct node*) malloc(sizeof(struct node));
+		p->key = 41;
+		p->next = NULL;
+		foo1(&p);
+		printf("after foo1: key=%d\n", p->key);
+		foo2((void**) &p);
+		if (p == NULL) {
+			printf("after foo2: p cleared through void**\n");
+			return 0;
+		}
+		return 1;
+	}
+`
+
+func main() {
+	p, err := rsti.Compile(figure7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	an := p.Analysis()
+	fmt.Printf("pointer-to-pointer census: %d sites total, %d need CE/FE\n",
+		an.PPTotalSites, len(an.PPSpecial))
+	for _, site := range an.PPSpecial {
+		fmt.Printf("  in %s: %s cast to %s  ->  CE tag %d\n",
+			site.Fn, site.FromTy, site.ToTy, site.CE)
+	}
+
+	for _, mech := range rsti.Mechanisms {
+		res, err := p.Run(mech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if res.Err != nil {
+			status = res.Err.Error()
+		}
+		fmt.Printf("  %-10s exit=%d pp-ops=%d  %s\n", mech, res.Exit, res.Stats.PPOps, status)
+	}
+
+	// Show the pp_* library calls in the instrumented IR.
+	ir, _ := p.DumpIR(rsti.STWC)
+	fmt.Println("\npp instrumentation in main and foo2:")
+	for _, line := range split(ir) {
+		if contains(line, "pp_") {
+			fmt.Println(" ", line)
+		}
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

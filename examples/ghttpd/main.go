@@ -1,0 +1,93 @@
+// The GHTTPD data-oriented attack from the paper's Figure 2: a buffer
+// overflow in log() lets the attacker overwrite the request pointer ptr
+// between the "/.." path-traversal check and the CGI handler, so a request
+// that already passed validation is swapped for a malicious one. No code
+// pointer is touched — this is pure data-flow corruption — yet RSTI's
+// scope-typed data pointers catch it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsti"
+	"rsti/internal/vm"
+)
+
+const ghttpd = `
+	char *attacker_url;   // attacker-controlled bytes already in memory
+
+	int exec_cgi(char *path) {
+		// Reaching here with "/../" in path is the attack's goal
+		// (GHTTPD executed /bin/sh this way).
+		if (strstr(path, "/..") != NULL) return 99;
+		return 1;
+	}
+
+	void log_request(char *msg) {
+		// The real log() has a stack buffer overflow; the hook stands in
+		// for the attacker's out-of-bounds write.
+		__hook(1);
+	}
+
+	int serveconnection(int sockfd) {
+		char *ptr = "GET /cgi-bin/status";
+		if (strstr(ptr, "/..") != NULL) {
+			return 2; // reject path traversal
+		}
+		log_request(ptr);
+		if (strstr(ptr, "cgi-bin") != NULL) {
+			return exec_cgi(ptr);
+		}
+		return 0;
+	}
+
+	int main(void) {
+		attacker_url = "/cgi-bin/../../bin/sh";
+		return serveconnection(4);
+	}
+`
+
+func main() {
+	p, err := rsti.Compile(ghttpd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The corruption: replace serveconnection's ptr — which already
+	// passed the "/.." check — with the attacker's URL. ptr lives on the
+	// stack; the overflow in log() reaches it.
+	corrupt := rsti.WithHook(1, func(m *vm.Machine) error {
+		slot, ok := m.VarAddr("serveconnection", "ptr")
+		if !ok {
+			return fmt.Errorf("ptr not on the stack")
+		}
+		urlSlot, _ := m.GlobalAddr("attacker_url")
+		url, err := m.Mem.Peek(urlSlot, 8)
+		if err != nil {
+			return err
+		}
+		// The attacker writes the raw address of their URL (they cannot
+		// forge a PAC without the key).
+		return m.Mem.Poke(slot, m.Unit.Canonical(url), 8)
+	})
+
+	fmt.Println("GHTTPD data-oriented attack (paper Figure 2)")
+	for _, mech := range rsti.Mechanisms {
+		res, err := p.Run(mech, corrupt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Detected():
+			fmt.Printf("  %-10s DETECTED (%v)\n", mech, res.Trap.Kind)
+		case res.Exit == 99:
+			fmt.Printf("  %-10s attack succeeded: /bin/sh executed\n", mech)
+		default:
+			fmt.Printf("  %-10s exit=%d err=%v\n", mech, res.Exit, res.Err)
+		}
+	}
+
+	benign, _ := p.Run(rsti.STWC)
+	fmt.Printf("benign request under RSTI-STWC: exit=%d (CGI handled normally)\n", benign.Exit)
+}

@@ -1,0 +1,131 @@
+// The libtiff control-flow hijack from the paper's Figure 1
+// (CVE-2015-8668): a heap buffer overflow lets the attacker overwrite the
+// tif_encoderow function pointer inside the TIFF object; the next
+// TIFFWriteScanline call then jumps wherever the attacker chose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsti"
+	"rsti/internal/vm"
+)
+
+const libtiff = `
+	typedef struct tiff {
+		int (*tif_encoderow)(struct tiff *t, char *buf, long size);
+		long tif_scanlinesize;
+		int tif_flags;
+	} TIFF;
+
+	TIFF *out;
+	int shell_spawned = 0;
+
+	int _TIFFNoRowEncode(TIFF *tif, char *buf, long size) {
+		printf("encoding %ld bytes\n", size);
+		return (int) size;
+	}
+
+	int attacker_shellcode(TIFF *tif, char *buf, long size) {
+		shell_spawned = 1;
+		return 0;
+	}
+
+	void _TIFFSetDefaultCompressionState(TIFF *tif) {
+		tif->tif_encoderow = _TIFFNoRowEncode;
+	}
+
+	TIFF *TIFFOpen(void) {
+		TIFF *tif = (TIFF*) malloc(sizeof(TIFF));
+		tif->tif_scanlinesize = 64;
+		tif->tif_flags = 0;
+		_TIFFSetDefaultCompressionState(tif);
+		return tif;
+	}
+
+	int TIFFWriteScanline(TIFF *tif, char *buf) {
+		// The unsanitized _TIFFmalloc(width*length) overflow of Figure 1
+		// lands adjacent to the TIFF object; the hook plays its part.
+		__hook(1);
+		return tif->tif_encoderow(tif, buf, tif->tif_scanlinesize);
+	}
+
+	int main(void) {
+		out = TIFFOpen();
+		char scan[64];
+		int status = TIFFWriteScanline(out, (char*)scan);
+		if (shell_spawned) return 99;
+		return status;
+	}
+`
+
+func main() {
+	p, err := rsti.Compile(libtiff)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	overflow := rsti.WithHook(1, func(m *vm.Machine) error {
+		// Find the heap TIFF object through the global, then overwrite
+		// its first field — the encoder function pointer — with the
+		// "shellcode" address.
+		slot, _ := m.GlobalAddr("out")
+		obj, err := m.Mem.Peek(slot, 8)
+		if err != nil {
+			return err
+		}
+		tok, _ := m.FuncToken("attacker_shellcode")
+		return m.Mem.Poke(m.Unit.Canonical(obj), tok, 8)
+	})
+
+	fmt.Println("libtiff CVE-2015-8668 control-flow hijack (paper Figure 1)")
+	for _, mech := range rsti.Mechanisms {
+		res, err := p.Run(mech, overflow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Detected():
+			fmt.Printf("  %-10s DETECTED (%v)\n", mech, res.Trap.Kind)
+		case res.Exit == 99:
+			fmt.Printf("  %-10s attack succeeded: shellcode executed\n", mech)
+		default:
+			fmt.Printf("  %-10s exit=%d err=%v\n", mech, res.Exit, res.Err)
+		}
+	}
+
+	// Show the protection in the generated code.
+	ir, _ := p.DumpIR(rsti.STWC)
+	fmt.Println("\nexcerpt of the protected TIFFWriteScanline:")
+	printFunc(ir, "func TIFFWriteScanline")
+}
+
+func printFunc(ir, header string) {
+	printing := false
+	lines := 0
+	for _, line := range splitLines(ir) {
+		if printing {
+			fmt.Println(" ", line)
+			lines++
+			if line == "}" || lines > 18 {
+				return
+			}
+		} else if len(line) >= len(header) && line[:len(header)] == header {
+			printing = true
+			fmt.Println(" ", line)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

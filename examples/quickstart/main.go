@@ -1,0 +1,82 @@
+// Quickstart: compile a program, inspect its RSTI-types, run it under
+// every mechanism, then corrupt a function pointer mid-run and watch the
+// three RSTI mechanisms catch what the baseline lets through.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rsti"
+	"rsti/internal/vm"
+)
+
+const victim = `
+	// A tiny service with a dispatch table, in the shape of the paper's
+	// motivating examples: the function pointer is the attack surface.
+	int handle_ping(void) { printf("pong\n"); return 0; }
+	int handle_evil(void) { printf("ATTACKER CODE RUNS\n"); return 666; }
+
+	int (*dispatch)(void);
+
+	int serve(void) {
+		__hook(1);            // <- a buffer overflow would land here
+		return dispatch();
+	}
+
+	int main(void) {
+		dispatch = handle_ping;
+		return serve();
+	}
+`
+
+func main() {
+	p, err := rsti.Compile(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What did the STI analysis recover?
+	eq := p.Equivalence()
+	fmt.Printf("STI analysis: %d pointer variables, %d basic types, %d RSTI-types (STWC)\n",
+		eq.NV, eq.NT, eq.RTSTWC)
+	for _, rt := range p.Analysis().Types {
+		if len(rt.Vars)+len(rt.Fields) > 0 {
+			fmt.Printf("  %s\n", rt)
+		}
+	}
+
+	// The exploit: overwrite the dispatch pointer with another function's
+	// address, exactly what the libtiff CVE in the paper's Figure 1 does.
+	hijack := rsti.WithHook(1, func(m *vm.Machine) error {
+		slot, _ := m.GlobalAddr("dispatch")
+		tok, _ := m.FuncToken("handle_evil")
+		return m.Mem.Poke(slot, tok, 8)
+	})
+
+	fmt.Println("\nrunning the hijack under every mechanism:")
+	for _, mech := range rsti.Mechanisms {
+		res, err := p.Run(mech, hijack, rsti.WithOutput(os.Stdout))
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Detected():
+			fmt.Printf("  %-10s DETECTED: %v\n", mech, res.Trap.Kind)
+		case res.Err != nil:
+			fmt.Printf("  %-10s crashed: %v\n", mech, res.Err)
+		default:
+			fmt.Printf("  %-10s exit=%d (attack %s)\n", mech, res.Exit,
+				map[bool]string{true: "SUCCEEDED", false: "had no effect"}[res.Exit == 666])
+		}
+	}
+
+	// And the cost of protection on an honest run.
+	base, _ := p.Run(rsti.None)
+	for _, mech := range rsti.RSTIMechanisms {
+		res, _ := p.Run(mech)
+		fmt.Printf("overhead %-10s %+.2f%%  (%d PA instructions executed)\n",
+			mech, rsti.Overhead(base, res)*100, res.Stats.PACOps())
+	}
+}

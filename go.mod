@@ -1,0 +1,3 @@
+module rsti
+
+go 1.22

@@ -1,0 +1,170 @@
+package rsti_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rsti"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// TestIntegrationLargeProgram pushes a Table 3-sized generated program
+// (thousands of pointer variables) through the entire pipeline — parse,
+// check, lower, analyze, instrument under every mechanism, execute — and
+// demands identical behaviour everywhere.
+func TestIntegrationLargeProgram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large program")
+	}
+	bench := workload.SPEC2006Static()[1] // bzip2-sized: quick but real
+	p, err := rsti.Compile(bench.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	eq := p.Equivalence()
+	if eq.NV < 100 {
+		t.Fatalf("NV = %d, generator under-delivered", eq.NV)
+	}
+	var want int64
+	for i, mech := range append(append([]rsti.Mechanism{}, rsti.Mechanisms...), rsti.Adaptive) {
+		res, err := p.Run(mech)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: trapped: %v", mech, res.Err)
+		}
+		if i == 0 {
+			want = res.Exit
+		} else if res.Exit != want {
+			t.Errorf("%s: exit %d != baseline %d", mech, res.Exit, want)
+		}
+	}
+}
+
+// TestIntegrationPerlbenchAnalysis analyzes the largest everyday static
+// program and sanity-checks the Table 3 invariants end to end.
+func TestIntegrationPerlbenchAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large program")
+	}
+	bench := workload.SPEC2006Static()[0]
+	p, err := rsti.Compile(bench.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := p.Equivalence()
+	if eq.RTSTC > eq.RTSTWC {
+		t.Errorf("RT(STC)=%d exceeds RT(STWC)=%d", eq.RTSTC, eq.RTSTWC)
+	}
+	if eq.LargestECTSTWC != 1 {
+		t.Errorf("ECT(STWC)=%d, must be 1", eq.LargestECTSTWC)
+	}
+	if eq.LargestECVSTC < eq.LargestECVSTWC {
+		t.Errorf("merging shrank the largest variable class: %d < %d",
+			eq.LargestECVSTC, eq.LargestECVSTWC)
+	}
+	// The generator was parameterized with the paper's counts; the
+	// analysis must land in their neighbourhood.
+	if eq.NV < bench.PaperNV*8/10 || eq.NV > bench.PaperNV*12/10 {
+		t.Errorf("NV=%d vs paper %d (outside 20%% band)", eq.NV, bench.PaperNV)
+	}
+	st, err := p.InstrumentationStats(rsti.STWC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() < eq.NV {
+		t.Errorf("instrumentation sites (%d) below the pointer population (%d)", st.Total(), eq.NV)
+	}
+}
+
+// TestIntegrationDeterminism compiles and runs the same benchmark twice
+// and demands bit-identical statistics — the property every reported
+// experiment relies on.
+func TestIntegrationDeterminism(t *testing.T) {
+	bench := workload.NBench()[7] // huffman
+	run := func() (int64, int64, int64) {
+		p, err := rsti.Compile(bench.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(rsti.STWC)
+		if err != nil || res.Err != nil {
+			t.Fatalf("%v %v", err, res.Err)
+		}
+		return res.Exit, res.Stats.Cycles, res.Stats.PACOps()
+	}
+	e1, c1, p1 := run()
+	e2, c2, p2 := run()
+	if e1 != e2 || c1 != c2 || p1 != p2 {
+		t.Errorf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)", e1, c1, p1, e2, c2, p2)
+	}
+}
+
+// TestIntegrationAllSuitesUnderAdaptive spot-checks the Adaptive extension
+// against one benchmark from each suite.
+func TestIntegrationAllSuitesUnderAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several benchmarks")
+	}
+	picks := []*workload.Benchmark{
+		workload.SPEC2017()[4], // deepsjeng_r
+		workload.NBench()[0],   // numeric-sort
+		workload.CPython()[6],  // list-ops
+		workload.NGINX(),
+	}
+	for _, b := range picks {
+		p, err := rsti.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		base, err := p.Run(rsti.None)
+		if err != nil || base.Err != nil {
+			t.Fatalf("%s baseline: %v %v", b.Name, err, base.Err)
+		}
+		ad, err := p.Run(sti.Adaptive)
+		if err != nil || ad.Err != nil {
+			t.Fatalf("%s adaptive: %v %v", b.Name, err, ad.Err)
+		}
+		if ad.Exit != base.Exit {
+			t.Errorf("%s: adaptive exit %d != %d", b.Name, ad.Exit, base.Exit)
+		}
+	}
+}
+
+// TestTestdataPrograms keeps the shipped sample programs compiling and
+// running cleanly under every mechanism.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := rsti.Compile(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		var want int64
+		for i, mech := range append(append([]rsti.Mechanism{}, rsti.Mechanisms...), rsti.Adaptive) {
+			res, err := p.Run(mech)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", file, mech, err)
+			}
+			if res.Err != nil {
+				t.Errorf("%s under %s trapped: %v", file, mech, res.Err)
+				continue
+			}
+			if i == 0 {
+				want = res.Exit
+			} else if res.Exit != want {
+				t.Errorf("%s under %s: exit %d != %d", file, mech, res.Exit, want)
+			}
+		}
+	}
+}

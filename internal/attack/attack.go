@@ -1,0 +1,168 @@
+// Package attack reproduces the paper's security evaluation (§6.1,
+// Table 1): each published control-flow hijacking and data-oriented attack
+// is rebuilt as a victim program in the cminor subset plus a corruption
+// script that models the exploit's arbitrary-write primitive, and executed
+// under every defense mechanism.
+//
+// Each scenario defines an observable attack goal (reaching an attacker
+// payload, leaking through a substituted data pointer, bypassing a check).
+// On the uninstrumented baseline the attack must succeed; under RSTI it
+// must be detected. The PARTS baseline reproduces the paper's comparison:
+// it misses the attacks whose corrupted and original pointers share a
+// basic type (DOP ProFTPd, PittyPat COOP) and catches the rest.
+package attack
+
+import (
+	"fmt"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// Scenario is one Table 1 row.
+type Scenario struct {
+	// Name and Category as printed in Table 1.
+	Name     string
+	Category string // "control-flow hijacking" or "data-oriented"
+	// RealWorld distinguishes (R) real-software attacks from (S)
+	// synthetic victim code.
+	RealWorld bool
+
+	// Table 1's scope-type columns.
+	Corrupted     string
+	Target        string
+	OriginalInfo  string
+	CorruptedInfo string
+
+	// Source is the victim program.
+	Source string
+	// Corrupt performs the exploit's memory corruption; it runs at the
+	// victim's __hook(1) site.
+	Corrupt vm.Hook
+	// SuccessExit is the exit status indicating the attack achieved its
+	// goal (payload executed / data leaked / check bypassed).
+	SuccessExit int64
+	// BenignExit is the exit status of an unattacked run.
+	BenignExit int64
+	// PARTSDetects records whether the type-only baseline stops this
+	// attack (false exactly when corrupted and original pointers share a
+	// basic type).
+	PARTSDetects bool
+	// Externs the victim needs beyond the builtins.
+	Externs map[string]func(*vm.Machine, []uint64) (uint64, error)
+}
+
+// Outcome is one (scenario, mechanism) result.
+type Outcome struct {
+	Scenario  *Scenario
+	Mechanism sti.Mechanism
+	Detected  bool // a security trap fired
+	Succeeded bool // the attack reached its goal
+	Exit      int64
+	Err       error
+}
+
+// Run executes the scenario under one mechanism (attack enabled).
+func (s *Scenario) Run(mech sti.Mechanism) (*Outcome, error) {
+	c, err := core.Compile(s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	res, err := c.Run(mech, core.RunConfig{
+		Hooks:   map[int64]vm.Hook{1: s.Corrupt},
+		Externs: s.Externs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", s.Name, mech, err)
+	}
+	return &Outcome{
+		Scenario:  s,
+		Mechanism: mech,
+		Detected:  res.Detected(),
+		Succeeded: res.Err == nil && res.Exit == s.SuccessExit,
+		Exit:      res.Exit,
+		Err:       res.Err,
+	}, nil
+}
+
+// RunBenign executes the scenario without the corruption, verifying the
+// victim behaves normally under the mechanism (no false positives).
+func (s *Scenario) RunBenign(mech sti.Mechanism) (*Outcome, error) {
+	c, err := core.Compile(s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	res, err := c.Run(mech, core.RunConfig{Externs: s.Externs})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Scenario:  s,
+		Mechanism: mech,
+		Detected:  res.Detected(),
+		Succeeded: false,
+		Exit:      res.Exit,
+		Err:       res.Err,
+	}, nil
+}
+
+// pokeFuncToken overwrites an 8-byte slot with a function's entry token —
+// the classic control-flow hijack write.
+func pokeFuncToken(globalOrVar func(m *vm.Machine) (uint64, bool), fn string) vm.Hook {
+	return func(m *vm.Machine) error {
+		addr, ok := globalOrVar(m)
+		if !ok {
+			return fmt.Errorf("attack: target slot not found")
+		}
+		tok, ok := m.FuncToken(fn)
+		if !ok {
+			return fmt.Errorf("attack: no function %q", fn)
+		}
+		return m.Mem.Poke(addr, tok, 8)
+	}
+}
+
+// global returns an address resolver for a global variable.
+func global(name string) func(m *vm.Machine) (uint64, bool) {
+	return func(m *vm.Machine) (uint64, bool) { return m.GlobalAddr(name) }
+}
+
+// heapField resolves the address of a field within a heap object whose
+// address is stored in a global pointer — the typical reach of a
+// heap-overflow write.
+func heapField(globalPtr string, fieldOffset uint64) func(m *vm.Machine) (uint64, bool) {
+	return func(m *vm.Machine) (uint64, bool) {
+		slot, ok := m.GlobalAddr(globalPtr)
+		if !ok {
+			return 0, false
+		}
+		obj, err := m.Mem.Peek(slot, 8)
+		if err != nil {
+			return 0, false
+		}
+		// The stored object pointer may carry a PAC; the attacker only
+		// needs its address bits, which are in the clear.
+		return m.Unit.Canonical(obj) + fieldOffset, true
+	}
+}
+
+// replayValue copies the (signed) 8-byte value at src over dst — the
+// pointer substitution / replay primitive.
+func replayValue(src, dst func(m *vm.Machine) (uint64, bool)) vm.Hook {
+	return func(m *vm.Machine) error {
+		s, ok := src(m)
+		if !ok {
+			return fmt.Errorf("attack: replay source not found")
+		}
+		d, ok := dst(m)
+		if !ok {
+			return fmt.Errorf("attack: replay destination not found")
+		}
+		v, err := m.Mem.Peek(s, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(d, v, 8)
+	}
+}

@@ -1,0 +1,204 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"rsti/internal/sti"
+)
+
+// TestTable1AllAttacksDetected is the headline security result: every
+// attack in Table 1 succeeds on the uninstrumented baseline and is
+// detected by every RSTI mechanism.
+func TestTable1AllAttacksDetected(t *testing.T) {
+	for _, s := range Scenarios() {
+		t.Run(s.Name, func(t *testing.T) {
+			base, err := s.Run(sti.None)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !base.Succeeded {
+				t.Fatalf("attack does not work on the baseline: exit=%d err=%v", base.Exit, base.Err)
+			}
+			if base.Detected {
+				t.Fatal("baseline reported a detection (it has no defense)")
+			}
+			for _, mech := range sti.RSTIMechanisms {
+				out, err := s.Run(mech)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out.Detected {
+					t.Errorf("%s: attack not detected (exit=%d err=%v)", mech, out.Exit, out.Err)
+				}
+				if out.Succeeded {
+					t.Errorf("%s: attack succeeded despite instrumentation", mech)
+				}
+			}
+		})
+	}
+}
+
+// TestTable1NoFalsePositives verifies every victim program runs benignly
+// (unattacked) under every mechanism with its expected exit status.
+func TestTable1NoFalsePositives(t *testing.T) {
+	for _, s := range Scenarios() {
+		t.Run(s.Name, func(t *testing.T) {
+			for _, mech := range sti.Mechanisms {
+				out, err := s.RunBenign(mech)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Err != nil {
+					t.Errorf("%s: benign run trapped: %v", mech, out.Err)
+					continue
+				}
+				if out.Exit != s.BenignExit {
+					t.Errorf("%s: benign exit = %d, want %d", mech, out.Exit, s.BenignExit)
+				}
+			}
+		})
+	}
+}
+
+// TestPARTSComparison reproduces the paper's §6.1.2 comparison: PARTS
+// misses exactly the attacks whose corrupted and original pointers share a
+// basic type (the DOP ProFTPd and PittyPat examples among them) and
+// catches the rest.
+func TestPARTSComparison(t *testing.T) {
+	missed := map[string]bool{}
+	for _, s := range Scenarios() {
+		out, err := s.Run(sti.PARTS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Detected != s.PARTSDetects {
+			t.Errorf("%s: PARTS detected=%v, expected %v (exit=%d err=%v)",
+				s.Name, out.Detected, s.PARTSDetects, out.Exit, out.Err)
+		}
+		if !out.Detected {
+			missed[s.Name] = true
+			if !out.Succeeded {
+				t.Errorf("%s: PARTS failed to detect yet the attack did not succeed", s.Name)
+			}
+		}
+	}
+	// The paper's two named PARTS bypasses must be among the misses.
+	for _, name := range []string{"DOP ProFTPd Attack", "PittyPat COOP Attack"} {
+		if !missed[name] {
+			t.Errorf("%s: expected to bypass PARTS", name)
+		}
+	}
+}
+
+// TestScenarioMetadataComplete keeps the Table 1 rendering honest.
+func TestScenarioMetadataComplete(t *testing.T) {
+	seen := map[string]bool{}
+	categories := map[string]int{}
+	for _, s := range Scenarios() {
+		if s.Name == "" || s.Corrupted == "" || s.Target == "" || s.OriginalInfo == "" {
+			t.Errorf("scenario %q has empty metadata", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		categories[s.Category]++
+	}
+	if len(seen) != 12 {
+		t.Errorf("scenario count = %d, want 12", len(seen))
+	}
+	if categories["control-flow hijacking"] != 10 || categories["data-oriented"] != 2 {
+		t.Errorf("category split = %v, want 10 hijacking + 2 data-oriented", categories)
+	}
+}
+
+// TestSTLDetectsEverythingSTWCDoes is a monotonicity check across the
+// suite: STL's location binding is strictly stronger.
+func TestSTLMonotonicity(t *testing.T) {
+	for _, s := range Scenarios() {
+		stwc, err := s.Run(sti.STWC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stl, err := s.Run(sti.STL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stwc.Detected && !stl.Detected {
+			t.Errorf("%s: STWC detects but STL does not", s.Name)
+		}
+	}
+}
+
+// TestMeasuredScopeTypeMatchesTable1 reproduces Table 1's "original
+// scope-type information" column from the analysis itself: each corrupted
+// pointer's measured RSTI-type must have the right basic type shape and a
+// scope covering the functions the paper lists.
+func TestMeasuredScopeTypeMatchesTable1(t *testing.T) {
+	expectations := map[string]struct {
+		typeContains string
+		scopeHas     []string
+	}{
+		"NEWTON CsCFI attack":     {"(long)", []string{"ngx_http_write_filter", "ngx_connection"}},
+		"AOCR NGINX Attack 1":     {"void(void*)", []string{"ngx_thread_pool_cycle", "ngx_task"}},
+		"AOCR NGINX Attack 2":     {"void(char*)", []string{"ngx_log_set_levels", "ngx_log"}},
+		"AOCR Apache Attack":      {"void(int)", []string{"sed_reset_eval", "eval_errf", "sed_eval"}},
+		"Control Jujutsu NGINX":   {"int(void*)", []string{"ngx_output_chain", "chain_ctx"}},
+		"CVE-2015-8668 (libtiff)": {"int(", []string{"_TIFFSetDefaultCompressionState", "TIFFWriteScanline", "tiff"}},
+		"CVE-2014-1912 (CPython)": {"long(long)", []string{"inherit_slots", "PyObject_Hash", "PyTypeObject"}},
+		"COOP REC-G":              {"void()", []string{"release", "X"}},
+		"COOP ML-G":               {"void()", []string{"graduate_all", "Student"}},
+		"PittyPat COOP Attack":    {"void()", []string{"main", "Student"}},
+		"DOP ProFTPd Attack":      {"char*", []string{"core_display_file"}},
+		"NEWTON CPI Attack":       {"void(char*)", []string{"ngx_http_get_indexed_variable", "ngx_variable"}},
+	}
+	for _, s := range Scenarios() {
+		want, ok := expectations[s.Name]
+		if !ok {
+			t.Errorf("no expectation for %q", s.Name)
+			continue
+		}
+		rt, err := s.MeasuredRSTIType()
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if !strings.Contains(rt.Type.Key(), want.typeContains) {
+			t.Errorf("%s: measured type %s does not contain %q", s.Name, rt.Type, want.typeContains)
+		}
+		for _, fn := range want.scopeHas {
+			if !ScopeContains(rt, fn) {
+				t.Errorf("%s: measured scope %v missing %q", s.Name, rt.Scope, fn)
+			}
+		}
+		// The DOP victim's corrupted pointer is const: permission R.
+		if s.Name == "DOP ProFTPd Attack" && rt.Perm.String() != "R" {
+			t.Errorf("DOP ProFTPd: permission %s, want R", rt.Perm)
+		}
+	}
+}
+
+// TestTable1UnderAdaptive runs the full attack matrix under the Adaptive
+// extension: everything scope-type catches, Adaptive must catch too, with
+// no false positives on the benign runs.
+func TestTable1UnderAdaptive(t *testing.T) {
+	for _, s := range Scenarios() {
+		out, err := s.Run(sti.Adaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Detected {
+			t.Errorf("%s: Adaptive missed the attack (exit=%d err=%v)", s.Name, out.Exit, out.Err)
+		}
+		benign, err := s.RunBenign(sti.Adaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if benign.Err != nil {
+			t.Errorf("%s: Adaptive false positive: %v", s.Name, benign.Err)
+		} else if benign.Exit != s.BenignExit {
+			t.Errorf("%s: Adaptive benign exit = %d, want %d", s.Name, benign.Exit, s.BenignExit)
+		}
+	}
+}

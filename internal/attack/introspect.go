@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+)
+
+// CorruptedRef names the program entity the scenario corrupts, so the
+// Table 1 "original scope-type information" column can be *measured* from
+// the STI analysis rather than transcribed.
+type CorruptedRef struct {
+	// Struct/Field for composite members (c->send_chain, tif->tif_encoderow, ...).
+	Struct, Field string
+	// Global for globals (ServerName).
+	Global string
+}
+
+// corruptedRefs maps scenario names to their corrupted entity. (Kept out
+// of the Scenario literals so the attack definitions stay focused on the
+// exploit mechanics.)
+var corruptedRefs = map[string]CorruptedRef{
+	"NEWTON CsCFI attack":     {Struct: "ngx_connection", Field: "send_chain"},
+	"AOCR NGINX Attack 1":     {Struct: "ngx_task", Field: "handler"},
+	"AOCR NGINX Attack 2":     {Struct: "ngx_log", Field: "handler"},
+	"AOCR Apache Attack":      {Struct: "sed_eval", Field: "errfn"},
+	"Control Jujutsu NGINX":   {Struct: "chain_ctx", Field: "output_filter"},
+	"CVE-2015-8668 (libtiff)": {Struct: "tiff", Field: "tif_encoderow"},
+	"CVE-2014-1912 (CPython)": {Struct: "PyTypeObject", Field: "tp_hash"},
+	"COOP REC-G":              {Struct: "X", Field: "unref"},
+	"COOP ML-G":               {Struct: "Student", Field: "decCourseCount"},
+	"PittyPat COOP Attack":    {Struct: "Student", Field: "registration"},
+	"DOP ProFTPd Attack":      {Global: "ServerName"},
+	"NEWTON CPI Attack":       {Struct: "ngx_variable", Field: "get_handler"},
+}
+
+// MeasuredRSTIType compiles the victim and returns the analysis's view of
+// the corrupted pointer's RSTI-type — the reproduced version of Table 1's
+// "original scope-type information" column.
+func (s *Scenario) MeasuredRSTIType() (*sti.RSTIType, error) {
+	ref, ok := corruptedRefs[s.Name]
+	if !ok {
+		return nil, fmt.Errorf("attack: no corrupted-entity reference for %q", s.Name)
+	}
+	c, err := core.Compile(s.Source)
+	if err != nil {
+		return nil, err
+	}
+	an := c.Analysis
+	if ref.Global != "" {
+		for i, v := range c.Prog.Vars {
+			if v.Global && v.Name == ref.Global {
+				if id := an.VarRT[i]; id >= 0 {
+					return an.Types[id], nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("attack: global %q has no RSTI-type", ref.Global)
+	}
+	st, ok := c.Prog.Types.Struct(ref.Struct)
+	if !ok {
+		return nil, fmt.Errorf("attack: struct %q not in victim", ref.Struct)
+	}
+	for idx, f := range st.Fields {
+		if f.Name == ref.Field {
+			if id, ok := an.FieldRT[sti.FieldKey{Struct: ref.Struct, Field: idx}]; ok {
+				return an.Types[id], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("attack: field %s.%s has no RSTI-type", ref.Struct, ref.Field)
+}
+
+// ScopeContains reports whether the measured scope includes the named
+// function or composite.
+func ScopeContains(rt *sti.RSTIType, name string) bool {
+	for _, s := range rt.Scope {
+		if s == name || strings.HasSuffix(s, " "+name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,524 @@
+package attack
+
+import (
+	"rsti/internal/vm"
+)
+
+// Scenarios returns the full Table 1 suite in the paper's order.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		newtonCsCFI(),
+		aocrNginx1(),
+		aocrNginx2(),
+		aocrApache(),
+		controlJujutsu(),
+		cveLibtiff(),
+		cvePython(),
+		coopRECG(),
+		coopMLG(),
+		pittypatCOOP(),
+		dopProFTPd(),
+		newtonCPI(),
+	}
+}
+
+// pokeFlag returns an extern implementation that records its invocation in
+// a victim global, so the victim can observe that hijacked control reached
+// "library" code.
+func pokeFlag(flagGlobal string) func(m *vm.Machine, args []uint64) (uint64, error) {
+	return func(m *vm.Machine, args []uint64) (uint64, error) {
+		addr, ok := m.GlobalAddr(flagGlobal)
+		if !ok {
+			return 0, nil
+		}
+		return 0, m.Mem.Poke(addr, 1, 4)
+	}
+}
+
+// newtonCsCFI models the NEWTON attack on CsCFI: the NGINX connection's
+// send_chain function pointer is overwritten with libc's malloc. The
+// attack is observable because malloc returns a heap address where the
+// legitimate filter returns 0.
+func newtonCsCFI() *Scenario {
+	return &Scenario{
+		Name:          "NEWTON CsCFI attack",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "c->send_chain",
+		Target:        "malloc",
+		OriginalInfo:  "type ngx_send_chain_pt, scope ngx_http_write_filter",
+		CorruptedInfo: "type void* (size_t), scope libc",
+		Source: `
+			typedef struct { long (*send_chain)(long size); long buffered; } ngx_connection;
+			ngx_connection *conn;
+			long default_send_chain(long size) { return 0; }
+			long ngx_http_write_filter(void) {
+				__hook(1);
+				long r = conn->send_chain(64);
+				if (r > 1000000) return 99;
+				return 0;
+			}
+			int main(void) {
+				conn = (ngx_connection*) malloc(sizeof(ngx_connection));
+				conn->send_chain = default_send_chain;
+				return (int) ngx_http_write_filter();
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("conn", 0), "malloc"),
+		SuccessExit:  99,
+		BenignExit:   0,
+		PARTSDetects: true, // the libc target carries no PAC at all
+	}
+}
+
+// aocrNginx1 models AOCR's first NGINX attack: the thread-pool task
+// handler is redirected to _IO_new_file_overflow in libc.
+func aocrNginx1() *Scenario {
+	return &Scenario{
+		Name:          "AOCR NGINX Attack 1",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "task->handler",
+		Target:        "_IO_new_file_overflow",
+		OriginalInfo:  "type void (*)(void*, ngx_log_t*), scope ngx_thread_pool_cycle",
+		CorruptedInfo: "type int* (File*, int), scope libc",
+		Source: `
+			typedef struct { void (*handler)(void *data); void *data; } ngx_task;
+			extern void _IO_new_file_overflow(void *f);
+			ngx_task *task;
+			int io_called = 0;
+			int handled = 0;
+			void task_handler(void *data) { handled = 1; }
+			void ngx_thread_pool_cycle(void) {
+				__hook(1);
+				task->handler(task->data);
+			}
+			int main(void) {
+				task = (ngx_task*) malloc(sizeof(ngx_task));
+				task->handler = task_handler;
+				task->data = NULL;
+				ngx_thread_pool_cycle();
+				if (io_called) return 99;
+				return handled;
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("task", 0), "_IO_new_file_overflow"),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: true,
+		Externs: map[string]func(m *vm.Machine, args []uint64) (uint64, error){
+			"_IO_new_file_overflow": pokeFlag("io_called"),
+		},
+	}
+}
+
+// aocrNginx2 models AOCR's second NGINX attack: the log writer pointer is
+// replaced with ngx_master_process_cycle, an internal function of a
+// different type and scope.
+func aocrNginx2() *Scenario {
+	return &Scenario{
+		Name:          "AOCR NGINX Attack 2",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "p = log->handler",
+		Target:        "ngx_master_process_cycle",
+		OriginalInfo:  "type ngx_log_writer_pt, scope ngx_log_set_levels",
+		CorruptedInfo: "type void* (ngx_cycle_t*), scope main",
+		Source: `
+			typedef struct { void (*handler)(char *msg); int level; } ngx_log;
+			ngx_log *logger;
+			int cycled = 0;
+			int written = 0;
+			void writer(char *msg) { written = written + 1; }
+			void ngx_master_process_cycle(char *unused) { cycled = 1; }
+			void ngx_log_set_levels(void) {
+				logger->handler = writer;
+			}
+			void ngx_log_error(char *msg) {
+				__hook(1);
+				logger->handler(msg);
+			}
+			int main(void) {
+				logger = (ngx_log*) malloc(sizeof(ngx_log));
+				ngx_log_set_levels();
+				ngx_log_error("boot");
+				if (cycled) return 99;
+				return written;
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("logger", 0), "ngx_master_process_cycle"),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: true,
+	}
+}
+
+// aocrApache models AOCR's Apache attack on mod_sed: eval->errfn is
+// pointed at ap_get_exec_line.
+func aocrApache() *Scenario {
+	return &Scenario{
+		Name:          "AOCR Apache Attack",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "eval->errfn",
+		Target:        "ap_get_exec_line",
+		OriginalInfo:  "type sed_err_fn_t, scope sed_reset_eval, eval_errf",
+		CorruptedInfo: "type char* (apr_pool_t*, ...), scope set_bind_password",
+		Source: `
+			struct sed_eval { void (*errfn)(int code); int state; };
+			struct sed_eval *ev;
+			int exec_line = 0;
+			int errors = 0;
+			void sed_err(int code) { errors += code; }
+			void ap_get_exec_line(int unused) { exec_line = 1; }
+			void sed_reset_eval(void) { ev->errfn = sed_err; }
+			void eval_errf(int code) {
+				__hook(1);
+				ev->errfn(code);
+			}
+			int main(void) {
+				ev = (struct sed_eval*) malloc(sizeof(struct sed_eval));
+				sed_reset_eval();
+				eval_errf(3);
+				if (exec_line) return 99;
+				return errors;
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("ev", 0), "ap_get_exec_line"),
+		SuccessExit:  99,
+		BenignExit:   3,
+		PARTSDetects: true,
+	}
+}
+
+// controlJujutsu models the Control Jujutsu NGINX attack: the output
+// chain filter pointer is redirected to ngx_execute_proc.
+func controlJujutsu() *Scenario {
+	return &Scenario{
+		Name:          "Control Jujutsu NGINX",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "ctx->output_filter",
+		Target:        "ngx_execute_proc()",
+		OriginalInfo:  "type ngx_output_chain_filter_pt, scope ngx_output_chain",
+		CorruptedInfo: "type static void* (ngx_cycle_t*, void*), scope ngx_execute",
+		Source: `
+			typedef struct { int (*output_filter)(void *chain); void *ctx_data; } chain_ctx;
+			chain_ctx *octx;
+			int proc_executed = 0;
+			int filtered = 0;
+			int body_filter(void *chain) { filtered = 1; return 0; }
+			int ngx_execute_proc(void *data) { proc_executed = 1; return 0; }
+			int ngx_output_chain(void *chain) {
+				__hook(1);
+				return octx->output_filter(chain);
+			}
+			int main(void) {
+				octx = (chain_ctx*) malloc(sizeof(chain_ctx));
+				octx->output_filter = body_filter;
+				ngx_output_chain(NULL);
+				if (proc_executed) return 99;
+				return filtered;
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("octx", 0), "ngx_execute_proc"),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: true,
+	}
+}
+
+// cveLibtiff is CVE-2015-8668 (the paper's Figure 1): a heap overflow
+// reaches tif->tif_encoderow; the attacker installs an arbitrary code
+// address, modeled as an attacker payload function.
+func cveLibtiff() *Scenario {
+	return &Scenario{
+		Name:          "CVE-2015-8668 (libtiff)",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "tif->tif_encoderow",
+		Target:        "arbitrary pointer",
+		OriginalInfo:  "type TIFFCodeMethod, scope _TIFFSetDefaultCompressionState, TIFFWriteScanline, TIFFOpen, main",
+		CorruptedInfo: "attacker-chosen address",
+		Source: `
+			typedef struct tiff {
+				int (*tif_encoderow)(struct tiff *t, char *buf, long size);
+				long tif_scanlinesize;
+			} TIFF;
+			TIFF *out_tif;
+			int payload_ran = 0;
+			int _TIFFNoRowEncode(TIFF *t, char *buf, long size) { return (int) size; }
+			int attacker_payload(TIFF *t, char *buf, long size) { payload_ran = 1; return 0; }
+			void _TIFFSetDefaultCompressionState(TIFF *tif) {
+				tif->tif_encoderow = _TIFFNoRowEncode;
+			}
+			TIFF *TIFFOpen(void) {
+				TIFF *tif = (TIFF*) malloc(sizeof(TIFF));
+				tif->tif_scanlinesize = 8;
+				_TIFFSetDefaultCompressionState(tif);
+				return tif;
+			}
+			int TIFFWriteScanline(TIFF *tif, char *buf) {
+				__hook(1);
+				int status = tif->tif_encoderow(tif, buf, tif->tif_scanlinesize);
+				return status;
+			}
+			int main(void) {
+				out_tif = TIFFOpen();
+				char buf[16];
+				int status = TIFFWriteScanline(out_tif, (char*)buf);
+				if (payload_ran) return 99;
+				return status;
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("out_tif", 0), "attacker_payload"),
+		SuccessExit:  99,
+		BenignExit:   8,
+		PARTSDetects: true,
+	}
+}
+
+// cvePython is CVE-2014-1912: a buffer overflow in CPython reaches a type
+// object's tp_hash slot.
+func cvePython() *Scenario {
+	return &Scenario{
+		Name:          "CVE-2014-1912 (CPython)",
+		Category:      "control-flow hijacking",
+		RealWorld:     true,
+		Corrupted:     "tp->tp_hash",
+		Target:        "arbitrary pointer",
+		OriginalInfo:  "type hashfunc, scope inherit_slots, PyObject_Hash",
+		CorruptedInfo: "attacker-chosen address",
+		Source: `
+			typedef struct { long (*tp_hash)(long obj); int tp_flags; } PyTypeObject;
+			PyTypeObject *type_obj;
+			int payload_ran = 0;
+			long default_hash(long obj) { return obj * 31; }
+			long attacker_payload(long obj) { payload_ran = 1; return 0; }
+			void inherit_slots(PyTypeObject *tp) { tp->tp_hash = default_hash; }
+			long PyObject_Hash(long obj) {
+				__hook(1);
+				return type_obj->tp_hash(obj);
+			}
+			int main(void) {
+				type_obj = (PyTypeObject*) malloc(sizeof(PyTypeObject));
+				inherit_slots(type_obj);
+				long h = PyObject_Hash(3);
+				if (payload_ran) return 99;
+				return (int) h;
+			}
+		`,
+		Corrupt:      pokeFuncToken(heapField("type_obj", 0), "attacker_payload"),
+		SuccessExit:  99,
+		BenignExit:   93,
+		PARTSDetects: true,
+	}
+}
+
+// coopRECG is the COOP recursion-gadget (synthetic victim code): a class X
+// object's unref slot is replaced with a validly signed virtual-destructor
+// pointer harvested from a class Z object. The function-pointer types
+// match, so only scope information distinguishes them.
+func coopRECG() *Scenario {
+	return &Scenario{
+		Name:          "COOP REC-G",
+		Category:      "control-flow hijacking",
+		RealWorld:     false,
+		Corrupted:     "objB->unref",
+		Target:        "virtual ~Z()",
+		OriginalInfo:  "type class X, scope class Z",
+		CorruptedInfo: "type class Z, scope class Z",
+		Source: `
+			struct X { void (*unref)(void); int refs; };
+			struct Z { void (*dtor)(void); int zstate; };
+			struct X *objB;
+			struct Z *objZ;
+			int x_unrefs = 0;
+			int z_dtor_ran = 0;
+			void x_unref(void) { x_unrefs = x_unrefs + 1; }
+			void z_dtor(void) { z_dtor_ran = 1; }
+			void release(struct X *o) {
+				__hook(1);
+				o->unref();
+			}
+			int main(void) {
+				objB = (struct X*) malloc(sizeof(struct X));
+				objZ = (struct Z*) malloc(sizeof(struct Z));
+				objB->unref = x_unref;
+				objZ->dtor = z_dtor;
+				release(objB);
+				if (z_dtor_ran) return 99;
+				return x_unrefs;
+			}
+		`,
+		Corrupt:      replayValue(heapField("objZ", 0), heapField("objB", 0)),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: false, // both slots hold a void(*)(void): type-only PACs match
+	}
+}
+
+// coopMLG is the COOP main-loop gadget (synthetic): a Student object's
+// decCourseCount slot receives a Course destructor harvested from a Course
+// object.
+func coopMLG() *Scenario {
+	return &Scenario{
+		Name:          "COOP ML-G",
+		Category:      "control-flow hijacking",
+		RealWorld:     false,
+		Corrupted:     "students[i]->decCourseCount()",
+		Target:        "virtual ~Course()",
+		OriginalInfo:  "type void*(), scope class Student, class Course",
+		CorruptedInfo: "type class Course, scope class Course",
+		Source: `
+			struct Student { void (*decCourseCount)(void); int credits; };
+			struct Course { void (*dtor)(void); int enrolled; };
+			struct Student *student;
+			struct Course *course;
+			int decremented = 0;
+			int course_destroyed = 0;
+			void dec_course_count(void) { decremented = decremented + 1; }
+			void course_dtor(void) { course_destroyed = 1; }
+			void graduate_all(void) {
+				__hook(1);
+				student->decCourseCount();
+			}
+			int main(void) {
+				student = (struct Student*) malloc(sizeof(struct Student));
+				course = (struct Course*) malloc(sizeof(struct Course));
+				student->decCourseCount = dec_course_count;
+				course->dtor = course_dtor;
+				graduate_all();
+				if (course_destroyed) return 99;
+				return decremented;
+			}
+		`,
+		Corrupt:      replayValue(heapField("course", 0), heapField("student", 0)),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: false,
+	}
+}
+
+// pittypatCOOP is the PittyPat COOP variant (synthetic): a Teacher's
+// registration pointer is replayed into a Student's registration slot —
+// identical basic types, different composite scopes.
+func pittypatCOOP() *Scenario {
+	return &Scenario{
+		Name:          "PittyPat COOP Attack",
+		Category:      "control-flow hijacking",
+		RealWorld:     false,
+		Corrupted:     "member_2->registration",
+		Target:        "member_1->registration",
+		OriginalInfo:  "type void*(), scope main, class Student",
+		CorruptedInfo: "type void*(), scope main, class Teacher",
+		Source: `
+			struct Student { void (*registration)(void); int id; };
+			struct Teacher { void (*registration)(void); int id; };
+			struct Student *member_2;
+			struct Teacher *member_1;
+			int student_registered = 0;
+			int teacher_registered = 0;
+			void student_reg(void) { student_registered = 1; }
+			void teacher_reg(void) { teacher_registered = 1; }
+			int main(void) {
+				member_2 = (struct Student*) malloc(sizeof(struct Student));
+				member_1 = (struct Teacher*) malloc(sizeof(struct Teacher));
+				member_2->registration = student_reg;
+				member_1->registration = teacher_reg;
+				__hook(1);
+				member_2->registration();
+				if (teacher_registered) return 99;
+				return student_registered;
+			}
+		`,
+		Corrupt:      replayValue(heapField("member_1", 0), heapField("member_2", 0)),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: false, // the paper singles PittyPat out as a PARTS bypass
+	}
+}
+
+// dopProFTPd is the data-oriented programming attack on ProFTPd: load
+// gadgets corrupt the const char* ServerName with the attacker-filled
+// resp_buf — both are char pointers, so only RSTI's scope and permission
+// information distinguishes them.
+func dopProFTPd() *Scenario {
+	return &Scenario{
+		Name:          "DOP ProFTPd Attack",
+		Category:      "data-oriented",
+		RealWorld:     true,
+		Corrupted:     "&ServerName",
+		Target:        "resp_buf, ssl_ctx",
+		OriginalInfo:  "type const char*, scope core_display_file",
+		CorruptedInfo: "type char*, scope pr_response_send_raw",
+		Source: `
+			const char *ServerName;
+			char *resp_buf;
+			int pr_response_send_raw(void) {
+				resp_buf = "LEAKED_KEY";
+				return 0;
+			}
+			int core_display_file(void) {
+				__hook(1);
+				if (strcmp(ServerName, "LEAKED_KEY") == 0) return 99;
+				return (int) strlen(ServerName);
+			}
+			int main(void) {
+				ServerName = "ftp.example.org";
+				pr_response_send_raw();
+				return core_display_file();
+			}
+		`,
+		Corrupt:      replayValue(global("resp_buf"), global("ServerName")),
+		SuccessExit:  99,
+		BenignExit:   15,
+		PARTSDetects: false, // both are char pointers: the paper's explicit PARTS bypass
+	}
+}
+
+// newtonCPI is the NEWTON attack on CPI: an NGINX variable's get_handler
+// is redirected to libc's dlopen.
+func newtonCPI() *Scenario {
+	return &Scenario{
+		Name:          "NEWTON CPI Attack",
+		Category:      "data-oriented",
+		RealWorld:     true,
+		Corrupted:     "v[index].get_handler",
+		Target:        "dlopen",
+		OriginalInfo:  "type ngx_http_get_variable_pt, scope ngx_http_get_indexed_variable",
+		CorruptedInfo: "type void* (const char*, int), scope ngx_load_module",
+		Source: `
+			extern void dlopen(char *path);
+			typedef struct { void (*get_handler)(char *name); int index; } ngx_variable;
+			ngx_variable *vars;
+			int dlopened = 0;
+			int handled = 0;
+			void default_get(char *name) { handled = handled + 1; }
+			void ngx_http_get_indexed_variable(int index) {
+				__hook(1);
+				ngx_variable *v = vars + index;
+				v->get_handler("host");
+			}
+			int main(void) {
+				vars = (ngx_variable*) malloc(4 * sizeof(ngx_variable));
+				for (int i = 0; i < 4; i++) {
+					ngx_variable *v = vars + i;
+					v->get_handler = default_get;
+					v->index = i;
+				}
+				ngx_http_get_indexed_variable(2);
+				if (dlopened) return 99;
+				return handled;
+			}
+		`,
+		// Element 2's get_handler: element stride 16 bytes, field offset 0.
+		Corrupt:      pokeFuncToken(heapField("vars", 2*16), "dlopen"),
+		SuccessExit:  99,
+		BenignExit:   1,
+		PARTSDetects: true,
+		Externs: map[string]func(m *vm.Machine, args []uint64) (uint64, error){
+			"dlopen": pokeFlag("dlopened"),
+		},
+	}
+}

@@ -1,0 +1,366 @@
+package cminor
+
+import (
+	"rsti/internal/ctypes"
+)
+
+// File is a parsed translation unit.
+type File struct {
+	Structs  []*StructDecl
+	Globals  []*VarDecl
+	Funcs    []*FuncDecl
+	Types    *ctypes.Table
+	Typedefs map[string]*ctypes.Type
+	// Enums maps enumerator names to their constant values.
+	Enums map[string]int64
+	// Syms lists every declared variable (globals, parameters, locals) in
+	// declaration order after checking; VarSym.ID indexes into it.
+	Syms []*VarSym
+}
+
+// FuncByName returns the function with the given name, if any.
+func (f *File) FuncByName(name string) (*FuncDecl, bool) {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// StructDecl is a completed struct definition.
+type StructDecl struct {
+	Pos  Pos
+	Name string
+	Type *ctypes.Type
+}
+
+// VarDecl declares one variable (global, local, or parameter) with an
+// optional initializer. The checker assigns each declared variable a
+// program-unique Sym.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type *ctypes.Type
+	Init Expr // may be nil
+	Sym  *VarSym
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type *ctypes.Type
+	Sym  *VarSym
+}
+
+// FuncDecl is a function definition, or an extern declaration when Body is
+// nil. Extern functions model the paper's uninstrumented external
+// libraries.
+type FuncDecl struct {
+	Pos      Pos
+	Name     string
+	Ret      *ctypes.Type
+	Params   []*Param
+	Variadic bool
+	Extern   bool
+	Body     *BlockStmt // nil for extern declarations
+}
+
+// Signature returns the ctypes function type of the declaration.
+func (f *FuncDecl) Signature() *ctypes.Type {
+	params := make([]*ctypes.Type, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Type
+	}
+	return ctypes.FuncOf(f.Ret, params, f.Variadic)
+}
+
+// VarSym is the canonical symbol for a declared variable. Every use site
+// (Ident) resolves to exactly one VarSym; the STI analysis keys its
+// per-variable facts on it.
+type VarSym struct {
+	Name    string
+	Type    *ctypes.Type
+	Global  bool
+	Param   bool
+	DeclFn  string // defining function ("" for globals)
+	DeclPos Pos
+	ID      int // dense program-unique index assigned by the checker
+}
+
+// ---------- Statements ----------
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-enclosed statement list. Per the paper (§4.4),
+// compound statements do not constitute a new STI scope, but they do open
+// a C name scope, which the checker honors.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// DeclList groups the declarations of one multi-declarator statement
+// ("void *p1, *p2;"). Unlike a block it does not open a scope.
+type DeclList struct {
+	Pos   Pos
+	Decls []*DeclStmt
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// DoWhileStmt is a do { body } while (cond); loop.
+type DoWhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// SwitchStmt is a C switch over an integer expression. Cases hold
+// constant values; Default may be -1 when absent. Fallthrough follows C
+// semantics (each case falls into the next unless it breaks).
+type SwitchStmt struct {
+	Pos     Pos
+	Tag     Expr
+	Cases   []SwitchCase
+	Default int // index into Cases order where default sits, -1 if none
+}
+
+// SwitchCase is one case (or default) arm: its constant values (empty for
+// default) and the statements until the next label.
+type SwitchCase struct {
+	Pos       Pos
+	Values    []int64
+	IsDefault bool
+	Body      []Stmt
+}
+
+// ReturnStmt returns X (which may be nil).
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*DeclList) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*SwitchStmt) stmt()   {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// ---------- Expressions ----------
+
+// Expr is an expression node. Type() is valid after checking.
+type Expr interface {
+	Position() Pos
+	Type() *ctypes.Type
+	expr()
+}
+
+type exprBase struct {
+	Pos Pos
+	Ty  *ctypes.Type
+}
+
+func (b *exprBase) Position() Pos          { return b.Pos }
+func (b *exprBase) Type() *ctypes.Type     { return b.Ty }
+func (b *exprBase) expr()                  {}
+func (b *exprBase) setType(t *ctypes.Type) { b.Ty = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating-point literal (typed double, as in C).
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	exprBase
+	Val byte
+}
+
+// StrLit is a string literal; it evaluates to a char* into read-only data.
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// NullLit is the NULL constant.
+type NullLit struct {
+	exprBase
+}
+
+// Ident is a use of a variable or function name. After checking exactly
+// one of Var/Fun is set.
+type Ident struct {
+	exprBase
+	Name string
+	Var  *VarSym
+	Fun  *FuncDecl
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp uint8
+
+const (
+	Deref  UnaryOp = iota // *x
+	Addr                  // &x
+	Neg                   // -x
+	LogNot                // !x
+	BitNot                // ~x
+)
+
+// Unary is a unary operation.
+type Unary struct {
+	exprBase
+	Op UnaryOp
+	X  Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And // bitwise
+	Or
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	LogAnd
+	LogOr
+)
+
+// Binary is a binary operation (including pointer arithmetic).
+type Binary struct {
+	exprBase
+	Op   BinOp
+	X, Y Expr
+}
+
+// Assign is an assignment expression: LHS = RHS, or the compound forms
+// += and -=.
+type Assign struct {
+	exprBase
+	Op  TokKind // ASSIGN, PLUSEQ, MINUSEQ
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is a postfix or prefix ++/--.
+type IncDec struct {
+	exprBase
+	X    Expr
+	Decr bool
+}
+
+// Call invokes Fun (an Ident naming a function, or any expression of
+// function-pointer type) with Args.
+type Call struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// Member is x.Name (Arrow false) or x->Name (Arrow true). After checking,
+// Field holds the resolved struct field and StructTy the owning composite
+// type — the fact the paper's field-sensitive analysis (§4.7.4) consumes.
+type Member struct {
+	exprBase
+	X        Expr
+	Name     string
+	Arrow    bool
+	Field    ctypes.Field
+	StructTy *ctypes.Type
+}
+
+// Index is x[i].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Cond is the ternary conditional c ? a : b.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// Cast is an explicit or checker-inserted implicit conversion. Implicit
+// pointer conversions (void* to T*, NULL to T*) are materialized as Cast
+// nodes so the STI analysis sees every type-compatibility edge the
+// compiler would see in the IR's bitcasts.
+type Cast struct {
+	exprBase
+	X        Expr
+	Implicit bool
+}
+
+// SizeofExpr is sizeof(type) or sizeof expr; it is folded to a constant by
+// the checker.
+type SizeofExpr struct {
+	exprBase
+	Of *ctypes.Type
+}

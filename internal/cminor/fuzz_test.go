@@ -1,0 +1,35 @@
+package cminor
+
+import "testing"
+
+// FuzzFrontend is a native fuzz target over the whole frontend; under
+// plain `go test` it exercises the seed corpus below, and `go test
+// -fuzz=FuzzFrontend ./internal/cminor` explores further. The invariant is
+// absence of panics: every input yields a File or an error.
+func FuzzFrontend(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main(void) { return 0; }",
+		"struct s { int a; struct s *next; };",
+		"typedef struct { void (*fp)(int); } t; int main(void) { t *x = (t*) malloc(8); return 0; }",
+		"enum e { A, B = 2 }; int main(void) { switch (A) { case B: break; } return A; }",
+		"int f(int **pp) { return **pp; }",
+		"int main(void) { for (int i = 0; i < 3; i++) { do { i++; } while (0); } return 0; }",
+		"int main(void) { return 1 ? 2 : 3; }",
+		"char *s = \"str\\n\"; int main(void) { return (int) strlen(s); }",
+		"int main(void) { int a[2][2]; a[1][1] = 4; return a[1][1]; }",
+		"int main(void) { /* unterminated",
+		"int main(void) { return ((((((1)))))); }",
+		"void f(void); void f(void) { }",
+		"int x = ; int main(void) { return 0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		_, _ = Frontend(src)
+	})
+}

@@ -1,0 +1,128 @@
+package cminor
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	ks := make([]TokKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("int main(void) { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{KwInt, IDENT, LPAREN, KwVoid, RPAREN, LBRACE, KwReturn, INTLIT, SEMI, RBRACE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "-> ++ -- == != <= >= && || += -= ... << >> | ^ ~"
+	want := []TokKind{ARROW, INC, DEC, EQ, NE, LE, GE, ANDAND, OROR, PLUSEQ, MINUSEQ, ELLIPSIS, SHL, SHR, PIPE, CARET, TILDE, EOF}
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "42": 42, "123456789": 123456789,
+		"0x10": 16, "0xff": 255, "0xDEAD": 0xDEAD, "100L": 100, "7UL": 7,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != INTLIT || toks[0].Val != want {
+			t.Errorf("%q lexed to %v (val %d), want %d", src, toks[0].Kind, toks[0].Val, want)
+		}
+	}
+}
+
+func TestLexCharAndString(t *testing.T) {
+	toks, err := Lex(`'a' '\n' '\0' "hello\tworld" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 'a' || toks[1].Val != '\n' || toks[2].Val != 0 {
+		t.Errorf("char literals: %v", toks[:3])
+	}
+	if toks[3].Text != "hello\tworld" {
+		t.Errorf("string literal = %q", toks[3].Text)
+	}
+	if toks[4].Kind != STRLIT || toks[4].Text != "" {
+		t.Errorf("empty string literal = %v", toks[4])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("int /* a block\ncomment */ x; // line comment\nchar y;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{KwInt, IDENT, SEMI, KwChar, IDENT, SEMI, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{"@", "'unterminated", `"unterminated`, "/* unterminated", "'\\q'", "0x"}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error lacks position: %v", err)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("iffy structx returning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != IDENT {
+			t.Errorf("%q lexed as %s, want identifier", toks[i].Text, toks[i].Kind)
+		}
+	}
+}

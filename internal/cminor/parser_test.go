@@ -1,0 +1,499 @@
+package cminor
+
+import (
+	"testing"
+
+	"rsti/internal/ctypes"
+)
+
+func mustFrontend(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Frontend(src)
+	if err != nil {
+		t.Fatalf("Frontend: %v", err)
+	}
+	return f
+}
+
+func TestParseMinimalMain(t *testing.T) {
+	f := mustFrontend(t, "int main(void) { return 0; }")
+	fn, ok := f.FuncByName("main")
+	if !ok {
+		t.Fatal("no main")
+	}
+	if fn.Ret != ctypes.IntType || len(fn.Params) != 0 {
+		t.Errorf("main signature wrong: %s %d params", fn.Ret, len(fn.Params))
+	}
+	if len(fn.Body.Stmts) != 1 {
+		t.Fatalf("body stmts = %d", len(fn.Body.Stmts))
+	}
+	ret, ok := fn.Body.Stmts[0].(*ReturnStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", fn.Body.Stmts[0])
+	}
+	if lit, ok := ret.X.(*IntLit); !ok || lit.Val != 0 {
+		t.Errorf("return value: %#v", ret.X)
+	}
+}
+
+func TestParseStructWithSelfReference(t *testing.T) {
+	// The composite-type example from the paper's Figure 6.
+	f := mustFrontend(t, `
+		struct node {
+			int key;
+			int (*fp)();
+			struct node *next;
+		};
+		int main(void) { return 0; }
+	`)
+	st, ok := f.Types.Struct("node")
+	if !ok {
+		t.Fatal("struct node not registered")
+	}
+	if len(st.Fields) != 3 {
+		t.Fatalf("fields = %d", len(st.Fields))
+	}
+	fp, _ := st.FieldByName("fp")
+	if !fp.Type.IsFuncPointer() {
+		t.Errorf("fp type = %s, want function pointer", fp.Type)
+	}
+	next, _ := st.FieldByName("next")
+	if next.Type.Kind != ctypes.Pointer || next.Type.Elem != st {
+		t.Errorf("next type = %s", next.Type)
+	}
+}
+
+func TestParseTypedefStruct(t *testing.T) {
+	// The typedef'd ctx struct from the paper's Figure 5.
+	f := mustFrontend(t, `
+		typedef struct { void (*send_file)(int x); } ctx;
+		int main(void) {
+			ctx* c = (ctx*) malloc(8);
+			return 0;
+		}
+	`)
+	td, ok := f.Typedefs["ctx"]
+	if !ok {
+		t.Fatal("typedef ctx missing")
+	}
+	if td.Kind != ctypes.Struct {
+		t.Fatalf("ctx is %s", td)
+	}
+	if _, ok := td.FieldByName("send_file"); !ok {
+		t.Error("send_file field missing")
+	}
+}
+
+func TestParseFunctionPointerDeclarator(t *testing.T) {
+	f := mustFrontend(t, `
+		int add(int a, int b) { return a + b; }
+		int main(void) {
+			int (*op)(int, int) = add;
+			return op(2, 3);
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	ds := fn.Body.Stmts[0].(*DeclStmt)
+	ty := ds.Decl.Type
+	if !ty.IsFuncPointer() {
+		t.Fatalf("op type = %s", ty)
+	}
+	if len(ty.Elem.Params) != 2 || ty.Elem.Ret != ctypes.IntType {
+		t.Errorf("op signature = %s", ty.Elem)
+	}
+}
+
+func TestParseMultiDeclarators(t *testing.T) {
+	// Figure 8's "void *p1, *p2;" shape.
+	f := mustFrontend(t, `
+		void foo(void) {
+			void *p1, *p2;
+			int *p3;
+			p1 = (void*) p3;
+			p2 = p1;
+		}
+	`)
+	fn, _ := f.FuncByName("foo")
+	dl, ok := fn.Body.Stmts[0].(*DeclList)
+	if !ok {
+		t.Fatalf("multi-decl lowered to %T", fn.Body.Stmts[0])
+	}
+	if len(dl.Decls) != 2 {
+		t.Fatalf("decls = %d", len(dl.Decls))
+	}
+	for _, s := range dl.Decls {
+		d := s.Decl
+		if !d.Type.Equal(ctypes.PointerTo(ctypes.VoidType)) {
+			t.Errorf("%s type = %s, want void*", d.Name, d.Type)
+		}
+	}
+}
+
+func TestParseConstPermissions(t *testing.T) {
+	f := mustFrontend(t, `
+		int main(void) {
+			const void *cp = malloc(1);
+			const char *s = "x";
+			char * const pc = 0;
+			return 0;
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	d0 := fn.Body.Stmts[0].(*DeclStmt).Decl
+	if d0.Type.Kind != ctypes.Pointer || !d0.Type.Elem.Const {
+		t.Errorf("cp type = %s, want pointer to const void", d0.Type)
+	}
+	d2 := fn.Body.Stmts[2].(*DeclStmt).Decl
+	if !d2.Type.Const || d2.Type.Kind != ctypes.Pointer {
+		t.Errorf("pc type = %s, want const pointer", d2.Type)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := mustFrontend(t, `
+		int collatz(int n) {
+			int steps = 0;
+			while (n != 1) {
+				if (n % 2 == 0) { n = n / 2; }
+				else { n = 3 * n + 1; }
+				steps++;
+			}
+			for (int i = 0; i < 3; i++) {
+				steps += 1;
+				if (steps > 100) break;
+				continue;
+			}
+			return steps;
+		}
+	`)
+	if _, ok := f.FuncByName("collatz"); !ok {
+		t.Fatal("collatz missing")
+	}
+}
+
+func TestParseFigure1LibtiffShape(t *testing.T) {
+	// Abstracted control-flow hijack victim from the paper's Figure 1.
+	mustFrontend(t, `
+		typedef struct tiff {
+			int (*tif_encoderow)(struct tiff *t, char *buf, long size);
+			long tif_scanlinesize;
+		} TIFF;
+		extern int _TIFFNoRowEncode(TIFF *t, char *buf, long size);
+		void _TIFFSetDefaultCompressionState(TIFF* tif) {
+			tif->tif_encoderow = _TIFFNoRowEncode;
+		}
+		int TIFFWriteScanline(TIFF* tif, char* buf) {
+			int status = tif->tif_encoderow(tif, buf, tif->tif_scanlinesize);
+			return status;
+		}
+	`)
+}
+
+func TestParseFigure2GhttpdShape(t *testing.T) {
+	mustFrontend(t, `
+		extern void log_request(char *msg);
+		int serveconnection(int sockfd) {
+			char *ptr = "GET /index.html";
+			if (strstr(ptr, "/..")) { return 1; }
+			log_request(ptr);
+			if (strstr(ptr, "cgi-bin")) { return 2; }
+			return 0;
+		}
+	`)
+}
+
+func TestParseFigure7DoublePointerShape(t *testing.T) {
+	f := mustFrontend(t, `
+		struct node { int key; };
+		void foo1(struct node** pp1) { }
+		void foo2(void** pp2) { }
+		int main(void) {
+			struct node* p = (struct node*) malloc(sizeof(struct node));
+			foo1(&p);
+			foo2((void**) &p);
+			return 0;
+		}
+	`)
+	fn, _ := f.FuncByName("foo2")
+	if d := fn.Params[0].Type.PointerDepth(); d != 2 {
+		t.Errorf("pp2 pointer depth = %d, want 2", d)
+	}
+}
+
+func TestParseSizeof(t *testing.T) {
+	f := mustFrontend(t, `
+		struct node { int key; struct node *next; };
+		int main(void) {
+			long a = sizeof(struct node);
+			long b = sizeof(int);
+			int x = 7;
+			long c = sizeof(x);
+			return 0;
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	a := fn.Body.Stmts[0].(*DeclStmt).Decl.Init
+	// the initializer may be wrapped in an implicit cast
+	for {
+		if c, ok := a.(*Cast); ok {
+			a = c.X
+			continue
+		}
+		break
+	}
+	sz, ok := a.(*SizeofExpr)
+	if !ok {
+		t.Fatalf("init is %T", a)
+	}
+	if sz.Of.Size() != 16 {
+		t.Errorf("sizeof(struct node) = %d, want 16", sz.Of.Size())
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := mustFrontend(t, `
+		int counter = 3;
+		char *banner = "hi";
+		void (*handler)(int);
+		int main(void) { counter = counter + 1; return counter; }
+	`)
+	if len(f.Globals) != 3 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	if !f.Globals[2].Type.IsFuncPointer() {
+		t.Errorf("handler type = %s", f.Globals[2].Type)
+	}
+	for _, g := range f.Globals {
+		if g.Sym == nil || !g.Sym.Global {
+			t.Errorf("global %s has no global symbol", g.Name)
+		}
+	}
+}
+
+func TestParseExternFunctions(t *testing.T) {
+	f := mustFrontend(t, `
+		extern void external_sink(void *p);
+		int main(void) {
+			external_sink(malloc(4));
+			return 0;
+		}
+	`)
+	fn, ok := f.FuncByName("external_sink")
+	if !ok {
+		t.Fatal("extern not recorded")
+	}
+	if !fn.Extern || fn.Body != nil {
+		t.Error("extern function mis-flagged")
+	}
+	// builtins registered too
+	if _, ok := f.FuncByName("malloc"); !ok {
+		t.Error("malloc builtin not registered")
+	}
+}
+
+func TestParseVariadicDeclaration(t *testing.T) {
+	f := mustFrontend(t, `
+		extern int logf2(const char *fmt, ...);
+		int main(void) { logf2("x %d", 1); return 0; }
+	`)
+	fn, _ := f.FuncByName("logf2")
+	if !fn.Variadic {
+		t.Error("variadic flag lost")
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	bad := []string{
+		"int main(void) { return 0 }",               // missing semi
+		"int main(void) { x = 1; return 0; }",       // undeclared
+		"struct s { int a; }; struct s { int b; };", // redefinition
+		"int f() { int x; int x; return 0; }" + "",  // shadow in same scope is OK in C? we allow; use a real error:
+	}
+	for _, src := range bad[:3] {
+		if _, err := Frontend(src); err == nil {
+			t.Errorf("Frontend(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCheckRejectsConstAssignment(t *testing.T) {
+	_, err := Frontend(`
+		int main(void) {
+			const int x = 3;
+			x = 4;
+			return 0;
+		}
+	`)
+	if err == nil {
+		t.Error("assignment to const accepted")
+	}
+}
+
+func TestCheckRejectsIncompatiblePointerAssignment(t *testing.T) {
+	_, err := Frontend(`
+		int main(void) {
+			int *p = 0;
+			char *q = 0;
+			p = q;
+			return 0;
+		}
+	`)
+	if err == nil {
+		t.Error("int* = char* without a cast accepted")
+	}
+}
+
+func TestCheckInsertsImplicitCasts(t *testing.T) {
+	f := mustFrontend(t, `
+		struct node { int key; };
+		int main(void) {
+			struct node *p = malloc(sizeof(struct node));
+			return 0;
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	init := fn.Body.Stmts[0].(*DeclStmt).Decl.Init
+	cast, ok := init.(*Cast)
+	if !ok {
+		t.Fatalf("malloc initializer not wrapped in a cast: %T", init)
+	}
+	if !cast.Implicit {
+		t.Error("cast not marked implicit")
+	}
+	if cast.Ty.Key() != "struct node*" {
+		t.Errorf("cast target = %s", cast.Ty)
+	}
+}
+
+func TestCheckIndirectCallThroughMember(t *testing.T) {
+	f := mustFrontend(t, `
+		struct ops { int (*run)(int); };
+		int twice(int x) { return x * 2; }
+		int main(void) {
+			struct ops o;
+			o.run = twice;
+			return o.run(21);
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	ret := fn.Body.Stmts[2].(*ReturnStmt)
+	call, ok := ret.X.(*Call)
+	if !ok {
+		t.Fatalf("return is %T", ret.X)
+	}
+	if _, ok := call.Fun.(*Member); !ok {
+		t.Errorf("callee is %T, want Member", call.Fun)
+	}
+	if call.Ty != ctypes.IntType {
+		t.Errorf("call type = %s", call.Ty)
+	}
+}
+
+func TestCheckPointerArithmetic(t *testing.T) {
+	f := mustFrontend(t, `
+		int sum(int *a, int n) {
+			int s = 0;
+			for (int i = 0; i < n; i++) { s += a[i]; }
+			int *end = a + n;
+			long span = end - a;
+			return s;
+		}
+	`)
+	fn, _ := f.FuncByName("sum")
+	_ = fn
+}
+
+func TestCheckAddressOfAndDeref(t *testing.T) {
+	f := mustFrontend(t, `
+		int main(void) {
+			int x = 5;
+			int *p = &x;
+			int **pp = &p;
+			**pp = 6;
+			return *p;
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	pp := fn.Body.Stmts[2].(*DeclStmt).Decl
+	if pp.Type.PointerDepth() != 2 {
+		t.Errorf("pp depth = %d", pp.Type.PointerDepth())
+	}
+}
+
+func TestCheckStringArgsToBuiltins(t *testing.T) {
+	mustFrontend(t, `
+		int main(void) {
+			printf("hello %d\n", 42);
+			puts("done");
+			return 0;
+		}
+	`)
+}
+
+func TestVarSymIDsAreDense(t *testing.T) {
+	f := mustFrontend(t, `
+		int g1;
+		char *g2;
+		void foo(int a) { int b = a; }
+		int main(void) { int c = 1; foo(c); return 0; }
+	`)
+	for i, s := range f.Syms {
+		if s.ID != i {
+			t.Errorf("sym %s ID = %d, want %d", s.Name, s.ID, i)
+		}
+	}
+	// globals flagged, locals carry their function
+	if !f.Syms[0].Global || f.Syms[0].Name != "g1" {
+		t.Error("g1 not first global")
+	}
+	var foundB bool
+	for _, s := range f.Syms {
+		if s.Name == "b" {
+			foundB = true
+			if s.DeclFn != "foo" || s.Global || s.Param {
+				t.Errorf("b sym wrong: %+v", s)
+			}
+		}
+	}
+	if !foundB {
+		t.Error("local b not in Syms")
+	}
+}
+
+func TestBlockScopeShadowing(t *testing.T) {
+	f := mustFrontend(t, `
+		int main(void) {
+			int x = 1;
+			{
+				int x = 2;
+				x = 3;
+			}
+			return x;
+		}
+	`)
+	fn, _ := f.FuncByName("main")
+	outer := fn.Body.Stmts[0].(*DeclStmt).Decl.Sym
+	inner := fn.Body.Stmts[1].(*BlockStmt).Stmts[0].(*DeclStmt).Decl.Sym
+	if outer == inner || outer.ID == inner.ID {
+		t.Error("shadowed variable shares a symbol with the outer one")
+	}
+	ret := fn.Body.Stmts[2].(*ReturnStmt).X.(*Ident)
+	if ret.Var != outer {
+		t.Error("return x resolved to the inner symbol")
+	}
+}
+
+func TestStaticAndInlineIgnored(t *testing.T) {
+	f := mustFrontend(t, `
+		static int counter;
+		static int bump(void) { counter++; return counter; }
+		inline int twice(int x) { return 2 * x; }
+		static inline int both(void) { return 1; }
+		int main(void) { return bump() + twice(2) + both(); }
+	`)
+	for _, name := range []string{"bump", "twice", "both"} {
+		if _, ok := f.FuncByName(name); !ok {
+			t.Errorf("function %s lost", name)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package cminor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrontendNeverPanics feeds pseudo-random byte soup and token soup to
+// the frontend: every input must produce either a File or an error, never
+// a panic. (The corpus is seeded by testing/quick; determinism comes from
+// its fixed default source.)
+func TestFrontendNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("frontend panicked on %q: %v", raw, r)
+			}
+		}()
+		_, _ = Frontend(string(raw))
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrontendNeverPanicsOnTokenSoup builds inputs from valid token
+// spellings, which reach much deeper into the parser than raw bytes.
+func TestFrontendNeverPanicsOnTokenSoup(t *testing.T) {
+	words := []string{
+		"int", "char", "void", "struct", "s", "x", "*", "(", ")", "{", "}",
+		"[", "]", ";", ",", "=", "+", "-", "if", "else", "while", "for",
+		"return", "break", "switch", "case", "default", ":", "?", "1", "0",
+		"main", "const", "typedef", "extern", "do", "&&", "->", ".", "...",
+		"sizeof", "NULL", "\"str\"", "'c'", "&", "42",
+	}
+	f := func(picks []uint16) bool {
+		if len(picks) > 200 {
+			picks = picks[:200]
+		}
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(words[int(p)%len(words)])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("frontend panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Frontend(src)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrontendNeverPanicsOnTruncations truncates a valid program at every
+// byte offset; each prefix must fail (or parse) gracefully.
+func TestFrontendNeverPanicsOnTruncations(t *testing.T) {
+	src := `
+		typedef struct { void (*send_file)(int x); } ctx;
+		struct node { int key; struct node *next; };
+		int work(struct node **pp, const char *tag) {
+			switch ((*pp)->key) {
+			case 1: return 1;
+			default: break;
+			}
+			for (int i = 0; i < 3; i++) {
+				(*pp)->key += i > 1 ? i : -i;
+			}
+			return (int) strlen(tag);
+		}
+		int main(void) {
+			struct node *n = (struct node*) malloc(sizeof(struct node));
+			n->key = 1;
+			return work(&n, "t");
+		}
+	`
+	for i := 0; i <= len(src); i++ {
+		prefix := src[:i]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", i, r)
+				}
+			}()
+			_, _ = Frontend(prefix)
+		}()
+	}
+}

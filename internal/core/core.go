@@ -1,0 +1,176 @@
+// Package core wires the pipeline together: C source → frontend → IR →
+// STI analysis → per-mechanism instrumentation → VM. It is the engine the
+// public rsti package, the command-line tools, the attack scenarios and
+// the benchmark harness all drive.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"rsti/internal/cminor"
+	"rsti/internal/lower"
+	"rsti/internal/mir"
+	"rsti/internal/rsti"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// Compilation is a fully analyzed program plus its per-mechanism
+// instrumented builds (built lazily and cached).
+type Compilation struct {
+	File     *cminor.File
+	Prog     *mir.Program
+	Analysis *sti.Analysis
+
+	builds map[sti.Mechanism]*Build
+}
+
+// Build is one protected (or baseline) executable image.
+type Build struct {
+	Mechanism sti.Mechanism
+	Prog      *mir.Program
+	Stats     *rsti.Stats
+}
+
+// Compile runs the frontend, lowering and STI analysis.
+func Compile(src string) (*Compilation, error) {
+	f, err := cminor.Frontend(src)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	prog, err := lower.Lower(f)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return &Compilation{
+		File:     f,
+		Prog:     prog,
+		Analysis: sti.Analyze(prog),
+		builds:   make(map[sti.Mechanism]*Build),
+	}, nil
+}
+
+// Build instruments the program under the given mechanism (cached).
+func (c *Compilation) Build(mech sti.Mechanism) (*Build, error) {
+	if b, ok := c.builds[mech]; ok {
+		return b, nil
+	}
+	prog, stats, err := rsti.Instrument(c.Prog, c.Analysis, mech)
+	if err != nil {
+		return nil, err
+	}
+	b := &Build{Mechanism: mech, Prog: prog, Stats: stats}
+	c.builds[mech] = b
+	return b, nil
+}
+
+// RunResult is one execution's outcome.
+type RunResult struct {
+	Mechanism sti.Mechanism
+	Exit      int64
+	Err       error
+	Trap      *vm.Trap // non-nil when Err is a trap
+	Stats     vm.Stats
+	Output    string
+}
+
+// Detected reports whether the run ended in a security trap — the defense
+// catching a corrupted or substituted pointer.
+func (r *RunResult) Detected() bool { return r.Trap != nil && r.Trap.SecurityTrap() }
+
+// Crashed reports whether the run ended abnormally for any reason.
+func (r *RunResult) Crashed() bool { return r.Err != nil }
+
+// RunConfig parameterizes an execution.
+type RunConfig struct {
+	Options vm.Options
+	Hooks   map[int64]vm.Hook
+	Externs map[string]func(*vm.Machine, []uint64) (uint64, error)
+	Output  io.Writer
+	// Setup runs after machine construction, before execution (for
+	// scenario-specific machine preparation).
+	Setup func(*vm.Machine)
+}
+
+// PARTSPACCost is the per-instruction cycle charge for the PARTS
+// baseline's PA operations. PARTS' published nbench overhead (19.5%) is
+// an order of magnitude above RSTI's (1.54%) despite instrumenting the
+// same pointer loads/stores; the paper attributes the gap to RSTI's use
+// of inlined LLVM ptrauth intrinsics, a backend-placed pass, LTO and -O2,
+// versus PARTS' call-based instrumentation with register spills. The
+// baseline therefore charges ~11x RSTI's per-op cost, reproducing that
+// implementation-quality gap.
+const PARTSPACCost = 22
+
+// Run executes a build.
+func (c *Compilation) Run(mech sti.Mechanism, cfg RunConfig) (*RunResult, error) {
+	b, err := c.Build(mech)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Options.MaxSteps == 0 {
+		cfg.Options = vm.DefaultOptions()
+	}
+	if mech == sti.PARTS {
+		cfg.Options.Cost.PAC = PARTSPACCost
+	}
+	var sink *outputCapture
+	if cfg.Output != nil {
+		cfg.Options.Output = cfg.Output
+	} else {
+		sink = &outputCapture{}
+		cfg.Options.Output = sink
+	}
+	m := vm.New(b.Prog, cfg.Options)
+	for id, h := range cfg.Hooks {
+		m.RegisterHook(id, h)
+	}
+	for name, fn := range cfg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	if cfg.Setup != nil {
+		cfg.Setup(m)
+	}
+	exit, err := m.Run()
+	res := &RunResult{Mechanism: mech, Exit: exit, Err: err, Stats: m.Stats}
+	if t, ok := vm.AsTrap(err); ok {
+		res.Trap = t
+	}
+	if sink != nil {
+		res.Output = sink.String()
+	}
+	return res, nil
+}
+
+type outputCapture struct{ buf []byte }
+
+func (o *outputCapture) Write(p []byte) (int, error) {
+	o.buf = append(o.buf, p...)
+	return len(p), nil
+}
+
+func (o *outputCapture) String() string { return string(o.buf) }
+
+// RunAll executes the program under every requested mechanism with the
+// same configuration, returning results in mechanism order.
+func (c *Compilation) RunAll(mechs []sti.Mechanism, cfg RunConfig) ([]*RunResult, error) {
+	out := make([]*RunResult, 0, len(mechs))
+	for _, m := range mechs {
+		r, err := c.Run(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Overhead returns the relative cycle overhead of a protected run against
+// a baseline run of the same workload: (protected - base) / base.
+func Overhead(base, protected *RunResult) float64 {
+	if base.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(protected.Stats.Cycles-base.Stats.Cycles) / float64(base.Stats.Cycles)
+}

@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"rsti/internal/sti"
+)
+
+func TestPPAblation(t *testing.T) {
+	res, err := MeasurePPAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WithPPOK {
+		t.Error("Figure 7 program trapped with the CE/FE machinery enabled")
+	}
+	if res.WithPPOps == 0 {
+		t.Error("no pp operations executed with CE/FE enabled")
+	}
+	if !res.WithoutPPTraps {
+		t.Error("disabling CE/FE did not false-positive — the mechanism is not load-bearing")
+	}
+}
+
+func TestTBIAblation(t *testing.T) {
+	res := MeasureTBIAblation(20480)
+	if res.PACBitsTBI != 8 || res.PACBitsNoTBI != 16 {
+		t.Fatalf("PAC widths: %d/%d, want 8/16", res.PACBitsTBI, res.PACBitsNoTBI)
+	}
+	// 8-bit PAC: expect ~trials/256 = 80 acceptances; allow a wide band.
+	if res.AcceptedTBI < 20 || res.AcceptedTBI > 240 {
+		t.Errorf("8-bit acceptance = %d/%d, far from the 2^-8 expectation", res.AcceptedTBI, res.Trials)
+	}
+	// 16-bit PAC: expect ~trials/65536 < 1.
+	if res.AcceptedNoTBI > 3 {
+		t.Errorf("16-bit acceptance = %d, far above the 2^-16 expectation", res.AcceptedNoTBI)
+	}
+	if res.AcceptedTBI <= res.AcceptedNoTBI {
+		t.Error("TBI did not weaken the PAC — widths are not being applied")
+	}
+}
+
+func TestAdaptiveAblation(t *testing.T) {
+	res, err := MeasureAdaptiveAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stwc, adaptive, stl := res.Overhead[sti.STWC], res.Overhead[sti.Adaptive], res.Overhead[sti.STL]
+	if !(stwc <= adaptive && adaptive <= stl) {
+		t.Errorf("overhead not ordered: STWC=%.4f Adaptive=%.4f STL=%.4f", stwc, adaptive, stl)
+	}
+	fb := res.LocBoundFrac
+	if fb[sti.STWC] != 0 {
+		t.Errorf("STWC binds location on %.0f%% of members", fb[sti.STWC]*100)
+	}
+	if !(fb[sti.Adaptive] > 0 && fb[sti.Adaptive] < 1) {
+		t.Errorf("Adaptive location-bound fraction = %.2f, want strictly between 0 and 1", fb[sti.Adaptive])
+	}
+	if fb[sti.STL] != 1 {
+		t.Errorf("STL location-bound fraction = %.2f, want 1", fb[sti.STL])
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	out, err := RenderAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CE/FE", "Top-Byte-Ignore", "adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}
+
+func TestReplaySurfaceOrdering(t *testing.T) {
+	rows, err := MeasureReplaySurface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// STL leaves no substitutable pairs at all.
+		if r.Pairs[sti.STL] != 0 {
+			t.Errorf("%s: STL pairs = %d, want 0", r.Name, r.Pairs[sti.STL])
+		}
+		// Combining grows the surface relative to STWC (the paper's STC
+		// security concession), and Adaptive trims STWC.
+		if r.Pairs[sti.STC] < r.Pairs[sti.STWC] {
+			t.Errorf("%s: STC surface (%d) below STWC (%d)", r.Name, r.Pairs[sti.STC], r.Pairs[sti.STWC])
+		}
+		if r.Pairs[sti.Adaptive] > r.Pairs[sti.STWC] {
+			t.Errorf("%s: Adaptive surface (%d) above STWC (%d)", r.Name, r.Pairs[sti.Adaptive], r.Pairs[sti.STWC])
+		}
+	}
+	// In aggregate, PARTS' type-only classes dwarf every RSTI surface
+	// (per-benchmark exceptions exist where cast merging is dense
+	// relative to type diversity).
+	var parts, stc int64
+	for _, r := range rows {
+		parts += r.Pairs[sti.PARTS]
+		stc += r.Pairs[sti.STC]
+	}
+	if parts < stc*10 {
+		t.Errorf("aggregate PARTS surface (%d) not an order of magnitude above STC (%d)", parts, stc)
+	}
+	out := RenderReplaySurface(rows)
+	if !strings.Contains(out, "TOTAL") {
+		t.Error("render missing totals")
+	}
+}

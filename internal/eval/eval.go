@@ -1,0 +1,432 @@
+// Package eval drives the paper's evaluation: it runs the workload suites
+// under every mechanism and reproduces each table and figure of §6. Both
+// cmd/rstibench and the repository's testing.B benchmarks call into it.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rsti/internal/attack"
+	"rsti/internal/core"
+	"rsti/internal/report"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// OverheadRow is one benchmark's measured overheads (fractions, not
+// percent) under each protected mechanism, relative to the uninstrumented
+// baseline.
+type OverheadRow struct {
+	Suite, Name string
+	BaseCycles  int64
+	Overhead    map[sti.Mechanism]float64
+	PACOps      map[sti.Mechanism]int64
+	MemOps      int64 // baseline loads+stores, for the correlation analysis
+}
+
+// MeasureBenchmark compiles and runs one benchmark under None plus the
+// given mechanisms.
+func MeasureBenchmark(b *workload.Benchmark, mechs []sti.Mechanism) (*OverheadRow, error) {
+	c, err := core.Compile(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", b.Suite, b.Name, err)
+	}
+	base, err := c.Run(sti.None, core.RunConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if base.Err != nil {
+		return nil, fmt.Errorf("%s/%s baseline: %w", b.Suite, b.Name, base.Err)
+	}
+	row := &OverheadRow{
+		Suite: b.Suite, Name: b.Name,
+		BaseCycles: base.Stats.Cycles,
+		Overhead:   make(map[sti.Mechanism]float64),
+		PACOps:     make(map[sti.Mechanism]int64),
+		MemOps:     base.Stats.Loads + base.Stats.Stores,
+	}
+	for _, mech := range mechs {
+		res, err := c.Run(mech, core.RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, fmt.Errorf("%s/%s under %s: %w", b.Suite, b.Name, mech, res.Err)
+		}
+		if res.Exit != base.Exit {
+			return nil, fmt.Errorf("%s/%s under %s: exit %d differs from baseline %d",
+				b.Suite, b.Name, mech, res.Exit, base.Exit)
+		}
+		row.Overhead[mech] = core.Overhead(base, res)
+		row.PACOps[mech] = res.Stats.PACOps() + res.Stats.PPOps
+	}
+	return row, nil
+}
+
+// Figure9 holds the full overhead measurement: per-benchmark rows for
+// every suite plus per-suite and overall geometric means.
+type Figure9 struct {
+	Rows     map[string][]*OverheadRow // suite -> rows
+	Geomeans map[string]map[sti.Mechanism]float64
+	Overall  map[sti.Mechanism]float64
+}
+
+// MeasureFigure9 runs every suite under the three RSTI mechanisms.
+// Benchmarks are measured in parallel — each runs in its own Machine, and
+// the cycle model is deterministic, so parallelism changes nothing but
+// wall-clock time.
+func MeasureFigure9() (*Figure9, error) {
+	f := &Figure9{
+		Rows:     make(map[string][]*OverheadRow),
+		Geomeans: make(map[string]map[sti.Mechanism]float64),
+		Overall:  make(map[sti.Mechanism]float64),
+	}
+	type job struct {
+		suite string
+		idx   int
+		bench *workload.Benchmark
+	}
+	var jobs []job
+	for suite, benches := range workload.AllSuites() {
+		f.Rows[suite] = make([]*OverheadRow, len(benches))
+		for i, b := range benches {
+			jobs = append(jobs, job{suite, i, b})
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row, err := MeasureBenchmark(j.bench, sti.RSTIMechanisms)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			f.Rows[j.suite][j.idx] = row
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var all []*OverheadRow
+	for _, rows := range f.Rows {
+		all = append(all, rows...)
+	}
+	for suite, rows := range f.Rows {
+		f.Geomeans[suite] = geomeans(rows)
+	}
+	f.Overall = geomeans(all)
+	return f, nil
+}
+
+func geomeans(rows []*OverheadRow) map[sti.Mechanism]float64 {
+	out := make(map[sti.Mechanism]float64)
+	for _, mech := range sti.RSTIMechanisms {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Overhead[mech])
+		}
+		out[mech] = report.Geomean(xs)
+	}
+	return out
+}
+
+// RenderFigure9 formats the Figure 9 reproduction: per-benchmark SPEC2017
+// overheads plus the per-suite and overall geomeans, with the paper's
+// reported geomeans alongside.
+func (f *Figure9) RenderFigure9() string {
+	t := &report.Table{
+		Title:   "Figure 9 — performance overhead (reproduced vs paper geomeans)",
+		Headers: []string{"benchmark", "RSTI-STWC", "RSTI-STC", "RSTI-STL"},
+	}
+	for _, r := range f.Rows["SPEC2017"] {
+		t.Add(r.Name,
+			report.Percent(r.Overhead[sti.STWC]),
+			report.Percent(r.Overhead[sti.STC]),
+			report.Percent(r.Overhead[sti.STL]))
+	}
+	for _, suite := range workload.SuiteOrder {
+		g := f.Geomeans[suite]
+		t.Add("Geomean-"+suite,
+			report.Percent(g[sti.STWC]), report.Percent(g[sti.STC]), report.Percent(g[sti.STL]))
+	}
+	t.Add("Geomean-all",
+		report.Percent(f.Overall[sti.STWC]),
+		report.Percent(f.Overall[sti.STC]),
+		report.Percent(f.Overall[sti.STL]))
+
+	p := &report.Table{
+		Title:   "\nPaper-reported geomeans for comparison",
+		Headers: []string{"suite", "RSTI-STWC", "RSTI-STC", "RSTI-STL"},
+	}
+	for _, suite := range append(append([]string{}, workload.SuiteOrder...), "all") {
+		g, ok := workload.PaperGeomeans[suite]
+		if !ok {
+			continue
+		}
+		p.Add(suite,
+			fmt.Sprintf("%.2f%%", g[sti.STWC]),
+			fmt.Sprintf("%.2f%%", g[sti.STC]),
+			fmt.Sprintf("%.2f%%", g[sti.STL]))
+	}
+	return t.String() + p.String()
+}
+
+// RenderFigure10 formats the box-plot summaries (min, quartiles, median,
+// max) for the three suites Figure 10 plots.
+func (f *Figure9) RenderFigure10() string {
+	t := &report.Table{
+		Title:   "Figure 10 — overhead distributions (five-number summaries)",
+		Headers: []string{"suite", "mechanism", "min", "q1", "median", "q3", "max"},
+	}
+	for _, suite := range []string{"SPEC2006", "nbench", "CPython"} {
+		for _, mech := range sti.RSTIMechanisms {
+			var xs []float64
+			for _, r := range f.Rows[suite] {
+				xs = append(xs, r.Overhead[mech])
+			}
+			s := report.Summarize(xs)
+			t.Add(suite, mech.String(),
+				report.Percent(s.Min), report.Percent(s.Q1), report.Percent(s.Median),
+				report.Percent(s.Q3), report.Percent(s.Max))
+		}
+	}
+	return t.String()
+}
+
+// Pearson computes the correlation between baseline memory-operation
+// counts and STWC overheads across rows — the paper's §6.3.2 observation
+// (0.75–0.8 on SPEC2006).
+func Pearson(rows []*OverheadRow, mech sti.Mechanism) float64 {
+	n := float64(len(rows))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, r := range rows {
+		x := float64(r.PACOps[mech])
+		y := r.Overhead[mech]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	num := n*sxy - sx*sy
+	den := (n*sxx - sx*sx) * (n*syy - sy*sy)
+	if den <= 0 {
+		return 0
+	}
+	return num / math.Sqrt(den)
+}
+
+// Table3Entry is one reproduced Table 3 row next to the paper's.
+type Table3Entry struct {
+	Name     string
+	Measured sti.EquivStats
+	Paper    workload.Table3Row
+	PPTotal  int
+	PPCE     int
+}
+
+// MeasureTable3 analyzes the full-size SPEC2006 static programs and
+// computes the equivalence-class statistics plus the §6.2.2
+// pointer-to-pointer census.
+func MeasureTable3() ([]Table3Entry, error) {
+	var out []Table3Entry
+	for _, b := range workload.SPEC2006Static() {
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		out = append(out, Table3Entry{
+			Name:     b.Name,
+			Measured: c.Analysis.Equivalence(),
+			Paper:    b.PaperTable3,
+			PPTotal:  c.Analysis.PPTotalSites,
+			PPCE:     len(c.Analysis.PPSpecial),
+		})
+	}
+	return out, nil
+}
+
+// RenderTable3 formats the reproduction next to the published values.
+func RenderTable3(entries []Table3Entry) string {
+	t := &report.Table{
+		Title: "Table 3 — SPEC2006 equivalence classes (measured | paper)",
+		Headers: []string{"BM", "NT", "RT-STC", "RT-STWC", "NV",
+			"ECV-STC", "ECV-STWC", "ECT-STC", "ECT-STWC"},
+	}
+	both := func(m, p int) string { return fmt.Sprintf("%d|%d", m, p) }
+	for _, e := range entries {
+		t.Add(e.Name,
+			both(e.Measured.NT, e.Paper.NT),
+			both(e.Measured.RTSTC, e.Paper.RTSTC),
+			both(e.Measured.RTSTWC, e.Paper.RTSTWC),
+			both(e.Measured.NV, e.Paper.NV),
+			both(e.Measured.LargestECVSTC, e.Paper.ECVSTC),
+			both(e.Measured.LargestECVSTWC, e.Paper.ECVSTWC),
+			both(e.Measured.LargestECTSTC, e.Paper.ECTSTC),
+			both(e.Measured.LargestECTSTWC, e.Paper.ECTSTWC))
+	}
+	return t.String()
+}
+
+// RenderPPCensus formats the §6.2.2 pointer-to-pointer census across the
+// SPEC2006 static suite.
+func RenderPPCensus(entries []Table3Entry) string {
+	t := &report.Table{
+		Title:   "§6.2.2 — pointer-to-pointer census (SPEC2006; paper: 7489 sites, 25 special)",
+		Headers: []string{"BM", "pp sites", "CE/FE sites"},
+	}
+	total, special := 0, 0
+	for _, e := range entries {
+		t.Add(e.Name, fmt.Sprintf("%d", e.PPTotal), fmt.Sprintf("%d", e.PPCE))
+		total += e.PPTotal
+		special += e.PPCE
+	}
+	t.Add("TOTAL", fmt.Sprintf("%d", total), fmt.Sprintf("%d", special))
+	return t.String()
+}
+
+// Table1Result is the attack matrix.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one attack's outcome under every mechanism.
+type Table1Row struct {
+	Scenario *attack.Scenario
+	Baseline *attack.Outcome
+	Results  map[sti.Mechanism]*attack.Outcome
+}
+
+// MeasureTable1 runs the whole Table 1 matrix.
+func MeasureTable1() (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, s := range attack.Scenarios() {
+		row := Table1Row{Scenario: s, Results: make(map[sti.Mechanism]*attack.Outcome)}
+		base, err := s.Run(sti.None)
+		if err != nil {
+			return nil, err
+		}
+		row.Baseline = base
+		for _, mech := range []sti.Mechanism{sti.PARTS, sti.STWC, sti.STC, sti.STL} {
+			out, err := s.Run(mech)
+			if err != nil {
+				return nil, err
+			}
+			row.Results[mech] = out
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the Table 1 reproduction.
+func (r *Table1Result) Render() string {
+	t := &report.Table{
+		Title: "Table 1 — attack matrix (✓ = detected, ✗ = attack succeeded)",
+		Headers: []string{"attack", "kind", "baseline", "PARTS",
+			"STWC", "STC", "STL"},
+	}
+	mark := func(o *attack.Outcome) string {
+		switch {
+		case o.Detected:
+			return "✓ detected"
+		case o.Succeeded:
+			return "✗ succeeded"
+		default:
+			return "- no effect"
+		}
+	}
+	for _, row := range r.Rows {
+		kind := "(S)"
+		if row.Scenario.RealWorld {
+			kind = "(R)"
+		}
+		t.Add(row.Scenario.Name, row.Scenario.Category+" "+kind,
+			mark(row.Baseline),
+			mark(row.Results[sti.PARTS]),
+			mark(row.Results[sti.STWC]),
+			mark(row.Results[sti.STC]),
+			mark(row.Results[sti.STL]))
+	}
+	return t.String()
+}
+
+// PARTSComparison measures the §6.3.2 nbench comparison: PARTS vs the
+// three RSTI mechanisms.
+type PARTSComparison struct {
+	Rows      []*OverheadRow // nbench rows incl. PARTS overheads
+	MeanPARTS float64
+	MeanSTWC  float64
+	MeanSTC   float64
+	MeanSTL   float64
+}
+
+// MeasurePARTSComparison runs nbench under PARTS and RSTI.
+func MeasurePARTSComparison() (*PARTSComparison, error) {
+	mechs := []sti.Mechanism{sti.PARTS, sti.STWC, sti.STC, sti.STL}
+	var rows []*OverheadRow
+	for _, b := range workload.NBench() {
+		row, err := MeasureBenchmark(b, mechs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	mean := func(mech sti.Mechanism) float64 {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Overhead[mech])
+		}
+		return report.Mean(xs)
+	}
+	return &PARTSComparison{
+		Rows:      rows,
+		MeanPARTS: mean(sti.PARTS),
+		MeanSTWC:  mean(sti.STWC),
+		MeanSTC:   mean(sti.STC),
+		MeanSTL:   mean(sti.STL),
+	}, nil
+}
+
+// Render formats the PARTS comparison with the paper's numbers.
+func (p *PARTSComparison) Render() string {
+	t := &report.Table{
+		Title:   "§6.3.2 — nbench: PARTS vs RSTI (paper: PARTS 19.5%, RSTI 1.54/0.52/2.78%)",
+		Headers: []string{"benchmark", "PARTS", "STWC", "STC", "STL"},
+	}
+	sort.Slice(p.Rows, func(i, j int) bool { return p.Rows[i].Name < p.Rows[j].Name })
+	for _, r := range p.Rows {
+		t.Add(r.Name,
+			report.Percent(r.Overhead[sti.PARTS]),
+			report.Percent(r.Overhead[sti.STWC]),
+			report.Percent(r.Overhead[sti.STC]),
+			report.Percent(r.Overhead[sti.STL]))
+	}
+	t.Add("MEAN",
+		report.Percent(p.MeanPARTS), report.Percent(p.MeanSTWC),
+		report.Percent(p.MeanSTC), report.Percent(p.MeanSTL))
+	return t.String()
+}

@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"rsti/internal/report"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+func TestMeasureBenchmarkProducesOrderedOverheads(t *testing.T) {
+	b := workload.SPEC2017()[0] // perlbench_r, pointer heavy
+	row, err := MeasureBenchmark(b, sti.RSTIMechanisms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BaseCycles == 0 || row.MemOps == 0 {
+		t.Fatal("no baseline stats")
+	}
+	stc, stwc, stl := row.Overhead[sti.STC], row.Overhead[sti.STWC], row.Overhead[sti.STL]
+	if !(stc > 0 && stwc > 0 && stl > 0) {
+		t.Errorf("non-positive overheads: %v %v %v", stc, stwc, stl)
+	}
+	if !(stc <= stwc && stwc <= stl) {
+		t.Errorf("ordering violated: STC=%.4f STWC=%.4f STL=%.4f", stc, stwc, stl)
+	}
+}
+
+func TestNbenchOverheadsAreSmall(t *testing.T) {
+	// nbench is the paper's near-zero-overhead suite (1.54% STWC).
+	row, err := MeasureBenchmark(workload.NBench()[0], sti.RSTIMechanisms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Overhead[sti.STWC] > 0.10 {
+		t.Errorf("numeric-sort STWC overhead %.2f%% is implausibly high",
+			row.Overhead[sti.STWC]*100)
+	}
+}
+
+func TestMeasureTable1AllDetected(t *testing.T) {
+	res, err := MeasureTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(res.Rows))
+	}
+	partsMisses := 0
+	for _, row := range res.Rows {
+		if !row.Baseline.Succeeded {
+			t.Errorf("%s: baseline attack failed", row.Scenario.Name)
+		}
+		for _, mech := range sti.RSTIMechanisms {
+			if !row.Results[mech].Detected {
+				t.Errorf("%s: %s missed the attack", row.Scenario.Name, mech)
+			}
+		}
+		if !row.Results[sti.PARTS].Detected {
+			partsMisses++
+		}
+	}
+	if partsMisses == 0 {
+		t.Error("PARTS missed nothing — the comparison should show bypasses")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "DOP ProFTPd") || !strings.Contains(out, "✓") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestGeomeanAndSummary(t *testing.T) {
+	if g := report.Geomean([]float64{0.10, 0.10}); g < 0.099 || g > 0.101 {
+		t.Errorf("geomean = %v", g)
+	}
+	if g := report.Geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	s := report.Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %+v", s)
+	}
+}
+
+func TestPearsonOnSyntheticData(t *testing.T) {
+	rows := []*OverheadRow{
+		{PACOps: map[sti.Mechanism]int64{sti.STWC: 100}, Overhead: map[sti.Mechanism]float64{sti.STWC: 0.01}},
+		{PACOps: map[sti.Mechanism]int64{sti.STWC: 200}, Overhead: map[sti.Mechanism]float64{sti.STWC: 0.02}},
+		{PACOps: map[sti.Mechanism]int64{sti.STWC: 300}, Overhead: map[sti.Mechanism]float64{sti.STWC: 0.03}},
+	}
+	if p := Pearson(rows, sti.STWC); p < 0.999 {
+		t.Errorf("perfectly correlated data: pearson = %v", p)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &report.Table{Title: "t", Headers: []string{"a", "bb"}}
+	tb.Add("x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "a   bb") && !strings.Contains(out, "a  bb") {
+		t.Errorf("unaligned header: %q", out)
+	}
+}
+
+func TestTable3AndCensusRendering(t *testing.T) {
+	entries, err := MeasureTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 18 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	t3 := RenderTable3(entries)
+	for _, want := range []string{"perlbench", "xalancbmk", "ECV-STWC"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 render missing %q", want)
+		}
+	}
+	census := RenderPPCensus(entries)
+	if !strings.Contains(census, "TOTAL") || !strings.Contains(census, "7489") {
+		t.Errorf("census render incomplete:\n%s", census)
+	}
+	// Census totals in the paper's neighbourhood.
+	total, special := 0, 0
+	for _, e := range entries {
+		total += e.PPTotal
+		special += e.PPCE
+	}
+	if total < 6000 || total > 9500 {
+		t.Errorf("pp sites = %d, paper reports 7489", total)
+	}
+	if special < 15 || special > 35 {
+		t.Errorf("special sites = %d, paper reports 25", special)
+	}
+}
+
+func TestFigure9ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full overhead sweep")
+	}
+	f, err := MeasureFigure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-suite and overall orderings the paper reports.
+	for suite, g := range f.Geomeans {
+		if !(g[sti.STC] <= g[sti.STWC]+1e-9 && g[sti.STWC] <= g[sti.STL]+1e-9) {
+			t.Errorf("%s: geomeans not ordered: %v", suite, g)
+		}
+	}
+	if f.Geomeans["nbench"][sti.STWC] >= f.Geomeans["SPEC2006"][sti.STWC] {
+		t.Error("nbench is not the cheapest suite")
+	}
+	// The headline range: overall STWC within a few points of 5.29%.
+	all := f.Overall[sti.STWC]
+	if all < 0.02 || all > 0.12 {
+		t.Errorf("overall STWC geomean %.2f%% far from the paper's 5.29%%", all*100)
+	}
+	// Correlation claim (§6.3.2).
+	if r := Pearson(f.Rows["SPEC2006"], sti.STWC); r < 0.7 {
+		t.Errorf("SPEC2006 Pearson r = %.2f, paper reports 0.75-0.8", r)
+	}
+	if out := f.RenderFigure9(); !strings.Contains(out, "Geomean-all") {
+		t.Error("Figure 9 render incomplete")
+	}
+	if out := f.RenderFigure10(); !strings.Contains(out, "median") {
+		t.Error("Figure 10 render incomplete")
+	}
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+
+	"rsti/internal/core"
+	"rsti/internal/report"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// ReplayRow quantifies the paper's §7 replay discussion for one benchmark:
+// how many substitutable pointer pairs each mechanism leaves an attacker.
+// A pair is substitutable when both members share an enforcement class
+// (same PAC modifier), so a validly signed value from one slot can be
+// replayed into the other. STL's location binding always leaves zero.
+type ReplayRow struct {
+	Name string
+	// Pairs is the number of unordered substitutable (variable, variable)
+	// pairs per mechanism: Σ over classes of n·(n−1)/2.
+	Pairs map[sti.Mechanism]int64
+	// LargestClass is the biggest class per mechanism (the paper's
+	// "82 equivalent variables" for perlbench under STWC).
+	LargestClass map[sti.Mechanism]int
+}
+
+// replayMechs are the mechanisms whose surfaces differ meaningfully.
+var replayMechs = []sti.Mechanism{sti.PARTS, sti.STWC, sti.STC, sti.Adaptive, sti.STL}
+
+// MeasureReplaySurface computes the replay surface over the Table 3
+// (analysis-sized) SPEC2006 programs.
+func MeasureReplaySurface() ([]ReplayRow, error) {
+	var out []ReplayRow
+	for _, b := range workload.SPEC2006Static() {
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		out = append(out, replayRowFor(b.Name, c.Analysis))
+	}
+	return out, nil
+}
+
+func replayRowFor(name string, an *sti.Analysis) ReplayRow {
+	row := ReplayRow{
+		Name:         name,
+		Pairs:        make(map[sti.Mechanism]int64),
+		LargestClass: make(map[sti.Mechanism]int),
+	}
+	for _, mech := range replayMechs {
+		classes := make(map[interface{}]int)
+		for _, rt := range an.Types {
+			n := len(rt.Vars) + len(rt.Fields)
+			if n == 0 {
+				continue
+			}
+			switch {
+			case an.UsesLocation(rt.ID, mech):
+				// Location-bound members are each their own class.
+				continue
+			case mech == sti.PARTS:
+				// PARTS classes are keyed by the basic type only.
+				classes[sti.PARTSModifier(rt.Type)] += n
+			default:
+				classes[an.ClassOf(rt.ID, mech)] += n
+			}
+		}
+		var pairs int64
+		largest := 0
+		for _, n := range classes {
+			pairs += int64(n) * int64(n-1) / 2
+			if n > largest {
+				largest = n
+			}
+		}
+		row.Pairs[mech] = pairs
+		row.LargestClass[mech] = largest
+	}
+	return row
+}
+
+// RenderReplaySurface formats the replay-surface table.
+func RenderReplaySurface(rows []ReplayRow) string {
+	t := &report.Table{
+		Title: "§7 — replay attack surface: substitutable pointer pairs per mechanism\n" +
+			"(pairs sharing one PAC modifier; STL's location binding leaves none)",
+		Headers: []string{"BM", "PARTS", "STWC", "STC", "Adaptive", "STL"},
+	}
+	var totals [5]int64
+	for _, r := range rows {
+		t.Add(r.Name,
+			fmt.Sprintf("%d", r.Pairs[sti.PARTS]),
+			fmt.Sprintf("%d", r.Pairs[sti.STWC]),
+			fmt.Sprintf("%d", r.Pairs[sti.STC]),
+			fmt.Sprintf("%d", r.Pairs[sti.Adaptive]),
+			fmt.Sprintf("%d", r.Pairs[sti.STL]))
+		for i, mech := range replayMechs {
+			totals[i] += r.Pairs[mech]
+		}
+	}
+	t.Add("TOTAL",
+		fmt.Sprintf("%d", totals[0]), fmt.Sprintf("%d", totals[1]),
+		fmt.Sprintf("%d", totals[2]), fmt.Sprintf("%d", totals[3]),
+		fmt.Sprintf("%d", totals[4]))
+	return t.String()
+}

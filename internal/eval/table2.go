@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"fmt"
+
+	"rsti/internal/core"
+	"rsti/internal/report"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// probe is a small victim + corruption measuring one Table 2 capability.
+type probe struct {
+	name    string
+	src     string
+	corrupt vm.Hook
+	// successExit marks the attack goal (when the defense misses).
+	successExit int64
+}
+
+// table2Probes exercise the attacker restrictions Table 2 summarizes.
+func table2Probes() []probe {
+	return []probe{
+		{
+			// Arbitrary pointer corruption: no valid PAC at all.
+			name: "corrupt with arbitrary value",
+			src: `
+				int ok(void) { return 1; }
+				int (*h)(void);
+				int main(void) { h = ok; __hook(1); return h(); }
+			`,
+			corrupt: func(m *vm.Machine) error {
+				a, _ := m.GlobalAddr("h")
+				return m.Mem.Poke(a, 0x4141414141, 8)
+			},
+			successExit: -1, // an arbitrary value never "succeeds" cleanly
+		},
+		{
+			// Substitution within one RSTI-type: the replay the paper
+			// concedes to STC/STWC and STL refuses.
+			name: "substitute same RSTI-type pointer",
+			src: `
+				int red(void) { return 1; }
+				int blue(void) { return 99; }
+				int (*ha)(void);
+				int (*hb)(void);
+				int main(void) { ha = red; hb = blue; __hook(1); return ha(); }
+			`,
+			corrupt: func(m *vm.Machine) error {
+				srcA, _ := m.GlobalAddr("hb")
+				dst, _ := m.GlobalAddr("ha")
+				v, err := m.Mem.Peek(srcA, 8)
+				if err != nil {
+					return err
+				}
+				return m.Mem.Poke(dst, v, 8)
+			},
+			successExit: 99,
+		},
+		{
+			// Spatial: an overflow writes attacker bytes over an
+			// adjacent pointer slot.
+			name: "spatial overflow into pointer",
+			src: `
+				struct rec { char buf[16]; char *name; };
+				struct rec *r;
+				int main(void) {
+					r = (struct rec*) malloc(sizeof(struct rec));
+					r->name = "safe";
+					__hook(1);
+					return (int) strlen(r->name);
+				}
+			`,
+			corrupt: func(m *vm.Machine) error {
+				slot, _ := m.GlobalAddr("r")
+				obj, err := m.Mem.Peek(slot, 8)
+				if err != nil {
+					return err
+				}
+				// Overflow buf into name with a raw in-bounds address.
+				return m.Mem.Poke(m.Unit.Canonical(obj)+16, vm.StringsBase, 8)
+			},
+			successExit: -1,
+		},
+		{
+			// Temporal: a stale (freed) object's pointer field is reused
+			// after the attacker replants it from a different RSTI-type.
+			name: "temporal reuse with foreign pointer",
+			src: `
+				struct sess { char *token; };
+				struct sess *s;
+				char *public_banner;
+				int main(void) {
+					s = (struct sess*) malloc(sizeof(struct sess));
+					s->token = "secret";
+					public_banner = "hello";
+					free((void*) s);
+					__hook(1);
+					return (int) strlen(s->token);
+				}
+			`,
+			corrupt: func(m *vm.Machine) error {
+				// Replay the banner (different variable, different
+				// scope) into the dangling session's token field.
+				bslot, _ := m.GlobalAddr("public_banner")
+				v, err := m.Mem.Peek(bslot, 8)
+				if err != nil {
+					return err
+				}
+				sslot, _ := m.GlobalAddr("s")
+				obj, err := m.Mem.Peek(sslot, 8)
+				if err != nil {
+					return err
+				}
+				return m.Mem.Poke(m.Unit.Canonical(obj), v, 8)
+			},
+			successExit: 5, // strlen("hello")
+		},
+	}
+}
+
+// RenderTable2 runs the capability probes under every mechanism and
+// renders the Table 2 summary: which attacker moves each mechanism
+// restricts.
+func RenderTable2() string {
+	t := &report.Table{
+		Title:   "Table 2 — attacker restrictions per mechanism (probe outcomes)",
+		Headers: []string{"capability probe", "none", "parts", "STWC", "STC", "STL"},
+	}
+	for _, pr := range table2Probes() {
+		c, err := core.Compile(pr.src)
+		if err != nil {
+			return fmt.Sprintf("table2: %v", err)
+		}
+		row := []string{pr.name}
+		for _, mech := range []sti.Mechanism{sti.None, sti.PARTS, sti.STWC, sti.STC, sti.STL} {
+			res, err := c.Run(mech, core.RunConfig{Hooks: map[int64]vm.Hook{1: pr.corrupt}})
+			if err != nil {
+				return fmt.Sprintf("table2: %v", err)
+			}
+			switch {
+			case res.Detected():
+				row = append(row, "detected")
+			case res.Err != nil:
+				row = append(row, "crash")
+			case pr.successExit >= 0 && res.Exit == pr.successExit:
+				row = append(row, "bypassed")
+			default:
+				row = append(row, fmt.Sprintf("exit %d", res.Exit))
+			}
+		}
+		t.Add(row...)
+	}
+	return t.String() +
+		"\nReading: 'detected' = the defense trapped the corruption;" +
+		"\n'bypassed' = the attack achieved its goal (the paper's replay concession for STC/STWC);" +
+		"\n'crash' = the corruption faulted without defense semantics.\n"
+}

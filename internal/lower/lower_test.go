@@ -1,0 +1,363 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"rsti/internal/cminor"
+	"rsti/internal/ctypes"
+	"rsti/internal/mir"
+)
+
+func mustLower(t *testing.T, src string) *mir.Program {
+	t.Helper()
+	f, err := cminor.Frontend(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := Lower(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func countOps(f *mir.Func, op mir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestLowerProducesVerifiedIR(t *testing.T) {
+	p := mustLower(t, `
+		struct s { int a; struct s *next; };
+		int g;
+		int helper(int x) { return x + 1; }
+		int main(void) {
+			struct s *p = (struct s*) malloc(sizeof(struct s));
+			p->a = helper(3);
+			g = p->a;
+			return g;
+		}
+	`)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerAllocasHoistedToEntry(t *testing.T) {
+	p := mustLower(t, `
+		int main(void) {
+			int total = 0;
+			for (int i = 0; i < 4; i++) {
+				int inner = i * 2;
+				total += inner;
+			}
+			return total;
+		}
+	`)
+	main, _ := p.Func("main")
+	entryAllocas := 0
+	for _, in := range main.Blocks[0].Instrs {
+		if in.Op == mir.Alloca {
+			entryAllocas++
+		}
+	}
+	if got := countOps(main, mir.Alloca); got != entryAllocas {
+		t.Errorf("allocas outside entry: total %d, entry %d", got, entryAllocas)
+	}
+	// total, i, inner = 3 slots.
+	if entryAllocas != 3 {
+		t.Errorf("entry allocas = %d, want 3", entryAllocas)
+	}
+}
+
+func TestLowerSlotMetadata(t *testing.T) {
+	p := mustLower(t, `
+		struct node { int key; struct node *next; };
+		int main(void) {
+			struct node *n = (struct node*) malloc(sizeof(struct node));
+			n->key = 5;
+			n->next = NULL;
+			return n->key;
+		}
+	`)
+	main, _ := p.Func("main")
+	var varStores, fieldStores int
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != mir.Store {
+				continue
+			}
+			switch in.Slot.Kind {
+			case mir.SlotVar:
+				varStores++
+			case mir.SlotField:
+				fieldStores++
+				if in.Slot.Struct.Name != "node" {
+					t.Errorf("field store struct = %q", in.Slot.Struct.Name)
+				}
+			}
+		}
+	}
+	if varStores == 0 || fieldStores != 2 {
+		t.Errorf("varStores=%d fieldStores=%d, want >0 and 2", varStores, fieldStores)
+	}
+}
+
+func TestLowerPointerArithmeticScaling(t *testing.T) {
+	p := mustLower(t, `
+		int main(void) {
+			int a[4];
+			int *q = (int*)a;
+			q = q + 3;
+			return 0;
+		}
+	`)
+	main, _ := p.Func("main")
+	// q + 3 must multiply by sizeof(int) = 4 somewhere.
+	found := false
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == mir.Const && in.Imm == 4 && in.Ty == ctypes.LongType {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no sizeof scaling constant emitted for pointer arithmetic")
+	}
+}
+
+func TestLowerStringsInterned(t *testing.T) {
+	p := mustLower(t, `
+		int main(void) {
+			char *a = "dup";
+			char *b = "dup";
+			char *c = "other";
+			return 0;
+		}
+	`)
+	if len(p.Strings) != 2 {
+		t.Errorf("string pool = %v, want 2 distinct entries", p.Strings)
+	}
+}
+
+func TestLowerGlobalInitGoesToInitFunc(t *testing.T) {
+	p := mustLower(t, `
+		int seeded = 42;
+		int main(void) { return seeded; }
+	`)
+	initFn, ok := p.Func(mir.InitFuncName)
+	if !ok {
+		t.Fatal("no __init")
+	}
+	if countOps(initFn, mir.Store) != 1 {
+		t.Errorf("__init stores = %d, want 1", countOps(initFn, mir.Store))
+	}
+}
+
+func TestLowerIndirectCall(t *testing.T) {
+	p := mustLower(t, `
+		int f(void) { return 1; }
+		int main(void) {
+			int (*fp)(void) = f;
+			return fp();
+		}
+	`)
+	main, _ := p.Func("main")
+	indirect := 0
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == mir.CallOp && in.Callee == "" {
+				indirect++
+				if in.A == mir.NoReg {
+					t.Error("indirect call without target register")
+				}
+			}
+		}
+	}
+	if indirect != 1 {
+		t.Errorf("indirect calls = %d, want 1", indirect)
+	}
+}
+
+func TestLowerBreakOutsideLoopFails(t *testing.T) {
+	f, err := cminor.Frontend(`int main(void) { break; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(f); err == nil {
+		t.Error("break outside a loop lowered without error")
+	}
+}
+
+func TestLowerPrinterShowsDebugInfo(t *testing.T) {
+	p := mustLower(t, `
+		struct pair { int *left; int *right; };
+		int main(void) {
+			struct pair pr;
+			int x = 1;
+			pr.left = &x;
+			return *pr.left;
+		}
+	`)
+	out := p.String()
+	for _, want := range []string{"!var(x)", "!field(pair.0)", "alloca", "fieldaddr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed IR missing %q", want)
+		}
+	}
+}
+
+func TestLowerShortCircuitBlocks(t *testing.T) {
+	p := mustLower(t, `
+		int side(void) { return 1; }
+		int main(void) { return (side() && side()) || side(); }
+	`)
+	main, _ := p.Func("main")
+	if len(main.Blocks) < 5 {
+		t.Errorf("short-circuit lowering produced only %d blocks", len(main.Blocks))
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerTernaryAndSwitchShapes(t *testing.T) {
+	p := mustLower(t, `
+		int pick(int k) {
+			int v = k > 2 ? k * 2 : k + 100;
+			switch (v) {
+			case 6: return 1;
+			case 101: case 102: return 2;
+			default: return 3;
+			}
+		}
+		int main(void) { return pick(3) + pick(1); }
+	`)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	pick, _ := p.Func("pick")
+	// Ternary + switch dispatch need several blocks.
+	if len(pick.Blocks) < 8 {
+		t.Errorf("blocks = %d, expected the ternary+switch to fan out", len(pick.Blocks))
+	}
+}
+
+func TestLowerDoWhileShape(t *testing.T) {
+	p := mustLower(t, `
+		int main(void) {
+			int n = 0;
+			do { n++; } while (n < 3);
+			return n;
+		}
+	`)
+	main, _ := p.Func("main")
+	names := map[string]bool{}
+	for _, b := range main.Blocks {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"do.body", "do.cond", "do.done"} {
+		if !names[want] {
+			t.Errorf("missing block %q", want)
+		}
+	}
+}
+
+func TestLowerFloatNegationAndCompound(t *testing.T) {
+	p := mustLower(t, `
+		int main(void) {
+			double d = 1.5;
+			d = -d;
+			d *= 2.0;
+			d /= 4.0;
+			float f = (float) d;
+			long l = (long) f;
+			return (int) l;
+		}
+	`)
+	main, _ := p.Func("main")
+	fsubs, fmuls, fdivs := 0, 0, 0
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			switch {
+			case b.Instrs[i].Op == mir.BinInstr && b.Instrs[i].BinSub == mir.FSub:
+				fsubs++
+			case b.Instrs[i].Op == mir.BinInstr && b.Instrs[i].BinSub == mir.FMul:
+				fmuls++
+			case b.Instrs[i].Op == mir.BinInstr && b.Instrs[i].BinSub == mir.FDiv:
+				fdivs++
+			}
+		}
+	}
+	if fsubs == 0 || fmuls == 0 || fdivs == 0 {
+		t.Errorf("float ops: fsub=%d fmul=%d fdiv=%d", fsubs, fmuls, fdivs)
+	}
+}
+
+func TestLowerVariadicExternCall(t *testing.T) {
+	p := mustLower(t, `
+		int main(void) {
+			printf("%d %d %d\n", 1, 2, 3);
+			return 0;
+		}
+	`)
+	main, _ := p.Func("main")
+	found := false
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == mir.CallOp && in.Callee == "printf" {
+				found = true
+				if len(in.Args) != 4 {
+					t.Errorf("printf args = %d, want 4", len(in.Args))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("printf call missing")
+	}
+}
+
+func TestLowerEnumSwitchUsesConstants(t *testing.T) {
+	p := mustLower(t, `
+		enum K { A = 7, B = 9 };
+		int main(void) {
+			int k = B;
+			switch (k) {
+			case A: return 1;
+			case B: return 2;
+			}
+			return 0;
+		}
+	`)
+	main, _ := p.Func("main")
+	has7, has9 := false, false
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == mir.Const {
+				switch b.Instrs[i].Imm {
+				case 7:
+					has7 = true
+				case 9:
+					has9 = true
+				}
+			}
+		}
+	}
+	if !has7 || !has9 {
+		t.Errorf("enum constants not lowered: 7=%v 9=%v", has7, has9)
+	}
+}

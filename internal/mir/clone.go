@@ -1,0 +1,39 @@
+package mir
+
+// Clone deep-copies the program's mutable structure (functions, blocks,
+// instructions) so an instrumentation pass can rewrite one copy per
+// mechanism from a single lowering. Immutable metadata (VarInfo, Globals,
+// types, the string pool) is shared.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		ByName:  make(map[string]*Func, len(p.ByName)),
+		Globals: p.Globals,
+		Vars:    p.Vars,
+		Strings: append([]string(nil), p.Strings...),
+		Types:   p.Types,
+	}
+	for _, f := range p.Funcs {
+		nf := &Func{
+			Name:     f.Name,
+			Ret:      f.Ret,
+			Params:   f.Params,
+			ParamVar: f.ParamVar,
+			Variadic: f.Variadic,
+			Extern:   f.Extern,
+			NumRegs:  f.NumRegs,
+		}
+		for _, b := range f.Blocks {
+			nb := &Block{Index: b.Index, Name: b.Name, Instrs: make([]Instr, len(b.Instrs))}
+			copy(nb.Instrs, b.Instrs)
+			for i := range nb.Instrs {
+				if nb.Instrs[i].Args != nil {
+					nb.Instrs[i].Args = append([]Reg(nil), nb.Instrs[i].Args...)
+				}
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		q.Funcs = append(q.Funcs, nf)
+		q.ByName[nf.Name] = nf
+	}
+	return q
+}

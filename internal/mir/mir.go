@@ -1,0 +1,438 @@
+// Package mir defines the mid-level IR the RSTI pipeline operates on. It
+// plays the role LLVM IR plays in the paper: a register machine with
+// explicit allocas, loads, stores, GEPs, bitcasts and calls, where every
+// memory access carries the debug metadata (variable identity, composite
+// type, field) that the STI analysis consumes — the analogue of the
+// llvm.dbg.declare / DILocalVariable / DIDerivedType / DICompositeType
+// chain shown in the paper's Figure 4.
+//
+// The instrumentation pass (package rsti) inserts PacSign/PacAuth/PacStrip
+// and the pointer-to-pointer runtime calls (PPAdd/PPSign/PPAuth/PPAddTBI)
+// into this IR; the VM (package vm) executes it.
+package mir
+
+import (
+	"fmt"
+	"strings"
+
+	"rsti/internal/cminor"
+	"rsti/internal/ctypes"
+)
+
+// Reg is a virtual register index within a function. NoReg means unused.
+type Reg = int
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	Const      // Dst = Imm
+	ConstF     // Dst = float64 bits in Imm
+	StrConst   // Dst = address of string literal Imm
+	Alloca     // Dst = address of a fresh stack slot for Ty (Var set)
+	GlobalAddr // Dst = address of global #Imm
+	FuncAddr   // Dst = entry token of function Callee
+
+	Load  // Dst = *(A) as Ty; Slot describes the accessed location
+	Store // *(A) = B as Ty; Slot describes the accessed location
+
+	FieldAddr // Dst = A + Imm (field byte offset); Slot has struct/field
+	IndexAddr // Dst = A + B*Imm (element byte size)
+
+	BinInstr // Dst = A <BinSub> B
+	CmpInstr // Dst = A <CmpSub> B (0/1)
+	CastOp   // Dst = conv(A) from FromTy to Ty
+
+	CallOp // Dst = Callee(Args...) or (*A)(Args...) when Callee == ""
+	RetOp  // return A (NoReg for void)
+	Jmp    // goto Targets[0]
+	Br     // if A != 0 goto Targets[0] else Targets[1]
+
+	// RSTI instrumentation (inserted by package rsti, executed by the VM's
+	// pa.Unit):
+	PacSign  // Dst = pac(A, Key, Mod [^ *LocReg when B != NoReg: B holds &p])
+	PacAuth  // Dst = aut(A, Key, Mod [^ B]); VM traps on failure
+	PacStrip // Dst = xpac(A)
+
+	// Pointer-to-pointer runtime library (paper §4.7.7):
+	PPAdd    // register CE -> FE modifier mapping (Imm = CE)
+	PPSign   // Dst = pp_sign(A): sign inner pointer with FE modifier of CE Imm
+	PPAuth   // Dst = pp_auth(A): authenticate via the CE tag on A's top byte
+	PPAddTBI // Dst = A with CE tag Imm placed in the TBI byte
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Const: "const", ConstF: "constf", StrConst: "str",
+	Alloca: "alloca", GlobalAddr: "gaddr", FuncAddr: "faddr",
+	Load: "load", Store: "store", FieldAddr: "fieldaddr", IndexAddr: "indexaddr",
+	BinInstr: "bin", CmpInstr: "cmp", CastOp: "cast", CallOp: "call",
+	RetOp: "ret", Jmp: "jmp", Br: "br",
+	PacSign: "pac", PacAuth: "aut", PacStrip: "xpac",
+	PPAdd: "pp_add", PPSign: "pp_sign", PPAuth: "pp_auth", PPAddTBI: "pp_add_tbi",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// BinSub is the arithmetic subcode of BinInstr.
+type BinSub uint8
+
+const (
+	Add BinSub = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	FAdd
+	FSub
+	FMul
+	FDiv
+)
+
+var binNames = [...]string{"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "fadd", "fsub", "fmul", "fdiv"}
+
+func (b BinSub) String() string { return binNames[b] }
+
+// CmpSub is the comparison subcode of CmpInstr.
+type CmpSub uint8
+
+const (
+	Eq CmpSub = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+var cmpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c CmpSub) String() string { return cmpNames[c] }
+
+// SlotKind classifies the storage a Load/Store accesses, which determines
+// whose RSTI-type protects the access.
+type SlotKind uint8
+
+const (
+	SlotNone  SlotKind = iota // not a named location (e.g. raw pointer deref)
+	SlotVar                   // a named variable's slot (Var valid)
+	SlotField                 // a composite member (Struct/Field valid)
+	SlotElem                  // an indexed element of an array/buffer
+)
+
+// Slot is the debug-metadata reference carried by memory instructions.
+type Slot struct {
+	Kind   SlotKind
+	Var    int          // VarInfo index for SlotVar
+	Struct *ctypes.Type // composite type for SlotField
+	Field  int          // field index within Struct
+}
+
+// Instr is one IR instruction. A single fat struct keeps the interpreter
+// simple and allocation-free.
+type Instr struct {
+	Op      Op
+	Dst     Reg
+	A, B    Reg
+	Imm     int64
+	Ty      *ctypes.Type
+	FromTy  *ctypes.Type // CastOp source type
+	BinSub  BinSub
+	CmpSub  CmpSub
+	Slot    Slot
+	Callee  string
+	Args    []Reg
+	Targets [2]int
+	// Instrumentation fields:
+	Mod uint64 // static PAC modifier
+	Key uint8  // pa.KeyID
+	CE  uint16 // pointer-to-pointer compact equivalent tag
+	Pos cminor.Pos
+}
+
+// Block is a basic block: straight-line instructions ended by a
+// terminator (RetOp, Jmp or Br).
+type Block struct {
+	Index  int
+	Name   string
+	Instrs []Instr
+}
+
+// Terminated reports whether the block already ends in a terminator.
+func (b *Block) Terminated() bool {
+	if len(b.Instrs) == 0 {
+		return false
+	}
+	switch b.Instrs[len(b.Instrs)-1].Op {
+	case RetOp, Jmp, Br:
+		return true
+	}
+	return false
+}
+
+// VarInfo is the per-variable debug metadata: the DILocalVariable /
+// DIGlobalVariable analogue. STI reads type, const-ness and the declaring
+// function from here; scope sets are computed from use sites.
+type VarInfo struct {
+	Name   string
+	Type   *ctypes.Type
+	Global bool
+	Param  bool
+	DeclFn string // "" for globals
+}
+
+// Global is a module-level variable; its initializer runs in the synthetic
+// "__init" function before main.
+type Global struct {
+	Name string
+	Type *ctypes.Type
+	Var  int // VarInfo index
+}
+
+// Func is a function body (or an extern stub when Extern is true).
+type Func struct {
+	Name     string
+	Ret      *ctypes.Type
+	Params   []*ctypes.Type
+	ParamVar []int // VarInfo per parameter
+	Variadic bool
+	Extern   bool
+	Blocks   []*Block
+	NumRegs  int
+}
+
+// NewBlock appends a fresh block.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Index: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Program is a lowered translation unit.
+type Program struct {
+	Funcs   []*Func
+	ByName  map[string]*Func
+	Globals []*Global
+	Vars    []*VarInfo
+	Strings []string
+	Types   *ctypes.Table
+}
+
+// InitFuncName is the synthetic function that runs global initializers.
+const InitFuncName = "__init"
+
+// AddString interns a string literal and returns its pool index.
+func (p *Program) AddString(s string) int {
+	for i, t := range p.Strings {
+		if t == s {
+			return i
+		}
+	}
+	p.Strings = append(p.Strings, s)
+	return len(p.Strings) - 1
+}
+
+// Func returns the function with the given name.
+func (p *Program) Func(name string) (*Func, bool) {
+	f, ok := p.ByName[name]
+	return f, ok
+}
+
+// ---------- Printing ----------
+
+// String renders the program in a readable assembly-like syntax, used by
+// golden tests and the rstic -dump flag.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s : %s\n", g.Name, g.Type)
+	}
+	for _, f := range p.Funcs {
+		if f.Extern {
+			fmt.Fprintf(&b, "extern func %s\n", f.Name)
+			continue
+		}
+		b.WriteString(f.String(p))
+	}
+	return b.String()
+}
+
+// String renders one function.
+func (f *Func) String(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, t := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "r%d: %s", i, t)
+	}
+	fmt.Fprintf(&b, ") -> %s {\n", f.Ret)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:  ; #%d\n", blk.Name, blk.Index)
+		for _, in := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(in.format(p))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (in *Instr) format(p *Program) string {
+	r := func(x Reg) string {
+		if x == NoReg {
+			return "_"
+		}
+		return fmt.Sprintf("r%d", x)
+	}
+	slot := ""
+	switch in.Slot.Kind {
+	case SlotVar:
+		if p != nil && in.Slot.Var < len(p.Vars) {
+			slot = fmt.Sprintf(" !var(%s)", p.Vars[in.Slot.Var].Name)
+		} else {
+			slot = fmt.Sprintf(" !var(#%d)", in.Slot.Var)
+		}
+	case SlotField:
+		slot = fmt.Sprintf(" !field(%s.%d)", in.Slot.Struct.Name, in.Slot.Field)
+	case SlotElem:
+		slot = " !elem"
+	}
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("%s = const %d : %s", r(in.Dst), in.Imm, in.Ty)
+	case ConstF:
+		return fmt.Sprintf("%s = constf %#x : %s", r(in.Dst), uint64(in.Imm), in.Ty)
+	case StrConst:
+		s := ""
+		if p != nil && int(in.Imm) < len(p.Strings) {
+			s = fmt.Sprintf(" %q", p.Strings[in.Imm])
+		}
+		return fmt.Sprintf("%s = str #%d%s", r(in.Dst), in.Imm, s)
+	case Alloca:
+		return fmt.Sprintf("%s = alloca %s%s", r(in.Dst), in.Ty, slot)
+	case GlobalAddr:
+		return fmt.Sprintf("%s = gaddr #%d%s", r(in.Dst), in.Imm, slot)
+	case FuncAddr:
+		return fmt.Sprintf("%s = faddr %s", r(in.Dst), in.Callee)
+	case Load:
+		return fmt.Sprintf("%s = load %s [%s]%s", r(in.Dst), in.Ty, r(in.A), slot)
+	case Store:
+		return fmt.Sprintf("store %s [%s] = %s%s", in.Ty, r(in.A), r(in.B), slot)
+	case FieldAddr:
+		return fmt.Sprintf("%s = fieldaddr %s + %d%s", r(in.Dst), r(in.A), in.Imm, slot)
+	case IndexAddr:
+		return fmt.Sprintf("%s = indexaddr %s + %s*%d", r(in.Dst), r(in.A), r(in.B), in.Imm)
+	case BinInstr:
+		return fmt.Sprintf("%s = %s %s, %s", r(in.Dst), in.BinSub, r(in.A), r(in.B))
+	case CmpInstr:
+		return fmt.Sprintf("%s = cmp.%s %s, %s", r(in.Dst), in.CmpSub, r(in.A), r(in.B))
+	case CastOp:
+		return fmt.Sprintf("%s = cast %s : %s -> %s", r(in.Dst), r(in.A), in.FromTy, in.Ty)
+	case CallOp:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r(a)
+		}
+		callee := in.Callee
+		if callee == "" {
+			callee = "(*" + r(in.A) + ")"
+		}
+		return fmt.Sprintf("%s = call %s(%s)", r(in.Dst), callee, strings.Join(args, ", "))
+	case RetOp:
+		return fmt.Sprintf("ret %s", r(in.A))
+	case Jmp:
+		return fmt.Sprintf("jmp #%d", in.Targets[0])
+	case Br:
+		return fmt.Sprintf("br %s #%d #%d", r(in.A), in.Targets[0], in.Targets[1])
+	case PacSign:
+		return fmt.Sprintf("%s = pac %s key=%d mod=%#x loc=%s", r(in.Dst), r(in.A), in.Key, in.Mod, r(in.B))
+	case PacAuth:
+		return fmt.Sprintf("%s = aut %s key=%d mod=%#x loc=%s", r(in.Dst), r(in.A), in.Key, in.Mod, r(in.B))
+	case PacStrip:
+		return fmt.Sprintf("%s = xpac %s", r(in.Dst), r(in.A))
+	case PPAdd:
+		return fmt.Sprintf("pp_add ce=%d mod=%#x", in.CE, in.Mod)
+	case PPSign:
+		return fmt.Sprintf("%s = pp_sign %s ce=%d", r(in.Dst), r(in.A), in.CE)
+	case PPAuth:
+		return fmt.Sprintf("%s = pp_auth %s", r(in.Dst), r(in.A))
+	case PPAddTBI:
+		return fmt.Sprintf("%s = pp_add_tbi %s ce=%d", r(in.Dst), r(in.A), in.CE)
+	case Nop:
+		return "nop"
+	}
+	return in.Op.String()
+}
+
+// Verify checks structural invariants: every block terminated, branch
+// targets in range, register indices within NumRegs. It returns the first
+// violation.
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if f.Extern {
+			continue
+		}
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("mir: func %s has no blocks", f.Name)
+		}
+		for _, blk := range f.Blocks {
+			if !blk.Terminated() {
+				return fmt.Errorf("mir: %s block %s not terminated", f.Name, blk.Name)
+			}
+			for i, in := range blk.Instrs {
+				for _, r := range []Reg{in.Dst, in.A, in.B} {
+					if r != NoReg && (r < 0 || r >= f.NumRegs) {
+						return fmt.Errorf("mir: %s %s#%d register r%d out of range", f.Name, blk.Name, i, r)
+					}
+				}
+				for _, r := range in.Args {
+					if r < 0 || r >= f.NumRegs {
+						return fmt.Errorf("mir: %s %s#%d arg register r%d out of range", f.Name, blk.Name, i, r)
+					}
+				}
+				switch in.Op {
+				case Jmp:
+					if in.Targets[0] < 0 || in.Targets[0] >= len(f.Blocks) {
+						return fmt.Errorf("mir: %s jmp target out of range", f.Name)
+					}
+				case Br:
+					for _, t := range in.Targets {
+						if t < 0 || t >= len(f.Blocks) {
+							return fmt.Errorf("mir: %s br target out of range", f.Name)
+						}
+					}
+				case CallOp:
+					if in.Callee != "" {
+						if _, ok := p.ByName[in.Callee]; !ok {
+							return fmt.Errorf("mir: %s calls unknown function %q", f.Name, in.Callee)
+						}
+					}
+				}
+				if term := i < len(blk.Instrs)-1; term {
+					switch in.Op {
+					case RetOp, Jmp, Br:
+						return fmt.Errorf("mir: %s block %s has a terminator mid-block", f.Name, blk.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+
+	"rsti/internal/ctypes"
+)
+
+// tinyProgram builds a small valid program by hand.
+func tinyProgram() *Program {
+	p := &Program{ByName: make(map[string]*Func), Types: ctypes.NewTable()}
+	f := &Func{Name: "main", Ret: ctypes.IntType, NumRegs: 2}
+	b := f.NewBlock("entry")
+	b.Instrs = []Instr{
+		{Op: Const, Dst: 0, A: NoReg, B: NoReg, Imm: 41, Ty: ctypes.IntType},
+		{Op: Const, Dst: 1, A: NoReg, B: NoReg, Imm: 1, Ty: ctypes.IntType},
+		{Op: BinInstr, BinSub: Add, Dst: 0, A: 0, B: 1, Ty: ctypes.IntType},
+		{Op: RetOp, Dst: NoReg, A: 0, B: NoReg},
+	}
+	p.Funcs = append(p.Funcs, f)
+	p.ByName["main"] = f
+	return p
+}
+
+func TestVerifyAcceptsValidProgram(t *testing.T) {
+	if err := tinyProgram().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsUnterminatedBlock(t *testing.T) {
+	p := tinyProgram()
+	f := p.ByName["main"]
+	f.Blocks[0].Instrs = f.Blocks[0].Instrs[:2] // drop the terminator
+	if err := p.Verify(); err == nil {
+		t.Error("unterminated block accepted")
+	}
+}
+
+func TestVerifyRejectsOutOfRangeRegister(t *testing.T) {
+	p := tinyProgram()
+	f := p.ByName["main"]
+	f.Blocks[0].Instrs[2].B = 99
+	if err := p.Verify(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+func TestVerifyRejectsBadBranchTarget(t *testing.T) {
+	p := tinyProgram()
+	f := p.ByName["main"]
+	f.Blocks[0].Instrs[3] = Instr{Op: Jmp, Dst: NoReg, A: NoReg, B: NoReg, Targets: [2]int{7}}
+	if err := p.Verify(); err == nil {
+		t.Error("jump to a missing block accepted")
+	}
+}
+
+func TestVerifyRejectsMidBlockTerminator(t *testing.T) {
+	p := tinyProgram()
+	f := p.ByName["main"]
+	f.Blocks[0].Instrs[1] = Instr{Op: RetOp, Dst: NoReg, A: 0, B: NoReg}
+	if err := p.Verify(); err == nil {
+		t.Error("mid-block terminator accepted")
+	}
+}
+
+func TestVerifyRejectsUnknownCallee(t *testing.T) {
+	p := tinyProgram()
+	f := p.ByName["main"]
+	f.Blocks[0].Instrs[2] = Instr{Op: CallOp, Dst: 0, A: NoReg, B: NoReg, Callee: "ghost"}
+	if err := p.Verify(); err == nil {
+		t.Error("call to an unknown function accepted")
+	}
+}
+
+func TestCloneIsDeepForInstructions(t *testing.T) {
+	p := tinyProgram()
+	q := p.Clone()
+	q.ByName["main"].Blocks[0].Instrs[0].Imm = 999
+	if p.ByName["main"].Blocks[0].Instrs[0].Imm != 41 {
+		t.Error("clone shares instruction storage with the original")
+	}
+	// Args slices must not be shared either.
+	p2 := tinyProgram()
+	p2.ByName["main"].Blocks[0].Instrs[2] = Instr{
+		Op: CallOp, Dst: 0, A: NoReg, B: NoReg, Callee: "main", Args: []Reg{0, 1},
+	}
+	q2 := p2.Clone()
+	q2.ByName["main"].Blocks[0].Instrs[2].Args[0] = 1
+	if p2.ByName["main"].Blocks[0].Instrs[2].Args[0] != 0 {
+		t.Error("clone shares call-argument slices")
+	}
+}
+
+func TestCloneVerifies(t *testing.T) {
+	if err := tinyProgram().Clone().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddStringInterns(t *testing.T) {
+	p := tinyProgram()
+	a := p.AddString("x")
+	b := p.AddString("y")
+	c := p.AddString("x")
+	if a != c || a == b {
+		t.Errorf("interning broken: %d %d %d", a, b, c)
+	}
+}
+
+func TestTerminatedDetection(t *testing.T) {
+	b := &Block{}
+	if b.Terminated() {
+		t.Error("empty block reported terminated")
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: Const})
+	if b.Terminated() {
+		t.Error("const-terminated block reported terminated")
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: Br})
+	if !b.Terminated() {
+		t.Error("br-ended block not terminated")
+	}
+}
+
+func TestInstructionFormatting(t *testing.T) {
+	p := tinyProgram()
+	out := p.String()
+	for _, want := range []string{"func main", "const 41", "add r0, r1", "ret r0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed program missing %q:\n%s", want, out)
+		}
+	}
+	// Instrumentation ops format without a program context too.
+	in := Instr{Op: PacSign, Dst: 3, A: 2, B: NoReg, Mod: 0xabc, Key: 2}
+	if s := in.format(nil); !strings.Contains(s, "pac") || !strings.Contains(s, "0xabc") {
+		t.Errorf("pac formatting: %q", s)
+	}
+	pp := Instr{Op: PPAuth, Dst: 1, A: 0, B: 2}
+	if s := pp.format(nil); !strings.Contains(s, "pp_auth") {
+		t.Errorf("pp_auth formatting: %q", s)
+	}
+}
+
+func TestOpAndSubcodeStrings(t *testing.T) {
+	if Load.String() != "load" || PacAuth.String() != "aut" {
+		t.Error("op names wrong")
+	}
+	if Add.String() != "add" || FDiv.String() != "fdiv" {
+		t.Error("binsub names wrong")
+	}
+	if Eq.String() != "eq" || Ge.String() != "ge" {
+		t.Error("cmpsub names wrong")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op has empty name")
+	}
+}
+
+// TestFormatAllOps drives the printer across every opcode so dumped IR
+// stays readable as the instruction set evolves.
+func TestFormatAllOps(t *testing.T) {
+	p := tinyProgram()
+	p.AddString("lit")
+	st := ctypes.NewTable()
+	node, _ := st.CompleteStruct("n", []ctypes.Field{{Name: "f", Type: ctypes.PointerTo(ctypes.IntType)}})
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Nop}, "nop"},
+		{Instr{Op: ConstF, Dst: 0, Imm: 42, Ty: ctypes.DoubleType}, "constf"},
+		{Instr{Op: StrConst, Dst: 0, Imm: 0}, `"lit"`},
+		{Instr{Op: Alloca, Dst: 0, Ty: ctypes.IntType}, "alloca int"},
+		{Instr{Op: GlobalAddr, Dst: 0, Imm: 1}, "gaddr #1"},
+		{Instr{Op: FuncAddr, Dst: 0, Callee: "main"}, "faddr main"},
+		{Instr{Op: Load, Dst: 0, A: 1, Ty: ctypes.IntType, Slot: Slot{Kind: SlotVar, Var: 99}}, "load int"},
+		{Instr{Op: Store, A: 0, B: 1, Ty: ctypes.IntType, Slot: Slot{Kind: SlotElem}}, "!elem"},
+		{Instr{Op: FieldAddr, Dst: 0, A: 1, Imm: 8, Slot: Slot{Kind: SlotField, Struct: node, Field: 0}}, "fieldaddr"},
+		{Instr{Op: IndexAddr, Dst: 0, A: 1, B: 0, Imm: 4}, "indexaddr"},
+		{Instr{Op: CmpInstr, CmpSub: Le, Dst: 0, A: 0, B: 1}, "cmp.le"},
+		{Instr{Op: CastOp, Dst: 0, A: 1, FromTy: ctypes.IntType, Ty: ctypes.LongType}, "cast"},
+		{Instr{Op: CallOp, Dst: 0, A: 1, Args: []Reg{0}}, "(*r1)"},
+		{Instr{Op: RetOp, A: NoReg}, "ret _"},
+		{Instr{Op: Jmp, Targets: [2]int{3}}, "jmp #3"},
+		{Instr{Op: Br, A: 0, Targets: [2]int{1, 2}}, "br r0 #1 #2"},
+		{Instr{Op: PacStrip, Dst: 0, A: 1}, "xpac"},
+		{Instr{Op: PPAdd, CE: 4, Mod: 0x9}, "pp_add ce=4"},
+		{Instr{Op: PPSign, Dst: 0, A: 1, B: 0, CE: 4}, "pp_sign"},
+		{Instr{Op: PPAddTBI, Dst: 0, A: 1, CE: 4}, "pp_add_tbi"},
+	}
+	for _, c := range cases {
+		got := c.in.format(p)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("format(%v) = %q, want substring %q", c.in.Op, got, c.want)
+		}
+	}
+	// Unknown slot var index prints the raw index instead of panicking.
+	out := (&Instr{Op: Load, Dst: 0, A: 1, Ty: ctypes.IntType, Slot: Slot{Kind: SlotVar, Var: 99}}).format(p)
+	if !strings.Contains(out, "#99") {
+		t.Errorf("out-of-range var formatted as %q", out)
+	}
+}
+
+// TestProgramStringIncludesExterns keeps extern stubs visible in dumps.
+func TestProgramStringIncludesExterns(t *testing.T) {
+	p := tinyProgram()
+	p.Funcs = append(p.Funcs, &Func{Name: "libc_thing", Extern: true})
+	p.ByName["libc_thing"] = p.Funcs[len(p.Funcs)-1]
+	p.Globals = append(p.Globals, &Global{Name: "g", Type: ctypes.IntType})
+	out := p.String()
+	if !strings.Contains(out, "extern func libc_thing") {
+		t.Error("extern missing from dump")
+	}
+	if !strings.Contains(out, "global g : int") {
+		t.Error("global missing from dump")
+	}
+}

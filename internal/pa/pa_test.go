@@ -1,0 +1,317 @@
+package pa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testUnit(t testing.TB, cfg Config) *Unit {
+	t.Helper()
+	return NewUnit(cfg, GenerateKeys(0x5151))
+}
+
+func defaultUnit(t testing.TB) *Unit { return testUnit(t, DefaultConfig()) }
+
+func TestSignAuthRoundTrip(t *testing.T) {
+	u := defaultUnit(t)
+	f := func(raw, mod uint64) bool {
+		ptr := raw & u.vaMask
+		signed := u.Sign(ptr, KeyDA, mod)
+		authed, ok := u.Auth(signed, KeyDA, mod)
+		return ok && authed == ptr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuthRejectsWrongModifier(t *testing.T) {
+	// Use the non-TBI layout: its 16-bit PAC collides with probability
+	// 2^-16, so 100 quick samples rejecting uniformly is a solid property.
+	// (The 8-bit TBI layout legitimately collides about once per 256
+	// trials; its collision *rate* is bounded in
+	// TestDistinctModifiersUsuallyDistinctPACs instead.)
+	u := testUnit(t, Config{VABits: 48, TBI: false})
+	f := func(raw, m1, m2 uint64) bool {
+		if m1 == m2 {
+			return true
+		}
+		ptr := raw & u.vaMask
+		signed := u.Sign(ptr, KeyDA, m1)
+		_, ok := u.Auth(signed, KeyDA, m2)
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuthRejectsWrongKey(t *testing.T) {
+	u := testUnit(t, Config{VABits: 48, TBI: false})
+	ptr := uint64(0x7fff12345678)
+	signed := u.Sign(ptr, KeyDA, 42)
+	if _, ok := u.Auth(signed, KeyDB, 42); ok {
+		t.Error("authentication succeeded under the wrong key")
+	}
+	if _, ok := u.Auth(signed, KeyIA, 42); ok {
+		t.Error("data-key PAC accepted by instruction key")
+	}
+}
+
+func TestAuthRejectsCorruptedPointer(t *testing.T) {
+	u := testUnit(t, Config{VABits: 48, TBI: false})
+	ptr := uint64(0x7fff12345678)
+	signed := u.Sign(ptr, KeyDA, 7)
+	for bit := 0; bit < u.cfg.VABits; bit++ {
+		corrupted := signed ^ (1 << uint(bit))
+		if _, ok := u.Auth(corrupted, KeyDA, 7); ok {
+			t.Errorf("flipping address bit %d still authenticated", bit)
+		}
+	}
+}
+
+func TestAuthFailureProducesNonCanonicalPointer(t *testing.T) {
+	u := defaultUnit(t)
+	ptr := uint64(0x7fff12345678)
+	signed := u.Sign(ptr, KeyDA, 1)
+	bad, ok := u.Auth(signed, KeyDA, 2)
+	if ok {
+		t.Fatal("expected failure")
+	}
+	if u.IsCanonical(bad) {
+		t.Error("failed authentication returned a canonical (usable) pointer")
+	}
+}
+
+func TestStripRemovesPAC(t *testing.T) {
+	u := defaultUnit(t)
+	f := func(raw, mod uint64) bool {
+		ptr := raw & u.vaMask
+		return u.Strip(u.Sign(ptr, KeyDA, mod)) == ptr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignIsDeterministic(t *testing.T) {
+	u := defaultUnit(t)
+	a := u.Sign(0x1000, KeyDA, 99)
+	b := u.Sign(0x1000, KeyDA, 99)
+	if a != b {
+		t.Error("Sign is not deterministic")
+	}
+}
+
+func TestDistinctModifiersUsuallyDistinctPACs(t *testing.T) {
+	u := defaultUnit(t)
+	ptr := uint64(0x7f0000001000)
+	collisions := 0
+	base := u.Sign(ptr, KeyDA, 0)
+	const n = 4096
+	for m := uint64(1); m <= n; m++ {
+		if u.Sign(ptr, KeyDA, m) == base {
+			collisions++
+		}
+	}
+	// 8-bit PAC (TBI on) collides with p = 2^-8; expect ~16 of 4096.
+	if collisions > n/64 {
+		t.Errorf("PAC collisions = %d / %d, far above the 2^-8 expectation", collisions, n)
+	}
+}
+
+func TestTBITagPreservedBySignAndAuth(t *testing.T) {
+	u := defaultUnit(t)
+	ptr := u.SetTag(0x7fff00001234, 0xAB)
+	signed := u.Sign(ptr, KeyDA, 5)
+	if u.Tag(signed) != 0xAB {
+		t.Fatalf("Sign clobbered TBI tag: %#x", u.Tag(signed))
+	}
+	authed, ok := u.Auth(signed, KeyDA, 5)
+	if !ok {
+		t.Fatal("auth failed")
+	}
+	if u.Tag(authed) != 0xAB {
+		t.Errorf("Auth clobbered TBI tag: %#x", u.Tag(authed))
+	}
+}
+
+func TestTagBitsDoNotAffectPAC(t *testing.T) {
+	// With TBI on, the tag byte is ignored by authentication, so a tagged
+	// and untagged pointer carry the same PAC.
+	u := defaultUnit(t)
+	ptr := uint64(0x7fff00001234)
+	signed := u.Sign(ptr, KeyDA, 5)
+	tagged := u.Sign(u.SetTag(ptr, 0x7F), KeyDA, 5)
+	if signed&u.pacMask != tagged&u.pacMask {
+		t.Error("tag byte changed the PAC under TBI")
+	}
+}
+
+func TestNoTBIUsesSixteenPACBits(t *testing.T) {
+	u := testUnit(t, Config{VABits: 48, TBI: false})
+	if got := u.PACBits(); got != 16 {
+		t.Errorf("PACBits = %d, want 16", got)
+	}
+	ut := defaultUnit(t)
+	if got := ut.PACBits(); got != 8 {
+		t.Errorf("PACBits with TBI = %d, want 8", got)
+	}
+}
+
+func TestSetTagPanicsWithoutTBI(t *testing.T) {
+	u := testUnit(t, Config{VABits: 48, TBI: false})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTag without TBI did not panic")
+		}
+	}()
+	u.SetTag(0x1000, 1)
+}
+
+func TestNewUnitPanicsOnBadVABits(t *testing.T) {
+	for _, va := range []int{0, 31, 57, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("VABits=%d did not panic", va)
+				}
+			}()
+			NewUnit(Config{VABits: va}, GenerateKeys(1))
+		}()
+	}
+}
+
+func TestGenericMAC(t *testing.T) {
+	u := defaultUnit(t)
+	mac := u.GenericMAC(0xdead, 0xbeef)
+	if mac&0xFFFFFFFF != 0 {
+		t.Error("GenericMAC low half not zero")
+	}
+	if mac == 0 {
+		t.Error("GenericMAC returned zero MAC on probe input")
+	}
+	if u.GenericMAC(0xdead, 0xbeef) != mac {
+		t.Error("GenericMAC not deterministic")
+	}
+	if u.GenericMAC(0xdead, 0xbee0) == mac {
+		t.Error("GenericMAC ignores modifier")
+	}
+}
+
+func TestGenerateKeysDistinct(t *testing.T) {
+	keys := GenerateKeys(7)
+	seen := map[Key]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key material: %+v", k)
+		}
+		seen[k] = true
+	}
+	other := GenerateKeys(8)
+	if keys == other {
+		t.Error("different seeds produced identical key sets")
+	}
+	if keys != GenerateKeys(7) {
+		t.Error("key generation is not deterministic")
+	}
+}
+
+func TestKeyIDString(t *testing.T) {
+	names := map[KeyID]string{KeyIA: "IA", KeyIB: "IB", KeyDA: "DA", KeyDB: "DB", KeyGA: "GA"}
+	for id, want := range names {
+		if id.String() != want {
+			t.Errorf("KeyID(%d).String() = %q, want %q", id, id.String(), want)
+		}
+	}
+	if KeyID(9).String() != "KeyID(9)" {
+		t.Errorf("unknown key id formatted as %q", KeyID(9).String())
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	u := defaultUnit(b)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = u.Sign(uint64(i)&u.vaMask, KeyDA, 42)
+	}
+	_ = sink
+}
+
+func BenchmarkAuth(b *testing.B) {
+	u := defaultUnit(b)
+	signed := u.Sign(0x7fff00001234, KeyDA, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Auth(signed, KeyDA, 42)
+	}
+}
+
+func TestRoundsConfiguration(t *testing.T) {
+	keys := GenerateKeys(3)
+	u5 := NewUnit(Config{VABits: 48, Rounds: 5}, keys)
+	u7 := NewUnit(Config{VABits: 48, Rounds: 7}, keys)
+	ptr := uint64(0x7fff00002000)
+	if u5.Sign(ptr, KeyDA, 9) == u7.Sign(ptr, KeyDA, 9) {
+		t.Error("different round counts produced identical PACs on the probe")
+	}
+	for _, u := range []*Unit{u5, u7} {
+		if v, ok := u.Auth(u.Sign(ptr, KeyDA, 9), KeyDA, 9); !ok || v != ptr {
+			t.Error("roundtrip failed")
+		}
+	}
+}
+
+func TestVABitsLayouts(t *testing.T) {
+	for _, va := range []int{39, 48, 52} {
+		u := testUnit(t, Config{VABits: va, TBI: false})
+		if got := u.PACBits(); got != 64-va {
+			t.Errorf("VABits=%d: PACBits = %d, want %d", va, got, 64-va)
+		}
+		ptr := (uint64(1) << (va - 1)) - 0x1000
+		signed := u.Sign(ptr, KeyDA, 1)
+		if u.Canonical(signed) != ptr {
+			t.Errorf("VABits=%d: address bits disturbed", va)
+		}
+		if v, ok := u.Auth(signed, KeyDA, 1); !ok || v != ptr {
+			t.Errorf("VABits=%d: roundtrip failed", va)
+		}
+	}
+}
+
+func TestSignIdempotentOnResigning(t *testing.T) {
+	// Signing a signed pointer replaces the PAC (it does not stack):
+	// Sign(Sign(p, m1), m2) == Sign(p, m2).
+	u := defaultUnit(t)
+	f := func(raw, m1, m2 uint64) bool {
+		ptr := raw & u.vaMask
+		return u.Sign(u.Sign(ptr, KeyDA, m1), KeyDA, m2) == u.Sign(ptr, KeyDA, m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNullPointerConvention(t *testing.T) {
+	// NULL signs to itself and authenticates under any modifier, so
+	// zero-initialized pointer storage works without an explicit signing
+	// store (the arm64e convention).
+	u := defaultUnit(t)
+	if got := u.Sign(0, KeyDA, 123); got != 0 {
+		t.Errorf("Sign(NULL) = %#x, want 0", got)
+	}
+	v, ok := u.Auth(0, KeyDA, 456)
+	if !ok || v != 0 {
+		t.Errorf("Auth(NULL) = %#x, %v", v, ok)
+	}
+	// A tagged NULL keeps its tag through signing.
+	tagged := u.SetTag(0, 0x3)
+	if got := u.Sign(tagged, KeyDA, 1); got != tagged {
+		t.Errorf("Sign(tagged NULL) = %#x, want %#x", got, tagged)
+	}
+	// But a NULL with forged PAC bits still fails.
+	if _, ok := u.Auth(uint64(1)<<50, KeyDA, 1); ok {
+		t.Error("zero address with nonzero PAC bits authenticated")
+	}
+}

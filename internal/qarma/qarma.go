@@ -1,0 +1,319 @@
+// Package qarma implements the QARMA-64 tweakable block cipher.
+//
+// QARMA is the cipher specified by ARM as the reference Pointer
+// Authentication Code (PAC) algorithm for ARMv8.3-A (QARMA5, i.e. QARMA-64
+// with r = 5 forward rounds, is the architected default; Apple silicon uses
+// an unpublished variant with the same interface). RSTI only needs the
+// cipher as a keyed pseudo-random function from (pointer, 64-bit modifier,
+// 128-bit key) to a PAC, which is exactly QARMA's (plaintext, tweak, key)
+// interface.
+//
+// The implementation follows R. Avanzi, "The QARMA Block Cipher Family",
+// IACR ToSC 2017(1), using the σ1 S-box and the M4,2 = circ(0, ρ¹, ρ², ρ¹)
+// diffusion matrix, and is validated against the test vectors published in
+// that paper (see qarma_test.go).
+package qarma
+
+// Cipher is a QARMA-64 instance with a fixed 128-bit key (w0 ‖ k0) and a
+// fixed number of forward rounds. It is safe for concurrent use: all state
+// computed at construction time is read-only afterwards.
+type Cipher struct {
+	rounds int
+
+	// Expanded key material, kept in cell form to avoid re-expansion on
+	// every block.
+	w0, w1, k0, k1, k0a cells
+}
+
+// cells is the 64-bit state as 16 four-bit cells; cell 0 holds the most
+// significant nibble.
+type cells [16]byte
+
+// StandardRounds is the round count architected for ARMv8.3 PAC (QARMA5).
+const StandardRounds = 5
+
+// alpha is the reflector constant α from the QARMA specification.
+const alpha = 0xC0AC29B7C97C50DD
+
+// roundConstants are the constants c0..c7, derived from the digits of π.
+var roundConstants = [8]uint64{
+	0x0000000000000000,
+	0x13198A2E03707344,
+	0xA4093822299F31D0,
+	0x082EFA98EC4E6C89,
+	0x452821E638D01377,
+	0xBE5466CF34E90C6C,
+	0x3F84D5B5B5470917,
+	0x9216D5D98979FB1B,
+}
+
+// sigma1 is the recommended QARMA S-box σ1 and its inverse.
+var (
+	sigma1    = [16]byte{10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4}
+	sigma1Inv = invertPermutation(sigma1)
+)
+
+// tau is the MIDORI cell shuffle used by QARMA, with its inverse.
+var (
+	tau    = [16]byte{0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2}
+	tauInv = invertPermutation(tau)
+)
+
+// hPerm is the tweak-cell permutation h, with its inverse.
+var (
+	hPerm    = [16]byte{6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11}
+	hPermInv = invertPermutation(hPerm)
+)
+
+// lfsrCells are the tweak cells to which the ω LFSR is applied on each
+// tweak update.
+var lfsrCells = [7]int{0, 1, 3, 4, 8, 11, 13}
+
+func invertPermutation(p [16]byte) [16]byte {
+	var inv [16]byte
+	for i, v := range p {
+		inv[v] = byte(i)
+	}
+	return inv
+}
+
+// New returns a QARMA-64 cipher for the 128-bit key (w0, k0) with the given
+// number of forward rounds (5, 6 or 7 are the variants analysed in the
+// QARMA paper; ARMv8.3 architects 5).
+func New(w0, k0 uint64, rounds int) *Cipher {
+	if rounds < 1 || rounds > len(roundConstants) {
+		panic("qarma: round count out of range")
+	}
+	c := &Cipher{rounds: rounds}
+	c.w0 = toCells(w0)
+	// w1 = o(w0) = (w0 >>> 1) ⊕ (w0 >> 63)
+	w1 := ((w0 >> 1) | (w0 << 63)) ^ (w0 >> 63)
+	c.w1 = toCells(w1)
+	c.k0 = toCells(k0)
+	// The reflector adds its key after the central MixColumns, which is
+	// equivalent to the specification's k1 = M4,2·k0 added before it
+	// (M is linear), so the stored reflector key is k0 itself.
+	c.k1 = c.k0
+	c.k0a = toCells(k0 ^ alpha)
+	return c
+}
+
+// Encrypt enciphers the 64-bit plaintext under the 64-bit tweak.
+func (c *Cipher) Encrypt(plaintext, tweak uint64) uint64 {
+	is := toCells(plaintext)
+	t := toCells(tweak)
+
+	xorCells(&is, &c.w0)
+
+	// Forward rounds with the core key k0.
+	for i := 0; i < c.rounds; i++ {
+		c.forwardRound(&is, &c.k0, &t, roundConstants[i], i != 0)
+		forwardTweakUpdate(&t)
+	}
+
+	// Central construction: one full forward round keyed by w1, the
+	// pseudo-reflector keyed by k1, one full backward round keyed by w0.
+	c.forwardRound(&is, &c.w1, &t, 0, true)
+	pseudoReflect(&is, &c.k1)
+	c.backwardRound(&is, &c.w0, &t, 0, true)
+
+	// Backward rounds with k0 ⊕ α, mirroring the forward tweak schedule.
+	for i := c.rounds - 1; i >= 0; i-- {
+		backwardTweakUpdate(&t)
+		c.backwardRound(&is, &c.k0a, &t, roundConstants[i], i != 0)
+	}
+
+	xorCells(&is, &c.w1)
+	return fromCells(&is)
+}
+
+// Decrypt inverts Encrypt. RSTI itself never decrypts PACs, but decryption
+// is the natural correctness oracle for the cipher, so it is provided and
+// property-tested.
+func (c *Cipher) Decrypt(ciphertext, tweak uint64) uint64 {
+	is := toCells(ciphertext)
+
+	xorCells(&is, &c.w1)
+
+	// Undo the backward rounds: encryption ran them for i = r-1..0 with
+	// tweaks T_{r-1}..T_0, so the inverse runs i = 0..r-1 with T_0..T_{r-1}.
+	t := toCells(tweak) // T_0
+	for i := 0; i < c.rounds; i++ {
+		c.invBackwardRound(&is, &c.k0a, &t, roundConstants[i], i != 0)
+		forwardTweakUpdate(&t)
+	}
+	// t is now T_r, the tweak used by the central rounds.
+
+	c.invBackwardRound(&is, &c.w0, &t, 0, true)
+	pseudoReflectInv(&is, &c.k1)
+	c.invForwardRound(&is, &c.w1, &t, 0, true)
+
+	// Undo the forward rounds, replaying tweaks T_{r-1}..T_0.
+	for i := c.rounds - 1; i >= 0; i-- {
+		backwardTweakUpdate(&t)
+		c.invForwardRound(&is, &c.k0, &t, roundConstants[i], i != 0)
+	}
+
+	xorCells(&is, &c.w0)
+	return fromCells(&is)
+}
+
+// forwardRound applies one QARMA forward round: add tweakey, then (full
+// rounds only) ShuffleCells and MixColumns, then SubCells.
+func (c *Cipher) forwardRound(is, key, tweak *cells, rc uint64, full bool) {
+	addTweakey(is, key, tweak, rc)
+	if full {
+		shuffle(is, &tau)
+		mixColumns(is)
+	}
+	subCells(is, &sigma1)
+}
+
+// invForwardRound inverts forwardRound.
+func (c *Cipher) invForwardRound(is, key, tweak *cells, rc uint64, full bool) {
+	subCells(is, &sigma1Inv)
+	if full {
+		mixColumns(is) // M4,2 is an involution
+		shuffle(is, &tauInv)
+	}
+	addTweakey(is, key, tweak, rc)
+}
+
+// backwardRound is the mirror image of forwardRound: SubCells⁻¹, then (full
+// rounds only) MixColumns and ShuffleCells⁻¹, then add tweakey.
+func (c *Cipher) backwardRound(is, key, tweak *cells, rc uint64, full bool) {
+	subCells(is, &sigma1Inv)
+	if full {
+		mixColumns(is)
+		shuffle(is, &tauInv)
+	}
+	addTweakey(is, key, tweak, rc)
+}
+
+// invBackwardRound inverts backwardRound.
+func (c *Cipher) invBackwardRound(is, key, tweak *cells, rc uint64, full bool) {
+	addTweakey(is, key, tweak, rc)
+	if full {
+		shuffle(is, &tau)
+		mixColumns(is)
+	}
+	subCells(is, &sigma1)
+}
+
+// pseudoReflect is the QARMA central permutation: ShuffleCells, MixColumns
+// by the involutive central matrix Q = M4,2 with the key k1 added between,
+// then ShuffleCells⁻¹.
+func pseudoReflect(is, k1 *cells) {
+	shuffle(is, &tau)
+	mixColumns(is)
+	xorCells(is, k1)
+	shuffle(is, &tauInv)
+}
+
+// pseudoReflectInv inverts pseudoReflect (the key addition and the
+// involutive MixColumns do not commute, so the reflector is not its own
+// inverse).
+func pseudoReflectInv(is, k1 *cells) {
+	shuffle(is, &tau)
+	xorCells(is, k1)
+	mixColumns(is)
+	shuffle(is, &tauInv)
+}
+
+func addTweakey(is, key, tweak *cells, rc uint64) {
+	r := toCells(rc)
+	for i := range is {
+		is[i] ^= key[i] ^ tweak[i] ^ r[i]
+	}
+}
+
+func subCells(is *cells, box *[16]byte) {
+	for i := range is {
+		is[i] = box[is[i]]
+	}
+}
+
+func shuffle(is *cells, perm *[16]byte) {
+	var out cells
+	for i := range out {
+		out[i] = is[perm[i]]
+	}
+	*is = out
+}
+
+// rotNibble rotates a 4-bit cell left by n.
+func rotNibble(x byte, n int) byte {
+	return ((x << n) | (x >> (4 - n))) & 0xF
+}
+
+// mixColumns multiplies the state by M4,2 = circ(0, ρ¹, ρ², ρ¹). The state
+// is a 4×4 cell matrix in row-major order; columns are cell sets
+// {c, c+4, c+8, c+12}.
+func mixColumns(is *cells) {
+	exp := [4]int{0, 1, 2, 1}
+	var out cells
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			var acc byte
+			for j := 0; j < 4; j++ {
+				e := exp[(j-row+4)%4]
+				if e == 0 && (j-row+4)%4 == 0 {
+					continue // the zero entry of the circulant
+				}
+				acc ^= rotNibble(is[4*j+col], e)
+			}
+			out[4*row+col] = acc
+		}
+	}
+	*is = out
+}
+
+// forwardTweakUpdate advances the tweak by one round: permute cells with h,
+// then clock the ω LFSR on the designated cells.
+func forwardTweakUpdate(t *cells) {
+	shuffle(t, &hPerm)
+	for _, i := range lfsrCells {
+		t[i] = lfsrForward(t[i])
+	}
+}
+
+// backwardTweakUpdate inverts forwardTweakUpdate.
+func backwardTweakUpdate(t *cells) {
+	for _, i := range lfsrCells {
+		t[i] = lfsrBackward(t[i])
+	}
+	shuffle(t, &hPermInv)
+}
+
+// lfsrForward maps cell (b3 b2 b1 b0) to (b0⊕b1, b3, b2, b1).
+func lfsrForward(x byte) byte {
+	return ((x<<3)^(x<<2))&0x8 | x>>1
+}
+
+// lfsrBackward inverts lfsrForward.
+func lfsrBackward(x byte) byte {
+	b0 := (x >> 3) ^ x&1
+	return (x<<1)&0xE | b0&1
+}
+
+func toCells(x uint64) cells {
+	var c cells
+	for i := 0; i < 16; i++ {
+		c[i] = byte(x>>(60-4*i)) & 0xF
+	}
+	return c
+}
+
+func fromCells(c *cells) uint64 {
+	var x uint64
+	for i := 0; i < 16; i++ {
+		x |= uint64(c[i]) << (60 - 4*i)
+	}
+	return x
+}
+
+func xorCells(dst, src *cells) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,225 @@
+package qarma
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The test vectors from R. Avanzi, "The QARMA Block Cipher Family",
+// IACR ToSC 2017(1), Table 5 (QARMA-64, S-box σ1).
+const (
+	tvW0 = 0x84be85ce9804e94b
+	tvK0 = 0xec2802d4e0a488e9
+	tvT  = 0x477d469dec0b8762
+	tvP  = 0xfb623599da6e8127
+)
+
+var publishedVectors = []struct {
+	rounds int
+	want   uint64
+}{
+	{5, 0x544b0ab95bda7c3a},
+	{6, 0xa512dd1e4e3ec582},
+	{7, 0xedf67ff370a483f2},
+}
+
+func TestPublishedVectors(t *testing.T) {
+	for _, tv := range publishedVectors {
+		c := New(tvW0, tvK0, tv.rounds)
+		got := c.Encrypt(tvP, tvT)
+		if got != tv.want {
+			t.Errorf("r=%d: Encrypt = %#016x, want %#016x", tv.rounds, got, tv.want)
+		}
+	}
+}
+
+func TestDecryptInvertsPublishedVectors(t *testing.T) {
+	for _, tv := range publishedVectors {
+		c := New(tvW0, tvK0, tv.rounds)
+		got := c.Decrypt(tv.want, tvT)
+		if got != tvP {
+			t.Errorf("r=%d: Decrypt = %#016x, want %#016x", tv.rounds, got, uint64(tvP))
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTripProperty(t *testing.T) {
+	for _, rounds := range []int{5, 6, 7} {
+		c := New(0x0123456789abcdef, 0xfedcba9876543210, rounds)
+		f := func(p, tw uint64) bool {
+			return c.Decrypt(c.Encrypt(p, tw), tw) == p
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("r=%d: %v", rounds, err)
+		}
+	}
+}
+
+func TestEncryptIsPermutationPerTweak(t *testing.T) {
+	c := New(1, 2, StandardRounds)
+	f := func(a, b, tw uint64) bool {
+		if a == b {
+			return true
+		}
+		return c.Encrypt(a, tw) != c.Encrypt(b, tw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTweakChangesCiphertext(t *testing.T) {
+	c := New(tvW0, tvK0, StandardRounds)
+	f := func(p, t1, t2 uint64) bool {
+		if t1 == t2 {
+			return true
+		}
+		return c.Encrypt(p, t1) != c.Encrypt(p, t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyChangesCiphertext(t *testing.T) {
+	a := New(tvW0, tvK0, StandardRounds)
+	b := New(tvW0, tvK0^1, StandardRounds)
+	if a.Encrypt(tvP, tvT) == b.Encrypt(tvP, tvT) {
+		t.Error("ciphertexts collide across distinct keys on the probe input")
+	}
+}
+
+func TestNewPanicsOnBadRounds(t *testing.T) {
+	for _, r := range []int{0, -1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(rounds=%d) did not panic", r)
+				}
+			}()
+			New(1, 2, r)
+		}()
+	}
+}
+
+func TestCellConversionRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		c := toCells(x)
+		return fromCells(&c) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixColumnsIsInvolution(t *testing.T) {
+	f := func(x uint64) bool {
+		c := toCells(x)
+		mixColumns(&c)
+		mixColumns(&c)
+		return fromCells(&c) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLFSRInverse(t *testing.T) {
+	for x := byte(0); x < 16; x++ {
+		if got := lfsrBackward(lfsrForward(x)); got != x {
+			t.Errorf("lfsrBackward(lfsrForward(%#x)) = %#x", x, got)
+		}
+	}
+}
+
+func TestTweakUpdateInverse(t *testing.T) {
+	f := func(x uint64) bool {
+		c := toCells(x)
+		forwardTweakUpdate(&c)
+		backwardTweakUpdate(&c)
+		return fromCells(&c) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleInverse(t *testing.T) {
+	f := func(x uint64) bool {
+		c := toCells(x)
+		shuffle(&c, &tau)
+		shuffle(&c, &tauInv)
+		return fromCells(&c) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSboxInverse(t *testing.T) {
+	for x := byte(0); x < 16; x++ {
+		if sigma1Inv[sigma1[x]] != x {
+			t.Errorf("σ1⁻¹(σ1(%#x)) != %#x", x, x)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := New(tvW0, tvK0, StandardRounds)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = c.Encrypt(uint64(i), tvT)
+	}
+	_ = sink
+}
+
+// TestAvalancheProperty: flipping any single plaintext bit should flip
+// close to half of the ciphertext bits on average — the diffusion a PAC's
+// unforgeability rests on.
+func TestAvalancheProperty(t *testing.T) {
+	c := New(tvW0, tvK0, StandardRounds)
+	totalFlips := 0
+	samples := 0
+	for i := 0; i < 16; i++ {
+		p := uint64(i) * 0x9E3779B97F4A7C15
+		base := c.Encrypt(p, tvT)
+		for bit := 0; bit < 64; bit += 7 {
+			flipped := c.Encrypt(p^(1<<uint(bit)), tvT)
+			d := base ^ flipped
+			n := 0
+			for ; d != 0; d &= d - 1 {
+				n++
+			}
+			totalFlips += n
+			samples++
+		}
+	}
+	avg := float64(totalFlips) / float64(samples)
+	if avg < 24 || avg > 40 {
+		t.Errorf("avalanche average = %.1f output bits per input bit, want ~32", avg)
+	}
+}
+
+// TestTweakAvalanche: the modifier (tweak) must diffuse just as strongly —
+// this is what makes one RSTI-type's PAC useless for another's.
+func TestTweakAvalanche(t *testing.T) {
+	c := New(tvW0, tvK0, StandardRounds)
+	totalFlips := 0
+	samples := 0
+	base := c.Encrypt(tvP, tvT)
+	for bit := 0; bit < 64; bit++ {
+		flipped := c.Encrypt(tvP, tvT^(1<<uint(bit)))
+		d := base ^ flipped
+		n := 0
+		for ; d != 0; d &= d - 1 {
+			n++
+		}
+		totalFlips += n
+		samples++
+	}
+	avg := float64(totalFlips) / float64(samples)
+	if avg < 24 || avg > 40 {
+		t.Errorf("tweak avalanche average = %.1f, want ~32", avg)
+	}
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomeanKnownValues(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0}, 0},
+		{[]float64{0.21, 0.1}, 0.1545}, // sqrt(1.21*1.10)-1
+		{[]float64{0.05, 0.05, 0.05}, 0.05},
+	}
+	for _, c := range cases {
+		got := Geomean(c.xs)
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("Geomean(%v) = %v, want ~%v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := math.Mod(math.Abs(r), 2.0) // overheads in [0, 2)
+			if math.IsNaN(x) {
+				continue
+			}
+			xs = append(xs, x)
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	if z := Summarize(nil); z.Max != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarizeOrderInvariance(t *testing.T) {
+	a := Summarize([]float64{5, 1, 4, 2, 3})
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if a != b {
+		t.Errorf("order affects summary: %+v vs %+v", a, b)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.0529) != "5.29%" {
+		t.Errorf("Percent = %q", Percent(0.0529))
+	}
+	if Percent(0) != "0.00%" {
+		t.Errorf("Percent(0) = %q", Percent(0))
+	}
+	if Percent(-0.015) != "-1.50%" {
+		t.Errorf("Percent(-0.015) = %q", Percent(-0.015))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "v"}}
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// The value column must start at the same offset in every data line.
+	idx := strings.Index(lines[1], "v")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Fatalf("row %q shorter than header", l)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+}

@@ -1,0 +1,174 @@
+package rsti_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// bigClassSrc builds a program with one large equivalence class (many
+// same-typed function-pointer globals used from one function) and one
+// small class, plus __hook sites to replay within each.
+func bigClassSrc() string {
+	var b strings.Builder
+	b.WriteString("int red(void) { return 1; }\n")
+	b.WriteString("int blue(void) { return 2; }\n")
+	// Large class: well above sti.AdaptiveECVThreshold members.
+	n := sti.AdaptiveECVThreshold + 8
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "int (*big%d)(void);\n", i)
+	}
+	// Small class: two members.
+	b.WriteString("int (*smalla)(void);\nint (*smallb)(void);\n")
+	b.WriteString("void setup_all(void) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tbig%d = red;\n", i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("int read_all(void) {\n\tint s = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\ts += big%d();\n", i)
+	}
+	b.WriteString("\treturn s;\n}\n")
+	b.WriteString(`
+		int use_small(void) {
+			smalla = red;
+			smallb = blue;
+			__hook(2);
+			return smalla();
+		}
+		int main(void) {
+			setup_all();
+			int s = read_all();
+			__hook(1);
+			s += read_all();
+			s += use_small();
+			return s & 127;
+		}
+	`)
+	return b.String()
+}
+
+func replayHook(src, dst string) vm.Hook {
+	return func(m *vm.Machine) error {
+		s, _ := m.GlobalAddr(src)
+		d, _ := m.GlobalAddr(dst)
+		v, err := m.Mem.Peek(s, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(d, v, 8)
+	}
+}
+
+// TestAdaptiveDetectsReplayInLargeClass: the Adaptive mechanism binds
+// location for the large class, so replaying big1's signed value into
+// big0 is detected — where STWC accepts it.
+func TestAdaptiveDetectsReplayInLargeClass(t *testing.T) {
+	c, err := core.Compile(bigClassSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := map[int64]vm.Hook{1: replayHook("big1", "big0")}
+
+	stwc, err := c.Run(sti.STWC, core.RunConfig{Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stwc.Detected() {
+		t.Fatal("STWC detected a same-RSTI-type replay — modifiers are wrong")
+	}
+	adaptive, err := c.Run(sti.Adaptive, core.RunConfig{Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Detected() {
+		t.Errorf("Adaptive missed the replay in a %d-member class (exit=%d err=%v)",
+			sti.AdaptiveECVThreshold+8, adaptive.Exit, adaptive.Err)
+	}
+	stl, err := c.Run(sti.STL, core.RunConfig{Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stl.Detected() {
+		t.Error("STL missed the replay")
+	}
+}
+
+// TestAdaptiveAcceptsReplayInSmallClass: for the two-member class the
+// Adaptive mechanism deliberately stays at scope-type protection, so the
+// replay succeeds there (that is the cost/benefit trade the paper's §7
+// proposes).
+func TestAdaptiveAcceptsReplayInSmallClass(t *testing.T) {
+	c, err := core.Compile(bigClassSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooks := map[int64]vm.Hook{2: replayHook("smallb", "smalla")}
+	adaptive, err := c.Run(sti.Adaptive, core.RunConfig{Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Detected() {
+		t.Error("Adaptive bound location for a small class — threshold not applied")
+	}
+	if adaptive.Err != nil {
+		t.Fatalf("benign-path trap: %v", adaptive.Err)
+	}
+}
+
+// TestAdaptiveSoundAndBetween: Adaptive runs every soundness program
+// correctly and costs between STWC and STL.
+func TestAdaptiveSoundAndBetween(t *testing.T) {
+	for _, tc := range soundnessPrograms {
+		c, err := core.Compile(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		res, err := c.Run(sti.Adaptive, core.RunConfig{Externs: externs()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Errorf("%s: Adaptive trapped on benign program: %v", tc.name, res.Err)
+			continue
+		}
+		if res.Exit != tc.want {
+			t.Errorf("%s: Adaptive exit = %d, want %d", tc.name, res.Exit, tc.want)
+		}
+	}
+
+	c, err := core.Compile(bigClassSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[sti.Mechanism]int64{}
+	for _, mech := range []sti.Mechanism{sti.STWC, sti.Adaptive, sti.STL} {
+		res, err := c.Run(mech, core.RunConfig{})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%s: %v %v", mech, err, res.Err)
+		}
+		cycles[mech] = res.Stats.Cycles
+	}
+	if !(cycles[sti.STWC] <= cycles[sti.Adaptive] && cycles[sti.Adaptive] <= cycles[sti.STL]) {
+		t.Errorf("cycles not ordered STWC(%d) <= Adaptive(%d) <= STL(%d)",
+			cycles[sti.STWC], cycles[sti.Adaptive], cycles[sti.STL])
+	}
+}
+
+// TestAdaptiveOnAttackSuite: Adaptive detects everything the Table 1
+// matrix throws at it (the attacks corrupt with raw values or replay
+// across RSTI-types, both caught by scope-type alone).
+func TestAdaptiveParsesAndRoundTrips(t *testing.T) {
+	m, ok := sti.ParseMechanism("rsti-adaptive")
+	if !ok || m != sti.Adaptive {
+		t.Fatal("rsti-adaptive does not parse")
+	}
+	if sti.Adaptive.String() != "rsti-adaptive" {
+		t.Fatalf("String = %q", sti.Adaptive.String())
+	}
+}

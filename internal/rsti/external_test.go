@@ -1,0 +1,153 @@
+package rsti_test
+
+import (
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// The paper's §7 "Handling external code": a pointer passed *directly* to
+// an uninstrumented library is authenticated at the boundary and works;
+// but a composite object whose fields hold protected pointers (a linked
+// list node) cannot be traversed by the library, because the embedded
+// pointers are signed and the library performs no authentication. These
+// tests pin both halves of that documented behaviour.
+const externalListSrc = `
+	struct node { struct node *next; int v; };
+	extern long external_walk(struct node *head);
+	int main(void) {
+		struct node *a = (struct node*) malloc(sizeof(struct node));
+		struct node *b = (struct node*) malloc(sizeof(struct node));
+		a->v = 1;
+		a->next = b;
+		b->v = 2;
+		b->next = NULL;
+		return (int) external_walk(a);
+	}
+`
+
+// externalWalk is the uninstrumented library routine: it follows next
+// pointers with raw loads, faulting on any non-canonical address — what
+// real library code would do with a signed pointer.
+func externalWalk(m *vm.Machine, args []uint64) (uint64, error) {
+	cur := args[0]
+	var sum uint64
+	for cur != 0 {
+		if !m.Unit.IsCanonical(cur) {
+			return 0, &vm.Trap{Kind: vm.TrapNonCanonical, Fn: "external_walk",
+				Msg: "library dereferenced a signed pointer"}
+		}
+		v, err := m.Mem.Peek(cur+8, 4)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+		next, err := m.Mem.Peek(cur, 8)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return sum, nil
+}
+
+func TestExternalDirectPointerWorks(t *testing.T) {
+	// The head pointer itself is authenticated at the call boundary, so
+	// the library receives a raw, usable address under every mechanism.
+	c, err := core.Compile(externalListSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(sti.None, core.RunConfig{
+		Externs: map[string]func(*vm.Machine, []uint64) (uint64, error){"external_walk": externalWalk},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || res.Exit != 3 {
+		t.Fatalf("baseline: exit=%d err=%v", res.Exit, res.Err)
+	}
+}
+
+func TestExternalCompositeTraversalLimitation(t *testing.T) {
+	// Under RSTI the embedded next pointer is signed; the library's raw
+	// traversal hits a non-canonical address — the exact incompatibility
+	// the paper concedes ("the external library could be compiled with
+	// RSTI if needed").
+	c, err := core.Compile(externalListSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range sti.RSTIMechanisms {
+		res, err := c.Run(mech, core.RunConfig{
+			Externs: map[string]func(*vm.Machine, []uint64) (uint64, error){"external_walk": externalWalk},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err == nil {
+			t.Errorf("%s: library traversed signed composite pointers — the boundary model is broken", mech)
+			continue
+		}
+		tr, ok := vm.AsTrap(res.Err)
+		if !ok || tr.Kind != vm.TrapNonCanonical {
+			t.Errorf("%s: unexpected failure %v", mech, res.Err)
+		}
+	}
+}
+
+// TestExternalRSTIAwareLibraryWorks: the paper's remedy — compile the
+// library with RSTI — modelled by a library that authenticates embedded
+// pointers with the correct RSTI modifier before following them.
+func TestExternalRSTIAwareLibraryWorks(t *testing.T) {
+	c, err := core.Compile(externalListSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "recompiled" library knows the next field's modifier.
+	var fieldMod uint64
+	an := c.Analysis
+	for fk, id := range an.FieldRT {
+		if fk.Struct == "node" && fk.Field == 0 {
+			fieldMod = an.Modifier(id, sti.STWC)
+		}
+	}
+	if fieldMod == 0 {
+		t.Fatal("node.next modifier not found")
+	}
+	aware := func(m *vm.Machine, args []uint64) (uint64, error) {
+		cur := args[0]
+		var sum uint64
+		for cur != 0 {
+			v, err := m.Mem.Peek(cur+8, 4)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+			next, err := m.Mem.Peek(cur, 8)
+			if err != nil {
+				return 0, err
+			}
+			if next != 0 {
+				authed, ok := m.Unit.Auth(next, 2 /* KeyDA */, fieldMod)
+				if !ok {
+					return 0, &vm.Trap{Kind: vm.TrapAuthFailure, Fn: "external_walk", Msg: "bad next"}
+				}
+				next = authed
+			}
+			cur = next
+		}
+		return sum, nil
+	}
+	res, err := c.Run(sti.STWC, core.RunConfig{
+		Externs: map[string]func(*vm.Machine, []uint64) (uint64, error){"external_walk": aware},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || res.Exit != 3 {
+		t.Errorf("RSTI-aware library failed: exit=%d err=%v", res.Exit, res.Err)
+	}
+}

@@ -1,0 +1,191 @@
+package rsti_test
+
+import (
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// inheritanceSrc models C++ inheritance the way the paper's §4.7.5
+// describes LLVM lowering it: a derived object whose first member is the
+// base, accessed through base-class pointers via bitcasts.
+const inheritanceSrc = `
+	struct Base { int (*vcall)(void); int tag; };
+	struct Child { struct Base base; int extra; };
+
+	int base_impl(void) { return 10; }
+	int child_impl(void) { return 20; }
+	int attacker_impl(void) { return 666; }
+
+	struct Child *obj;
+
+	int invoke(struct Base *b) {
+		__hook(1);
+		return b->vcall();
+	}
+
+	int main(void) {
+		obj = (struct Child*) malloc(sizeof(struct Child));
+		obj->base.vcall = child_impl;
+		obj->base.tag = 1;
+		obj->extra = 7;
+		// The inheritance bitcast: Child* used as Base*.
+		struct Base *as_base = (struct Base*) obj;
+		return invoke(as_base);
+	}
+`
+
+// TestInheritancePunningSound: the upcast and the virtual-style call work
+// under every mechanism (type punning handled per §4.7.5).
+func TestInheritancePunningSound(t *testing.T) {
+	c, err := core.Compile(inheritanceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range append(append([]sti.Mechanism{}, sti.Mechanisms...), sti.Adaptive) {
+		res, err := c.Run(mech, core.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Errorf("%s: benign inheritance trapped: %v", mech, res.Err)
+			continue
+		}
+		if res.Exit != 20 {
+			t.Errorf("%s: exit = %d, want 20", mech, res.Exit)
+		}
+	}
+}
+
+// TestInheritanceVtableHijackDetected: overwriting the "vtable slot"
+// (base.vcall) through the heap is the COOP-style corruption; RSTI's
+// field-sensitive RSTI-types catch it.
+func TestInheritanceVtableHijackDetected(t *testing.T) {
+	c, err := core.Compile(inheritanceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hijack := map[int64]vm.Hook{1: func(m *vm.Machine) error {
+		slot, _ := m.GlobalAddr("obj")
+		objAddr, err := m.Mem.Peek(slot, 8)
+		if err != nil {
+			return err
+		}
+		tok, _ := m.FuncToken("attacker_impl")
+		return m.Mem.Poke(m.Unit.Canonical(objAddr), tok, 8)
+	}}
+
+	base, err := c.Run(sti.None, core.RunConfig{Hooks: hijack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Exit != 666 {
+		t.Fatalf("baseline hijack failed: exit=%d err=%v", base.Exit, base.Err)
+	}
+	for _, mech := range sti.RSTIMechanisms {
+		res, err := c.Run(mech, core.RunConfig{Hooks: hijack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected() {
+			t.Errorf("%s: vtable-style hijack undetected", mech)
+		}
+	}
+}
+
+// TestCastPunningRoundTrip: the paper's type-punning case — two pointers
+// viewing one allocation as different types via casts — stays sound, and
+// STC merges the two views while STWC keeps them distinct.
+func TestCastPunningRoundTrip(t *testing.T) {
+	src := `
+		struct words { long lo; long hi; };
+		struct halves { int a; int b; int c; int d; };
+		int main(void) {
+			struct words *w = (struct words*) malloc(sizeof(struct words));
+			w->lo = 0x0000000200000001;
+			w->hi = 0;
+			struct halves *h = (struct halves*) w;
+			return h->a * 10 + h->b;
+		}
+	`
+	c, err := core.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range sti.Mechanisms {
+		res, err := c.Run(mech, core.RunConfig{})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%s: %v %v", mech, err, res.Err)
+		}
+		if res.Exit != 12 {
+			t.Errorf("%s: exit = %d, want 12", mech, res.Exit)
+		}
+	}
+	// Analysis view: the punning cast merges under STC only.
+	an := c.Analysis
+	var wRT, hRT int = -1, -1
+	for i, v := range c.Prog.Vars {
+		switch v.Name {
+		case "w":
+			wRT = an.VarRT[i]
+		case "h":
+			hRT = an.VarRT[i]
+		}
+	}
+	if wRT < 0 || hRT < 0 {
+		t.Fatal("vars not found")
+	}
+	if an.ClassOf(wRT, sti.STWC) == an.ClassOf(hRT, sti.STWC) {
+		t.Error("STWC merged the punned views")
+	}
+	if an.ClassOf(wRT, sti.STC) != an.ClassOf(hRT, sti.STC) {
+		t.Error("STC did not merge the punned views")
+	}
+}
+
+// TestStoredUniversalDoublePointer: a T** cast to void** and *stored* in a
+// struct (not just passed) must still dereference correctly later — the
+// "stored in another struct" case of §4.7.7, which requires the CE tag to
+// travel through memory.
+func TestStoredUniversalDoublePointer(t *testing.T) {
+	src := `
+		struct node { int key; };
+		struct bag { void **slot; int id; };
+		int use_bag(struct bag *b) {
+			if (*b->slot != NULL) {
+				*b->slot = NULL;
+				return 1;
+			}
+			return 0;
+		}
+		int main(void) {
+			struct node *p = (struct node*) malloc(sizeof(struct node));
+			p->key = 9;
+			struct bag *b = (struct bag*) malloc(sizeof(struct bag));
+			b->slot = (void**) &p;
+			b->id = 1;
+			int cleared = use_bag(b);
+			if (p == NULL) return cleared + 10;
+			return 0;
+		}
+	`
+	c, err := core.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range append(append([]sti.Mechanism{}, sti.Mechanisms...), sti.Adaptive) {
+		res, err := c.Run(mech, core.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Errorf("%s: stored-pp pattern trapped: %v", mech, res.Err)
+			continue
+		}
+		if res.Exit != 11 {
+			t.Errorf("%s: exit = %d, want 11", mech, res.Exit)
+		}
+	}
+}

@@ -1,0 +1,696 @@
+package sti
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rsti/internal/ctypes"
+	"rsti/internal/mir"
+)
+
+// RSTIType is one interned (type, scope, permission) triple — the unit of
+// enforcement (§4.5). Escaped types are the demoted form used for
+// variables whose address is taken and for anonymous (heap / element /
+// through-pointer) storage, where variable identity is not statically
+// known; they carry type and permission but no scope.
+type RSTIType struct {
+	ID      int
+	Type    *ctypes.Type
+	Scope   []string // sorted scope-set members; nil for escaped types
+	Perm    Permission
+	Escaped bool
+
+	// Members: the variables and fields protected by this RSTI-type.
+	Vars   []int
+	Fields []FieldKey
+}
+
+// Key is the canonical identity string the type was interned under.
+func (rt *RSTIType) Key() string {
+	if rt.Escaped {
+		return fmt.Sprintf("esc|%s|%s", rt.Type.Key(), rt.Perm)
+	}
+	return fmt.Sprintf("rsti|%s|{%s}|%s", rt.Type.Key(), strings.Join(rt.Scope, ","), rt.Perm)
+}
+
+// String renders the triple like the paper's Figure 5 tables.
+func (rt *RSTIType) String() string {
+	scope := "<escaped>"
+	if !rt.Escaped {
+		scope = strings.Join(rt.Scope, ",")
+	}
+	return fmt.Sprintf("M%d{type: %s, scope: %s, perm: %s}", rt.ID, rt.Type, scope, rt.Perm)
+}
+
+// PPSite is one pointer-to-pointer call-argument site where the original
+// type would be lost (§4.7.7): a T** cast to a universal U** and passed to
+// a function.
+type PPSite struct {
+	Fn     string
+	FromTy *ctypes.Type // the original double-pointer type (T**)
+	ToTy   *ctypes.Type // the universal type it was cast to (void**/char**)
+	CE     uint16       // assigned Compact Equivalent tag
+}
+
+// Analysis is the STI result for one program.
+type Analysis struct {
+	Prog *mir.Program
+
+	Types   []*RSTIType
+	VarRT   []int // VarInfo index -> RSTIType ID (-1 for non-pointer vars)
+	FieldRT map[FieldKey]int
+
+	AddrTakenVars   []bool
+	AddrTakenFields map[FieldKey]bool
+
+	VarScopes   [][]string
+	FieldScopes map[FieldKey][]string
+
+	CastEdges []CastEdge
+	// FlowEdges are the cast-free pointer flows (assignments, argument
+	// passing) that widen scopes: connected units share one RSTI-type.
+	FlowEdges []CastEdge
+	Origins   map[string]*FuncOrigins
+
+	// Flow-group state (scope widening).
+	fieldUnit  map[FieldKey]int
+	unitField  []FieldKey
+	flowParent []int
+
+	// Pointer-to-pointer census (§6.2.2).
+	PPTotalSites int
+	PPSpecial    []PPSite
+	ceByFE       map[string]uint16 // FE inner-type key -> CE
+	ceInner      map[uint16]uint16 // CE -> CE of the next indirection level
+	FEModifier   map[uint16]uint64 // CE -> escaped modifier of the FE type
+
+	byKey   map[string]*RSTIType
+	escaped map[string]*RSTIType
+	parent  []int // STC union-find over Types
+}
+
+// Analyze runs the full STI analysis over a lowered program.
+func Analyze(prog *mir.Program) *Analysis {
+	a := &Analysis{
+		Prog:            prog,
+		VarRT:           make([]int, len(prog.Vars)),
+		FieldRT:         make(map[FieldKey]int),
+		AddrTakenVars:   make([]bool, len(prog.Vars)),
+		AddrTakenFields: make(map[FieldKey]bool),
+		FieldScopes:     make(map[FieldKey][]string),
+		Origins:         make(map[string]*FuncOrigins),
+		ceByFE:          make(map[string]uint16),
+		ceInner:         make(map[uint16]uint16),
+		FEModifier:      make(map[uint16]uint64),
+		byKey:           make(map[string]*RSTIType),
+		escaped:         make(map[string]*RSTIType),
+	}
+	for i := range a.VarRT {
+		a.VarRT[i] = -1
+	}
+
+	for _, fn := range prog.Funcs {
+		if fn.Extern {
+			continue
+		}
+		a.Origins[fn.Name] = TrackOrigins(prog, fn)
+	}
+
+	a.collectAddressTaken()
+	scopes := a.collectScopes()
+	a.collectCastEdgesAndPP()
+	a.buildFlowGroups()
+	a.internTypes(scopes)
+	a.mergeForSTC()
+	return a
+}
+
+// ---------- Scope widening over uncast flows ----------
+//
+// The paper's scope of an escaping variable covers every function the
+// pointer travels to without a cast: Figure 5a's M1 = {main, foo, bar,
+// foo2} spans c and the ctx* parameters it flows into. We realize this by
+// grouping protection units (variables and fields) connected by
+// same-type, cast-free dataflow — plain assignments, argument passing —
+// and interning one RSTI-type per group whose scope is the union of the
+// members' scopes. Cast-connected flows stay separate (that is exactly
+// what distinguishes STWC from STC).
+
+// unitID flattens variables and fields into one index space for the
+// flow-group union-find: variables use their VarInfo index, fields are
+// appended after them.
+func (a *Analysis) unitOfVar(v int) int { return v }
+
+func (a *Analysis) unitOfField(fk FieldKey) (int, bool) {
+	id, ok := a.fieldUnit[fk]
+	return id, ok
+}
+
+func (a *Analysis) buildFlowGroups() {
+	// Assign field unit IDs.
+	a.fieldUnit = make(map[FieldKey]int)
+	a.unitField = nil
+	next := len(a.Prog.Vars)
+	for fk := range a.FieldScopes {
+		a.fieldUnit[fk] = next
+		a.unitField = append(a.unitField, fk)
+		next++
+	}
+	a.flowParent = make([]int, next)
+	for i := range a.flowParent {
+		a.flowParent[i] = i
+	}
+	for _, e := range a.FlowEdges {
+		su, okS := a.unitOfOrigin(e.SrcKind, e.SrcVar, e.SrcFld)
+		du, okD := a.unitOfOrigin(e.DstKind, e.DstVar, e.DstFld)
+		if okS && okD {
+			a.flowUnion(su, du)
+		}
+	}
+}
+
+func (a *Analysis) unitOfOrigin(kind OriginKind, v int, fk FieldKey) (int, bool) {
+	switch kind {
+	case OriginVar:
+		return a.unitOfVar(v), true
+	case OriginField:
+		return a.unitOfField(fk)
+	}
+	return 0, false
+}
+
+func (a *Analysis) flowFind(x int) int {
+	for a.flowParent[x] != x {
+		a.flowParent[x] = a.flowParent[a.flowParent[x]]
+		x = a.flowParent[x]
+	}
+	return x
+}
+
+func (a *Analysis) flowUnion(x, y int) {
+	rx, ry := a.flowFind(x), a.flowFind(y)
+	if rx != ry {
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		a.flowParent[ry] = rx
+	}
+}
+
+// typeHasConst walks the type chain for a const qualifier, the analogue of
+// the paper's DIDerivedType / DW_TAG_const_type traversal.
+func typeHasConst(t *ctypes.Type) bool {
+	for t != nil {
+		if t.Const {
+			return true
+		}
+		if t.Kind == ctypes.Pointer || t.Kind == ctypes.Array {
+			t = t.Elem
+			continue
+		}
+		return false
+	}
+	return false
+}
+
+// PermOf computes the paper's permission for a declared type.
+func PermOf(t *ctypes.Type) Permission {
+	if typeHasConst(t) {
+		return RO
+	}
+	return RW
+}
+
+// collectAddressTaken marks pointer-typed variables and fields whose slot
+// address escapes into data flow (stored, passed, cast, or computed with),
+// which demotes them to escaped RSTI-types so that direct and indirect
+// accesses agree on the modifier.
+func (a *Analysis) collectAddressTaken() {
+	for _, fn := range a.Prog.Funcs {
+		if fn.Extern {
+			continue
+		}
+		fo := a.Origins[fn.Name]
+		// fieldAddrOf maps a register produced by FieldAddr to its field.
+		fieldAddrOf := make(map[mir.Reg]FieldKey)
+		markVar := func(r mir.Reg) {
+			if r == mir.NoReg || r >= len(fo.Regs) {
+				return
+			}
+			if o := fo.Regs[r]; o.Kind == OriginSlotAddr {
+				v := a.Prog.Vars[o.Var]
+				if v.Type.IsPointer() {
+					a.AddrTakenVars[o.Var] = true
+				}
+			}
+			if fk, ok := fieldAddrOf[r]; ok {
+				a.AddrTakenFields[fk] = true
+			}
+		}
+		for _, blk := range fn.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				switch in.Op {
+				case mir.FieldAddr:
+					if in.Slot.Kind == mir.SlotField {
+						st := in.Slot.Struct
+						if in.Slot.Field >= 0 && in.Slot.Field < len(st.Fields) && st.Fields[in.Slot.Field].Type.IsPointer() {
+							fieldAddrOf[in.Dst] = FieldKey{st.Name, in.Slot.Field}
+						}
+					}
+				case mir.Load:
+					// Address position: normal access, but only when the
+					// slot matches; a load *of* a slot address through
+					// another pointer cannot occur for OriginSlotAddr.
+					delete(fieldAddrOf, in.A)
+				case mir.Store:
+					// Using the address as the store target is normal;
+					// storing it as a value is escape.
+					markVar(in.B)
+					delete(fieldAddrOf, in.A)
+				case mir.CastOp:
+					markVar(in.A)
+				case mir.BinInstr, mir.IndexAddr:
+					markVar(in.A)
+					markVar(in.B)
+				case mir.CmpInstr:
+					markVar(in.A)
+					markVar(in.B)
+				case mir.CallOp:
+					for _, r := range in.Args {
+						markVar(r)
+					}
+				case mir.RetOp:
+					markVar(in.A)
+				}
+			}
+		}
+	}
+}
+
+// collectScopes builds the scope sets: for variables, the declaring
+// function plus every function that loads or stores the slot; for fields,
+// every accessing function plus the owning composite type (§4.7.4).
+func (a *Analysis) collectScopes() [][]string {
+	varScope := make([]map[string]bool, len(a.Prog.Vars))
+	fieldScope := make(map[FieldKey]map[string]bool)
+	for i, v := range a.Prog.Vars {
+		varScope[i] = make(map[string]bool)
+		if v.DeclFn != "" {
+			varScope[i][v.DeclFn] = true
+		}
+	}
+	for _, fn := range a.Prog.Funcs {
+		if fn.Extern || fn.Name == mir.InitFuncName {
+			continue
+		}
+		for _, blk := range fn.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op != mir.Load && in.Op != mir.Store && in.Op != mir.Alloca &&
+					in.Op != mir.GlobalAddr && in.Op != mir.FieldAddr {
+					continue
+				}
+				switch in.Slot.Kind {
+				case mir.SlotVar:
+					varScope[in.Slot.Var][fn.Name] = true
+				case mir.SlotField:
+					fk := FieldKey{in.Slot.Struct.Name, in.Slot.Field}
+					if fieldScope[fk] == nil {
+						fieldScope[fk] = make(map[string]bool)
+					}
+					fieldScope[fk][fn.Name] = true
+				}
+			}
+		}
+	}
+	a.VarScopes = make([][]string, len(a.Prog.Vars))
+	for i, s := range varScope {
+		a.VarScopes[i] = sortedKeys(s)
+	}
+	for fk, s := range fieldScope {
+		s["struct "+fk.Struct] = true // the composite type is part of the scope
+		a.FieldScopes[fk] = sortedKeys(s)
+	}
+	return a.VarScopes
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intern returns the RSTIType for the triple, creating it if new.
+func (a *Analysis) intern(ty *ctypes.Type, scope []string, perm Permission, escaped bool) *RSTIType {
+	rt := &RSTIType{Type: ty, Scope: scope, Perm: perm, Escaped: escaped}
+	k := rt.Key()
+	if got, ok := a.byKey[k]; ok {
+		return got
+	}
+	rt.ID = len(a.Types)
+	a.Types = append(a.Types, rt)
+	a.byKey[k] = rt
+	if escaped {
+		a.escaped[k] = rt
+	}
+	return rt
+}
+
+// EscapedType interns (or returns) the escaped RSTI-type for a pointer
+// type: what anonymous storage of that type is protected with.
+func (a *Analysis) EscapedType(ty *ctypes.Type) *RSTIType {
+	return a.intern(stripConstDeep(ty), nil, PermOf(ty), true)
+}
+
+func (a *Analysis) internTypes(scopes [][]string) {
+	// Gather the pointer-typed protection units into their flow groups.
+	type member struct {
+		isField bool
+		varID   int
+		fk      FieldKey
+		ty      *ctypes.Type
+	}
+	groups := make(map[int][]member)
+	var roots []int
+	addMember := func(unit int, m member) {
+		root := a.flowFind(unit)
+		if _, seen := groups[root]; !seen {
+			roots = append(roots, root)
+		}
+		groups[root] = append(groups[root], m)
+	}
+	for i, v := range a.Prog.Vars {
+		if v.Type.IsPointer() {
+			addMember(a.unitOfVar(i), member{varID: i, ty: v.Type})
+		}
+	}
+	for _, fk := range a.unitField {
+		st, ok := a.Prog.Types.Struct(fk.Struct)
+		if !ok || fk.Field < 0 || fk.Field >= len(st.Fields) {
+			continue
+		}
+		ft := st.Fields[fk.Field].Type
+		if !ft.IsPointer() {
+			continue
+		}
+		unit, _ := a.unitOfField(fk)
+		addMember(unit, member{isField: true, fk: fk, ty: ft})
+	}
+	sort.Ints(roots)
+
+	for _, root := range roots {
+		members := groups[root]
+		// Union of member scopes; group-wide permission and escape.
+		scopeSet := make(map[string]bool)
+		escaped := false
+		perm := RW
+		ty := members[0].ty
+		for _, m := range members {
+			if m.isField {
+				for _, s := range a.FieldScopes[m.fk] {
+					scopeSet[s] = true
+				}
+				if a.AddrTakenFields[m.fk] {
+					escaped = true
+				}
+			} else {
+				for _, s := range scopes[m.varID] {
+					scopeSet[s] = true
+				}
+				if a.AddrTakenVars[m.varID] {
+					escaped = true
+				}
+			}
+			if PermOf(m.ty) == RO {
+				perm = RO
+			}
+		}
+		var rt *RSTIType
+		if escaped {
+			rt = a.EscapedType(ty)
+		} else {
+			rt = a.intern(stripConstDeep(ty), sortedKeys(scopeSet), perm, false)
+		}
+		for _, m := range members {
+			if m.isField {
+				rt.Fields = append(rt.Fields, m.fk)
+				a.FieldRT[m.fk] = rt.ID
+			} else {
+				rt.Vars = append(rt.Vars, m.varID)
+				a.VarRT[m.varID] = rt.ID
+			}
+		}
+	}
+	// Escaped types for anonymous pointer storage, so their IDs exist
+	// before merging.
+	for _, fn := range a.Prog.Funcs {
+		if fn.Extern {
+			continue
+		}
+		for _, blk := range fn.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if (in.Op == mir.Load || in.Op == mir.Store) && in.Ty != nil && in.Ty.IsPointer() &&
+					(in.Slot.Kind == mir.SlotNone || in.Slot.Kind == mir.SlotElem) {
+					a.EscapedType(in.Ty)
+				}
+			}
+		}
+	}
+}
+
+// rtOfOrigin maps a value origin to the RSTI-type protecting it.
+func (a *Analysis) rtOfOrigin(o Origin) (*RSTIType, bool) {
+	switch o.Kind {
+	case OriginVar:
+		if id := a.VarRT[o.Var]; id >= 0 {
+			return a.Types[id], true
+		}
+	case OriginField:
+		if id, ok := a.FieldRT[o.Field]; ok {
+			return a.Types[id], true
+		}
+	case OriginAnon:
+		if o.Ty != nil && o.Ty.IsPointer() {
+			ty := o.Ty
+			if o.Casted && o.CastFrom != nil {
+				ty = o.CastFrom
+			}
+			return a.EscapedType(ty), true
+		}
+	}
+	return nil, false
+}
+
+// collectCastEdgesAndPP walks every function recording (a) variable-level
+// cast edges for STC merging and (b) the pointer-to-pointer census.
+func (a *Analysis) collectCastEdgesAndPP() {
+	nextCE := uint16(1)
+	for _, fn := range a.Prog.Funcs {
+		if fn.Extern {
+			continue
+		}
+		fo := a.Origins[fn.Name]
+		for _, blk := range fn.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if (in.Op == mir.Load || in.Op == mir.Store) && in.Ty != nil && in.Ty.PointerDepth() >= 2 {
+					a.PPTotalSites++
+				}
+				switch in.Op {
+				case mir.Store:
+					if in.Ty == nil || !in.Ty.IsPointer() || in.B == mir.NoReg || in.B >= len(fo.Regs) {
+						continue
+					}
+					src := fo.Regs[in.B]
+					dst := originOfSlot(in.Slot, in.Ty)
+					if !src.Casted {
+						// A cast-free pointer assignment widens the scope:
+						// source and destination share one RSTI-type.
+						if (src.Kind == OriginVar || src.Kind == OriginField) &&
+							src.Ty != nil && src.Ty.Unqualified().Equal(in.Ty.Unqualified()) {
+							a.addFlowEdge(src, dst, src.Ty, in.Ty)
+						}
+						continue
+					}
+					// A casted universal multi-pointer escaping through a
+					// store also needs a CE so later dereferences recover
+					// the original type (the "stored in another struct"
+					// case of §4.7.7).
+					if src.CastFrom != nil && src.CastFrom.PointerDepth() >= 2 &&
+						IsUniversalMultiPointer(src.Ty) &&
+						!src.CastFrom.Elem.Unqualified().Equal(src.Ty.Elem.Unqualified()) {
+						if ce, ok := a.assignCEChain(src.CastFrom.Elem, &nextCE); ok {
+							a.PPSpecial = append(a.PPSpecial, PPSite{
+								Fn: fn.Name, FromTy: src.CastFrom, ToTy: src.Ty, CE: ce,
+							})
+						}
+					}
+					a.addCastEdge(src, dst, in.FromTy, in.Ty)
+				case mir.CallOp:
+					callee, ok := a.Prog.ByName[in.Callee]
+					indirect := in.Callee == ""
+					for ai, r := range in.Args {
+						if r >= len(fo.Regs) {
+							continue
+						}
+						src := fo.Regs[r]
+						if src.Ty != nil && src.Ty.PointerDepth() >= 2 {
+							a.PPTotalSites++
+						}
+						if !src.Casted || src.CastFrom == nil {
+							// Cast-free argument passing widens the scope
+							// into the callee (Figure 5a's M1 spanning
+							// main..foo2).
+							if ok && !indirect && ai < len(callee.ParamVar) && callee.ParamVar[ai] >= 0 &&
+								(src.Kind == OriginVar || src.Kind == OriginField) &&
+								src.Ty != nil && src.Ty.IsPointer() {
+								pv := callee.ParamVar[ai]
+								pt := a.Prog.Vars[pv].Type
+								if pt.IsPointer() && src.Ty.Unqualified().Equal(pt.Unqualified()) {
+									dst := Origin{Kind: OriginVar, Var: pv, Ty: pt}
+									a.addFlowEdge(src, dst, src.Ty, pt)
+								}
+							}
+							continue
+						}
+						// Census + CE assignment: a multi-level pointer
+						// cast to a universal multi-pointer and passed
+						// onward. The FE chain is registered down to the
+						// last pointer level, so pp_auth can re-tag each
+						// authenticated level with the next CE ("any
+						// level of indirection", §4.7.7).
+						if src.CastFrom.PointerDepth() >= 2 && IsUniversalMultiPointer(src.Ty) &&
+							!src.CastFrom.Elem.Unqualified().Equal(src.Ty.Elem.Unqualified()) {
+							ce, ok := a.assignCEChain(src.CastFrom.Elem, &nextCE)
+							if !ok {
+								continue
+							}
+							a.PPSpecial = append(a.PPSpecial, PPSite{
+								Fn: fn.Name, FromTy: src.CastFrom, ToTy: src.Ty, CE: ce,
+							})
+						}
+						// Cast edge into the callee parameter.
+						if ok && !indirect && ai < len(callee.ParamVar) && callee.ParamVar[ai] >= 0 {
+							dst := Origin{Kind: OriginVar, Var: callee.ParamVar[ai], Ty: src.Ty}
+							a.addCastEdge(src, dst, src.CastFrom, src.Ty)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func originOfSlot(slot mir.Slot, ty *ctypes.Type) Origin {
+	switch slot.Kind {
+	case mir.SlotVar:
+		return Origin{Kind: OriginVar, Var: slot.Var, Ty: ty}
+	case mir.SlotField:
+		return Origin{Kind: OriginField, Field: FieldKey{slot.Struct.Name, slot.Field}, Ty: ty}
+	default:
+		return Origin{Kind: OriginAnon, Ty: ty}
+	}
+}
+
+// assignCEChain interns Compact Equivalents for fe and, transitively, for
+// each deeper pointer level, linking each CE to its inner level's CE.
+// ok is false when the 8-bit CE space is exhausted (the census shows this
+// never happens in practice).
+func (a *Analysis) assignCEChain(fe *ctypes.Type, nextCE *uint16) (uint16, bool) {
+	key := fe.Unqualified().Key()
+	if ce, seen := a.ceByFE[key]; seen {
+		return ce, true
+	}
+	if *nextCE > 255 {
+		return 0, false
+	}
+	ce := *nextCE
+	*nextCE++
+	a.ceByFE[key] = ce
+	if fe.PointerDepth() >= 2 {
+		if inner, ok := a.assignCEChain(fe.Elem, nextCE); ok {
+			a.ceInner[ce] = inner
+		}
+	}
+	return ce, true
+}
+
+// CEInner returns the CE of the next indirection level below ce, or 0.
+func (a *Analysis) CEInner(ce uint16) uint16 { return a.ceInner[ce] }
+
+// addFlowEdge records a cast-free, same-type pointer flow for scope
+// widening.
+func (a *Analysis) addFlowEdge(src, dst Origin, from, to *ctypes.Type) {
+	a.FlowEdges = append(a.FlowEdges, CastEdge{
+		SrcKind: src.Kind, SrcVar: src.Var, SrcFld: src.Field,
+		DstKind: dst.Kind, DstVar: dst.Var, DstFld: dst.Field,
+		FromTy: from, ToTy: to,
+	})
+}
+
+func (a *Analysis) addCastEdge(src, dst Origin, from, to *ctypes.Type) {
+	e := CastEdge{
+		SrcKind: src.Kind, SrcVar: src.Var, SrcFld: src.Field,
+		DstKind: dst.Kind, DstVar: dst.Var, DstFld: dst.Field,
+		FromTy: from, ToTy: to,
+	}
+	if src.Casted && src.CastFrom != nil {
+		e.FromTy = src.CastFrom
+	}
+	a.CastEdges = append(a.CastEdges, e)
+}
+
+// ---------- STC merging ----------
+
+func (a *Analysis) mergeForSTC() {
+	a.parent = make([]int, len(a.Types))
+	for i := range a.parent {
+		a.parent[i] = i
+	}
+	for _, e := range a.CastEdges {
+		src, okS := a.rtOfOrigin(Origin{Kind: e.SrcKind, Var: e.SrcVar, Field: e.SrcFld, Ty: e.FromTy, Casted: false})
+		dst, okD := a.rtOfOrigin(Origin{Kind: e.DstKind, Var: e.DstVar, Field: e.DstFld, Ty: e.ToTy})
+		if okS && okD {
+			a.union(src.ID, dst.ID)
+		}
+	}
+}
+
+func (a *Analysis) find(x int) int {
+	// Escaped RSTI-types may be interned lazily after merging (e.g. by
+	// the instrumentation pass); they join as their own singleton class.
+	for len(a.parent) <= x {
+		a.parent = append(a.parent, len(a.parent))
+	}
+	for a.parent[x] != x {
+		a.parent[x] = a.parent[a.parent[x]]
+		x = a.parent[x]
+	}
+	return x
+}
+
+func (a *Analysis) union(x, y int) {
+	rx, ry := a.find(x), a.find(y)
+	if rx != ry {
+		// Deterministic: smaller ID becomes the root.
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		a.parent[ry] = rx
+	}
+}
+
+// ClassOf returns the enforcement class ID of an RSTI-type under the
+// mechanism: the merged root for STC, the type itself otherwise.
+func (a *Analysis) ClassOf(rtID int, mech Mechanism) int {
+	if mech == STC {
+		return a.find(rtID)
+	}
+	return rtID
+}

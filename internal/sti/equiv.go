@@ -1,0 +1,70 @@
+package sti
+
+// EquivStats are the Table 3 measurements: how finely each mechanism
+// partitions the program's pointers, which bounds the viability of
+// pointer-substitution (replay) attacks.
+type EquivStats struct {
+	// NT is the number of distinct basic pointer types among protected
+	// pointers (the paper's "Number of types in program").
+	NT int
+	// NV is the total number of protected pointer variables (named
+	// variables plus composite fields).
+	NV int
+	// RT is the number of RSTI-types under STWC and under STC.
+	RTSTWC, RTSTC int
+	// LargestECV is the largest equivalence class of variables: how many
+	// variables share one RSTI-type (one merged class for STC). The
+	// largest ECV under STL is 1 by construction.
+	LargestECVSTWC, LargestECVSTC int
+	// LargestECT is the largest equivalence class of basic types per
+	// class. STWC's is 1 by construction (no combining).
+	LargestECTSTWC, LargestECTSTC int
+}
+
+// Equivalence computes the Table 3 statistics for the analyzed program.
+func (a *Analysis) Equivalence() EquivStats {
+	var st EquivStats
+
+	basicTypes := make(map[string]bool)
+	members := func(rt *RSTIType) int { return len(rt.Vars) + len(rt.Fields) }
+
+	// Per-class accumulation for STC.
+	classVars := make(map[int]int)
+	classTypes := make(map[int]map[string]bool)
+
+	for _, rt := range a.Types {
+		n := members(rt)
+		if n == 0 {
+			// Escaped types interned only for anonymous storage protect
+			// no named variable; they are enforcement classes but not
+			// Table 3 members.
+			continue
+		}
+		st.NV += n
+		basicTypes[rt.Type.Unqualified().Key()] = true
+		st.RTSTWC++
+		if n > st.LargestECVSTWC {
+			st.LargestECVSTWC = n
+		}
+		root := a.find(rt.ID)
+		classVars[root] += n
+		if classTypes[root] == nil {
+			classTypes[root] = make(map[string]bool)
+		}
+		classTypes[root][rt.Type.Unqualified().Key()] = true
+	}
+	st.NT = len(basicTypes)
+	st.RTSTC = len(classVars)
+	for root, n := range classVars {
+		if n > st.LargestECVSTC {
+			st.LargestECVSTC = n
+		}
+		if len(classTypes[root]) > st.LargestECTSTC {
+			st.LargestECTSTC = len(classTypes[root])
+		}
+	}
+	if st.RTSTWC > 0 {
+		st.LargestECTSTWC = 1 // by construction: one basic type per RSTI-type
+	}
+	return st
+}

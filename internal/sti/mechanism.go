@@ -1,0 +1,95 @@
+// Package sti implements the Scope-Type Integrity analysis: the
+// compile-time half of the paper. It recovers, for every pointer variable
+// and every composite-type pointer field, the programmer's intent —
+// basic type, scope (the set of functions that use it, plus the owning
+// composite type, §4.4), and permission (const-ness) — and interns each
+// distinct (type, scope, permission) triple as an RSTI-type.
+//
+// The analysis also computes everything the three enforcement mechanisms
+// and the evaluation need: STC's cast-compatibility merging (union-find
+// over the cast edges the IR exposes as bitcasts), the equivalence-class
+// statistics of Table 3 (NT, RT, NV, ECV, ECT), address-taken demotion,
+// and the pointer-to-pointer census of §6.2.2.
+package sti
+
+// Mechanism selects a defense. None and PARTS are the evaluation
+// baselines; the three RSTI mechanisms are the paper's contribution.
+type Mechanism uint8
+
+const (
+	// None performs no instrumentation (the uninstrumented baseline).
+	None Mechanism = iota
+	// PARTS models the prior work baseline: PAC modifiers derived from
+	// the pointer's basic element type only (PARTS' LLVM ElementType),
+	// with no scope, permission, or location information.
+	PARTS
+	// STWC is RSTI Scope-Type Without Combining: one RSTI-type per
+	// (type, scope, permission) triple; casts authenticate and re-sign.
+	STWC
+	// STC is RSTI Scope-Type with Combining: cast-compatible RSTI-types
+	// are merged, so casts need no re-signing.
+	STC
+	// STL is RSTI Scope-Type with Location: the STWC modifier is further
+	// XORed with the pointer's own address (&p), defeating all pointer
+	// substitution.
+	STL
+	// Adaptive realizes the paper's §7 future-work proposal: "choosing
+	// the mechanism based on the variables with the same RSTI-type". It
+	// behaves like STWC, except that RSTI-types whose equivalence class
+	// exceeds AdaptiveECVThreshold members — where replay attacks are
+	// most viable (the paper's xalancbmk example with 122 equivalent
+	// variables) — additionally bind the location, as STL does.
+	Adaptive
+)
+
+// AdaptiveECVThreshold is the equivalence-class size above which the
+// Adaptive mechanism switches a class from scope-type to scope-type +
+// location protection. The paper's discussion contrasts mcf (9 equivalent
+// variables, STWC adequate) with xalancbmk (122, STL warranted); the
+// threshold sits between typical small and large classes.
+const AdaptiveECVThreshold = 16
+
+var mechNames = map[Mechanism]string{
+	None: "none", PARTS: "parts", STWC: "rsti-stwc", STC: "rsti-stc", STL: "rsti-stl",
+	Adaptive: "rsti-adaptive",
+}
+
+func (m Mechanism) String() string {
+	if s, ok := mechNames[m]; ok {
+		return s
+	}
+	return "mechanism?"
+}
+
+// ParseMechanism converts a name (as printed by String) to a Mechanism.
+func ParseMechanism(s string) (Mechanism, bool) {
+	for m, n := range mechNames {
+		if n == s {
+			return m, true
+		}
+	}
+	return None, false
+}
+
+// Mechanisms lists every defense in evaluation order.
+var Mechanisms = []Mechanism{None, PARTS, STWC, STC, STL}
+
+// RSTIMechanisms lists only the paper's three contributions.
+var RSTIMechanisms = []Mechanism{STWC, STC, STL}
+
+// Permission is the paper's read/write intent, recovered from const
+// qualifiers anywhere in the declared type (the DW_TAG_const_type walk of
+// Figure 4).
+type Permission uint8
+
+const (
+	RW Permission = iota
+	RO
+)
+
+func (p Permission) String() string {
+	if p == RO {
+		return "R"
+	}
+	return "R/W"
+}

@@ -1,0 +1,130 @@
+package sti
+
+import (
+	"rsti/internal/ctypes"
+	"rsti/internal/mir"
+)
+
+// hash64 is FNV-1a finished with a splitmix64 mix: a deterministic,
+// well-distributed 64-bit digest of the identity string. PAC modifiers
+// must be deterministic across runs so experiments reproduce exactly.
+func hash64(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
+// Modifier returns the 64-bit PAC modifier for an RSTI-type under the
+// given mechanism. For STL this is the static half; the VM XORs in the
+// pointer's location (&p) at runtime (Figure 5c's "M = M ^ &p").
+func (a *Analysis) Modifier(rtID int, mech Mechanism) uint64 {
+	switch mech {
+	case PARTS:
+		// PARTS derives its modifier from the pointer's element type
+		// alone (the LLVM ElementType), discarding scope and permission.
+		return PARTSModifier(a.Types[rtID].Type)
+	case STC:
+		return hash64("stc|" + a.Types[a.find(rtID)].Key())
+	default:
+		return hash64("rsti|" + a.Types[rtID].Key())
+	}
+}
+
+// PARTSModifier is the baseline's type-only modifier.
+func PARTSModifier(t *ctypes.Type) uint64 {
+	return hash64("parts|" + stripConstDeep(t).Key())
+}
+
+func stripConstDeep(t *ctypes.Type) *ctypes.Type {
+	if t == nil {
+		return nil
+	}
+	u := t.Unqualified()
+	if u.Kind == ctypes.Pointer {
+		inner := stripConstDeep(u.Elem)
+		if inner != u.Elem {
+			return ctypes.PointerTo(inner)
+		}
+	}
+	return u
+}
+
+// SlotRT resolves the RSTI-type protecting a memory slot: the variable's
+// or field's interned triple for named slots, the escaped type for
+// anonymous storage. ok is false when the slot holds a non-pointer.
+func (a *Analysis) SlotRT(slot mir.Slot, ty *ctypes.Type) (*RSTIType, bool) {
+	if ty == nil || !ty.IsPointer() {
+		return nil, false
+	}
+	switch slot.Kind {
+	case mir.SlotVar:
+		if id := a.VarRT[slot.Var]; id >= 0 {
+			return a.Types[id], true
+		}
+		// A pointer store to a var without an interned RT cannot happen
+		// after internTypes, but stay defensive.
+		return a.EscapedType(ty), true
+	case mir.SlotField:
+		fk := FieldKey{slot.Struct.Name, slot.Field}
+		if id, ok := a.FieldRT[fk]; ok {
+			return a.Types[id], true
+		}
+		return a.EscapedType(ty), true
+	default:
+		return a.EscapedType(ty), true
+	}
+}
+
+// SlotModifier is the convenience wrapper the instrumentation pass uses:
+// class ID plus static modifier for a slot access under a mechanism, and
+// whether the mechanism binds this slot's location into the modifier
+// (always for STL; for Adaptive, only when the class is large enough that
+// replay is a credible threat).
+func (a *Analysis) SlotModifier(slot mir.Slot, ty *ctypes.Type, mech Mechanism) (classID int, mod uint64, useLoc, ok bool) {
+	rt, ok := a.SlotRT(slot, ty)
+	if !ok {
+		return 0, 0, false, false
+	}
+	return a.ClassOf(rt.ID, mech), a.Modifier(rt.ID, mech), a.UsesLocation(rt.ID, mech), true
+}
+
+// UsesLocation reports whether slots of this RSTI-type bind their address
+// into the modifier under the mechanism.
+func (a *Analysis) UsesLocation(rtID int, mech Mechanism) bool {
+	switch mech {
+	case STL:
+		return true
+	case Adaptive:
+		rt := a.Types[rtID]
+		// Escaped (anonymous-storage) types never bind location under
+		// Adaptive: the same value may be reached both directly and
+		// through a double pointer, and only STL's everywhere-consistent
+		// location rule keeps those paths in agreement.
+		if rt.Escaped {
+			return false
+		}
+		return len(rt.Vars)+len(rt.Fields) > AdaptiveECVThreshold
+	}
+	return false
+}
+
+// CEOf returns the Compact Equivalent tag assigned to a Full Equivalent
+// inner pointer type, if any.
+func (a *Analysis) CEOf(feInner *ctypes.Type) (uint16, bool) {
+	ce, ok := a.ceByFE[feInner.Unqualified().Key()]
+	return ce, ok
+}
+
+// FEModifierFor computes the modifier stored in the pointer-to-pointer
+// metadata table for a CE under the given mechanism: the escaped
+// RSTI-type modifier of the original inner pointer type.
+func (a *Analysis) FEModifierFor(feInner *ctypes.Type, mech Mechanism) uint64 {
+	rt := a.EscapedType(feInner)
+	return a.Modifier(rt.ID, mech)
+}

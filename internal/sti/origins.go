@@ -1,0 +1,160 @@
+package sti
+
+import (
+	"rsti/internal/ctypes"
+	"rsti/internal/mir"
+)
+
+// OriginKind classifies where a register's pointer value came from.
+type OriginKind uint8
+
+const (
+	// OriginNone: not a tracked pointer value (integers, addresses of
+	// locals, arithmetic results, call results, ...).
+	OriginNone OriginKind = iota
+	// OriginVar: loaded from a named variable's slot.
+	OriginVar
+	// OriginField: loaded from a composite member.
+	OriginField
+	// OriginAnon: loaded through a raw pointer (heap cell, array element,
+	// double-pointer dereference).
+	OriginAnon
+	// OriginSlotAddr: the register holds the address of a named slot
+	// (the result of an alloca or gaddr) — used for address-taken
+	// detection.
+	OriginSlotAddr
+)
+
+// FieldKey identifies a composite member program-wide.
+type FieldKey struct {
+	Struct string
+	Field  int
+}
+
+// Origin describes the provenance of one register's value.
+type Origin struct {
+	Kind  OriginKind
+	Var   int      // OriginVar / OriginSlotAddr
+	Field FieldKey // OriginField
+	// Casted is true if the value passed through at least one pointer
+	// bitcast since it was loaded (the cast-edge marker STC merging and
+	// the §6.2.2 census consume).
+	Casted bool
+	// CastFrom is the type before the first cast in the chain.
+	CastFrom *ctypes.Type
+	// Ty is the static type of the value as currently held.
+	Ty *ctypes.Type
+}
+
+// CastEdge records one pointer cast with variable-level precision: the
+// value originating at Src (a variable or field) flows, through a bitcast,
+// into Dst. STC merging unites the two RSTI-types.
+type CastEdge struct {
+	SrcKind OriginKind // OriginVar, OriginField or OriginAnon
+	SrcVar  int
+	SrcFld  FieldKey
+	DstKind OriginKind
+	DstVar  int
+	DstFld  FieldKey
+	// FromTy/ToTy are the cast's static endpoint types.
+	FromTy, ToTy *ctypes.Type
+}
+
+// FuncOrigins is the per-function dataflow summary shared by the analysis
+// and the instrumentation pass.
+type FuncOrigins struct {
+	Fn   *mir.Func
+	Regs []Origin
+}
+
+// TrackOrigins computes register provenance for one function. The lowered
+// IR assigns each register exactly once, in an order where definitions
+// precede uses, so a single linear pass over blocks in index order
+// suffices.
+func TrackOrigins(prog *mir.Program, fn *mir.Func) *FuncOrigins {
+	fo := &FuncOrigins{Fn: fn, Regs: make([]Origin, fn.NumRegs)}
+	for _, blk := range fn.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Dst == mir.NoReg || in.Dst >= len(fo.Regs) {
+				continue
+			}
+			switch in.Op {
+			case mir.Alloca:
+				if in.Slot.Kind == mir.SlotVar {
+					fo.Regs[in.Dst] = Origin{Kind: OriginSlotAddr, Var: in.Slot.Var, Ty: ctypes.PointerTo(in.Ty)}
+				}
+			case mir.GlobalAddr:
+				if in.Slot.Kind == mir.SlotVar {
+					fo.Regs[in.Dst] = Origin{Kind: OriginSlotAddr, Var: in.Slot.Var, Ty: in.Ty}
+				}
+			case mir.Load:
+				if in.Ty == nil || !in.Ty.IsPointer() {
+					continue
+				}
+				switch in.Slot.Kind {
+				case mir.SlotVar:
+					fo.Regs[in.Dst] = Origin{Kind: OriginVar, Var: in.Slot.Var, Ty: in.Ty}
+				case mir.SlotField:
+					fo.Regs[in.Dst] = Origin{Kind: OriginField, Field: FieldKey{in.Slot.Struct.Name, in.Slot.Field}, Ty: in.Ty}
+				default:
+					fo.Regs[in.Dst] = Origin{Kind: OriginAnon, Ty: in.Ty}
+				}
+			case mir.CastOp:
+				if in.A == mir.NoReg || in.A >= len(fo.Regs) {
+					continue
+				}
+				src := fo.Regs[in.A]
+				if isPtrCast(in) {
+					o := src
+					if !o.Casted {
+						o.CastFrom = in.FromTy
+					}
+					o.Casted = true
+					o.Ty = in.Ty
+					fo.Regs[in.Dst] = o
+				}
+			}
+		}
+	}
+	return fo
+}
+
+// isPtrCast reports whether the cast is a pointer bitcast (both endpoints
+// pointer types) — the IR-level event the paper's cast handling keys on.
+func isPtrCast(in *mir.Instr) bool {
+	return in.Op == mir.CastOp &&
+		in.FromTy != nil && in.FromTy.IsPointer() &&
+		in.Ty != nil && in.Ty.IsPointer()
+}
+
+// isUniversalElem reports whether t is one of C's universal pointer types
+// (void* or char*), the types through which original pointee types get
+// lost (§4.7.7).
+func isUniversalElem(t *ctypes.Type) bool {
+	if t == nil || !t.IsPointer() {
+		return false
+	}
+	k := t.Elem.Unqualified().Kind
+	return k == ctypes.Void || k == ctypes.Char
+}
+
+// IsUniversalDoublePointer reports whether t is a pointer to a universal
+// pointer (void**, char**): dereferencing such a pointer cannot recover
+// the pointee's original type statically.
+func IsUniversalDoublePointer(t *ctypes.Type) bool {
+	return t != nil && t.IsPointer() && isUniversalElem(t.Elem)
+}
+
+// IsUniversalMultiPointer generalizes to any indirection depth: void***,
+// char**, void**, ... — a multi-level pointer whose base type is
+// universal, so no level of its pointee chain is statically typed. The
+// paper's CE/FE mechanism "can support any level of indirection"
+// (§4.7.7); these are the types that need it.
+func IsUniversalMultiPointer(t *ctypes.Type) bool {
+	if t == nil || t.PointerDepth() < 2 {
+		return false
+	}
+	k := t.BaseType().Unqualified().Kind
+	return k == ctypes.Void || k == ctypes.Char
+}

@@ -1,0 +1,398 @@
+package sti
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsti/internal/cminor"
+	"rsti/internal/ctypes"
+	"rsti/internal/lower"
+	"rsti/internal/mir"
+)
+
+func analyze(t *testing.T, src string) (*Analysis, *mir.Program) {
+	t.Helper()
+	f, err := cminor.Frontend(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	prog, err := lower.Lower(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return Analyze(prog), prog
+}
+
+// varRT returns the RSTI-type of the named variable declared in fn.
+func varRT(t *testing.T, a *Analysis, fn, name string) *RSTIType {
+	t.Helper()
+	for i, v := range a.Prog.Vars {
+		if v.Name == name && v.DeclFn == fn {
+			if a.VarRT[i] < 0 {
+				t.Fatalf("%s.%s has no RSTI-type", fn, name)
+			}
+			return a.Types[a.VarRT[i]]
+		}
+	}
+	t.Fatalf("variable %s.%s not found", fn, name)
+	return nil
+}
+
+// figure5 is the paper's Figure 5 example program (slightly completed so
+// it compiles: foo and bar are given bodies).
+const figure5 = `
+	typedef struct { void (*send_file)(int x); } ctx;
+	void foo(ctx *c) { }
+	void bar(ctx *c) { }
+	void foo2(void* v_ctx) {
+		foo((ctx*) v_ctx);
+		bar((ctx*) v_ctx);
+	}
+	int main(void) {
+		ctx* c = (ctx*) malloc(sizeof(ctx));
+		const void* v_const = malloc(1);
+		foo2((void*) c);
+		return 0;
+	}
+`
+
+func TestFigure5RSTITypes(t *testing.T) {
+	a, _ := analyze(t, figure5)
+
+	c := varRT(t, a, "main", "c")
+	vctx := varRT(t, a, "foo2", "v_ctx")
+	vconst := varRT(t, a, "main", "v_const")
+
+	// Three distinct RSTI-types, as in the Figure 5a table.
+	if c.ID == vctx.ID || c.ID == vconst.ID || vctx.ID == vconst.ID {
+		t.Errorf("expected 3 distinct RSTI-types, got c=%v v_ctx=%v v_const=%v", c, vctx, vconst)
+	}
+	// M2 and M3 share the basic type void* but differ in scope and
+	// permission — the paper's motivating observation.
+	if vctx.Type.Key() != "void*" || vconst.Type.Key() != "void*" {
+		t.Errorf("basic types: v_ctx=%s v_const=%s, want void*", vctx.Type, vconst.Type)
+	}
+	if vconst.Perm != RO {
+		t.Errorf("v_const permission = %s, want R", vconst.Perm)
+	}
+	if vctx.Perm != RW {
+		t.Errorf("v_ctx permission = %s, want R/W", vctx.Perm)
+	}
+	// Scope of v_ctx is foo2 only.
+	if len(vctx.Scope) != 1 || vctx.Scope[0] != "foo2" {
+		t.Errorf("v_ctx scope = %v, want [foo2]", vctx.Scope)
+	}
+	// Modifiers are pairwise distinct under STWC.
+	m1 := a.Modifier(c.ID, STWC)
+	m2 := a.Modifier(vctx.ID, STWC)
+	m3 := a.Modifier(vconst.ID, STWC)
+	if m1 == m2 || m1 == m3 || m2 == m3 {
+		t.Error("STWC modifiers collide across distinct RSTI-types")
+	}
+}
+
+func TestFigure5STCMergesAcrossCast(t *testing.T) {
+	a, _ := analyze(t, figure5)
+	c := varRT(t, a, "main", "c")
+	vctx := varRT(t, a, "foo2", "v_ctx")
+	vconst := varRT(t, a, "main", "v_const")
+
+	// The (void*)c cast flows into foo2's v_ctx: STC merges them.
+	if a.ClassOf(c.ID, STC) != a.ClassOf(vctx.ID, STC) {
+		t.Error("STC did not merge ctx* with void* across the cast")
+	}
+	// v_const is never cast into that flow: it stays separate (the
+	// Figure 5b table has two classes: M1 = {ctx*, void*}, M2 = const).
+	if a.ClassOf(vconst.ID, STC) == a.ClassOf(c.ID, STC) {
+		t.Error("STC merged the const void* with the cast chain")
+	}
+	// STWC does not merge.
+	if a.ClassOf(c.ID, STWC) == a.ClassOf(vctx.ID, STWC) {
+		t.Error("STWC merged across a cast")
+	}
+	// STC modifiers agree within the class and differ across classes.
+	if a.Modifier(c.ID, STC) != a.Modifier(vctx.ID, STC) {
+		t.Error("merged class modifiers disagree")
+	}
+	if a.Modifier(c.ID, STC) == a.Modifier(vconst.ID, STC) {
+		t.Error("distinct class modifiers collide")
+	}
+}
+
+// figure8 is the paper's Figure 8 merging example.
+const figure8 = `
+	void foo(void) {
+		void *p1, *p2;
+		int* p3;
+		p1 = (void*) p3;
+	}
+	int main(void) { foo(); return 0; }
+`
+
+func TestFigure8Merging(t *testing.T) {
+	a, _ := analyze(t, figure8)
+	p1 := varRT(t, a, "foo", "p1")
+	p2 := varRT(t, a, "foo", "p2")
+	p3 := varRT(t, a, "foo", "p3")
+
+	// p1 and p2 share one RSTI-type under both STWC and STC (same type,
+	// scope, permission).
+	if p1.ID != p2.ID {
+		t.Errorf("p1 and p2 have distinct RSTI-types (%v vs %v), want shared", p1, p2)
+	}
+	// STWC does not merge p1 with p3.
+	if a.ClassOf(p1.ID, STWC) == a.ClassOf(p3.ID, STWC) {
+		t.Error("STWC merged int* with void*")
+	}
+	// STC merges p3 into p1/p2's class via the cast.
+	if a.ClassOf(p1.ID, STC) != a.ClassOf(p3.ID, STC) {
+		t.Error("STC did not merge p3 with p1 across the cast")
+	}
+}
+
+func TestFigure8EquivalenceCounts(t *testing.T) {
+	a, _ := analyze(t, figure8)
+	st := a.Equivalence()
+	if st.NT != 2 { // void*, int*
+		t.Errorf("NT = %d, want 2", st.NT)
+	}
+	if st.NV != 3 {
+		t.Errorf("NV = %d, want 3", st.NV)
+	}
+	if st.RTSTWC != 2 { // {p1,p2} and {p3}
+		t.Errorf("RT(STWC) = %d, want 2", st.RTSTWC)
+	}
+	if st.RTSTC != 1 {
+		t.Errorf("RT(STC) = %d, want 1", st.RTSTC)
+	}
+	if st.LargestECVSTWC != 2 {
+		t.Errorf("largest ECV STWC = %d, want 2", st.LargestECVSTWC)
+	}
+	if st.LargestECVSTC != 3 {
+		t.Errorf("largest ECV STC = %d, want 3", st.LargestECVSTC)
+	}
+	if st.LargestECTSTWC != 1 {
+		t.Errorf("largest ECT STWC = %d, want 1", st.LargestECTSTWC)
+	}
+	if st.LargestECTSTC != 2 {
+		t.Errorf("largest ECT STC = %d, want 2", st.LargestECTSTC)
+	}
+}
+
+func TestScopeWidensAcrossFunctions(t *testing.T) {
+	a, _ := analyze(t, `
+		char *shared;
+		void reader(void) { char *l = shared; }
+		void writer(void) { shared = "x"; }
+		int main(void) { writer(); reader(); return 0; }
+	`)
+	rt := varRT(t, a, "", "shared")
+	want := []string{mir.InitFuncName, "reader", "writer"}
+	_ = want
+	// The global's scope includes both using functions.
+	found := map[string]bool{}
+	for _, s := range rt.Scope {
+		found[s] = true
+	}
+	if !found["reader"] || !found["writer"] {
+		t.Errorf("global scope = %v, want to include reader and writer", rt.Scope)
+	}
+}
+
+func TestFieldSensitiveScope(t *testing.T) {
+	// The paper's Figure 6: ptr->fp has scope {main, struct node}.
+	a, _ := analyze(t, `
+		int hello_func(void) { return 1; }
+		struct node { int key; int (*fp)(void); struct node *next; };
+		int main(void) {
+			struct node* ptr = (struct node*) malloc(sizeof(struct node));
+			ptr->fp = hello_func;
+			return ptr->fp();
+		}
+	`)
+	st, _ := a.Prog.Types.Struct("node")
+	var fpIdx int = -1
+	for i, f := range st.Fields {
+		if f.Name == "fp" {
+			fpIdx = i
+		}
+	}
+	rtID, ok := a.FieldRT[FieldKey{"node", fpIdx}]
+	if !ok {
+		t.Fatal("field node.fp has no RSTI-type")
+	}
+	rt := a.Types[rtID]
+	scope := map[string]bool{}
+	for _, s := range rt.Scope {
+		scope[s] = true
+	}
+	if !scope["main"] || !scope["struct node"] {
+		t.Errorf("fp scope = %v, want {main, struct node}", rt.Scope)
+	}
+}
+
+func TestAddressTakenDemotion(t *testing.T) {
+	a, _ := analyze(t, `
+		void reset(int **pp) { *pp = NULL; }
+		int main(void) {
+			int x = 0;
+			int *p = &x;
+			int *q = &x;
+			reset(&p);
+			return 0;
+		}
+	`)
+	p := varRT(t, a, "main", "p")
+	q := varRT(t, a, "main", "q")
+	if !p.Escaped {
+		t.Error("address-taken p not demoted to an escaped RSTI-type")
+	}
+	if q.Escaped {
+		t.Error("q demoted although its address never escapes")
+	}
+	// The escaped type's modifier equals the anonymous-storage modifier
+	// for int*, keeping *pp stores and direct p loads consistent.
+	esc := a.EscapedType(ctypes.PointerTo(ctypes.IntType))
+	if a.Modifier(p.ID, STWC) != a.Modifier(esc.ID, STWC) {
+		t.Error("escaped variable modifier differs from anonymous-storage modifier")
+	}
+}
+
+func TestPARTSModifierIgnoresScopeAndConst(t *testing.T) {
+	a, _ := analyze(t, `
+		void f(void) { const char *a = "x"; }
+		void g(void) { char *b = "y"; }
+		int main(void) { f(); g(); return 0; }
+	`)
+	ra := varRT(t, a, "f", "a")
+	rb := varRT(t, a, "g", "b")
+	if a.Modifier(ra.ID, PARTS) != a.Modifier(rb.ID, PARTS) {
+		t.Error("PARTS distinguishes const char* from char* — it should not")
+	}
+	if a.Modifier(ra.ID, STWC) == a.Modifier(rb.ID, STWC) {
+		t.Error("RSTI does not distinguish const char* in f from char* in g — it should")
+	}
+}
+
+func TestPointerToPointerCensus(t *testing.T) {
+	a, _ := analyze(t, `
+		struct node { int key; };
+		void foo1(struct node** pp1) { }
+		void foo2(void** pp2) { }
+		int main(void) {
+			struct node* p = (struct node*) malloc(sizeof(struct node));
+			foo1(&p);
+			foo2((void**) &p);
+			return 0;
+		}
+	`)
+	if len(a.PPSpecial) != 1 {
+		t.Fatalf("special pp sites = %d, want 1 (only the foo2 call)", len(a.PPSpecial))
+	}
+	site := a.PPSpecial[0]
+	if site.Fn != "main" {
+		t.Errorf("site in %s, want main", site.Fn)
+	}
+	if site.FromTy.Key() != "struct node**" {
+		t.Errorf("FE double-pointer type = %s", site.FromTy)
+	}
+	if site.CE == 0 {
+		t.Error("CE tag is 0 (reserved for untagged)")
+	}
+	if a.PPTotalSites < 2 {
+		t.Errorf("total pp sites = %d, want >= 2", a.PPTotalSites)
+	}
+	// The FE modifier equals the escaped modifier of struct node*.
+	nodePtr := site.FromTy.Elem
+	if a.FEModifierFor(nodePtr, STWC) != a.Modifier(a.EscapedType(nodePtr).ID, STWC) {
+		t.Error("FE modifier mismatch")
+	}
+}
+
+func TestCEAssignmentStable(t *testing.T) {
+	src := `
+		struct a { int x; };
+		struct b { int y; };
+		void sink(void** pp) { }
+		int main(void) {
+			struct a* pa = (struct a*) malloc(4);
+			struct b* pb = (struct b*) malloc(4);
+			sink((void**)&pa);
+			sink((void**)&pb);
+			sink((void**)&pa);
+			return 0;
+		}
+	`
+	a1, _ := analyze(t, src)
+	a2, _ := analyze(t, src)
+	if len(a1.PPSpecial) != 3 {
+		t.Fatalf("special sites = %d, want 3", len(a1.PPSpecial))
+	}
+	// Same FE type -> same CE; distinct FE types -> distinct CEs;
+	// deterministic across runs.
+	if a1.PPSpecial[0].CE != a1.PPSpecial[2].CE {
+		t.Error("same FE type assigned different CEs")
+	}
+	if a1.PPSpecial[0].CE == a1.PPSpecial[1].CE {
+		t.Error("different FE types share a CE")
+	}
+	for i := range a1.PPSpecial {
+		if a1.PPSpecial[i].CE != a2.PPSpecial[i].CE {
+			t.Error("CE assignment not deterministic")
+		}
+	}
+}
+
+func TestSTCMergeIsTransitiveProperty(t *testing.T) {
+	// Chains of casts merge transitively: a -> b -> c puts all three in
+	// one class.
+	a, _ := analyze(t, `
+		struct s1 { int a; };
+		struct s2 { int b; };
+		int main(void) {
+			struct s1 *x = (struct s1*) malloc(4);
+			void *y = (void*) x;
+			struct s2 *z = (struct s2*) y;
+			return 0;
+		}
+	`)
+	x := varRT(t, a, "main", "x")
+	y := varRT(t, a, "main", "y")
+	z := varRT(t, a, "main", "z")
+	cx, cy, cz := a.ClassOf(x.ID, STC), a.ClassOf(y.ID, STC), a.ClassOf(z.ID, STC)
+	if cx != cy || cy != cz {
+		t.Errorf("cast chain not fully merged: %d %d %d", cx, cy, cz)
+	}
+}
+
+func TestModifierDeterminism(t *testing.T) {
+	f := func(s string) bool {
+		return hash64(s) == hash64(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if hash64("a") == hash64("b") {
+		t.Error("hash64 collides on trivial probe")
+	}
+}
+
+func TestEquivalenceEmptyProgram(t *testing.T) {
+	a, _ := analyze(t, "int main(void) { return 0; }")
+	st := a.Equivalence()
+	if st.NV != 0 || st.NT != 0 || st.RTSTWC != 0 {
+		t.Errorf("empty program stats: %+v", st)
+	}
+}
+
+func TestMechanismParsing(t *testing.T) {
+	for _, m := range Mechanisms {
+		got, ok := ParseMechanism(m.String())
+		if !ok || got != m {
+			t.Errorf("ParseMechanism(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := ParseMechanism("bogus"); ok {
+		t.Error("ParseMechanism accepted bogus")
+	}
+}

@@ -1,0 +1,223 @@
+package vm
+
+import (
+	"testing"
+
+	"rsti/internal/cminor"
+)
+
+func TestSwitchBasic(t *testing.T) {
+	ret, _ := run(t, `
+		int classify(int x) {
+			switch (x) {
+			case 0:
+				return 100;
+			case 1:
+			case 2:
+				return 200;
+			case -3:
+				return 300;
+			default:
+				return 400;
+			}
+		}
+		int main(void) {
+			return classify(0) / 100 + classify(1) + classify(2) + classify(-3) / 3 + classify(9);
+		}
+	`)
+	// 1 + 200 + 200 + 100 + 400 = 901
+	if ret != 901 {
+		t.Errorf("ret = %d, want 901", ret)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			int acc = 0;
+			switch (2) {
+			case 1:
+				acc += 1;
+			case 2:
+				acc += 10;
+			case 3:
+				acc += 100;
+				break;
+			case 4:
+				acc += 1000;
+			}
+			return acc;
+		}
+	`)
+	if ret != 110 {
+		t.Errorf("fallthrough acc = %d, want 110", ret)
+	}
+}
+
+func TestSwitchBreakInsideLoop(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			int total = 0;
+			for (int i = 0; i < 6; i++) {
+				switch (i % 3) {
+				case 0:
+					total += 1;
+					break;
+				case 1:
+					total += 10;
+					break;
+				default:
+					total += 100;
+				}
+			}
+			return total;
+		}
+	`)
+	if ret != 222 {
+		t.Errorf("total = %d, want 222", ret)
+	}
+}
+
+func TestSwitchCharCases(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			char c = 'b';
+			switch (c) {
+			case 'a': return 1;
+			case 'b': return 2;
+			default: return 3;
+			}
+		}
+	`)
+	if ret != 2 {
+		t.Errorf("ret = %d, want 2", ret)
+	}
+}
+
+func TestSwitchDuplicateCaseRejected(t *testing.T) {
+	_, err := compile(t, `
+		int main(void) {
+			switch (1) { case 1: return 1; case 1: return 2; }
+			return 0;
+		}
+	`)
+	if err == nil {
+		t.Error("duplicate case accepted")
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			int n = 0;
+			do { n++; } while (n < 5);
+			int m = 0;
+			do { m = 77; } while (0); // body runs at least once
+			return n * 100 + (m == 77);
+		}
+	`)
+	if ret != 501 {
+		t.Errorf("ret = %d, want 501", ret)
+	}
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			int i = 0;
+			int sum = 0;
+			do {
+				i++;
+				if (i % 2 == 0) continue;
+				if (i > 7) break;
+				sum += i;
+			} while (i < 100);
+			return sum; // 1+3+5+7
+		}
+	`)
+	if ret != 16 {
+		t.Errorf("sum = %d, want 16", ret)
+	}
+}
+
+func TestTernary(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			int a = 5;
+			int b = 9;
+			int max = a > b ? a : b;
+			int min = a < b ? a : b;
+			char *label = max > 7 ? "big" : "small";
+			return max * 100 + min * 10 + (int) strlen(label);
+		}
+	`)
+	if ret != 953 {
+		t.Errorf("ret = %d, want 953", ret)
+	}
+}
+
+func TestTernaryShortCircuits(t *testing.T) {
+	ret, _ := run(t, `
+		int calls = 0;
+		int bump(int v) { calls++; return v; }
+		int main(void) {
+			int x = 1 ? bump(3) : bump(4);
+			return x * 10 + calls; // only one arm evaluated
+		}
+	`)
+	if ret != 31 {
+		t.Errorf("ret = %d, want 31", ret)
+	}
+}
+
+func TestTernaryWithPointers(t *testing.T) {
+	ret, _ := run(t, `
+		int main(void) {
+			int a = 3;
+			int b = 4;
+			int *p = a > b ? &a : &b;
+			int *q = NULL;
+			int *r = q != NULL ? q : &a;
+			return *p * 10 + *r;
+		}
+	`)
+	if ret != 43 {
+		t.Errorf("ret = %d, want 43", ret)
+	}
+}
+
+// compile is a helper exposing frontend errors to control-flow tests.
+func compile(t *testing.T, src string) (interface{}, error) {
+	t.Helper()
+	return cminor.Frontend(src)
+}
+
+func TestEnums(t *testing.T) {
+	ret, _ := run(t, `
+		enum Color { RED, GREEN = 5, BLUE };
+		enum { ANON_A = -2, ANON_B };
+		int paint(int c) {
+			switch (c) {
+			case RED: return 1;
+			case GREEN: return 2;
+			case BLUE: return 3;
+			default: return 0;
+			}
+		}
+		int main(void) {
+			enum Color c = BLUE;
+			int neg = ANON_A + ANON_B; // -2 + -1
+			return paint(RED) * 100 + paint(c) * 10 + paint(GREEN) + neg;
+		}
+	`)
+	if ret != 129 { // 100 + 30 + 2 - 3
+		t.Errorf("ret = %d, want 129", ret)
+	}
+}
+
+func TestEnumDuplicateRejected(t *testing.T) {
+	_, err := compile(t, `enum e { A, A }; int main(void) { return 0; }`)
+	if err == nil {
+		t.Error("duplicate enumerator accepted")
+	}
+}

@@ -1,0 +1,630 @@
+// Package vm executes mir programs under a modelled ARMv8.3 CPU: a flat
+// 48-bit address space, a pa.Unit for the pac/aut/xpac instructions, a
+// cycle cost model, and the attack hooks that let scenarios corrupt memory
+// mid-run the way a real exploit's arbitrary write would.
+//
+// The VM traps at authentication time when a PAC check fails (ARMv8.6 FPAC
+// semantics, which the paper's detection argument assumes), and on any
+// dereference of a non-canonical pointer (what pre-FPAC hardware does when
+// a flipped-PAC pointer is used).
+package vm
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rsti/internal/ctypes"
+	"rsti/internal/mir"
+	"rsti/internal/pa"
+)
+
+// Options configures a Machine.
+type Options struct {
+	PAConfig  pa.Config
+	KeySeed   uint64
+	HeapSize  int
+	StackSize int
+	MaxSteps  int64
+	MaxDepth  int
+	Cost      CostModel
+	Output    io.Writer
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		PAConfig:  pa.DefaultConfig(),
+		KeySeed:   0xC0FFEE,
+		HeapSize:  1 << 22,
+		StackSize: 1 << 20,
+		MaxSteps:  1 << 30,
+		MaxDepth:  512,
+		Cost:      DefaultCostModel(),
+		Output:    io.Discard,
+	}
+}
+
+// Hook is an attack callback invoked at a __hook(id) site. It runs with
+// full access to the machine — the model of an attacker holding an
+// arbitrary read/write primitive at that program point.
+type Hook func(m *Machine) error
+
+// Machine executes one program instance.
+type Machine struct {
+	Prog *mir.Program
+	Unit *pa.Unit
+	Mem  *Memory
+
+	Stats Stats
+	cost  CostModel
+
+	globalAddr []uint64
+	stringAddr []uint64
+	funcTok    map[string]uint64
+	tokFunc    map[uint64]*mir.Func
+
+	heapNext  uint64
+	heapEnd   uint64
+	stackNext uint64
+	stackEnd  uint64
+
+	out      io.Writer
+	hooks    map[int64]Hook
+	externs  map[string]func(*Machine, []uint64) (uint64, error)
+	ppMods   map[uint16]ppEntry
+	frames   []*frame
+	steps    int64
+	maxSteps int64
+	maxDepth int
+
+	exitCode *int64
+}
+
+type frame struct {
+	fn      *mir.Func
+	regs    []uint64
+	varAddr map[int]uint64
+	mark    uint64 // stack watermark to restore on return
+}
+
+// New builds a Machine for prog.
+func New(prog *mir.Program, opts Options) *Machine {
+	if opts.Output == nil {
+		opts.Output = io.Discard
+	}
+	m := &Machine{
+		Prog:     prog,
+		Unit:     pa.NewUnit(opts.PAConfig, pa.GenerateKeys(opts.KeySeed)),
+		cost:     opts.Cost,
+		out:      opts.Output,
+		hooks:    make(map[int64]Hook),
+		ppMods:   make(map[uint16]ppEntry),
+		funcTok:  make(map[string]uint64),
+		tokFunc:  make(map[uint64]*mir.Func),
+		maxSteps: opts.MaxSteps,
+		maxDepth: opts.MaxDepth,
+	}
+
+	// Lay out globals.
+	gsize := 0
+	for _, g := range prog.Globals {
+		a := g.Type.Align()
+		gsize = (gsize + a - 1) / a * a
+		m.globalAddr = append(m.globalAddr, GlobalsBase+uint64(gsize))
+		gsize += g.Type.Size()
+	}
+	// Lay out the string pool.
+	ssize := 0
+	for _, s := range prog.Strings {
+		m.stringAddr = append(m.stringAddr, StringsBase+uint64(ssize))
+		ssize += len(s) + 1
+	}
+	m.Mem = NewMemory(gsize+16, ssize+16, opts.HeapSize, opts.StackSize)
+	for i, s := range prog.Strings {
+		b, err := m.Mem.Bytes(m.stringAddr[i], len(s)+1)
+		if err != nil {
+			panic(err)
+		}
+		copy(b, s)
+		b[len(s)] = 0
+	}
+	m.heapNext = HeapBase
+	m.heapEnd = HeapBase + uint64(opts.HeapSize)
+	m.stackNext = StackBase
+	m.stackEnd = StackBase + uint64(opts.StackSize)
+
+	// Function tokens.
+	for i, f := range prog.Funcs {
+		tok := uint64(FuncBase) + uint64(i)*FuncStride
+		m.funcTok[f.Name] = tok
+		m.tokFunc[tok] = f
+	}
+	return m
+}
+
+// RegisterHook installs an attack callback for __hook(id).
+func (m *Machine) RegisterHook(id int64, h Hook) { m.hooks[id] = h }
+
+// FuncToken returns the entry token of a function — what a code pointer
+// to it looks like in memory.
+func (m *Machine) FuncToken(name string) (uint64, bool) {
+	t, ok := m.funcTok[name]
+	return t, ok
+}
+
+// GlobalAddr returns the address of a global variable.
+func (m *Machine) GlobalAddr(name string) (uint64, bool) {
+	for i, g := range m.Prog.Globals {
+		if g.Name == name {
+			return m.globalAddr[i], true
+		}
+	}
+	return 0, false
+}
+
+// VarAddr searches the live call stack, innermost first, for a local slot
+// of the named variable in the named function. Attack hooks use it to
+// locate stack targets the way a real exploit's relative overflow would.
+func (m *Machine) VarAddr(fn, name string) (uint64, bool) {
+	for i := len(m.frames) - 1; i >= 0; i-- {
+		fr := m.frames[i]
+		if fr.fn.Name != fn {
+			continue
+		}
+		for vid, addr := range fr.varAddr {
+			if m.Prog.Vars[vid].Name == name {
+				return addr, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Run executes __init then main and returns main's exit value (or the
+// value passed to exit()).
+func (m *Machine) Run() (int64, error) {
+	if initFn, ok := m.Prog.Func(mir.InitFuncName); ok {
+		if _, err := m.exec(initFn, nil); err != nil {
+			if m.exitCode != nil {
+				return *m.exitCode, nil
+			}
+			return 0, err
+		}
+	}
+	mainFn, ok := m.Prog.Func("main")
+	if !ok {
+		return 0, fmt.Errorf("vm: program has no main")
+	}
+	args := make([]uint64, len(mainFn.Params))
+	ret, err := m.exec(mainFn, args)
+	if m.exitCode != nil {
+		return *m.exitCode, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return int64(ret), nil
+}
+
+// Call invokes a named function directly (used by tests).
+func (m *Machine) Call(name string, args ...uint64) (uint64, error) {
+	f, ok := m.Prog.Func(name)
+	if !ok {
+		return 0, fmt.Errorf("vm: no function %q", name)
+	}
+	return m.exec(f, args)
+}
+
+type exitSentinel struct{ code int64 }
+
+func (exitSentinel) Error() string { return "exit" }
+
+func (m *Machine) trap(kind TrapKind, f *mir.Func, in *mir.Instr, format string, args ...interface{}) error {
+	t := &Trap{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	if f != nil {
+		t.Fn = f.Name
+	}
+	if in != nil {
+		t.Pos = in.Pos
+	}
+	return t
+}
+
+// canonical validates that ptr is dereferenceable and returns the address
+// bits. A pointer with live PAC bits (or flipped error bits) faults, as on
+// hardware.
+func (m *Machine) canonical(ptr uint64, f *mir.Func, in *mir.Instr) (uint64, error) {
+	if !m.Unit.IsCanonical(ptr) {
+		return 0, m.trap(TrapNonCanonical, f, in, "pointer %#x has non-address bits set", ptr)
+	}
+	return m.Unit.Canonical(ptr), nil
+}
+
+func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
+	if f.Extern {
+		return m.builtin(f, args)
+	}
+	if len(m.frames) >= m.maxDepth {
+		return 0, m.trap(TrapStackOverflow, f, nil, "call depth %d", len(m.frames))
+	}
+	fr := &frame{
+		fn:      f,
+		regs:    make([]uint64, f.NumRegs),
+		varAddr: make(map[int]uint64),
+		mark:    m.stackNext,
+	}
+	copy(fr.regs, args)
+	m.frames = append(m.frames, fr)
+	defer func() {
+		m.frames = m.frames[:len(m.frames)-1]
+		m.stackNext = fr.mark
+	}()
+
+	blk := f.Blocks[0]
+	ip := 0
+	for {
+		if ip >= len(blk.Instrs) {
+			return 0, m.trap(TrapOutOfBounds, f, nil, "fell off block %s", blk.Name)
+		}
+		in := &blk.Instrs[ip]
+		m.steps++
+		if m.steps > m.maxSteps {
+			return 0, m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
+		}
+		m.charge(in.Op)
+		regs := fr.regs
+
+		switch in.Op {
+		case mir.Nop:
+
+		case mir.Const:
+			regs[in.Dst] = uint64(in.Imm)
+		case mir.ConstF:
+			regs[in.Dst] = uint64(in.Imm)
+		case mir.StrConst:
+			regs[in.Dst] = m.stringAddr[in.Imm]
+		case mir.Alloca:
+			size := uint64((in.Ty.Size() + 7) &^ 7)
+			if m.stackNext+size > m.stackEnd {
+				return 0, m.trap(TrapStackOverflow, f, in, "stack segment exhausted")
+			}
+			addr := m.stackNext
+			m.stackNext += size
+			// Zero the slot: C does not, but determinism is worth more
+			// to a simulator than modelling uninitialized reads.
+			if b, err := m.Mem.Bytes(addr, int(size)); err == nil {
+				for i := range b {
+					b[i] = 0
+				}
+			}
+			regs[in.Dst] = addr
+			if in.Slot.Kind == mir.SlotVar {
+				fr.varAddr[in.Slot.Var] = addr
+			}
+		case mir.GlobalAddr:
+			regs[in.Dst] = m.globalAddr[in.Imm]
+		case mir.FuncAddr:
+			regs[in.Dst] = m.funcTok[in.Callee]
+
+		case mir.Load:
+			addr, err := m.canonical(regs[in.A], f, in)
+			if err != nil {
+				return 0, err
+			}
+			v, err := m.Mem.Load(addr, loadSize(in.Ty))
+			if err != nil {
+				return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+			}
+			regs[in.Dst] = extend(v, in.Ty)
+		case mir.Store:
+			addr, err := m.canonical(regs[in.A], f, in)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.Mem.Store(addr, narrow(regs[in.B], in.Ty), loadSize(in.Ty)); err != nil {
+				return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+			}
+
+		case mir.FieldAddr:
+			regs[in.Dst] = regs[in.A] + uint64(in.Imm)
+		case mir.IndexAddr:
+			regs[in.Dst] = regs[in.A] + uint64(int64(regs[in.B])*in.Imm)
+
+		case mir.BinInstr:
+			v, err := m.binop(in, regs[in.A], regs[in.B], f)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case mir.CmpInstr:
+			regs[in.Dst] = cmp(in.CmpSub, regs[in.A], regs[in.B], in.FromTy)
+
+		case mir.CastOp:
+			regs[in.Dst] = castValue(regs[in.A], in.FromTy, in.Ty)
+
+		case mir.CallOp:
+			var callee *mir.Func
+			if in.Callee != "" {
+				callee = m.Prog.ByName[in.Callee]
+			} else {
+				tok := regs[in.A]
+				if !m.Unit.IsCanonical(tok) {
+					return 0, m.trap(TrapNonCanonical, f, in, "indirect call through %#x with non-address bits", tok)
+				}
+				callee = m.tokFunc[m.Unit.Canonical(tok)]
+				if callee == nil {
+					return 0, m.trap(TrapBadCall, f, in, "%#x is not a function entry", tok)
+				}
+			}
+			cargs := make([]uint64, len(in.Args))
+			for i, r := range in.Args {
+				cargs[i] = regs[r]
+			}
+			ret, err := m.exec(callee, cargs)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != mir.NoReg {
+				regs[in.Dst] = ret
+			}
+
+		case mir.RetOp:
+			if in.A == mir.NoReg {
+				return 0, nil
+			}
+			return regs[in.A], nil
+
+		case mir.Jmp:
+			blk = f.Blocks[in.Targets[0]]
+			ip = 0
+			continue
+		case mir.Br:
+			if regs[in.A] != 0 {
+				blk = f.Blocks[in.Targets[0]]
+			} else {
+				blk = f.Blocks[in.Targets[1]]
+			}
+			ip = 0
+			continue
+
+		case mir.PacSign:
+			regs[in.Dst] = m.Unit.Sign(regs[in.A], pa.KeyID(in.Key), m.modifier(in, regs))
+		case mir.PacAuth:
+			v, ok := m.Unit.Auth(regs[in.A], pa.KeyID(in.Key), m.modifier(in, regs))
+			if !ok {
+				return 0, m.trap(TrapAuthFailure, f, in, "aut failed on %#x (mod %#x)", regs[in.A], m.modifier(in, regs))
+			}
+			regs[in.Dst] = v
+		case mir.PacStrip:
+			regs[in.Dst] = m.Unit.Strip(regs[in.A])
+
+		case mir.PPAdd:
+			// The metadata store is read-only: first registration wins,
+			// and a conflicting re-registration is a violation.
+			entry := ppEntry{mod: in.Mod, inner: uint16(in.Imm)}
+			if old, ok := m.ppMods[in.CE]; ok && old != entry {
+				return 0, m.trap(TrapPPViolation, f, in, "CE %d re-registered with a different FE", in.CE)
+			}
+			m.ppMods[in.CE] = entry
+		case mir.PPAddTBI:
+			regs[in.Dst] = m.Unit.SetTag(regs[in.A], byte(in.CE))
+		case mir.PPSign:
+			mod, _, err := m.ppResolve(in, regs, f)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = m.Unit.Sign(regs[in.B], pa.KeyID(in.Key), mod)
+		case mir.PPAuth:
+			mod, inner, err := m.ppResolve(in, regs, f)
+			if err != nil {
+				return 0, err
+			}
+			v, ok := m.Unit.Auth(regs[in.B], pa.KeyID(in.Key), mod)
+			if !ok {
+				return 0, m.trap(TrapAuthFailure, f, in, "pp_auth failed on %#x", regs[in.B])
+			}
+			// Multi-level indirection: the authenticated inner pointer is
+			// itself a universal pointer one level down; plant the next
+			// level's CE so further dereferences resolve their FE.
+			if inner != 0 {
+				v = m.Unit.SetTag(v, byte(inner))
+			}
+			regs[in.Dst] = v
+
+		default:
+			return 0, fmt.Errorf("vm: unknown op %s", in.Op)
+		}
+		ip++
+	}
+}
+
+// modifier computes a PA modifier: the static part, XORed with the
+// location register for RSTI-STL sites (B holds &p).
+func (m *Machine) modifier(in *mir.Instr, regs []uint64) uint64 {
+	mod := in.Mod
+	if in.B != mir.NoReg {
+		mod ^= regs[in.B]
+	}
+	return mod
+}
+
+// ppModifier resolves the modifier for a pointer-to-pointer access: the
+// CE tag on the outer pointer (register A) selects the Full Equivalent
+// modifier from the read-only store; an untagged outer pointer falls back
+// to the static modifier (the declared pointee type). Under RSTI-STL the
+// instruction carries Imm == 1 and the outer pointer's address — the
+// location of the slot being accessed — is XORed in, mirroring the
+// location binding of direct slot accesses.
+func (m *Machine) ppResolve(in *mir.Instr, regs []uint64, f *mir.Func) (mod uint64, inner uint16, err error) {
+	mod = in.Mod
+	tag := m.Unit.Tag(regs[in.A])
+	if tag != 0 {
+		stored, ok := m.ppMods[uint16(tag)]
+		if !ok {
+			return 0, 0, m.trap(TrapPPViolation, f, in, "CE %d not registered", tag)
+		}
+		mod = stored.mod
+		inner = stored.inner
+	}
+	if in.Imm == 1 {
+		mod ^= m.Unit.Canonical(regs[in.A])
+	}
+	return mod, inner, nil
+}
+
+// ppEntry is one row of the read-only pointer-to-pointer metadata store:
+// the Full Equivalent modifier for a CE, plus the CE of the next
+// indirection level (0 when the FE bottoms out).
+type ppEntry struct {
+	mod   uint64
+	inner uint16
+}
+
+func loadSize(t *ctypes.Type) int {
+	if t == nil {
+		return 8
+	}
+	s := t.Size()
+	switch s {
+	case 1, 2, 4, 8:
+		return s
+	default:
+		return 8
+	}
+}
+
+// extend sign-extends a loaded integer to 64 bits and widens float32.
+func extend(v uint64, t *ctypes.Type) uint64 {
+	if t == nil {
+		return v
+	}
+	switch t.Kind {
+	case ctypes.Float:
+		return math.Float64bits(float64(math.Float32frombits(uint32(v))))
+	case ctypes.Double:
+		return v
+	}
+	switch t.Size() {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+// narrow prepares a register value for an n-byte store.
+func narrow(v uint64, t *ctypes.Type) uint64 {
+	if t != nil && t.Kind == ctypes.Float {
+		return uint64(math.Float32bits(float32(math.Float64frombits(v))))
+	}
+	return v
+}
+
+func (m *Machine) binop(in *mir.Instr, a, b uint64, f *mir.Func) (uint64, error) {
+	switch in.BinSub {
+	case mir.Add:
+		return a + b, nil
+	case mir.Sub:
+		return a - b, nil
+	case mir.Mul:
+		return uint64(int64(a) * int64(b)), nil
+	case mir.Div:
+		if b == 0 {
+			return 0, m.trap(TrapDivideByZero, f, in, "division by zero")
+		}
+		return uint64(int64(a) / int64(b)), nil
+	case mir.Rem:
+		if b == 0 {
+			return 0, m.trap(TrapDivideByZero, f, in, "remainder by zero")
+		}
+		return uint64(int64(a) % int64(b)), nil
+	case mir.And:
+		return a & b, nil
+	case mir.Or:
+		return a | b, nil
+	case mir.Xor:
+		return a ^ b, nil
+	case mir.Shl:
+		return a << (b & 63), nil
+	case mir.Shr:
+		return uint64(int64(a) >> (b & 63)), nil
+	case mir.FAdd:
+		return fop(a, b, func(x, y float64) float64 { return x + y }), nil
+	case mir.FSub:
+		return fop(a, b, func(x, y float64) float64 { return x - y }), nil
+	case mir.FMul:
+		return fop(a, b, func(x, y float64) float64 { return x * y }), nil
+	case mir.FDiv:
+		return fop(a, b, func(x, y float64) float64 { return x / y }), nil
+	}
+	return 0, fmt.Errorf("vm: unknown binop %d", in.BinSub)
+}
+
+func fop(a, b uint64, f func(x, y float64) float64) uint64 {
+	return math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b)))
+}
+
+func cmp(sub mir.CmpSub, a, b uint64, operandTy *ctypes.Type) uint64 {
+	var r bool
+	if operandTy != nil && (operandTy.Kind == ctypes.Float || operandTy.Kind == ctypes.Double) {
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		switch sub {
+		case mir.Eq:
+			r = x == y
+		case mir.Ne:
+			r = x != y
+		case mir.Lt:
+			r = x < y
+		case mir.Le:
+			r = x <= y
+		case mir.Gt:
+			r = x > y
+		case mir.Ge:
+			r = x >= y
+		}
+	} else {
+		x, y := int64(a), int64(b)
+		switch sub {
+		case mir.Eq:
+			r = x == y
+		case mir.Ne:
+			r = x != y
+		case mir.Lt:
+			r = x < y
+		case mir.Le:
+			r = x <= y
+		case mir.Gt:
+			r = x > y
+		case mir.Ge:
+			r = x >= y
+		}
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func castValue(v uint64, from, to *ctypes.Type) uint64 {
+	if to == nil {
+		return v
+	}
+	fromFloat := from != nil && (from.Kind == ctypes.Float || from.Kind == ctypes.Double)
+	toFloat := to.Kind == ctypes.Float || to.Kind == ctypes.Double
+	switch {
+	case fromFloat && !toFloat:
+		return extend(uint64(int64(math.Float64frombits(v))), to)
+	case !fromFloat && toFloat:
+		return math.Float64bits(float64(int64(v)))
+	case fromFloat && toFloat:
+		return v
+	case to.IsInteger():
+		return extend(v, to)
+	default: // pointer casts and int<->pointer: bit-identical
+		return v
+	}
+}

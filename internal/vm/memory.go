@@ -1,0 +1,109 @@
+package vm
+
+import "fmt"
+
+// Segment bases of the VM's 48-bit virtual address space. The exact values
+// are arbitrary but fixed, so experiments are reproducible and addresses
+// recognizable in traces.
+const (
+	GlobalsBase = 0x0000_1000_0000
+	StringsBase = 0x0000_2000_0000
+	HeapBase    = 0x0000_4000_0000
+	StackBase   = 0x0000_7000_0000 // grows upward frame by frame
+	FuncBase    = 0x0000_F000_0000 // function entry tokens
+
+	// FuncStride separates function tokens so that an off-by-small
+	// corruption of a code pointer never lands on another valid entry.
+	FuncStride = 16
+)
+
+// Memory is the VM's flat memory: a handful of segments, each a byte
+// slice. Loads and stores are bounds-checked; the attack hooks use the
+// unchecked Poke/Peek to model an attacker's arbitrary-write primitive.
+type Memory struct {
+	segs []segment
+}
+
+type segment struct {
+	name string
+	base uint64
+	data []byte
+}
+
+// NewMemory builds the standard segment layout.
+func NewMemory(globalsSize, stringsSize, heapSize, stackSize int) *Memory {
+	return &Memory{segs: []segment{
+		{"globals", GlobalsBase, make([]byte, globalsSize)},
+		{"strings", StringsBase, make([]byte, stringsSize)},
+		{"heap", HeapBase, make([]byte, heapSize)},
+		{"stack", StackBase, make([]byte, stackSize)},
+	}}
+}
+
+func (m *Memory) find(addr uint64, n int) (*segment, int, error) {
+	for i := range m.segs {
+		s := &m.segs[i]
+		if addr >= s.base && addr+uint64(n) <= s.base+uint64(len(s.data)) {
+			return s, int(addr - s.base), nil
+		}
+	}
+	return nil, 0, fmt.Errorf("address %#x (+%d) is unmapped", addr, n)
+}
+
+// Load reads n bytes (1, 2, 4 or 8) little-endian.
+func (m *Memory) Load(addr uint64, n int) (uint64, error) {
+	s, off, err := m.find(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(s.data[off+i])
+	}
+	return v, nil
+}
+
+// Store writes n bytes little-endian.
+func (m *Memory) Store(addr uint64, v uint64, n int) error {
+	s, off, err := m.find(addr, n)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s.data[off+i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// Bytes returns a mutable view of [addr, addr+n).
+func (m *Memory) Bytes(addr uint64, n int) ([]byte, error) {
+	s, off, err := m.find(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.data[off : off+n], nil
+}
+
+// CString reads a NUL-terminated string.
+func (m *Memory) CString(addr uint64) (string, error) {
+	s, off, err := m.find(addr, 1)
+	if err != nil {
+		return "", err
+	}
+	end := off
+	for end < len(s.data) && s.data[end] != 0 {
+		end++
+	}
+	if end == len(s.data) {
+		return "", fmt.Errorf("unterminated string at %#x", addr)
+	}
+	return string(s.data[off:end]), nil
+}
+
+// Poke is the attacker's arbitrary write: unchecked by design (the checks
+// still apply — it must land in a mapped segment — but no type, bounds or
+// permission discipline applies, exactly like a buffer-overflow write).
+func (m *Memory) Poke(addr uint64, v uint64, n int) error { return m.Store(addr, v, n) }
+
+// Peek is the attacker's arbitrary read.
+func (m *Memory) Peek(addr uint64, n int) (uint64, error) { return m.Load(addr, n) }

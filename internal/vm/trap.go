@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"fmt"
+
+	"rsti/internal/cminor"
+)
+
+// TrapKind classifies why execution stopped abnormally.
+type TrapKind uint8
+
+const (
+	// TrapAuthFailure: a pac authentication failed — RSTI detected a
+	// corrupted or substituted pointer. This is the defense firing.
+	TrapAuthFailure TrapKind = iota
+	// TrapNonCanonical: a pointer with PAC/garbage top bits was
+	// dereferenced or called — the hardware fault a flipped-PAC pointer
+	// produces on use.
+	TrapNonCanonical
+	// TrapOutOfBounds: access to unmapped memory.
+	TrapOutOfBounds
+	// TrapBadCall: an indirect call through a value that is not a
+	// function entry token.
+	TrapBadCall
+	// TrapDivideByZero: integer division by zero.
+	TrapDivideByZero
+	// TrapMaxSteps: the execution budget was exhausted.
+	TrapMaxSteps
+	// TrapStackOverflow: call depth or stack segment exhausted.
+	TrapStackOverflow
+	// TrapPPViolation: the pointer-to-pointer runtime library rejected a
+	// CE tag or modifier lookup.
+	TrapPPViolation
+)
+
+var trapNames = map[TrapKind]string{
+	TrapAuthFailure:   "pointer authentication failure",
+	TrapNonCanonical:  "non-canonical pointer dereference",
+	TrapOutOfBounds:   "out-of-bounds access",
+	TrapBadCall:       "indirect call to a non-function",
+	TrapDivideByZero:  "integer division by zero",
+	TrapMaxSteps:      "execution budget exhausted",
+	TrapStackOverflow: "stack overflow",
+	TrapPPViolation:   "pointer-to-pointer metadata violation",
+}
+
+func (k TrapKind) String() string {
+	if s, ok := trapNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TrapKind(%d)", uint8(k))
+}
+
+// Trap is an abnormal termination. It satisfies error; callers distinguish
+// RSTI detections (TrapAuthFailure, TrapNonCanonical, TrapPPViolation —
+// see SecurityTrap) from plain crashes.
+type Trap struct {
+	Kind TrapKind
+	Fn   string
+	Pos  cminor.Pos
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("trap: %s in %s at %s: %s", t.Kind, t.Fn, t.Pos, t.Msg)
+}
+
+// SecurityTrap reports whether the trap is a defense detection rather
+// than an ordinary program fault: an authentication failure, a poisoned
+// (non-canonical) pointer being used, or a pointer-to-pointer metadata
+// violation.
+func (t *Trap) SecurityTrap() bool {
+	switch t.Kind {
+	case TrapAuthFailure, TrapNonCanonical, TrapPPViolation:
+		return true
+	}
+	return false
+}
+
+// AsTrap extracts a *Trap from an error, if it is one.
+func AsTrap(err error) (*Trap, bool) {
+	t, ok := err.(*Trap)
+	return t, ok
+}

@@ -1,0 +1,255 @@
+package workload
+
+// The CPython PyTorch suite: eight programs modelling what running the
+// PyTorch benchmark scripts under CPython 3.9 exercises — an interpreter
+// whose every object operation dispatches through type-object function
+// pointer slots (pointer-heavy), wrapped around numeric tensor kernels
+// (compute-heavy). The blend lands the suite between nbench and SPEC in
+// pointer intensity, as in the paper (5.01% / 3.44% / 10.80%).
+
+const pyObjectPrelude = `
+	struct PyTypeObject;
+	struct PyObject { struct PyTypeObject *ob_type; long ob_ival; double ob_fval; struct PyObject *next; };
+	struct PyTypeObject {
+		long (*tp_hash)(struct PyObject *o);
+		struct PyObject* (*tp_add)(struct PyObject *a, struct PyObject *b);
+		int tp_flags;
+	};
+	struct PyTypeObject *int_type;
+	struct PyObject *freelist;
+
+	long int_hash(struct PyObject *o) { return o->ob_ival * 31; }
+	struct PyObject *alloc_obj(long v) {
+		struct PyObject *o;
+		if (freelist != NULL) {
+			o = freelist;
+			freelist = o->next;
+		} else {
+			o = (struct PyObject*) malloc(sizeof(struct PyObject));
+		}
+		o->ob_type = int_type;
+		o->ob_ival = v;
+		o->ob_fval = (double) v;
+		o->next = NULL;
+		return o;
+	}
+	void release_obj(struct PyObject *o) {
+		o->next = freelist;
+		freelist = o;
+	}
+	struct PyObject *int_add(struct PyObject *a, struct PyObject *b) {
+		return alloc_obj(a->ob_ival + b->ob_ival);
+	}
+	void py_init(void) {
+		int_type = (struct PyTypeObject*) malloc(sizeof(struct PyTypeObject));
+		int_type->tp_hash = int_hash;
+		int_type->tp_add = int_add;
+		int_type->tp_flags = 1;
+		freelist = NULL;
+	}
+`
+
+var cpythonPrograms = []struct {
+	name string
+	src  string
+}{
+	{"tensor-add", pyObjectPrelude + `
+		double ta[256];
+		double tb[256];
+		double tc[256];
+		int main(void) {
+			py_init();
+			for (int i = 0; i < 256; i++) { ta[i] = (double) i; tb[i] = (double)(256 - i); }
+			long acc = 0;
+			for (int step = 0; step < 400; step++) {
+				struct PyObject *sa = alloc_obj((long) step);
+				struct PyObject *sb = alloc_obj(2);
+				struct PyObject *r = sa->ob_type->tp_add(sa, sb);
+				for (int i = 0; i < 256; i++) tc[i] = ta[i] + tb[i];
+				acc += r->ob_ival;
+				release_obj(sa); release_obj(sb); release_obj(r);
+			}
+			if (tc[0] > 0.0) acc += 1;
+			return (int)(acc & 127);
+		}
+	`},
+	{"matmul-small", pyObjectPrelude + `
+		double A[12][12];
+		double B[12][12];
+		double C[12][12];
+		int main(void) {
+			py_init();
+			for (int i = 0; i < 12; i++) {
+				for (int j = 0; j < 12; j++) { A[i][j] = (double)(i + j); B[i][j] = (double)(i - j); }
+			}
+			long acc = 0;
+			for (int step = 0; step < 120; step++) {
+				struct PyObject *op = alloc_obj((long) step);
+				acc += op->ob_type->tp_hash(op);
+				for (int i = 0; i < 12; i++) {
+					for (int j = 0; j < 12; j++) {
+						double s = 0.0;
+						for (int k = 0; k < 12; k++) s += A[i][k] * B[k][j];
+						C[i][j] = s;
+					}
+				}
+				release_obj(op);
+			}
+			if (C[1][1] < 10000.0) acc += 1;
+			return (int)(acc & 127);
+		}
+	`},
+	{"relu", pyObjectPrelude + `
+		double t[512];
+		int main(void) {
+			py_init();
+			long acc = 0;
+			for (int step = 0; step < 500; step++) {
+				struct PyObject *o = alloc_obj((long) step);
+				for (int i = 0; i < 512; i++) {
+					double v = (double)((i * 7 + step) % 31) - 15.0;
+					if (v < 0.0) v = 0.0;
+					t[i] = v;
+				}
+				acc += o->ob_type->tp_hash(o);
+				release_obj(o);
+			}
+			if (t[0] >= 0.0) acc += 1;
+			return (int)(acc & 127);
+		}
+	`},
+	{"softmax", pyObjectPrelude + `
+		double logits[128];
+		double probs[128];
+		double texp(double x) { return 1.0 + x + x * x / 2.0 + x * x * x / 6.0; }
+		int main(void) {
+			py_init();
+			long acc = 0;
+			for (int step = 0; step < 350; step++) {
+				struct PyObject *o = alloc_obj((long) step);
+				double sum = 0.0;
+				for (int i = 0; i < 128; i++) {
+					logits[i] = ((double)((i + step) % 9)) / 9.0;
+					probs[i] = texp(logits[i]);
+					sum += probs[i];
+				}
+				for (int i = 0; i < 128; i++) probs[i] = probs[i] / sum;
+				acc += o->ob_type->tp_hash(o);
+				release_obj(o);
+			}
+			return (int)(acc & 127);
+		}
+	`},
+	{"object-dispatch", pyObjectPrelude + `
+		int main(void) {
+			py_init();
+			long acc = 0;
+			struct PyObject *x = alloc_obj(1);
+			for (int step = 0; step < 700; step++) {
+				struct PyObject *y = alloc_obj((long)(step & 7));
+				struct PyObject *z = x->ob_type->tp_add(x, y);
+				acc += z->ob_type->tp_hash(z);
+				long w = acc;
+				for (int k = 0; k < 24; k++) { w = w * 33 + k; w = w ^ (w >> 11); }
+				acc ^= w & 1;
+				release_obj(y);
+				release_obj(x);
+				x = z;
+				if (x->ob_ival > 100000) { x->ob_ival = 1; }
+			}
+			return (int)(acc & 127);
+		}
+	`},
+	{"attr-lookup", pyObjectPrelude + `
+		struct dict_entry { char *key; struct PyObject *value; };
+		struct dict_entry table[16];
+		struct PyObject *lookup(char *key) {
+			for (int i = 0; i < 16; i++) {
+				if (table[i].key != NULL) {
+					if (strcmp(table[i].key, key) == 0) return table[i].value;
+				}
+			}
+			return NULL;
+		}
+		int main(void) {
+			py_init();
+			table[0].key = "forward"; table[0].value = alloc_obj(10);
+			table[1].key = "backward"; table[1].value = alloc_obj(20);
+			table[2].key = "weight"; table[2].value = alloc_obj(30);
+			table[3].key = "bias"; table[3].value = alloc_obj(40);
+			long acc = 0;
+			for (int step = 0; step < 400; step++) {
+				struct PyObject *f = lookup("forward");
+				struct PyObject *w = lookup("weight");
+				if (f != NULL) { if (w != NULL) acc += f->ob_ival + w->ob_ival; }
+			}
+			return (int)(acc & 127);
+		}
+	`},
+	{"list-ops", pyObjectPrelude + `
+		int main(void) {
+			py_init();
+			struct PyObject *head = NULL;
+			long acc = 0;
+			for (int step = 0; step < 250; step++) {
+				struct PyObject *o = alloc_obj((long) step);
+				o->next = head;
+				head = o;
+				if ((step & 7) == 7) {
+					long sum = 0;
+					struct PyObject *c = head;
+					while (c != NULL) { sum += c->ob_ival; c = c->next; }
+					acc ^= sum;
+					while (head != NULL) {
+						struct PyObject *n = head->next;
+						release_obj(head);
+						head = n;
+					}
+				}
+			}
+			return (int)(acc & 127);
+		}
+	`},
+	{"autograd-graph", pyObjectPrelude + `
+		struct GradNode { double grad; struct GradNode *inputs[2]; void (*backward)(struct GradNode *n); };
+		void add_backward(struct GradNode *n) {
+			if (n->inputs[0] != NULL) n->inputs[0]->grad += n->grad;
+			if (n->inputs[1] != NULL) n->inputs[1]->grad += n->grad;
+		}
+		struct GradNode *mknode(struct GradNode *a, struct GradNode *b) {
+			struct GradNode *n = (struct GradNode*) malloc(sizeof(struct GradNode));
+			n->grad = 0.0;
+			n->inputs[0] = a;
+			n->inputs[1] = b;
+			n->backward = add_backward;
+			return n;
+		}
+		int main(void) {
+			py_init();
+			long acc = 0;
+			for (int step = 0; step < 90; step++) {
+				struct GradNode *leaf1 = mknode(NULL, NULL);
+				struct GradNode *leaf2 = mknode(NULL, NULL);
+				struct GradNode *cur = mknode(leaf1, leaf2);
+				for (int d = 0; d < 6; d++) cur = mknode(cur, leaf1);
+				cur->grad = 1.0;
+				struct GradNode *walk = cur;
+				while (walk != NULL) {
+					walk->backward(walk);
+					walk = walk->inputs[0];
+				}
+				if (leaf1->grad > 0.0) acc += 1;
+			}
+			return (int)(acc & 127);
+		}
+	`},
+}
+
+// CPython returns the CPython-PyTorch suite.
+func CPython() []*Benchmark {
+	var out []*Benchmark
+	for _, p := range cpythonPrograms {
+		out = append(out, &Benchmark{Suite: "CPython", Name: p.name, Source: p.src})
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package workload
+
+// The nbench suite: hand-written mini-C ports of the ten BYTEmark kernels'
+// inner shapes. nbench is the least pointer-intensive suite in the paper
+// (RSTI overheads 1.54% / 0.52% / 2.78%); most kernels here are pure
+// computation, with Huffman's tree construction as the pointer-heavy
+// outlier — matching the original workload's character.
+
+var nbenchPrograms = []struct {
+	name string
+	src  string
+}{
+	{"numeric-sort", `
+		int a[256];
+		void fill(void) {
+			long seed = 11;
+			for (int i = 0; i < 256; i++) {
+				seed = seed * 6364136223846793005 + 1442695040888963407;
+				a[i] = (int)((seed >> 33) & 1023);
+			}
+		}
+		void shellsort(void) {
+			for (int gap = 128; gap > 0; gap = gap / 2) {
+				for (int i = gap; i < 256; i++) {
+					int t = a[i];
+					int j = i;
+					while (j >= gap) {
+						if (a[j - gap] > t) { a[j] = a[j - gap]; j -= gap; }
+						else break;
+					}
+					a[j] = t;
+				}
+			}
+		}
+		int main(void) {
+			int checksum = 0;
+			for (int rep = 0; rep < 30; rep++) {
+				fill();
+				shellsort();
+				checksum ^= a[0] + a[255];
+			}
+			return checksum & 127;
+		}
+	`},
+	{"string-sort", `
+		char *names[16];
+		void setup(void) {
+			names[0] = "pear"; names[1] = "apple"; names[2] = "quince"; names[3] = "fig";
+			names[4] = "olive"; names[5] = "date"; names[6] = "mango"; names[7] = "kiwi";
+			names[8] = "plum"; names[9] = "grape"; names[10] = "lime"; names[11] = "melon";
+			names[12] = "peach"; names[13] = "cherry"; names[14] = "banana"; names[15] = "lemon";
+		}
+		void sortnames(void) {
+			for (int i = 0; i < 16; i++) {
+				for (int j = i + 1; j < 16; j++) {
+					if (strcmp(names[i], names[j]) > 0) {
+						char *t = names[i];
+						names[i] = names[j];
+						names[j] = t;
+					}
+				}
+			}
+		}
+		int main(void) {
+			int acc = 0;
+			for (int rep = 0; rep < 60; rep++) {
+				setup();
+				sortnames();
+				acc += (int) strlen(names[0]);
+			}
+			return acc & 127;
+		}
+	`},
+	{"bitfield", `
+		long field[64];
+		void setbits(int start, int len) {
+			for (int i = start; i < start + len; i++) {
+				field[(i / 64) % 64] |= (long)1 << (i % 63);
+			}
+		}
+		void clearbits(int start, int len) {
+			for (int i = start; i < start + len; i++) {
+				field[(i / 64) % 64] &= ~((long)1 << (i % 63));
+			}
+		}
+		int popcount(void) {
+			int n = 0;
+			for (int w = 0; w < 64; w++) {
+				long x = field[w];
+				while (x != 0) { n += (int)(x & 1); x = x >> 1; }
+			}
+			return n;
+		}
+		int main(void) {
+			for (int rep = 0; rep < 40; rep++) {
+				setbits(rep * 7, 60);
+				clearbits(rep * 3, 30);
+			}
+			return popcount() & 127;
+		}
+	`},
+	{"fp-emulation", `
+		long fadd(long a, long b) { return a + b; }
+		long fmul(long a, long b) { return (a >> 8) * (b >> 8); }
+		long fdiv(long a, long b) { if (b == 0) return 0; return (a << 8) / (b >> 8); }
+		int main(void) {
+			long acc = 1 << 16;
+			for (int i = 1; i < 4000; i++) {
+				acc = fadd(acc, i << 8);
+				acc = fmul(acc, (3 << 8) + 1);
+				acc = fdiv(acc, (2 << 8) + 1);
+			}
+			return (int)(acc & 127);
+		}
+	`},
+	{"fourier", `
+		double tsin(double x) {
+			double x2 = x * x;
+			return x * (1.0 - x2 / 6.0 + (x2 * x2) / 120.0);
+		}
+		double tcos(double x) {
+			double x2 = x * x;
+			return 1.0 - x2 / 2.0 + (x2 * x2) / 24.0;
+		}
+		int main(void) {
+			double acc = 0.0;
+			for (int k = 1; k < 800; k++) {
+				double x = ((double) k) / 800.0;
+				acc += tsin(x) * tcos(x / 2.0);
+			}
+			if (acc > 100.0) return 1;
+			return (int)(acc);
+		}
+	`},
+	{"assignment", `
+		int cost[8][8];
+		int taken[8];
+		void fill(void) {
+			long seed = 7;
+			for (int i = 0; i < 8; i++) {
+				for (int j = 0; j < 8; j++) {
+					seed = seed * 25214903917 + 11;
+					cost[i][j] = (int)((seed >> 16) & 255);
+				}
+			}
+		}
+		int assign(void) {
+			int total = 0;
+			for (int i = 0; i < 8; i++) taken[i] = 0;
+			for (int i = 0; i < 8; i++) {
+				int best = -1;
+				int bestc = 1000000;
+				for (int j = 0; j < 8; j++) {
+					if (!taken[j]) { if (cost[i][j] < bestc) { bestc = cost[i][j]; best = j; } }
+				}
+				taken[best] = 1;
+				total += bestc;
+			}
+			return total;
+		}
+		int main(void) {
+			int acc = 0;
+			for (int rep = 0; rep < 120; rep++) {
+				fill();
+				acc ^= assign();
+			}
+			return acc & 127;
+		}
+	`},
+	{"idea-cipher", `
+		int mulmod(int a, int b) { return (a * b) % 65537; }
+		int main(void) {
+			int x0 = 101; int x1 = 202; int x2 = 303; int x3 = 404;
+			for (int round = 0; round < 3000; round++) {
+				int k = (round * 2654435761) & 65535;
+				x0 = mulmod(x0 + 1, k + 1);
+				x1 = (x1 + k) & 65535;
+				x2 = x2 ^ x0;
+				x3 = mulmod(x3 + 1, (k ^ x2) + 1);
+				int t = x1; x1 = x2; x2 = t;
+			}
+			return (x0 ^ x1 ^ x2 ^ x3) & 127;
+		}
+	`},
+	{"huffman", `
+		struct hnode { int weight; int symbol; struct hnode *left; struct hnode *right; };
+		struct hnode *heap[32];
+		int heapn;
+		void push(struct hnode *n) {
+			heap[heapn] = n;
+			heapn++;
+			int i = heapn - 1;
+			while (i > 0) {
+				int p = (i - 1) / 2;
+				if (heap[p]->weight > heap[i]->weight) {
+					struct hnode *t = heap[p]; heap[p] = heap[i]; heap[i] = t;
+					i = p;
+				} else break;
+			}
+		}
+		struct hnode *pop(void) {
+			struct hnode *top = heap[0];
+			heapn--;
+			heap[0] = heap[heapn];
+			int i = 0;
+			while (1) {
+				int l = 2 * i + 1;
+				int r = 2 * i + 2;
+				int s = i;
+				if (l < heapn) { if (heap[l]->weight < heap[s]->weight) s = l; }
+				if (r < heapn) { if (heap[r]->weight < heap[s]->weight) s = r; }
+				if (s == i) break;
+				struct hnode *t = heap[s]; heap[s] = heap[i]; heap[i] = t;
+				i = s;
+			}
+			return top;
+		}
+		int depthsum(struct hnode *n, int d) {
+			if (n->left == NULL) return d * n->weight;
+			return depthsum(n->left, d + 1) + depthsum(n->right, d + 1);
+		}
+		int main(void) {
+			int acc = 0;
+			for (int rep = 0; rep < 25; rep++) {
+				heapn = 0;
+				for (int s = 0; s < 12; s++) {
+					struct hnode *n = (struct hnode*) malloc(sizeof(struct hnode));
+					n->weight = ((s * 37 + rep * 11) % 40) + 1;
+					n->symbol = s;
+					n->left = NULL;
+					n->right = NULL;
+					push(n);
+				}
+				while (heapn > 1) {
+					struct hnode *a = pop();
+					struct hnode *b = pop();
+					struct hnode *m = (struct hnode*) malloc(sizeof(struct hnode));
+					m->weight = a->weight + b->weight;
+					m->symbol = -1;
+					m->left = a;
+					m->right = b;
+					push(m);
+				}
+				acc += depthsum(pop(), 0);
+			}
+			return acc & 127;
+		}
+	`},
+	{"neural-net", `
+		double w1[8][8];
+		double w2[8][8];
+		double layer[8];
+		double hidden[8];
+		double sigmoid(double x) {
+			double e = 1.0 + x + x * x / 2.0 + x * x * x / 6.0;
+			return e / (1.0 + e);
+		}
+		int main(void) {
+			for (int i = 0; i < 8; i++) {
+				layer[i] = ((double)(i + 1)) / 8.0;
+				for (int j = 0; j < 8; j++) {
+					w1[i][j] = ((double)((i * 8 + j) % 5)) / 5.0;
+					w2[i][j] = ((double)((i * 3 + j) % 7)) / 7.0;
+				}
+			}
+			double out = 0.0;
+			for (int epoch = 0; epoch < 150; epoch++) {
+				for (int h = 0; h < 8; h++) {
+					double s = 0.0;
+					for (int i = 0; i < 8; i++) s += layer[i] * w1[i][h];
+					hidden[h] = sigmoid(s);
+				}
+				out = 0.0;
+				for (int h = 0; h < 8; h++) {
+					double s = 0.0;
+					for (int i = 0; i < 8; i++) s += hidden[i] * w2[i][h];
+					out += sigmoid(s);
+				}
+				for (int i = 0; i < 8; i++) layer[i] = layer[i] * 0.9 + hidden[i] * 0.1;
+			}
+			if (out > 2.0) return 42;
+			return 7;
+		}
+	`},
+	{"lu-decomposition", `
+		double m[8][8];
+		int main(void) {
+			int checksum = 0;
+			for (int rep = 0; rep < 80; rep++) {
+				for (int i = 0; i < 8; i++) {
+					for (int j = 0; j < 8; j++) {
+						m[i][j] = (double)(((i * 13 + j * 7 + rep) % 17) + 1);
+					}
+				}
+				for (int k = 0; k < 8; k++) {
+					for (int i = k + 1; i < 8; i++) {
+						double f = m[i][k] / m[k][k];
+						for (int j = k; j < 8; j++) m[i][j] -= f * m[k][j];
+					}
+				}
+				double trace = 0.0;
+				for (int i = 0; i < 8; i++) trace += m[i][i];
+				if (trace > 0.0) checksum += 1;
+			}
+			return checksum & 127;
+		}
+	`},
+}
+
+// NBench returns the ten-kernel nbench suite.
+func NBench() []*Benchmark {
+	var out []*Benchmark
+	for _, p := range nbenchPrograms {
+		out = append(out, &Benchmark{Suite: "nbench", Name: p.name, Source: p.src})
+	}
+	return out
+}

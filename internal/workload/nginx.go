@@ -1,0 +1,125 @@
+package workload
+
+// NGINX: a request-processing server loop in the shape the paper
+// stress-tests with wrk — parse a request line, walk a phase-handler chain
+// of function pointers, build a buffer chain, write a response. Heavier on
+// data pointers and indirect calls than the numeric suites, which is why
+// the paper measures it near the SPEC overheads (5.98% / 3.93% / 12.76%).
+const nginxSource = `
+	struct ngx_buf { char *pos; char *last; struct ngx_buf *next; int size; };
+	struct ngx_request {
+		char *uri;
+		char *method;
+		int status;
+		struct ngx_buf *out;
+		int (*phase_handler)(struct ngx_request *r);
+		int (*write_handler)(struct ngx_request *r);
+	};
+
+	int requests_ok;
+	int requests_rejected;
+	long bytes_out;
+
+	int ngx_http_static_handler(struct ngx_request *r) {
+		if (strstr(r->uri, "..") != NULL) {
+			r->status = 403;
+			return 1;
+		}
+		r->status = 200;
+		return 0;
+	}
+
+	int ngx_http_write_filter(struct ngx_request *r) {
+		struct ngx_buf *b = r->out;
+		long n = 0;
+		while (b != NULL) {
+			n += (long) b->size;
+			b = b->next;
+		}
+		bytes_out += n;
+		return 0;
+	}
+
+	struct ngx_buf *mkbuf(int size) {
+		struct ngx_buf *b = (struct ngx_buf*) malloc(sizeof(struct ngx_buf));
+		b->size = size;
+		b->pos = "x";
+		b->last = b->pos;
+		b->next = NULL;
+		return b;
+	}
+
+	long checksum(char *s, int rounds) {
+		long h = 5381;
+		long n = (long) strlen(s);
+		for (int r = 0; r < rounds; r++) {
+			for (long i = 0; i < n; i++) {
+				h = h * 33 + i;
+				h = h ^ (h >> 13);
+			}
+		}
+		return h;
+	}
+
+	void ngx_http_process_request(struct ngx_request *r) {
+		bytes_out += checksum(r->uri, 2) & 1;
+		if (r->phase_handler(r) != 0) {
+			requests_rejected++;
+			return;
+		}
+		struct ngx_buf *head = mkbuf(128);
+		head->next = mkbuf(512);
+		head->next->next = mkbuf(64);
+		r->out = head;
+		r->write_handler(r);
+		requests_ok++;
+	}
+
+	char *pick_uri(int i) {
+		int k = i % 5;
+		if (k == 0) return "/index.html";
+		if (k == 1) return "/api/v1/status";
+		if (k == 2) return "/static/logo.png";
+		if (k == 3) return "/../etc/passwd";
+		return "/health";
+	}
+
+	int main(void) {
+		requests_ok = 0;
+		requests_rejected = 0;
+		bytes_out = 0;
+		for (int i = 0; i < 1200; i++) {
+			struct ngx_request *r = (struct ngx_request*) malloc(sizeof(struct ngx_request));
+			r->uri = pick_uri(i);
+			r->method = "GET";
+			r->status = 0;
+			r->out = NULL;
+			r->phase_handler = ngx_http_static_handler;
+			r->write_handler = ngx_http_write_filter;
+			ngx_http_process_request(r);
+		}
+		if (requests_rejected == 0) return 1;
+		if (bytes_out == 0) return 2;
+		return (int)((requests_ok + requests_rejected) & 127);
+	}
+`
+
+// NGINX returns the web-server workload.
+func NGINX() *Benchmark {
+	return &Benchmark{Suite: "NGINX", Name: "nginx", Source: nginxSource}
+}
+
+// AllSuites returns every execution-sized benchmark grouped by suite, in
+// the order Figure 9 reports them.
+func AllSuites() map[string][]*Benchmark {
+	return map[string][]*Benchmark{
+		"SPEC2017": SPEC2017(),
+		"SPEC2006": SPEC2006Perf(),
+		"nbench":   NBench(),
+		"CPython":  CPython(),
+		"NGINX":    {NGINX()},
+	}
+}
+
+// SuiteOrder fixes the reporting order of the suites.
+var SuiteOrder = []string{"SPEC2017", "SPEC2006", "nbench", "CPython", "NGINX"}

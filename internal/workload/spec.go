@@ -1,0 +1,208 @@
+package workload
+
+import "fmt"
+
+// specMix is a benchmark's hot-loop instruction mix: the pointer intensity
+// that, per the paper's own correlation analysis (§6.3.2: overhead tracks
+// instrumented load/stores at Pearson 0.75–0.8), determines its overhead.
+// The mixes are chosen so the qualitative Figure 9/10 pattern holds:
+// pointer-chasing benchmarks (perlbench, xalancbmk, omnetpp, povray,
+// dealII) high, numeric kernels (lbm, libquantum, namd, imagick) low.
+type specMix struct {
+	deref, call, cast, arith, flt int
+}
+
+var spec2006Mix = map[string]specMix{
+	"perlbench":  {12, 3, 6, 2, 0},
+	"bzip2":      {3, 0, 1, 24, 0},
+	"mcf":        {8, 0, 2, 8, 0},
+	"milc":       {3, 0, 1, 12, 24},
+	"namd":       {1, 0, 0, 8, 40},
+	"gobmk":      {6, 1, 2, 10, 0},
+	"dealII":     {10, 2, 4, 6, 4},
+	"soplex":     {7, 1, 3, 8, 6},
+	"povray":     {12, 2, 6, 4, 6},
+	"hmmer":      {4, 0, 1, 20, 0},
+	"libquantum": {1, 0, 0, 30, 0},
+	"sjeng":      {4, 1, 1, 14, 0},
+	"h264ref":    {5, 0, 1, 18, 0},
+	"lbm":        {1, 0, 0, 6, 60},
+	"omnetpp":    {10, 2, 5, 4, 0},
+	"astar":      {5, 1, 1, 10, 0},
+	"sphinx3":    {3, 0, 1, 10, 20},
+	"xalancbmk":  {12, 3, 6, 2, 0},
+}
+
+// spec2006Table3 is the paper's published Table 3, used both as generator
+// input (NT, NV) and as the reference columns in the reproduction report.
+var spec2006Table3 = map[string]Table3Row{
+	"perlbench":  {NT: 155, RTSTC: 318, RTSTWC: 722, NV: 2939, ECVSTC: 198, ECVSTWC: 82, ECTSTC: 33, ECTSTWC: 1},
+	"bzip2":      {NT: 25, RTSTC: 31, RTSTWC: 55, NV: 122, ECVSTC: 32, ECVSTWC: 13, ECTSTC: 7, ECTSTWC: 1},
+	"mcf":        {NT: 12, RTSTC: 35, RTSTWC: 40, NV: 95, ECVSTC: 9, ECVSTWC: 8, ECTSTC: 2, ECTSTWC: 1},
+	"milc":       {NT: 55, RTSTC: 154, RTSTWC: 195, NV: 440, ECVSTC: 54, ECVSTWC: 18, ECTSTC: 18, ECTSTWC: 1},
+	"namd":       {NT: 30, RTSTC: 73, RTSTWC: 100, NV: 230, ECVSTC: 23, ECVSTWC: 23, ECTSTC: 10, ECTSTWC: 1},
+	"gobmk":      {NT: 120, RTSTC: 216, RTSTWC: 417, NV: 1057, ECVSTC: 111, ECVSTWC: 46, ECTSTC: 25, ECTSTWC: 1},
+	"dealII":     {NT: 2546, RTSTC: 4528, RTSTWC: 8878, NV: 21018, ECVSTC: 676, ECVSTWC: 44, ECTSTC: 192, ECTSTWC: 1},
+	"soplex":     {NT: 129, RTSTC: 970, RTSTWC: 1690, NV: 3399, ECVSTC: 137, ECVSTWC: 27, ECTSTC: 66, ECTSTWC: 1},
+	"povray":     {NT: 282, RTSTC: 620, RTSTWC: 1446, NV: 3791, ECVSTC: 229, ECVSTWC: 25, ECTSTC: 76, ECTSTWC: 1},
+	"hmmer":      {NT: 90, RTSTC: 198, RTSTWC: 405, NV: 973, ECVSTC: 56, ECVSTWC: 24, ECTSTC: 16, ECTSTWC: 1},
+	"libquantum": {NT: 13, RTSTC: 33, RTSTWC: 44, NV: 58, ECVSTC: 9, ECVSTWC: 4, ECTSTC: 5, ECTSTWC: 1},
+	"sjeng":      {NT: 29, RTSTC: 47, RTSTWC: 73, NV: 130, ECVSTC: 19, ECVSTWC: 9, ECTSTC: 7, ECTSTWC: 1},
+	"h264ref":    {NT: 116, RTSTC: 252, RTSTWC: 354, NV: 727, ECVSTC: 48, ECVSTWC: 23, ECTSTC: 15, ECTSTWC: 1},
+	"lbm":        {NT: 14, RTSTC: 14, RTSTWC: 20, NV: 33, ECVSTC: 12, ECVSTWC: 7, ECTSTC: 4, ECTSTWC: 1},
+	"omnetpp":    {NT: 255, RTSTC: 558, RTSTWC: 1241, NV: 2458, ECVSTC: 94, ECVSTWC: 26, ECTSTC: 31, ECTSTWC: 1},
+	"astar":      {NT: 36, RTSTC: 59, RTSTWC: 98, NV: 156, ECVSTC: 18, ECVSTWC: 11, ECTSTC: 12, ECTSTWC: 1},
+	"sphinx3":    {NT: 88, RTSTC: 188, RTSTWC: 321, NV: 686, ECVSTC: 36, ECVSTWC: 20, ECTSTC: 12, ECTSTWC: 1},
+	"xalancbmk":  {NT: 2558, RTSTC: 7503, RTSTWC: 14073, NV: 32097, ECVSTC: 603, ECVSTWC: 122, ECTSTC: 206, ECTSTWC: 1},
+}
+
+// spec2006Order fixes the row order of Table 3.
+var spec2006Order = []string{
+	"perlbench", "bzip2", "mcf", "milc", "namd", "gobmk", "dealII",
+	"soplex", "povray", "hmmer", "libquantum", "sjeng", "h264ref", "lbm",
+	"omnetpp", "astar", "sphinx3", "xalancbmk",
+}
+
+// SPEC2006Names lists the benchmark names in table order.
+func SPEC2006Names() []string { return spec2006Order }
+
+// SPEC2006Perf returns the execution-sized SPEC CPU2006 suite used for
+// the Figure 9/10 overhead measurements: full per-benchmark hot-loop
+// mixes over a compact static structure.
+func SPEC2006Perf() []*Benchmark {
+	var out []*Benchmark
+	for _, name := range spec2006Order {
+		mix := spec2006Mix[name]
+		b := Generate(Config{
+			Name: name, Suite: "SPEC2006",
+			Structs: 8, PtrVars: 48, ColdFns: 6, CastRate: 25,
+			Iters: 2500, ChainLen: 24,
+			DerefOps: mix.deref, CallOps: mix.call, CastOps: mix.cast,
+			ArithOps: mix.arith, FloatOps: mix.flt,
+			Seed: hashName(name),
+		})
+		b.PaperTable3 = spec2006Table3[name]
+		out = append(out, b)
+	}
+	return out
+}
+
+// SPEC2006Static returns the analysis-sized SPEC CPU2006 suite used for
+// the Table 3 reproduction: the generator is parameterized with the
+// paper's own NT and NV counts so the equivalence-class statistics are
+// computed over a pointer population of the published size and shape.
+// (These programs are large; they are analyzed, not executed.)
+func SPEC2006Static() []*Benchmark {
+	var out []*Benchmark
+	// The published suite-wide pointer-to-pointer census (7,489 sites, 25
+	// special across all of SPEC2006) is distributed over the benchmarks
+	// proportionally to their pointer population.
+	totalNV := 0
+	for _, row := range spec2006Table3 {
+		totalNV += row.NV
+	}
+	for _, name := range spec2006Order {
+		row := spec2006Table3[name]
+		mix := spec2006Mix[name]
+		structs := row.NT * 3 / 4 // the rest of NT comes from scalar pointer types
+		if structs < 1 {
+			structs = 1
+		}
+		ppPlain := row.NV * 6800 / totalNV
+		ppSpecial := row.NV * 25 / totalNV
+		vars := row.NV - 3*structs - row.ECVSTWC - row.ECVSTC - ppPlain - ppSpecial
+		if vars < 8 {
+			vars = 8
+		}
+		b := Generate(Config{
+			Name: name, Suite: "SPEC2006",
+			Structs: structs, PtrVars: vars, ColdFns: maxInt(4, vars/8),
+			CastRate:    20 + mix.cast*10,
+			Popular:     row.ECVSTWC,
+			SharedCasts: row.ECVSTC,
+			PPPlain:     ppPlain,
+			PPSpecial:   ppSpecial,
+			Iters:       1, ChainLen: 2,
+			DerefOps: 1, ArithOps: 1,
+			Seed: hashName(name),
+		})
+		b.PaperNT = row.NT
+		b.PaperNV = row.NV
+		b.PaperTable3 = row
+		out = append(out, b)
+	}
+	return out
+}
+
+// spec2017 lists the Figure 9 benchmarks: the int-rate/speed pairs first,
+// then the float set, as the figure's x-axis does.
+var spec2017Order = []string{
+	"500.perlbench_r", "505.mcf_r", "520.omnetpp_r", "523.xalancbmk_r",
+	"531.deepsjeng_r", "541.leela_r", "557.xz_r",
+	"600.perlbench_s", "605.mcf_s", "620.omnetpp_s", "623.xalancbmk_s",
+	"631.deepsjeng_s", "641.leela_s", "657.xz_s",
+	"508.namd_r", "510.parsret_r", "511.povray_r", "519.lbm_r",
+	"538.imagick_r", "544.nab_r", "619.lbm_s", "638.imagick_s", "644.nab_s",
+}
+
+var spec2017Mix = map[string]specMix{
+	"perlbench": {13, 3, 6, 2, 0},
+	"mcf":       {8, 0, 2, 8, 0},
+	"omnetpp":   {10, 2, 5, 4, 0},
+	"xalancbmk": {13, 3, 6, 2, 0},
+	"deepsjeng": {4, 1, 1, 16, 0},
+	"leela":     {5, 1, 1, 12, 0},
+	"xz":        {3, 0, 1, 22, 0},
+	"namd":      {1, 0, 0, 8, 40},
+	"parsret":   {5, 1, 2, 8, 10},
+	"povray":    {12, 2, 6, 4, 6},
+	"lbm":       {1, 0, 0, 6, 60},
+	"imagick":   {1, 0, 0, 8, 44},
+	"nab":       {2, 0, 1, 8, 30},
+}
+
+// SPEC2017Names lists the Figure 9 benchmark names in order.
+func SPEC2017Names() []string { return spec2017Order }
+
+// SPEC2017 returns the execution-sized SPEC CPU2017 suite. The _r (rate)
+// and _s (speed) builds of a benchmark share the instruction mix and
+// differ in iteration count, as the real suites differ in input size.
+func SPEC2017() []*Benchmark {
+	var out []*Benchmark
+	for _, full := range spec2017Order {
+		base := full[4 : len(full)-2] // strip "NNN." and "_r"/"_s"
+		mix, ok := spec2017Mix[base]
+		if !ok {
+			panic(fmt.Sprintf("workload: no mix for %q", base))
+		}
+		iters := 2500
+		if full[len(full)-1] == 's' {
+			iters = 3500
+		}
+		out = append(out, Generate(Config{
+			Name: full, Suite: "SPEC2017",
+			Structs: 8, PtrVars: 48, ColdFns: 6, CastRate: 25,
+			Iters: iters, ChainLen: 24,
+			DerefOps: mix.deref, CallOps: mix.call, CastOps: mix.cast,
+			ArithOps: mix.arith, FloatOps: mix.flt,
+			Seed: hashName(full),
+		}))
+	}
+	return out
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,350 @@
+// Package workload provides the benchmark programs the performance
+// evaluation runs: deterministic synthetic substitutes for SPEC CPU2006,
+// SPEC CPU2017, nbench, the CPython PyTorch benchmarks, and NGINX.
+//
+// Real SPEC sources are licensed and enormous; what the paper's overhead
+// numbers actually depend on is (a) each benchmark's pointer structure —
+// how many types, variables and casts the STI analysis sees (Table 3
+// reports exactly these counts) — and (b) each benchmark's dynamic density
+// of pointer loads/stores relative to plain computation, which the paper
+// shows correlates with overhead at Pearson 0.75–0.8. The generator
+// therefore reproduces both: the SPEC2006 generators take the paper's own
+// published NT (types) and NV (pointer variables) as inputs, and every
+// benchmark has a pointer-intensity knob that sets the hot loop's mix of
+// pointer chasing, indirect calls, casts and arithmetic.
+//
+// Everything is seeded and deterministic: the same Benchmark always
+// generates byte-identical source.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"rsti/internal/sti"
+)
+
+// Benchmark is one runnable workload.
+type Benchmark struct {
+	Suite string // "SPEC2006", "SPEC2017", "nbench", "CPython", "NGINX"
+	Name  string
+	// Source is the program text (generated or hand-written).
+	Source string
+	// PaperNT / PaperNV are the published Table 3 inputs when the
+	// generator was parameterized from the paper (SPEC2006 only).
+	PaperNT, PaperNV int
+	// PaperTable3 holds the paper's published Table 3 row for side-by-side
+	// reporting (zero for suites the paper doesn't tabulate).
+	PaperTable3 Table3Row
+}
+
+// Table3Row mirrors the columns of the paper's Table 3.
+type Table3Row struct {
+	NT, RTSTC, RTSTWC, NV            int
+	ECVSTC, ECVSTWC, ECTSTC, ECTSTWC int
+}
+
+// PaperGeomeans records the paper's reported geometric-mean overheads per
+// suite (Figure 9, §6.3.2) for STWC, STC and STL, in percent.
+var PaperGeomeans = map[string]map[sti.Mechanism]float64{
+	"SPEC2017": {sti.STWC: 6.86, sti.STC: 3.17, sti.STL: 12.70},
+	"SPEC2006": {sti.STWC: 8.42, sti.STC: 5.36, sti.STL: 21.47},
+	"nbench":   {sti.STWC: 1.54, sti.STC: 0.52, sti.STL: 2.78},
+	"CPython":  {sti.STWC: 5.01, sti.STC: 3.44, sti.STL: 10.80},
+	"NGINX":    {sti.STWC: 5.98, sti.STC: 3.93, sti.STL: 12.76},
+	"all":      {sti.STWC: 5.29, sti.STC: 2.97, sti.STL: 11.12},
+}
+
+// PaperPARTSNbench is PARTS' published nbench mean overhead (percent).
+const PaperPARTSNbench = 19.5
+
+// Config parameterizes the synthetic program generator.
+type Config struct {
+	Name  string
+	Suite string
+
+	// Static structure (drives Table 3-style statistics).
+	Structs  int // distinct composite types with pointer fields
+	PtrVars  int // total pointer variables to declare across functions
+	ColdFns  int // functions holding the cold pointer population
+	CastRate int // percent of cold vars initialized through a void* cast
+
+	// Equivalence-class shaping (Table 3 targets).
+	Popular     int // same-type globals read from one function: sets the largest ECV under STWC
+	SharedCasts int // cold vars cast into one shared void*: sets the largest ECV under STC
+	// Pointer-to-pointer site population (§6.2.2 census).
+	PPPlain   int // T** uses that keep their type (no CE/FE needed)
+	PPSpecial int // T** cast to void** and passed (CE/FE sites)
+
+	// Dynamic hot loop (drives overhead).
+	Iters    int // hot loop iterations
+	ChainLen int // linked-structure length walked per iteration
+	DerefOps int // pointer loads/stores per iteration in the hot worker
+	CallOps  int // indirect calls per iteration
+	ArithOps int // plain integer ops per iteration (dilutes overhead)
+	FloatOps int // float ops per iteration (numeric benchmarks)
+	CastOps  int // hot-path void* casts per iteration
+
+	Seed uint64
+}
+
+// rng is splitmix64: tiny, seedable, deterministic.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Generate renders the benchmark program for a config.
+func Generate(cfg Config) *Benchmark {
+	if cfg.Structs < 1 {
+		cfg.Structs = 1
+	}
+	if cfg.ChainLen < 1 {
+		cfg.ChainLen = 1
+	}
+	if cfg.ColdFns < 1 {
+		cfg.ColdFns = 1
+	}
+	r := &rng{s: cfg.Seed ^ 0xbadc0ffee}
+	var b strings.Builder
+
+	// --- Composite types: each node type has a self-typed chain link, a
+	// cross-type peer pointer (forming a ring of types), and an
+	// indirect-call slot (the shape of Figure 6).
+	for i := 0; i < cfg.Structs; i++ {
+		fmt.Fprintf(&b, "struct T%d { long val; struct T%d *next; struct T%d *peer; long (*fn)(long); };\n",
+			i, i, (i+1)%cfg.Structs)
+	}
+
+	// --- Indirect call targets.
+	b.WriteString("long op_add(long x) { return x + 3; }\n")
+	b.WriteString("long op_mul(long x) { return x * 5; }\n")
+	b.WriteString("long op_mix(long x) { return (x << 1) ^ (x >> 3); }\n")
+
+	// --- Global roots: one chain head per struct type.
+	for i := 0; i < cfg.Structs; i++ {
+		fmt.Fprintf(&b, "struct T%d *root%d;\n", i, i)
+	}
+	b.WriteString("long acc;\n")
+
+	// --- Setup: build each type's chain on the heap.
+	b.WriteString("void setup(void) {\n")
+	for i := 0; i < cfg.Structs; i++ {
+		fmt.Fprintf(&b, "\troot%d = (struct T%d*) malloc(sizeof(struct T%d));\n", i, i, i)
+		fmt.Fprintf(&b, "\troot%d->val = %d;\n", i, i+1)
+		fmt.Fprintf(&b, "\troot%d->fn = op_%s;\n", i, []string{"add", "mul", "mix"}[i%3])
+		fmt.Fprintf(&b, "\troot%d->next = NULL;\n", i)
+	}
+	// Link the peer ring.
+	for i := 0; i < cfg.Structs; i++ {
+		fmt.Fprintf(&b, "\troot%d->peer = root%d;\n", i, (i+1)%cfg.Structs)
+	}
+	// Extend type 0's chain to ChainLen nodes.
+	fmt.Fprintf(&b, "\tstruct T0 *tail = root0;\n")
+	fmt.Fprintf(&b, "\tfor (int i = 1; i < %d; i++) {\n", cfg.ChainLen)
+	b.WriteString("\t\tstruct T0 *n = (struct T0*) malloc(sizeof(struct T0));\n")
+	b.WriteString("\t\tn->val = (long) i;\n")
+	b.WriteString("\t\tn->fn = op_add;\n")
+	b.WriteString("\t\tn->next = NULL;\n")
+	b.WriteString("\t\tn->peer = root0->peer;\n")
+	b.WriteString("\t\ttail->next = n;\n")
+	b.WriteString("\t\ttail = n;\n")
+	b.WriteString("\t}\n")
+	b.WriteString("}\n")
+
+	// --- Cold pointer population: functions declaring the pointer
+	// variables (and casts) that give the program its Table 3 footprint.
+	// Each is called once so its scope information is realistic.
+	// Popular pool: same-type globals all read from one function — they
+	// intern to a single RSTI-type whose member count is the program's
+	// largest ECV under STWC (Table 3's ECV column).
+	if cfg.Popular > 0 {
+		for i := 0; i < cfg.Popular; i++ {
+			fmt.Fprintf(&b, "char *pop%d;\n", i)
+		}
+		b.WriteString("long popular_reader(void) {\n\tlong sum = 0;\n")
+		for i := 0; i < cfg.Popular; i++ {
+			fmt.Fprintf(&b, "\tpop%d = \"p%d\";\n", i, i%10)
+			fmt.Fprintf(&b, "\tif (pop%d != NULL) sum += 1;\n", i)
+		}
+		b.WriteString("\treturn sum;\n}\n")
+	}
+	// Shared-cast pool: cold struct pointers all cast into one void*
+	// global; STC merges them into one class, whose size becomes the
+	// largest ECV under STC.
+	if cfg.SharedCasts > 0 {
+		b.WriteString("void *shared_sink;\n")
+		b.WriteString("long shared_caster(void) {\n\tlong sum = 0;\n")
+		for i := 0; i < cfg.SharedCasts; i++ {
+			st := r.intn(cfg.Structs)
+			fmt.Fprintf(&b, "\tstruct T%d *sc%d = NULL;\n", st, i)
+			fmt.Fprintf(&b, "\tshared_sink = (void*) sc%d;\n", i)
+			fmt.Fprintf(&b, "\tif (shared_sink == NULL) sum += 1;\n")
+		}
+		b.WriteString("\treturn sum;\n}\n")
+	}
+	// Pointer-to-pointer population (§6.2.2): plain T** uses keep their
+	// type; special sites cast to void** and pass onward, which is the
+	// case the CE/FE machinery exists for.
+	if cfg.PPPlain > 0 || cfg.PPSpecial > 0 {
+		// Spread the pointer-to-pointer population across the type ring
+		// and across many driver functions so no single escaped class
+		// dominates the equivalence statistics.
+		// Enough type diversity that no escaped class outgrows the
+		// benchmark's published largest ECV, but no more (extra T**
+		// helper types would distort NT).
+		ecv := cfg.Popular
+		if ecv < 8 {
+			ecv = 8
+		}
+		ppTypes := cfg.PPPlain/(ecv/2+1) + 1
+		if ppTypes > cfg.Structs {
+			ppTypes = cfg.Structs
+		}
+		if cfg.PPPlain > 0 && ppTypes > cfg.PPPlain {
+			ppTypes = cfg.PPPlain
+		}
+		for t := 0; t < ppTypes; t++ {
+			fmt.Fprintf(&b, "void pp_keep_%d(struct T%d **pp) { if (*pp != NULL) { *pp = NULL; } }\n", t, t)
+		}
+		b.WriteString("void pp_universal(void **pp) { if (*pp != NULL) { } }\n")
+		perDriver := 8
+		drivers := (cfg.PPPlain + cfg.PPSpecial + perDriver - 1) / perDriver
+		emittedPlain, emittedSpecial := 0, 0
+		for d := 0; d < drivers; d++ {
+			fmt.Fprintf(&b, "long pp_drive_%d(void) {\n\tlong sum = 0;\n", d)
+			for v := 0; v < perDriver; v++ {
+				if emittedPlain < cfg.PPPlain {
+					t := emittedPlain % ppTypes
+					fmt.Fprintf(&b, "\tstruct T%d *ppv%d = NULL;\n", t, v)
+					fmt.Fprintf(&b, "\tpp_keep_%d(&ppv%d);\n", t, v)
+					emittedPlain++
+				} else if emittedSpecial < cfg.PPSpecial {
+					st := r.intn(cfg.Structs)
+					fmt.Fprintf(&b, "\tstruct T%d *ppu%d = NULL;\n", st, v)
+					fmt.Fprintf(&b, "\tpp_universal((void**) &ppu%d);\n", v)
+					emittedSpecial++
+				}
+			}
+			b.WriteString("\treturn sum;\n}\n")
+		}
+		b.WriteString("long pp_drive(void) {\n\tlong sum = 0;\n")
+		for d := 0; d < drivers; d++ {
+			fmt.Fprintf(&b, "\tsum += pp_drive_%d();\n", d)
+		}
+		b.WriteString("\treturn sum;\n}\n")
+	}
+
+	perFn := cfg.PtrVars / cfg.ColdFns
+	if perFn < 1 {
+		perFn = 1
+	}
+	declared := 0
+	coldCount := 0
+	for f := 0; f < cfg.ColdFns && declared < cfg.PtrVars; f++ {
+		fmt.Fprintf(&b, "long cold_%d(void) {\n", f)
+		b.WriteString("\tlong sum = 0;\n")
+		// Each cold function concentrates on one or two struct types, as
+		// real functions do; same-typed same-scope variables then share
+		// an RSTI-type, keeping RT near the published NV/4 shape.
+		fnTypes := [2]int{r.intn(cfg.Structs), r.intn(cfg.Structs)}
+		for v := 0; v < perFn && declared < cfg.PtrVars; v++ {
+			st := fnTypes[v%2]
+			switch {
+			case r.intn(100) < cfg.CastRate:
+				// A cast-connected pair: void* alias of a struct
+				// pointer. NULL initialization keeps the pair isolated,
+				// so STC merging reflects the cast structure rather than
+				// collapsing everything reachable from the roots.
+				fmt.Fprintf(&b, "\tstruct T%d *p%d = NULL;\n", st, v)
+				fmt.Fprintf(&b, "\tvoid *q%d = (void*) p%d;\n", v, v)
+				fmt.Fprintf(&b, "\tif (q%d == NULL) sum += 1;\n", v)
+				declared += 2
+			case r.intn(3) == 0:
+				fmt.Fprintf(&b, "\tchar *s%d = \"cold%d\";\n", v, r.intn(50))
+				fmt.Fprintf(&b, "\tsum += (long) strlen(s%d);\n", v)
+				declared++
+			case r.intn(3) == 1:
+				fmt.Fprintf(&b, "\tconst char *c%d = \"ro%d\";\n", v, r.intn(50))
+				fmt.Fprintf(&b, "\tsum += (long) strlen(c%d);\n", v)
+				declared++
+			default:
+				fmt.Fprintf(&b, "\tstruct T%d *p%d = NULL;\n", st, v)
+				fmt.Fprintf(&b, "\tif (p%d == NULL) sum += %d;\n", v, v+1)
+				declared++
+			}
+		}
+		b.WriteString("\treturn sum;\n}\n")
+		coldCount++
+	}
+
+	// --- Hot worker: the loop body whose instruction mix sets the
+	// overhead. DerefOps pointer-chases, CallOps indirect calls, CastOps
+	// universal-pointer round trips, ArithOps/FloatOps plain computation.
+	b.WriteString("long work(struct T0 *start, long x) {\n")
+	b.WriteString("\tstruct T0 *cur = start;\n")
+	b.WriteString("\tlong s = x;\n")
+	for d := 0; d < cfg.DerefOps; d++ {
+		b.WriteString("\tif (cur->next != NULL) cur = cur->next;\n")
+		b.WriteString("\ts += cur->val;\n")
+	}
+	for c := 0; c < cfg.CallOps; c++ {
+		b.WriteString("\ts = cur->fn(s);\n")
+	}
+	for c := 0; c < cfg.CastOps; c++ {
+		fmt.Fprintf(&b, "\tvoid *v%d = (void*) cur;\n", c)
+		fmt.Fprintf(&b, "\tcur = (struct T0*) v%d;\n", c)
+	}
+	for a := 0; a < cfg.ArithOps; a++ {
+		fmt.Fprintf(&b, "\ts = (s * 33) + %d;\n", a+1)
+		b.WriteString("\ts = s ^ (s >> 7);\n")
+	}
+	if cfg.FloatOps > 0 {
+		b.WriteString("\tdouble f = 1.5;\n")
+		for a := 0; a < cfg.FloatOps; a++ {
+			b.WriteString("\tf = f * 1.000001 + 0.25;\n")
+		}
+		b.WriteString("\tif (f > 2.0) s += 1;\n")
+	}
+	b.WriteString("\treturn s;\n}\n")
+
+	// --- Main: setup, cold population, hot loop.
+	b.WriteString("int main(void) {\n")
+	b.WriteString("\tsetup();\n")
+	b.WriteString("\tacc = 0;\n")
+	if cfg.Popular > 0 {
+		b.WriteString("\tacc += popular_reader();\n")
+	}
+	if cfg.SharedCasts > 0 {
+		b.WriteString("\tacc += shared_caster();\n")
+	}
+	if cfg.PPPlain > 0 || cfg.PPSpecial > 0 {
+		b.WriteString("\tacc += pp_drive();\n")
+	}
+	for f := 0; f < coldCount; f++ {
+		fmt.Fprintf(&b, "\tacc += cold_%d();\n", f)
+	}
+	fmt.Fprintf(&b, "\tfor (int it = 0; it < %d; it++) {\n", cfg.Iters)
+	b.WriteString("\t\tacc = work(root0, acc);\n")
+	b.WriteString("\t}\n")
+	b.WriteString("\treturn (int)(acc & 127);\n")
+	b.WriteString("}\n")
+
+	return &Benchmark{
+		Suite:  cfg.Suite,
+		Name:   cfg.Name,
+		Source: b.String(),
+	}
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+)
+
+// TestAllBenchmarksCompileAndRunBaseline compiles and executes every
+// execution-sized benchmark uninstrumented.
+func TestAllBenchmarksCompileAndRunBaseline(t *testing.T) {
+	for suite, benches := range AllSuites() {
+		for _, b := range benches {
+			t.Run(suite+"/"+b.Name, func(t *testing.T) {
+				c, err := core.Compile(b.Source)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				res, err := c.Run(sti.None, core.RunConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil {
+					t.Fatalf("baseline run failed: %v", res.Err)
+				}
+			})
+		}
+	}
+}
+
+// TestBenchmarksSoundUnderAllMechanisms runs a representative benchmark
+// from each suite under every mechanism and demands identical results.
+func TestBenchmarksSoundUnderAllMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soundness sweep")
+	}
+	picks := []*Benchmark{
+		SPEC2017()[0],      // perlbench_r: pointer-heavy
+		SPEC2006Perf()[13], // lbm: float-heavy
+		NBench()[7],        // huffman: tree pointers
+		CPython()[4],       // object-dispatch
+		NGINX(),
+	}
+	for _, b := range picks {
+		t.Run(b.Suite+"/"+b.Name, func(t *testing.T) {
+			c, err := core.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var want int64
+			for i, mech := range sti.Mechanisms {
+				res, err := c.Run(mech, core.RunConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil {
+					t.Fatalf("%s: %v", mech, res.Err)
+				}
+				if i == 0 {
+					want = res.Exit
+				} else if res.Exit != want {
+					t.Errorf("%s: exit = %d, baseline = %d", mech, res.Exit, want)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "x", Suite: "t", Structs: 4, PtrVars: 20, ColdFns: 3,
+		CastRate: 30, Iters: 10, ChainLen: 4, DerefOps: 3, ArithOps: 2, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.Source != b.Source {
+		t.Error("generator is not deterministic")
+	}
+	cfg.Seed = 43
+	c := Generate(cfg)
+	if c.Source == a.Source {
+		t.Error("seed has no effect")
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	if n := len(SPEC2006Perf()); n != 18 {
+		t.Errorf("SPEC2006 = %d benchmarks, want 18", n)
+	}
+	if n := len(SPEC2017()); n != 23 {
+		t.Errorf("SPEC2017 = %d benchmarks, want 23", n)
+	}
+	if n := len(NBench()); n != 10 {
+		t.Errorf("nbench = %d benchmarks, want 10", n)
+	}
+	if n := len(CPython()); n != 8 {
+		t.Errorf("CPython = %d benchmarks, want 8", n)
+	}
+	if n := len(SPEC2006Static()); n != 18 {
+		t.Errorf("SPEC2006Static = %d, want 18", n)
+	}
+	for _, b := range SPEC2006Static() {
+		if b.PaperNT == 0 || b.PaperNV == 0 {
+			t.Errorf("%s: missing paper parameters", b.Name)
+		}
+	}
+}
+
+// TestStaticSuiteApproachesPaperCounts verifies the analysis-sized
+// SPEC2006 programs land near the paper's published NT and NV (they
+// parameterize the generator, so the analysis should recover numbers in
+// the same range).
+func TestStaticSuiteApproachesPaperCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes large generated programs")
+	}
+	for _, b := range SPEC2006Static()[:6] { // a prefix keeps the test fast
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		st := c.Analysis.Equivalence()
+		// Within a factor-of-two band of the published counts.
+		if st.NV < b.PaperNV/2 || st.NV > b.PaperNV*2 {
+			t.Errorf("%s: NV = %d, paper %d (outside 2x band)", b.Name, st.NV, b.PaperNV)
+		}
+		if st.NT < b.PaperNT/2 || st.NT > b.PaperNT*2 {
+			t.Errorf("%s: NT = %d, paper %d (outside 2x band)", b.Name, st.NT, b.PaperNT)
+		}
+		// Structural invariants of Table 3 hold by construction.
+		if st.RTSTC > st.RTSTWC {
+			t.Errorf("%s: RT(STC)=%d exceeds RT(STWC)=%d", b.Name, st.RTSTC, st.RTSTWC)
+		}
+		if st.LargestECTSTWC != 1 {
+			t.Errorf("%s: ECT(STWC) = %d, must be 1", b.Name, st.LargestECTSTWC)
+		}
+		if st.RTSTWC < st.NT {
+			t.Errorf("%s: RT(STWC)=%d below NT=%d — RSTI must refine types", b.Name, st.RTSTWC, st.NT)
+		}
+	}
+}
+
+// TestPointerIntensityOrdering checks the suites' relative overheads have
+// the right coarse ordering: nbench lowest.
+func TestPointerIntensityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks under instrumentation")
+	}
+	overhead := func(b *Benchmark) float64 {
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		base, err := c.Run(sti.None, core.RunConfig{})
+		if err != nil || base.Err != nil {
+			t.Fatalf("%s: %v %v", b.Name, err, base.Err)
+		}
+		prot, err := c.Run(sti.STWC, core.RunConfig{})
+		if err != nil || prot.Err != nil {
+			t.Fatalf("%s: %v %v", b.Name, err, prot.Err)
+		}
+		return core.Overhead(base, prot)
+	}
+	nb := overhead(NBench()[0])     // numeric sort: near zero
+	perl := overhead(SPEC2017()[0]) // perlbench: pointer heavy
+	if nb >= perl {
+		t.Errorf("nbench numeric-sort overhead %.3f >= perlbench %.3f", nb, perl)
+	}
+}

@@ -1,0 +1,163 @@
+// Package rsti is a Go reproduction of "Enforcing C/C++ Type and Scope at
+// Runtime for Control-Flow and Data-Flow Integrity" (ASPLOS 2024): the
+// Scope-Type Integrity (STI) policy and its three runtime enforcement
+// mechanisms (RSTI-STWC, RSTI-STC, RSTI-STL) built on ARM Pointer
+// Authentication.
+//
+// The package compiles programs written in a C subset, recovers every
+// pointer's programmer intent — basic type, scope, and permission — and
+// enforces it at runtime with PAC sign/authenticate instructions executed
+// by a modelled ARMv8.3 machine (QARMA-64, five PA keys, Top-Byte-Ignore).
+//
+// Quickstart:
+//
+//	p, err := rsti.Compile(src)                    // C subset in, analysis out
+//	res, err := p.Run(rsti.STWC)                   // protected execution
+//	if res.Detected() { ... }                      // a corrupted pointer trapped
+//
+// Attack experiments register corruption hooks that fire at the victim's
+// __hook(n) call sites, modelling an exploit's arbitrary-write primitive:
+//
+//	res, _ := p.Run(rsti.STWC, rsti.WithHook(1, func(m *vm.Machine) error {
+//		addr, _ := m.GlobalAddr("handler")
+//		tok, _ := m.FuncToken("evil")
+//		return m.Mem.Poke(addr, tok, 8)
+//	}))
+//
+// The mechanisms: None (baseline), PARTS (type-only prior work), STWC,
+// STC and STL (the paper's contributions, ordered by strictness), and
+// Adaptive (the paper's §7 future-work proposal).
+package rsti
+
+import (
+	"io"
+
+	"rsti/internal/core"
+	"rsti/internal/rsti"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// Mechanism selects a defense; see the constants below.
+type Mechanism = sti.Mechanism
+
+// The available mechanisms.
+const (
+	// None runs without any instrumentation.
+	None = sti.None
+	// PARTS is the prior-work baseline: PAC modifiers carry only the
+	// pointer's basic type.
+	PARTS = sti.PARTS
+	// STWC is RSTI Scope-Type Without Combining.
+	STWC = sti.STWC
+	// STC is RSTI Scope-Type with Combining (cast-compatible types merge).
+	STC = sti.STC
+	// STL is RSTI Scope-Type with Location (modifiers include &p).
+	STL = sti.STL
+	// Adaptive is the extension realizing the paper's §7 future-work
+	// proposal: location binding only for equivalence classes large
+	// enough that replay is a credible threat.
+	Adaptive = sti.Adaptive
+)
+
+// Mechanisms lists every mechanism in evaluation order.
+var Mechanisms = sti.Mechanisms
+
+// RSTIMechanisms lists the paper's three contributions.
+var RSTIMechanisms = sti.RSTIMechanisms
+
+// Program is a compiled and STI-analyzed program, ready to instrument and
+// run under any mechanism.
+type Program struct {
+	c *core.Compilation
+}
+
+// Compile parses, checks, lowers, and analyzes a program written in the
+// supported C subset (see package internal/cminor for the exact grammar).
+func Compile(src string) (*Program, error) {
+	c, err := core.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// Analysis exposes the STI analysis results: RSTI-types, scopes,
+// equivalence classes, the pointer-to-pointer census.
+func (p *Program) Analysis() *sti.Analysis { return p.c.Analysis }
+
+// Equivalence returns the program's Table 3-style equivalence-class
+// statistics.
+func (p *Program) Equivalence() sti.EquivStats { return p.c.Analysis.Equivalence() }
+
+// InstrumentationStats reports the static instrumentation the given
+// mechanism inserts.
+func (p *Program) InstrumentationStats(mech Mechanism) (*rsti.Stats, error) {
+	b, err := p.c.Build(mech)
+	if err != nil {
+		return nil, err
+	}
+	return b.Stats, nil
+}
+
+// DumpIR renders the (instrumented) intermediate representation, with pac
+// and aut instructions visible — the equivalent of inspecting the paper's
+// protected binary.
+func (p *Program) DumpIR(mech Mechanism) (string, error) {
+	b, err := p.c.Build(mech)
+	if err != nil {
+		return "", err
+	}
+	return b.Prog.String(), nil
+}
+
+// Result is one execution's outcome.
+type Result = core.RunResult
+
+// RunOption configures an execution.
+type RunOption func(*core.RunConfig)
+
+// WithHook registers an attack callback for the __hook(id) sites in the
+// program.
+func WithHook(id int64, h vm.Hook) RunOption {
+	return func(cfg *core.RunConfig) {
+		if cfg.Hooks == nil {
+			cfg.Hooks = make(map[int64]vm.Hook)
+		}
+		cfg.Hooks[id] = h
+	}
+}
+
+// WithExtern supplies a Go implementation for an extern function.
+func WithExtern(name string, fn func(*vm.Machine, []uint64) (uint64, error)) RunOption {
+	return func(cfg *core.RunConfig) {
+		if cfg.Externs == nil {
+			cfg.Externs = make(map[string]func(*vm.Machine, []uint64) (uint64, error))
+		}
+		cfg.Externs[name] = fn
+	}
+}
+
+// WithOutput directs the program's printf/puts output to w.
+func WithOutput(w io.Writer) RunOption {
+	return func(cfg *core.RunConfig) { cfg.Output = w }
+}
+
+// WithOptions overrides the VM configuration (memory sizes, step budget,
+// PA layout, cost model).
+func WithOptions(opts vm.Options) RunOption {
+	return func(cfg *core.RunConfig) { cfg.Options = opts }
+}
+
+// Run executes the program under the given mechanism.
+func (p *Program) Run(mech Mechanism, opts ...RunOption) (*Result, error) {
+	var cfg core.RunConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return p.c.Run(mech, cfg)
+}
+
+// Overhead computes the relative cycle overhead of a protected run over a
+// baseline run of the same program.
+func Overhead(base, protected *Result) float64 { return core.Overhead(base, protected) }

@@ -1,0 +1,153 @@
+package rsti_test
+
+import (
+	"strings"
+	"testing"
+
+	"rsti"
+	"rsti/internal/vm"
+)
+
+const demoSrc = `
+	int benign(void) { return 7; }
+	int evil(void) { return 666; }
+	int (*handler)(void);
+	int main(void) {
+		handler = benign;
+		__hook(1);
+		printf("calling handler\n");
+		return handler();
+	}
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	p, err := rsti.Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	res, err := p.Run(rsti.STWC, rsti.WithOutput(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("benign run trapped: %v", res.Err)
+	}
+	if res.Exit != 7 {
+		t.Errorf("exit = %d, want 7", res.Exit)
+	}
+	if !strings.Contains(out.String(), "calling handler") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestPublicAPIAttackDetection(t *testing.T) {
+	p, err := rsti.Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hijack := rsti.WithHook(1, func(m *vm.Machine) error {
+		addr, _ := m.GlobalAddr("handler")
+		tok, _ := m.FuncToken("evil")
+		return m.Mem.Poke(addr, tok, 8)
+	})
+
+	base, err := p.Run(rsti.None, hijack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Exit != 666 {
+		t.Fatalf("baseline hijack failed: exit = %d", base.Exit)
+	}
+	for _, mech := range rsti.RSTIMechanisms {
+		res, err := p.Run(mech, hijack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected() {
+			t.Errorf("%s: hijack undetected", mech)
+		}
+	}
+}
+
+func TestPublicAPIIntrospection(t *testing.T) {
+	p, err := rsti.Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := p.Equivalence()
+	if eq.NV == 0 {
+		t.Error("no pointer variables found")
+	}
+	st, err := p.InstrumentationStats(rsti.STWC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() == 0 {
+		t.Error("no instrumentation inserted")
+	}
+	ir, err := p.DumpIR(rsti.STWC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ir, "pac") || !strings.Contains(ir, "aut") {
+		t.Error("dumped IR shows no PA instructions")
+	}
+	if none, _ := p.DumpIR(rsti.None); strings.Contains(none, " = pac ") {
+		t.Error("baseline IR contains PA instructions")
+	}
+}
+
+func TestPublicAPIOverhead(t *testing.T) {
+	p, err := rsti.Compile(`
+		struct n { int v; struct n *next; };
+		int main(void) {
+			struct n *head = NULL;
+			for (int i = 0; i < 50; i++) {
+				struct n *x = (struct n*) malloc(sizeof(struct n));
+				x->v = i;
+				x->next = head;
+				head = x;
+			}
+			int s = 0;
+			for (struct n *c = head; c != NULL; c = c->next) s += c->v;
+			return s & 127;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Run(rsti.None)
+	if err != nil || base.Err != nil {
+		t.Fatalf("%v %v", err, base.Err)
+	}
+	prot, err := p.Run(rsti.STL)
+	if err != nil || prot.Err != nil {
+		t.Fatalf("%v %v", err, prot.Err)
+	}
+	if base.Exit != prot.Exit {
+		t.Errorf("exit mismatch: %d vs %d", base.Exit, prot.Exit)
+	}
+	if rsti.Overhead(base, prot) <= 0 {
+		t.Error("protection reported no overhead on a pointer-heavy program")
+	}
+}
+
+func TestPublicAPIWithExtern(t *testing.T) {
+	p, err := rsti.Compile(`
+		extern long answer(void);
+		int main(void) { return (int) answer(); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(rsti.STC, rsti.WithExtern("answer", func(m *vm.Machine, args []uint64) (uint64, error) {
+		return 42, nil
+	}))
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if res.Exit != 42 {
+		t.Errorf("exit = %d", res.Exit)
+	}
+}

@@ -1,0 +1,51 @@
+/* A small program exercising most of the cminor subset; compile it with:
+ *   go run ./cmd/rstic -types -equiv testdata/demo.c
+ *   go run ./cmd/rstirun -all testdata/demo.c
+ */
+enum Op { ADD, MUL, XOR };
+
+struct task {
+	int op;
+	long a, b;
+	long (*run)(long a, long b);
+	struct task *next;
+};
+
+long do_add(long a, long b) { return a + b; }
+long do_mul(long a, long b) { return a * b; }
+long do_xor(long a, long b) { return a ^ b; }
+
+struct task *queue;
+
+void enqueue(int op, long a, long b) {
+	struct task *t = (struct task*) malloc(sizeof(struct task));
+	t->op = op;
+	t->a = a;
+	t->b = b;
+	switch (op) {
+	case ADD: t->run = do_add; break;
+	case MUL: t->run = do_mul; break;
+	default:  t->run = do_xor;
+	}
+	t->next = queue;
+	queue = t;
+}
+
+long drain(void) {
+	long acc = 0;
+	while (queue != NULL) {
+		struct task *t = queue;
+		queue = t->next;
+		acc += t->run(t->a, t->b);
+	}
+	return acc;
+}
+
+int main(void) {
+	for (int i = 1; i <= 5; i++) {
+		enqueue(i % 3, (long) i, (long) (i + 1));
+	}
+	long total = drain();
+	printf("total=%ld\n", total);
+	return (int)(total & 127);
+}

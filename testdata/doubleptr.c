@@ -1,0 +1,14 @@
+/* The paper's Figure 7 pointer-to-pointer pattern. */
+struct node { int key; struct node *next; };
+
+void reset_via_universal(void **pp) {
+	if (*pp != NULL) { *pp = NULL; }
+}
+
+int main(void) {
+	struct node *p = (struct node*) malloc(sizeof(struct node));
+	p->key = 41;
+	reset_via_universal((void**) &p);
+	if (p == NULL) return 0;
+	return 1;
+}

@@ -1,0 +1,13 @@
+/* A victim with an attack injection point; see examples/quickstart for how
+ * to drive the corruption from Go. Benignly it prints "pong" and exits 0.
+ */
+int handle_ping(void) { printf("pong\n"); return 0; }
+int handle_evil(void) { printf("pwned\n"); return 66; }
+
+int (*dispatch)(void);
+
+int main(void) {
+	dispatch = handle_ping;
+	__hook(1);
+	return dispatch();
+}
