@@ -13,6 +13,14 @@
 //	rstibench -table3    # equivalence classes only
 //	rstibench -pp        # pointer-to-pointer census only
 //	rstibench -parts     # nbench PARTS comparison only
+//
+// With -benchjson it instead runs the benchmark-trajectory harness: a
+// measurement pass over the host-side hot paths (cipher, PAC unit,
+// compiler stages, interpreter, Figure 9 wall-clock) appended as one
+// labelled datapoint to BENCH_RESULTS.json (see -benchout/-benchlabel),
+// building the repo's performance history:
+//
+//	rstibench -benchjson -benchlabel pr1
 package main
 
 import (
@@ -33,6 +41,9 @@ func main() {
 	parts := flag.Bool("parts", false, "nbench PARTS comparison (§6.3.2)")
 	ablations := flag.Bool("ablations", false, "design-choice ablation studies")
 	replay := flag.Bool("replay", false, "replay attack surface per mechanism (§7)")
+	benchjson := flag.Bool("benchjson", false, "run the benchmark-trajectory harness and append a datapoint")
+	benchout := flag.String("benchout", "BENCH_RESULTS.json", "trajectory file for -benchjson")
+	benchlabel := flag.String("benchlabel", "dev", "datapoint label for -benchjson")
 	flag.Parse()
 
 	all := !*fig9 && !*fig10 && !*table1 && !*table3 && !*pp && !*parts && !*ablations && !*replay
@@ -40,6 +51,19 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "rstibench:", err)
 		os.Exit(1)
+	}
+
+	if *benchjson {
+		rec, err := eval.MeasureBenchTrajectory(*benchlabel)
+		if err != nil {
+			fail(err)
+		}
+		if err := eval.AppendBenchRecord(*benchout, rec); err != nil {
+			fail(err)
+		}
+		fmt.Println(rec.Summary())
+		fmt.Printf("appended to %s\n", *benchout)
+		return
 	}
 
 	if all || *table1 {

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"rsti/internal/cminor"
 	"rsti/internal/lower"
@@ -17,12 +18,15 @@ import (
 )
 
 // Compilation is a fully analyzed program plus its per-mechanism
-// instrumented builds (built lazily and cached).
+// instrumented builds (built lazily and cached). A Compilation may be
+// shared — eval's compilation cache hands the same one to several
+// measurements — so the build cache is guarded by a mutex.
 type Compilation struct {
 	File     *cminor.File
 	Prog     *mir.Program
 	Analysis *sti.Analysis
 
+	mu     sync.Mutex
 	builds map[sti.Mechanism]*Build
 }
 
@@ -53,6 +57,8 @@ func Compile(src string) (*Compilation, error) {
 
 // Build instruments the program under the given mechanism (cached).
 func (c *Compilation) Build(mech sti.Mechanism) (*Build, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if b, ok := c.builds[mech]; ok {
 		return b, nil
 	}

@@ -1,0 +1,221 @@
+package eval
+
+// Benchmark-trajectory harness: one self-contained measurement pass over
+// the reproduction's host-side hot paths, serialized as a datapoint in
+// BENCH_RESULTS.json. Each optimization PR appends a labelled record, so
+// the file accumulates the repo's performance history and any regression
+// shows up as a drop between adjacent records. The modelled numbers
+// (cycles, overhead percentages) recorded here double as an invariant
+// trace: they must stay bit-identical across host-side optimization.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rsti/internal/cminor"
+	"rsti/internal/core"
+	"rsti/internal/lower"
+	"rsti/internal/pa"
+	"rsti/internal/qarma"
+	"rsti/internal/rsti"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+	"rsti/internal/workload"
+)
+
+// BenchRecord is one datapoint of the benchmark trajectory.
+type BenchRecord struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// Host-side throughput.
+	QarmaEncryptNsPerOp     float64            `json:"qarma_encrypt_ns_per_op"`
+	PACSignWarmNsPerOp      float64            `json:"pac_sign_warm_ns_per_op"`
+	PipelineStageNsPerOp    map[string]float64 `json:"pipeline_stage_ns_per_op"`
+	InterpreterInstrsPerSec float64            `json:"interpreter_instrs_per_sec"`
+	PACCacheHitRate         float64            `json:"pac_cache_hit_rate"`
+	Figure9WallSeconds      float64            `json:"figure9_wall_seconds"`
+
+	// Modelled invariants: host optimization must never move these.
+	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
+	GoldenCycles      map[string]int64   `json:"golden_cycles"`
+}
+
+// timeOp measures fn's best-of-runs time per op in nanoseconds.
+func timeOp(runs, opsPerRun int, fn func()) float64 {
+	best := 0.0
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		fn()
+		ns := float64(time.Since(start).Nanoseconds()) / float64(opsPerRun)
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// MeasureBenchTrajectory runs the full measurement pass.
+func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
+	rec := &BenchRecord{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+
+		PipelineStageNsPerOp: make(map[string]float64),
+		Figure9GeomeanPct:    make(map[string]float64),
+		GoldenCycles:         make(map[string]int64),
+	}
+
+	// QARMA cipher throughput.
+	cipher := qarma.New(0x84be85ce9804e94b, 0xec2802d4e0a488e9, qarma.StandardRounds)
+	var sink uint64
+	rec.QarmaEncryptNsPerOp = timeOp(5, 200_000, func() {
+		for i := 0; i < 200_000; i++ {
+			sink ^= cipher.Encrypt(uint64(i), 0x477d469dec0b8762)
+		}
+	})
+
+	// Warm PAC sign throughput (memoization hit path).
+	unit := pa.NewUnit(pa.DefaultConfig(), pa.GenerateKeys(1))
+	rec.PACSignWarmNsPerOp = timeOp(5, 200_000, func() {
+		for i := 0; i < 200_000; i++ {
+			sink ^= unit.Sign(0x4000_1234, pa.KeyDA, 0x42)
+		}
+	})
+	_ = sink
+
+	// Compiler pipeline stage throughput on a Table 3-sized program.
+	src := workload.SPEC2006Static()[1].Source
+	f, err := cminor.Frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.Lower(f)
+	if err != nil {
+		return nil, err
+	}
+	an := sti.Analyze(prog)
+	rec.PipelineStageNsPerOp["frontend"] = timeOp(5, 1, func() { cminor.Frontend(src) })
+	rec.PipelineStageNsPerOp["lower"] = timeOp(5, 1, func() { lower.Lower(f) })
+	rec.PipelineStageNsPerOp["analyze"] = timeOp(5, 1, func() { sti.Analyze(prog) })
+	rec.PipelineStageNsPerOp["instrument"] = timeOp(5, 1, func() { rsti.Instrument(prog, an, sti.STWC) })
+
+	// Interpreter throughput (modelled instructions per host second) on an
+	// uninstrumented SPEC2017 run, best of three.
+	interp := workload.SPEC2017()[0]
+	fi, err := cminor.Frontend(interp.Source)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := lower.Lower(fi)
+	if err != nil {
+		return nil, err
+	}
+	bestPerSec := 0.0
+	for r := 0; r < 3; r++ {
+		m := vm.New(pi, vm.DefaultOptions())
+		start := time.Now()
+		if _, err := m.Run(); err != nil {
+			return nil, err
+		}
+		perSec := float64(m.Stats.Instrs) / time.Since(start).Seconds()
+		if perSec > bestPerSec {
+			bestPerSec = perSec
+		}
+	}
+	rec.InterpreterInstrsPerSec = bestPerSec
+
+	// PAC-cache hit rate and golden modelled cycles on the fixed
+	// workloads the golden regression test pins.
+	goldens := []*workload.Benchmark{workload.SPEC2017()[0], workload.NBench()[0]}
+	for _, b := range goldens {
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			return nil, err
+		}
+		for _, mech := range []sti.Mechanism{sti.None, sti.STWC, sti.STC, sti.STL} {
+			res, err := c.Run(mech, core.RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			if res.Err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", b.Name, mech, res.Err)
+			}
+			rec.GoldenCycles[b.Name+"/"+mech.String()] = res.Stats.Cycles
+			if b.Suite == "SPEC2017" && mech == sti.STL {
+				rec.PACCacheHitRate = res.Stats.PACCacheHitRate()
+			}
+		}
+	}
+
+	// Figure 9 wall-clock and (invariant) overall geomeans.
+	start := time.Now()
+	fig, err := MeasureFigure9()
+	if err != nil {
+		return nil, err
+	}
+	rec.Figure9WallSeconds = time.Since(start).Seconds()
+	for mech, g := range fig.Overall {
+		rec.Figure9GeomeanPct[mech.String()] = g * 100
+	}
+	return rec, nil
+}
+
+// AppendBenchRecord appends rec to the JSON trajectory at path (created if
+// absent), keeping all previous datapoints.
+func AppendBenchRecord(path string, rec *BenchRecord) error {
+	var records []BenchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("bench trajectory %s is not a record array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	records = append(records, *rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders the record as a human-readable report.
+func (r *BenchRecord) Summary() string {
+	return fmt.Sprintf(
+		"bench trajectory datapoint %q (%s, %s/%s, %d cpus)\n"+
+			"  qarma encrypt:        %8.1f ns/op\n"+
+			"  pac sign (warm):      %8.1f ns/op\n"+
+			"  frontend:             %8.2f ms\n"+
+			"  lower:                %8.2f ms\n"+
+			"  analyze:              %8.2f ms\n"+
+			"  instrument:           %8.2f ms\n"+
+			"  interpreter:          %8.1f M instrs/s\n"+
+			"  pac cache hit rate:   %8.2f %%\n"+
+			"  figure 9 wall clock:  %8.1f s\n"+
+			"  figure 9 geomeans:    STWC %.3f%%  STC %.3f%%  STL %.3f%%",
+		r.Label, r.GoVersion, r.GOOS, r.GOARCH, r.CPUs,
+		r.QarmaEncryptNsPerOp,
+		r.PACSignWarmNsPerOp,
+		r.PipelineStageNsPerOp["frontend"]/1e6,
+		r.PipelineStageNsPerOp["lower"]/1e6,
+		r.PipelineStageNsPerOp["analyze"]/1e6,
+		r.PipelineStageNsPerOp["instrument"]/1e6,
+		r.InterpreterInstrsPerSec/1e6,
+		r.PACCacheHitRate*100,
+		r.Figure9WallSeconds,
+		r.Figure9GeomeanPct[sti.STWC.String()],
+		r.Figure9GeomeanPct[sti.STC.String()],
+		r.Figure9GeomeanPct[sti.STL.String()])
+}

@@ -250,11 +250,12 @@ type Table3Entry struct {
 
 // MeasureTable3 analyzes the full-size SPEC2006 static programs and
 // computes the equivalence-class statistics plus the §6.2.2
-// pointer-to-pointer census.
+// pointer-to-pointer census. Compilations are shared with the other
+// static-analysis measurements through compileCached.
 func MeasureTable3() ([]Table3Entry, error) {
 	var out []Table3Entry
 	for _, b := range workload.SPEC2006Static() {
-		c, err := core.Compile(b.Source)
+		c, err := compileCached(b.Source)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}

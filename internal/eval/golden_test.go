@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// goldenCycles pins the modelled cycle counts of two fixed workloads under
+// every mechanism. These values are the repo's reported numbers: host-side
+// performance work (cipher fast paths, PAC memoization, interpreter
+// pooling/predecode) must never move them. If this test fails, an
+// "optimization" changed modelled behaviour, not just host speed.
+var goldenCycles = []struct {
+	suite, name string
+	pick        func() *workload.Benchmark
+	want        map[sti.Mechanism]int64
+}{
+	{
+		suite: "SPEC2017", name: "500.perlbench_r",
+		pick: func() *workload.Benchmark { return workload.SPEC2017()[0] },
+		want: map[sti.Mechanism]int64{
+			sti.None: 2299402, sti.STWC: 2710120,
+			sti.STC: 2590092, sti.STL: 2860432,
+		},
+	},
+	{
+		suite: "nbench", name: "numeric-sort",
+		pick: func() *workload.Benchmark { return workload.NBench()[0] },
+		want: map[sti.Mechanism]int64{
+			// numeric-sort is pointer-free at the instrumentation sites, so
+			// every mechanism costs the same modelled cycles.
+			sti.None: 10409068, sti.STWC: 10409068,
+			sti.STC: 10409068, sti.STL: 10409068,
+		},
+	},
+}
+
+func TestGoldenCyclesBitIdentical(t *testing.T) {
+	for _, g := range goldenCycles {
+		b := g.pick()
+		if b.Name != g.name || b.Suite != g.suite {
+			t.Fatalf("workload order changed: got %s/%s, want %s/%s",
+				b.Suite, b.Name, g.suite, g.name)
+		}
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		for _, mech := range []sti.Mechanism{sti.None, sti.STWC, sti.STC, sti.STL} {
+			res, err := c.Run(mech, core.RunConfig{})
+			if err != nil {
+				t.Fatalf("%s under %s: %v", g.name, mech, err)
+			}
+			if res.Err != nil {
+				t.Fatalf("%s under %s trapped: %v", g.name, mech, res.Err)
+			}
+			if res.Stats.Cycles != g.want[mech] {
+				t.Errorf("%s under %s: modelled cycles = %d, golden = %d",
+					g.name, mech, res.Stats.Cycles, g.want[mech])
+			}
+		}
+	}
+}
+
+// TestCompileCacheSharesCompilation checks the source-keyed cache returns
+// the same Compilation for the same source and that its analysis matches a
+// fresh compile.
+func TestCompileCacheSharesCompilation(t *testing.T) {
+	src := workload.SPEC2006Static()[0].Source
+	c1, err := compileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := compileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("compileCached returned distinct Compilations for identical source")
+	}
+	fresh, err := core.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(c1.Analysis.Types), len(fresh.Analysis.Types); got != want {
+		t.Errorf("cached analysis has %d runtime types, fresh compile has %d", got, want)
+	}
+}

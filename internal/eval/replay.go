@@ -3,7 +3,6 @@ package eval
 import (
 	"fmt"
 
-	"rsti/internal/core"
 	"rsti/internal/report"
 	"rsti/internal/sti"
 	"rsti/internal/workload"
@@ -32,7 +31,7 @@ var replayMechs = []sti.Mechanism{sti.PARTS, sti.STWC, sti.STC, sti.Adaptive, st
 func MeasureReplaySurface() ([]ReplayRow, error) {
 	var out []ReplayRow
 	for _, b := range workload.SPEC2006Static() {
-		c, err := core.Compile(b.Source)
+		c, err := compileCached(b.Source)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}

@@ -64,6 +64,10 @@ const (
 	PPSign   // Dst = pp_sign(A): sign inner pointer with FE modifier of CE Imm
 	PPAuth   // Dst = pp_auth(A): authenticate via the CE tag on A's top byte
 	PPAddTBI // Dst = A with CE tag Imm placed in the TBI byte
+
+	// NumOps is the number of opcodes; interpreters size per-op dispatch
+	// tables with it.
+	NumOps
 )
 
 var opNames = map[Op]string{

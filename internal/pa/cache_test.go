@@ -1,0 +1,91 @@
+package pa
+
+import "testing"
+
+// TestCacheHitMissIdenticalResults checks that a cache hit returns exactly
+// what the miss computed: signing the same pointer twice matches, and both
+// match a cold Unit built from the same keys.
+func TestCacheHitMissIdenticalResults(t *testing.T) {
+	keys := GenerateKeys(0xCAFE)
+	warm := NewUnit(DefaultConfig(), keys)
+	cold := NewUnit(DefaultConfig(), keys)
+
+	ptr, mod := uint64(0x4000_1234), uint64(0xFEEDBEEF)
+	first := warm.Sign(ptr, KeyDA, mod) // miss
+	hit := warm.Sign(ptr, KeyDA, mod)   // hit
+	if first != hit {
+		t.Fatalf("hit %#x != miss %#x", hit, first)
+	}
+	if want := cold.Sign(ptr, KeyDA, mod); first != want {
+		t.Fatalf("cached unit signs %#x, cold unit %#x", first, want)
+	}
+	hits, misses := warm.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("CacheStats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+
+	// Auth through the cache (hit) and cold (miss) agree too.
+	authedW, okW := warm.Auth(first, KeyDA, mod)
+	authedC, okC := cold.Auth(first, KeyDA, mod)
+	if !okW || !okC || authedW != authedC {
+		t.Fatalf("Auth disagree: warm (%#x,%v) cold (%#x,%v)", authedW, okW, authedC, okC)
+	}
+}
+
+// TestCacheTamperedPointerStillTraps checks memoization never rescues a
+// forged pointer: flipping any PAC or address bit after signing must still
+// fail authentication, whether the PAC computation hits or misses.
+func TestCacheTamperedPointerStillTraps(t *testing.T) {
+	u := NewUnit(DefaultConfig(), GenerateKeys(0xCAFE))
+	ptr, mod := uint64(0x4000_1234), uint64(0x1717)
+	signed := u.Sign(ptr, KeyDA, mod)
+
+	// PAC-bit flip: same canonical pointer → the recomputation is a cache
+	// hit, and must still reject.
+	if _, ok := u.Auth(signed^(1<<50), KeyDA, mod); ok {
+		t.Fatal("authenticated a pointer with a flipped PAC bit (cache hit path)")
+	}
+	// Address-bit flip: different canonical pointer → cache miss, reject.
+	if _, ok := u.Auth(signed^2, KeyDA, mod); ok {
+		t.Fatal("authenticated a pointer with a flipped address bit (cache miss path)")
+	}
+	// Wrong modifier must reject even though the pointer was cached.
+	if _, ok := u.Auth(signed, KeyDA, mod^1); ok {
+		t.Fatal("authenticated under the wrong modifier")
+	}
+	// The genuine pointer still authenticates after all the failures.
+	if authed, ok := u.Auth(signed, KeyDA, mod); !ok || authed != ptr {
+		t.Fatalf("genuine pointer no longer authenticates: (%#x, %v)", authed, ok)
+	}
+}
+
+// TestCacheKeySeparation checks colliding slots across keys cannot leak a
+// PAC from one key to another.
+func TestCacheKeySeparation(t *testing.T) {
+	keys := GenerateKeys(0xCAFE)
+	u := NewUnit(DefaultConfig(), keys)
+	cold := NewUnit(DefaultConfig(), keys)
+	ptr, mod := uint64(0x4000_8888), uint64(0)
+	for _, k := range []KeyID{KeyIA, KeyIB, KeyDA, KeyDB} {
+		if got, want := u.Sign(ptr, k, mod), cold.Sign(ptr, k, mod); got != want {
+			t.Fatalf("key %s: warm %#x != cold %#x", k, got, want)
+		}
+	}
+}
+
+func BenchmarkSignColdCache(b *testing.B) {
+	u := NewUnit(DefaultConfig(), GenerateKeys(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh pointer every iteration defeats the memoization.
+		u.Sign(uint64(0x4000_0000+i), KeyDA, 0x42)
+	}
+}
+
+func BenchmarkSignWarmCache(b *testing.B) {
+	u := NewUnit(DefaultConfig(), GenerateKeys(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Sign(0x4000_1234, KeyDA, 0x42)
+	}
+}

@@ -88,8 +88,24 @@ func DefaultConfig() Config {
 	return Config{VABits: 48, TBI: true, Rounds: qarma.StandardRounds}
 }
 
-// Unit is the PA "hardware": the key registers plus the PAC algorithm. It
-// is immutable after construction and safe for concurrent use.
+// pacCacheBits sizes the per-Unit PAC memoization cache (2^bits entries,
+// 32 bytes each → 128 KiB). Direct-mapped: a colliding (key, pointer,
+// modifier) triple simply evicts the previous resident, so the cache can
+// never change a result, only skip recomputing it.
+const pacCacheBits = 12
+
+type pacCacheEntry struct {
+	ptr, mod, pac uint64
+	key           uint8
+	used          bool
+}
+
+// Unit is the PA "hardware": the key registers plus the PAC algorithm.
+// The key material is immutable after construction; the PAC memoization
+// cache is per-Unit mutable state, so a Unit must not be shared across
+// goroutines (the VM gives every Machine its own Unit, which keeps the
+// Figure 9 fan-out race-free). Cache hits and misses are observable only
+// through CacheStats — Sign/Auth results are bit-identical either way.
 type Unit struct {
 	cfg     Config
 	ciphers [NumKeys]*qarma.Cipher
@@ -97,6 +113,9 @@ type Unit struct {
 	vaMask  uint64 // low VABits set
 	pacMask uint64 // the bits the PAC occupies
 	tagMask uint64 // TBI byte (0 when TBI is off)
+
+	cache        []pacCacheEntry
+	hits, misses uint64
 }
 
 // NewUnit builds a PA unit with the given keys. Keys are generated and
@@ -120,6 +139,7 @@ func NewUnit(cfg Config, keys [NumKeys]Key) *Unit {
 	} else {
 		u.pacMask = ^u.vaMask
 	}
+	u.cache = make([]pacCacheEntry, 1<<pacCacheBits)
 	return u
 }
 
@@ -136,11 +156,28 @@ func (u *Unit) PACBits() int {
 }
 
 // pacFor computes the PAC field (positioned in the pointer's PAC bits) for
-// a canonical pointer under the given key and modifier.
+// a canonical pointer under the given key and modifier, memoizing through
+// the direct-mapped cache. The workloads sign and authenticate the same
+// few (pointer, modifier) pairs millions of times — one equivalence class
+// shares one modifier — so the hit rate is high enough to skip the cipher
+// on most PA operations.
 func (u *Unit) pacFor(canonical uint64, k KeyID, modifier uint64) uint64 {
-	full := u.ciphers[k].Encrypt(canonical, modifier)
-	return full & u.pacMask
+	h := canonical ^ modifier*0x9E3779B97F4A7C15 ^ uint64(k)<<59
+	h ^= h >> 29
+	e := &u.cache[h&(1<<pacCacheBits-1)]
+	if e.used && e.ptr == canonical && e.mod == modifier && e.key == uint8(k) {
+		u.hits++
+		return e.pac
+	}
+	u.misses++
+	pac := u.ciphers[k].Encrypt(canonical, modifier) & u.pacMask
+	*e = pacCacheEntry{ptr: canonical, mod: modifier, pac: pac, key: uint8(k), used: true}
+	return pac
 }
+
+// CacheStats reports the PAC memoization cache's hit and miss counts since
+// construction.
+func (u *Unit) CacheStats() (hits, misses uint64) { return u.hits, u.misses }
 
 // Sign computes the PAC for ptr under key k and the 64-bit modifier, and
 // returns ptr with the PAC inserted in its top bits (the pac* instruction).

@@ -1,0 +1,142 @@
+package qarma
+
+// Fast path: the cipher state stays packed in one uint64 for the whole
+// permutation instead of being exploded into a [16]byte cell array every
+// round. Every non-trivial step of QARMA-64 is either
+//
+//   - a XOR of key/tweak/constant material, which is native on uint64, or
+//   - GF(2)-linear in the 64 state bits (ShuffleCells is a nibble
+//     permutation, MixColumns XORs rotated nibbles, the tweak LFSR XORs
+//     bits within a nibble), or
+//   - the nibble-wise S-box, which respects byte boundaries (two cells per
+//     byte).
+//
+// Linear steps therefore collapse into eight 256-entry uint64 tables (one
+// per state byte, XOR-combined), and the S-box into one 256-entry byte
+// table applied per byte. Adjacent linear steps are fused: a full forward
+// round's ShuffleCells+MixColumns is one table, and the entire
+// pseudo-reflector (τ, M, key, τ⁻¹) is one table plus a pre-shuffled key
+// XOR. The tables are built once at package init by probing the reference
+// cell implementation, so the fast path is correct by construction against
+// the same code the published test vectors validate.
+//
+// The per-round tweaks T_0..T_r are computed once per block and reused by
+// the backward rounds (encryption's backward half replays the forward
+// tweak schedule in reverse), halving tweak-schedule work.
+
+// linTable is one fused GF(2)-linear step: out = ⨁_i t[i][byte_i(in)].
+type linTable [8][256]uint64
+
+var (
+	// sBox8/sBoxInv8 apply σ1/σ1⁻¹ to both nibbles of a byte.
+	sBox8, sBoxInv8 [256]byte
+
+	linFwdFull linTable // MixColumns ∘ ShuffleCells (full forward round)
+	linBwdFull linTable // ShuffleCells⁻¹ ∘ MixColumns (full backward round)
+	linReflect linTable // τ⁻¹ ∘ MixColumns ∘ τ (pseudo-reflector core)
+	linTweakF  linTable // forward tweak update (h permutation + ω LFSR)
+)
+
+func init() {
+	for v := 0; v < 256; v++ {
+		sBox8[v] = sigma1[v>>4]<<4 | sigma1[v&0xF]
+		sBoxInv8[v] = sigma1Inv[v>>4]<<4 | sigma1Inv[v&0xF]
+	}
+	linFwdFull = buildLinear(func(c *cells) {
+		shuffle(c, &tau)
+		mixColumns(c)
+	})
+	linBwdFull = buildLinear(func(c *cells) {
+		mixColumns(c)
+		shuffle(c, &tauInv)
+	})
+	linReflect = buildLinear(func(c *cells) {
+		shuffle(c, &tau)
+		mixColumns(c)
+		shuffle(c, &tauInv)
+	})
+	linTweakF = buildLinear(forwardTweakUpdate)
+}
+
+// buildLinear tabulates a GF(2)-linear cell transform byte-by-byte using
+// the reference implementation as the oracle: f(x) = ⨁_i f(byte_i(x)).
+func buildLinear(f func(*cells)) linTable {
+	var t linTable
+	for pos := 0; pos < 8; pos++ {
+		for v := 0; v < 256; v++ {
+			c := toCells(uint64(v) << (8 * pos))
+			f(&c)
+			t[pos][v] = fromCells(&c)
+		}
+	}
+	return t
+}
+
+func applyLin(t *linTable, x uint64) uint64 {
+	return t[0][byte(x)] ^
+		t[1][byte(x>>8)] ^
+		t[2][byte(x>>16)] ^
+		t[3][byte(x>>24)] ^
+		t[4][byte(x>>32)] ^
+		t[5][byte(x>>40)] ^
+		t[6][byte(x>>48)] ^
+		t[7][byte(x>>56)]
+}
+
+func subBytes64(t *[256]byte, x uint64) uint64 {
+	return uint64(t[byte(x)]) |
+		uint64(t[byte(x>>8)])<<8 |
+		uint64(t[byte(x>>16)])<<16 |
+		uint64(t[byte(x>>24)])<<24 |
+		uint64(t[byte(x>>32)])<<32 |
+		uint64(t[byte(x>>40)])<<40 |
+		uint64(t[byte(x>>48)])<<48 |
+		uint64(t[byte(x>>56)])<<56
+}
+
+// Encrypt enciphers the 64-bit plaintext under the 64-bit tweak. It
+// allocates nothing and is bit-identical to the reference permutation
+// (see TestFastMatchesReference).
+func (c *Cipher) Encrypt(plaintext, tweak uint64) uint64 {
+	// Tweak schedule T_0..T_r, shared by the forward and backward halves.
+	var tw [len(roundConstants) + 1]uint64
+	tw[0] = tweak
+	for i := 1; i <= c.rounds; i++ {
+		tw[i] = applyLin(&linTweakF, tw[i-1])
+	}
+
+	is := plaintext ^ c.pw0
+
+	// Forward rounds with k0: round 0 is short (no linear layer).
+	is ^= c.fwdTK[0] ^ tw[0]
+	is = subBytes64(&sBox8, is)
+	for i := 1; i < c.rounds; i++ {
+		is ^= c.fwdTK[i] ^ tw[i]
+		is = applyLin(&linFwdFull, is)
+		is = subBytes64(&sBox8, is)
+	}
+
+	// Central construction: full forward round keyed by w1, the
+	// pseudo-reflector (one fused linear pass + pre-shuffled key), one
+	// full backward round keyed by w0.
+	is ^= c.pw1 ^ tw[c.rounds]
+	is = applyLin(&linFwdFull, is)
+	is = subBytes64(&sBox8, is)
+
+	is = applyLin(&linReflect, is) ^ c.reflectK
+
+	is = subBytes64(&sBoxInv8, is)
+	is = applyLin(&linBwdFull, is)
+	is ^= c.pw0 ^ tw[c.rounds]
+
+	// Backward rounds with k0 ⊕ α, replaying the forward tweaks.
+	for i := c.rounds - 1; i >= 1; i-- {
+		is = subBytes64(&sBoxInv8, is)
+		is = applyLin(&linBwdFull, is)
+		is ^= c.bwdTK[i] ^ tw[i]
+	}
+	is = subBytes64(&sBoxInv8, is)
+	is ^= c.bwdTK[0] ^ tw[0]
+
+	return is ^ c.pw1
+}

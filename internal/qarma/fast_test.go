@@ -1,0 +1,79 @@
+package qarma
+
+import "testing"
+
+// splitmix64 gives the differential tests a deterministic random stream.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestFastMatchesPublishedVectors pins the fast path directly to the
+// QARMA paper's Table 5 vectors (the reference path has its own copy of
+// this check in qarma_test.go).
+func TestFastMatchesPublishedVectors(t *testing.T) {
+	for _, tv := range publishedVectors {
+		c := New(tvW0, tvK0, tv.rounds)
+		if got := c.Encrypt(tvP, tvT); got != tv.want {
+			t.Errorf("r=%d: Encrypt = %#016x, want %#016x", tv.rounds, got, tv.want)
+		}
+	}
+}
+
+// TestFastMatchesReference differentially tests the packed fast path
+// against the reference cell implementation over 10k random
+// (key, tweak, plaintext) triples across every supported round count.
+func TestFastMatchesReference(t *testing.T) {
+	seed := uint64(0xD1FFE7E57)
+	for rounds := 1; rounds <= len(roundConstants); rounds++ {
+		for i := 0; i < 10000/len(roundConstants); i++ {
+			w0 := splitmix64(&seed)
+			k0 := splitmix64(&seed)
+			p := splitmix64(&seed)
+			tw := splitmix64(&seed)
+			c := New(w0, k0, rounds)
+			fast, ref := c.Encrypt(p, tw), c.encryptRef(p, tw)
+			if fast != ref {
+				t.Fatalf("r=%d key=(%#x,%#x) p=%#x t=%#x: fast %#016x != ref %#016x",
+					rounds, w0, k0, p, tw, fast, ref)
+			}
+		}
+	}
+}
+
+// TestFastDecryptRoundTrip checks Decrypt (which stays on the reference
+// path) inverts the fast Encrypt.
+func TestFastDecryptRoundTrip(t *testing.T) {
+	seed := uint64(42)
+	c := New(tvW0, tvK0, StandardRounds)
+	for i := 0; i < 2000; i++ {
+		p := splitmix64(&seed)
+		tw := splitmix64(&seed)
+		if got := c.Decrypt(c.Encrypt(p, tw), tw); got != p {
+			t.Fatalf("Decrypt(Encrypt(%#x, %#x)) = %#x", p, tw, got)
+		}
+	}
+}
+
+func TestEncryptZeroAlloc(t *testing.T) {
+	c := New(tvW0, tvK0, StandardRounds)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Encrypt(0xDEADBEEF, tvT)
+	})
+	if allocs != 0 {
+		t.Errorf("Encrypt allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEncryptRef(b *testing.B) {
+	c := New(tvW0, tvK0, StandardRounds)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = c.encryptRef(uint64(i), tvT)
+	}
+	_ = sink
+}

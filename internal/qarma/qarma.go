@@ -21,8 +21,19 @@ type Cipher struct {
 	rounds int
 
 	// Expanded key material, kept in cell form to avoid re-expansion on
-	// every block.
+	// every block. The cell-form schedule feeds the reference permutation
+	// (encryptRef, Decrypt); the packed schedule below feeds the table-
+	// driven fast path that Encrypt uses.
 	w0, w1, k0, k1, k0a cells
+
+	// Packed (uint64) key schedule for the fast path: whitening keys, the
+	// per-round tweakeys key ⊕ c_i precombined at construction, and the
+	// reflector key pre-shuffled through τ⁻¹ so the whole pseudo-reflector
+	// collapses to one linear pass plus one XOR.
+	pw0, pw1 uint64
+	fwdTK    [len(roundConstants)]uint64 // k0 ⊕ c_i
+	bwdTK    [len(roundConstants)]uint64 // (k0 ⊕ α) ⊕ c_i
+	reflectK uint64                      // τ⁻¹(k1)
 }
 
 // cells is the 64-bit state as 16 four-bit cells; cell 0 holds the most
@@ -95,11 +106,25 @@ func New(w0, k0 uint64, rounds int) *Cipher {
 	// (M is linear), so the stored reflector key is k0 itself.
 	c.k1 = c.k0
 	c.k0a = toCells(k0 ^ alpha)
+
+	// Packed schedule for the fast path.
+	c.pw0 = w0
+	c.pw1 = w1
+	for i := 0; i < rounds; i++ {
+		c.fwdTK[i] = k0 ^ roundConstants[i]
+		c.bwdTK[i] = (k0 ^ alpha) ^ roundConstants[i]
+	}
+	rk := c.k1
+	shuffle(&rk, &tauInv)
+	c.reflectK = fromCells(&rk)
 	return c
 }
 
-// Encrypt enciphers the 64-bit plaintext under the 64-bit tweak.
-func (c *Cipher) Encrypt(plaintext, tweak uint64) uint64 {
+// encryptRef is the reference (cell-array) implementation of the QARMA
+// forward permutation. Encrypt (fast.go) is the production path; this one
+// follows the specification step by step and serves as the correctness
+// oracle the fast path is differentially tested against.
+func (c *Cipher) encryptRef(plaintext, tweak uint64) uint64 {
 	is := toCells(plaintext)
 	t := toCells(tweak)
 

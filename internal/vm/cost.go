@@ -39,40 +39,68 @@ type Stats struct {
 	PacAuths  int64
 	PacStrips int64
 	PPOps     int64
+
+	// PAC memoization counters, copied from the machine's pa.Unit when a
+	// run finishes. Host-side observability only: they never influence
+	// modelled cycles or any reported number.
+	PACCacheHits   int64
+	PACCacheMisses int64
 }
 
 // PACOps returns the total number of PA instructions executed.
 func (s *Stats) PACOps() int64 { return s.PacSigns + s.PacAuths + s.PacStrips }
 
+// PACCacheHitRate returns the fraction of PAC computations served from
+// the memoization cache (0 when no PAC was ever computed).
+func (s *Stats) PACCacheHitRate() float64 {
+	total := s.PACCacheHits + s.PACCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PACCacheHits) / float64(total)
+}
+
+// cycleTable flattens a CostModel into a per-opcode cycle charge so the
+// interpreter's accounting is one indexed add instead of a switch.
+func (c *CostModel) cycleTable() [mir.NumOps]int64 {
+	var t [mir.NumOps]int64
+	for op := mir.Op(0); op < mir.NumOps; op++ {
+		switch op {
+		case mir.Load, mir.Store:
+			t[op] = c.Mem
+		case mir.CallOp:
+			t[op] = c.Call
+		case mir.Jmp, mir.Br:
+			t[op] = c.Branch
+		case mir.PacSign, mir.PacAuth, mir.PacStrip:
+			t[op] = c.PAC
+		case mir.PPAdd, mir.PPSign, mir.PPAuth, mir.PPAddTBI:
+			t[op] = c.PPCall
+		default:
+			t[op] = c.ALU
+		}
+	}
+	return t
+}
+
 func (m *Machine) charge(op mir.Op) {
-	c := &m.cost
 	s := &m.Stats
 	s.Instrs++
+	s.Cycles += m.cycles[op]
 	switch op {
 	case mir.Load:
 		s.Loads++
-		s.Cycles += c.Mem
 	case mir.Store:
 		s.Stores++
-		s.Cycles += c.Mem
 	case mir.CallOp:
 		s.Calls++
-		s.Cycles += c.Call
-	case mir.Jmp, mir.Br:
-		s.Cycles += c.Branch
 	case mir.PacSign:
 		s.PacSigns++
-		s.Cycles += c.PAC
 	case mir.PacAuth:
 		s.PacAuths++
-		s.Cycles += c.PAC
 	case mir.PacStrip:
 		s.PacStrips++
-		s.Cycles += c.PAC
 	case mir.PPAdd, mir.PPSign, mir.PPAuth, mir.PPAddTBI:
 		s.PPOps++
-		s.Cycles += c.PPCall
-	default:
-		s.Cycles += c.ALU
 	}
 }

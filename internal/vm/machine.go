@@ -56,8 +56,9 @@ type Machine struct {
 	Unit *pa.Unit
 	Mem  *Memory
 
-	Stats Stats
-	cost  CostModel
+	Stats  Stats
+	cost   CostModel
+	cycles [mir.NumOps]int64 // per-opcode charge, flattened from cost
 
 	globalAddr []uint64
 	stringAddr []uint64
@@ -78,14 +79,101 @@ type Machine struct {
 	maxSteps int64
 	maxDepth int
 
+	// Hot-path machinery. framePool recycles call frames (register slices
+	// and local-variable maps) so steady-state execution allocates nothing
+	// per call; argScratch is a watermark-managed stack for call-argument
+	// marshalling; dec holds the per-function predecoded instruction
+	// metadata (memory-access widths, extension modes, alloca sizes) so
+	// the interpreter loop never re-derives them from ctypes.
+	framePool  []*frame
+	argScratch []uint64
+	dec        map[*mir.Func][][]decInstr
+
 	exitCode *int64
 }
 
 type frame struct {
-	fn      *mir.Func
-	regs    []uint64
-	varAddr map[int]uint64
-	mark    uint64 // stack watermark to restore on return
+	fn   *mir.Func
+	regs []uint64
+	// vars records this frame's named stack slots in allocation order.
+	// A slice beats a map here: it is appended to on every SlotVar alloca
+	// (hot) and only ever searched by attack hooks via VarAddr (cold).
+	vars []varSlot
+	mark uint64 // stack watermark to restore on return
+}
+
+// varSlot is one named local's (VarInfo index, address) pair.
+type varSlot struct {
+	vid  int
+	addr uint64
+}
+
+// extKind is a predecoded Load extension / Store narrowing mode.
+type extKind uint8
+
+const (
+	extNone extKind = iota // use the loaded/stored bits as-is
+	extS8                  // sign-extend from 8 bits
+	extS16                 // sign-extend from 16 bits
+	extS32                 // sign-extend from 32 bits
+	extF32                 // float32 <-> float64 conversion
+)
+
+// decInstr is the predecoded per-instruction metadata: everything the
+// interpreter would otherwise recompute from *ctypes.Type on every
+// execution of the instruction.
+type decInstr struct {
+	aux  uint64  // Alloca: 8-byte-aligned slot size
+	size uint8   // Load/Store: access width in bytes
+	ext  extKind // Load: extension mode; Store: extF32 marks a float32 narrow
+}
+
+// predecode builds the decInstr tables for every block of f.
+func predecode(f *mir.Func) [][]decInstr {
+	blocks := make([][]decInstr, len(f.Blocks))
+	for bi, blk := range f.Blocks {
+		ds := make([]decInstr, len(blk.Instrs))
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			d := &ds[ii]
+			switch in.Op {
+			case mir.Load:
+				d.size = uint8(loadSize(in.Ty))
+				d.ext = decodeExt(in.Ty)
+			case mir.Store:
+				d.size = uint8(loadSize(in.Ty))
+				if in.Ty != nil && in.Ty.Kind == ctypes.Float {
+					d.ext = extF32
+				}
+			case mir.Alloca:
+				d.aux = uint64((in.Ty.Size() + 7) &^ 7)
+			}
+		}
+		blocks[bi] = ds
+	}
+	return blocks
+}
+
+// decodeExt classifies how a loaded value of type t widens to a register.
+func decodeExt(t *ctypes.Type) extKind {
+	if t == nil {
+		return extNone
+	}
+	switch t.Kind {
+	case ctypes.Float:
+		return extF32
+	case ctypes.Double:
+		return extNone
+	}
+	switch t.Size() {
+	case 1:
+		return extS8
+	case 2:
+		return extS16
+	case 4:
+		return extS32
+	}
+	return extNone
 }
 
 // New builds a Machine for prog.
@@ -105,6 +193,7 @@ func New(prog *mir.Program, opts Options) *Machine {
 		maxSteps: opts.MaxSteps,
 		maxDepth: opts.MaxDepth,
 	}
+	m.cycles = m.cost.cycleTable()
 
 	// Lay out globals.
 	gsize := 0
@@ -134,13 +223,43 @@ func New(prog *mir.Program, opts Options) *Machine {
 	m.stackNext = StackBase
 	m.stackEnd = StackBase + uint64(opts.StackSize)
 
-	// Function tokens.
+	// Function tokens and predecoded bodies.
+	m.dec = make(map[*mir.Func][][]decInstr, len(prog.Funcs))
 	for i, f := range prog.Funcs {
 		tok := uint64(FuncBase) + uint64(i)*FuncStride
 		m.funcTok[f.Name] = tok
 		m.tokFunc[tok] = f
+		if !f.Extern {
+			m.dec[f] = predecode(f)
+		}
 	}
 	return m
+}
+
+// getFrame takes a frame from the pool (or allocates one) and prepares it
+// for f: registers zeroed and sized, local-variable map emptied.
+func (m *Machine) getFrame(f *mir.Func) *frame {
+	if n := len(m.framePool); n > 0 {
+		fr := m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+		if cap(fr.regs) < f.NumRegs {
+			fr.regs = make([]uint64, f.NumRegs)
+		} else {
+			fr.regs = fr.regs[:f.NumRegs]
+			for i := range fr.regs {
+				fr.regs[i] = 0
+			}
+		}
+		fr.vars = fr.vars[:0]
+		fr.fn = f
+		fr.mark = m.stackNext
+		return fr
+	}
+	return &frame{
+		fn:   f,
+		regs: make([]uint64, f.NumRegs),
+		mark: m.stackNext,
+	}
 }
 
 // RegisterHook installs an attack callback for __hook(id).
@@ -172,18 +291,26 @@ func (m *Machine) VarAddr(fn, name string) (uint64, bool) {
 		if fr.fn.Name != fn {
 			continue
 		}
-		for vid, addr := range fr.varAddr {
-			if m.Prog.Vars[vid].Name == name {
-				return addr, true
+		for _, vs := range fr.vars {
+			if m.Prog.Vars[vs.vid].Name == name {
+				return vs.addr, true
 			}
 		}
 	}
 	return 0, false
 }
 
+// syncPACStats copies the PA unit's memoization counters into Stats.
+func (m *Machine) syncPACStats() {
+	hits, misses := m.Unit.CacheStats()
+	m.Stats.PACCacheHits = int64(hits)
+	m.Stats.PACCacheMisses = int64(misses)
+}
+
 // Run executes __init then main and returns main's exit value (or the
 // value passed to exit()).
 func (m *Machine) Run() (int64, error) {
+	defer m.syncPACStats()
 	if initFn, ok := m.Prog.Func(mir.InitFuncName); ok {
 		if _, err := m.exec(initFn, nil); err != nil {
 			if m.exitCode != nil {
@@ -213,6 +340,7 @@ func (m *Machine) Call(name string, args ...uint64) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("vm: no function %q", name)
 	}
+	defer m.syncPACStats()
 	return m.exec(f, args)
 }
 
@@ -248,20 +376,18 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 	if len(m.frames) >= m.maxDepth {
 		return 0, m.trap(TrapStackOverflow, f, nil, "call depth %d", len(m.frames))
 	}
-	fr := &frame{
-		fn:      f,
-		regs:    make([]uint64, f.NumRegs),
-		varAddr: make(map[int]uint64),
-		mark:    m.stackNext,
-	}
+	fr := m.getFrame(f)
 	copy(fr.regs, args)
 	m.frames = append(m.frames, fr)
 	defer func() {
 		m.frames = m.frames[:len(m.frames)-1]
 		m.stackNext = fr.mark
+		m.framePool = append(m.framePool, fr)
 	}()
 
+	decoded := m.dec[f]
 	blk := f.Blocks[0]
+	dblk := decoded[0]
 	ip := 0
 	for {
 		if ip >= len(blk.Instrs) {
@@ -285,7 +411,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 		case mir.StrConst:
 			regs[in.Dst] = m.stringAddr[in.Imm]
 		case mir.Alloca:
-			size := uint64((in.Ty.Size() + 7) &^ 7)
+			size := dblk[ip].aux
 			if m.stackNext+size > m.stackEnd {
 				return 0, m.trap(TrapStackOverflow, f, in, "stack segment exhausted")
 			}
@@ -300,7 +426,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 			}
 			regs[in.Dst] = addr
 			if in.Slot.Kind == mir.SlotVar {
-				fr.varAddr[in.Slot.Var] = addr
+				fr.vars = append(fr.vars, varSlot{in.Slot.Var, addr})
 			}
 		case mir.GlobalAddr:
 			regs[in.Dst] = m.globalAddr[in.Imm]
@@ -312,17 +438,23 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 			if err != nil {
 				return 0, err
 			}
-			v, err := m.Mem.Load(addr, loadSize(in.Ty))
+			d := &dblk[ip]
+			v, err := m.Mem.Load(addr, int(d.size))
 			if err != nil {
 				return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 			}
-			regs[in.Dst] = extend(v, in.Ty)
+			regs[in.Dst] = extendDec(v, d.ext)
 		case mir.Store:
 			addr, err := m.canonical(regs[in.A], f, in)
 			if err != nil {
 				return 0, err
 			}
-			if err := m.Mem.Store(addr, narrow(regs[in.B], in.Ty), loadSize(in.Ty)); err != nil {
+			d := &dblk[ip]
+			v := regs[in.B]
+			if d.ext == extF32 {
+				v = uint64(math.Float32bits(float32(math.Float64frombits(v))))
+			}
+			if err := m.Mem.Store(addr, v, int(d.size)); err != nil {
 				return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 			}
 
@@ -357,11 +489,16 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 					return 0, m.trap(TrapBadCall, f, in, "%#x is not a function entry", tok)
 				}
 			}
-			cargs := make([]uint64, len(in.Args))
-			for i, r := range in.Args {
-				cargs[i] = regs[r]
+			// Marshal arguments on the shared scratch stack: the callee
+			// copies them into its own registers (or a builtin consumes
+			// them) before this frame touches the stack again, so the
+			// watermark discipline is safe under recursion.
+			base := len(m.argScratch)
+			for _, r := range in.Args {
+				m.argScratch = append(m.argScratch, regs[r])
 			}
-			ret, err := m.exec(callee, cargs)
+			ret, err := m.exec(callee, m.argScratch[base:])
+			m.argScratch = m.argScratch[:base]
 			if err != nil {
 				return 0, err
 			}
@@ -377,6 +514,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 
 		case mir.Jmp:
 			blk = f.Blocks[in.Targets[0]]
+			dblk = decoded[blk.Index]
 			ip = 0
 			continue
 		case mir.Br:
@@ -385,15 +523,17 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 			} else {
 				blk = f.Blocks[in.Targets[1]]
 			}
+			dblk = decoded[blk.Index]
 			ip = 0
 			continue
 
 		case mir.PacSign:
 			regs[in.Dst] = m.Unit.Sign(regs[in.A], pa.KeyID(in.Key), m.modifier(in, regs))
 		case mir.PacAuth:
-			v, ok := m.Unit.Auth(regs[in.A], pa.KeyID(in.Key), m.modifier(in, regs))
+			mod := m.modifier(in, regs)
+			v, ok := m.Unit.Auth(regs[in.A], pa.KeyID(in.Key), mod)
 			if !ok {
-				return 0, m.trap(TrapAuthFailure, f, in, "aut failed on %#x (mod %#x)", regs[in.A], m.modifier(in, regs))
+				return 0, m.trap(TrapAuthFailure, f, in, "aut failed on %#x (mod %#x)", regs[in.A], mod)
 			}
 			regs[in.Dst] = v
 		case mir.PacStrip:
@@ -494,6 +634,22 @@ func loadSize(t *ctypes.Type) int {
 	}
 }
 
+// extendDec applies a predecoded extension mode to a loaded value; it is
+// the table-driven twin of extend.
+func extendDec(v uint64, e extKind) uint64 {
+	switch e {
+	case extS8:
+		return uint64(int64(int8(v)))
+	case extS16:
+		return uint64(int64(int16(v)))
+	case extS32:
+		return uint64(int64(int32(v)))
+	case extF32:
+		return math.Float64bits(float64(math.Float32frombits(uint32(v))))
+	}
+	return v
+}
+
 // extend sign-extends a loaded integer to 64 bits and widens float32.
 func extend(v uint64, t *ctypes.Type) uint64 {
 	if t == nil {
@@ -512,14 +668,6 @@ func extend(v uint64, t *ctypes.Type) uint64 {
 		return uint64(int64(int16(v)))
 	case 4:
 		return uint64(int64(int32(v)))
-	}
-	return v
-}
-
-// narrow prepares a register value for an n-byte store.
-func narrow(v uint64, t *ctypes.Type) uint64 {
-	if t != nil && t.Kind == ctypes.Float {
-		return uint64(math.Float32bits(float32(math.Float64frombits(v))))
 	}
 	return v
 }

@@ -1,6 +1,9 @@
 package vm
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Segment bases of the VM's 48-bit virtual address space. The exact values
 // are arbitrary but fixed, so experiments are reproducible and addresses
@@ -17,11 +20,20 @@ const (
 	FuncStride = 16
 )
 
+// chunkShift carves the address space into 256 MiB chunks for O(1)
+// segment dispatch: every segment base is 256 MiB-aligned and no segment
+// may span past the next base, so a chunk maps to at most one segment.
+const chunkShift = 28
+
 // Memory is the VM's flat memory: a handful of segments, each a byte
 // slice. Loads and stores are bounds-checked; the attack hooks use the
 // unchecked Poke/Peek to model an attacker's arbitrary-write primitive.
+// Segment resolution is a shift and a table index, not a scan — the
+// interpreter performs one find per modelled load/store.
 type Memory struct {
 	segs []segment
+	// byChunk maps addr>>chunkShift to the owning segment (nil = unmapped).
+	byChunk []*segment
 }
 
 type segment struct {
@@ -32,18 +44,34 @@ type segment struct {
 
 // NewMemory builds the standard segment layout.
 func NewMemory(globalsSize, stringsSize, heapSize, stackSize int) *Memory {
-	return &Memory{segs: []segment{
+	m := &Memory{segs: []segment{
 		{"globals", GlobalsBase, make([]byte, globalsSize)},
 		{"strings", StringsBase, make([]byte, stringsSize)},
 		{"heap", HeapBase, make([]byte, heapSize)},
 		{"stack", StackBase, make([]byte, stackSize)},
 	}}
+	var top uint64
+	for _, s := range m.segs {
+		if end := s.base + uint64(len(s.data)); end > top {
+			top = end
+		}
+	}
+	m.byChunk = make([]*segment, top>>chunkShift+1)
+	for i := range m.segs {
+		s := &m.segs[i]
+		if len(s.data) == 0 {
+			continue
+		}
+		for c := s.base >> chunkShift; c <= (s.base+uint64(len(s.data))-1)>>chunkShift; c++ {
+			m.byChunk[c] = s
+		}
+	}
+	return m
 }
 
 func (m *Memory) find(addr uint64, n int) (*segment, int, error) {
-	for i := range m.segs {
-		s := &m.segs[i]
-		if addr >= s.base && addr+uint64(n) <= s.base+uint64(len(s.data)) {
+	if c := addr >> chunkShift; c < uint64(len(m.byChunk)) {
+		if s := m.byChunk[c]; s != nil && addr >= s.base && addr+uint64(n) <= s.base+uint64(len(s.data)) {
 			return s, int(addr - s.base), nil
 		}
 	}
@@ -56,9 +84,20 @@ func (m *Memory) Load(addr uint64, n int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	b := s.data[off:]
+	switch n {
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 1:
+		return uint64(b[0]), nil
+	}
 	var v uint64
 	for i := n - 1; i >= 0; i-- {
-		v = v<<8 | uint64(s.data[off+i])
+		v = v<<8 | uint64(b[i])
 	}
 	return v, nil
 }
@@ -69,8 +108,20 @@ func (m *Memory) Store(addr uint64, v uint64, n int) error {
 	if err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
-		s.data[off+i] = byte(v >> (8 * i))
+	b := s.data[off:]
+	switch n {
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 1:
+		b[0] = byte(v)
+	default:
+		for i := 0; i < n; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
 	}
 	return nil
 }
