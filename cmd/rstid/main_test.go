@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+const victimSrc = `
+int g;
+int benign(void) { return 7; }
+int evil(void)   { return 666; }
+int (*handler)(void);
+int main(void) {
+    int *p; int i;
+    p = &g;
+    handler = benign;
+    for (i = 0; i < 100; i = i + 1) { *p = *p + i; }
+    return handler();
+}
+`
+
+func startServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	s := newServer(2, 8)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.close()
+	})
+	return ts, s
+}
+
+// post sends a JSON body and decodes the JSON reply into out.
+func post(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s reply: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestCompileRunRoundTrip(t *testing.T) {
+	ts, _ := startServer(t)
+
+	var comp compileResponse
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: victimSrc}, &comp); code != 200 {
+		t.Fatalf("compile: status %d", code)
+	}
+	if comp.Program == "" || comp.Cached {
+		t.Fatalf("first compile: %+v", comp)
+	}
+	var again compileResponse
+	post(t, ts.URL+"/v1/compile", compileRequest{Source: victimSrc}, &again)
+	if !again.Cached || again.Program != comp.Program {
+		t.Errorf("second compile not served from cache: %+v", again)
+	}
+
+	var run runResponse
+	if code := post(t, ts.URL+"/v1/run",
+		runRequest{Program: comp.Program, Mechanism: "rsti-stwc"}, &run); code != 200 {
+		t.Fatalf("run: status %d", code)
+	}
+	if run.Exit != 7 || run.Detected || run.Cycles == 0 {
+		t.Errorf("benign run: %+v", run)
+	}
+
+	// Source-direct run, baseline mechanism by default.
+	var direct runResponse
+	if code := post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc}, &direct); code != 200 {
+		t.Fatalf("source run: status %d", code)
+	}
+	if direct.Program != comp.Program || direct.Exit != 7 {
+		t.Errorf("source run: %+v", direct)
+	}
+}
+
+func TestRunProtocolErrors(t *testing.T) {
+	ts, _ := startServer(t)
+
+	if code := post(t, ts.URL+"/v1/run", runRequest{Program: "nope", Mechanism: "rsti-stl"}, nil); code != 404 {
+		t.Errorf("unknown program: status %d, want 404", code)
+	}
+	if code := post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc, Mechanism: "rop"}, nil); code != 400 {
+		t.Errorf("unknown mechanism: status %d, want 400", code)
+	}
+	var ce map[string]string
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: "int main(void) { return 0 }"}, &ce); code != 422 {
+		t.Errorf("parse error: status %d, want 422", code)
+	}
+	if ce["kind"] != "parse" {
+		t.Errorf("parse error kind = %q", ce["kind"])
+	}
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: "int main(void) { return nosuch; }"}, &ce); code != 422 || ce["kind"] != "typecheck" {
+		t.Errorf("typecheck error: status %d kind %q", code, ce["kind"])
+	}
+}
+
+func TestRunBudgetsAndDeadlines(t *testing.T) {
+	ts, _ := startServer(t)
+
+	var budget runResponse
+	post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc, StepBudget: 50}, &budget)
+	if budget.Trap == nil || budget.Error == "" {
+		t.Fatalf("step-budget run: %+v", budget)
+	}
+
+	spin := `int main(void){ int i; int a; a = 0; for (i = 0; i < 100000000; i = i + 1) { a = a + i; } return a & 1; }`
+	var dl runResponse
+	post(t, ts.URL+"/v1/run", runRequest{Source: spin, Mechanism: "none", TimeoutMS: 20}, &dl)
+	if !dl.Cancelled || dl.Trap == nil {
+		t.Fatalf("deadline run: %+v", dl)
+	}
+}
+
+func TestAttackEndpoints(t *testing.T) {
+	ts, _ := startServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/attacks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []scenarioJSON
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 12 {
+		t.Fatalf("scenario catalogue has %d entries, want 12", len(list))
+	}
+
+	name := list[0].Name
+	var base attackResponse
+	post(t, ts.URL+"/v1/attack", attackRequest{Scenario: name, Mechanism: "none"}, &base)
+	if !base.Succeeded || base.Detected {
+		t.Errorf("baseline attack: %+v", base)
+	}
+	var prot attackResponse
+	post(t, ts.URL+"/v1/attack", attackRequest{Scenario: name, Mechanism: "rsti-stwc"}, &prot)
+	if !prot.Detected || prot.Succeeded {
+		t.Errorf("protected attack: %+v", prot)
+	}
+	var benign attackResponse
+	post(t, ts.URL+"/v1/attack", attackRequest{Scenario: name, Mechanism: "rsti-stwc", Benign: true}, &benign)
+	if benign.Detected {
+		t.Errorf("benign run flagged: %+v", benign)
+	}
+	if code := post(t, ts.URL+"/v1/attack", attackRequest{Scenario: "nope", Mechanism: "none"}, nil); code != 404 {
+		t.Errorf("unknown scenario: status %d, want 404", code)
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	ts, _ := startServer(t)
+
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc, Mechanism: "rsti-stc"}, nil)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m["completed"].(float64) < 3 || m["workers"].(float64) != 2 {
+		t.Errorf("metrics: %v", m)
+	}
+
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != 200 {
+		t.Errorf("healthz: %d", h.StatusCode)
+	}
+}
+
+func TestProgramCacheEviction(t *testing.T) {
+	s := newServer(1, 4)
+	defer s.close()
+	for i := 0; i < maxPrograms+10; i++ {
+		src := fmt.Sprintf("int main(void) { return %d; }", i)
+		if _, _, _, err := s.compile(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	n, order := len(s.programs), len(s.order)
+	s.mu.Unlock()
+	if n != maxPrograms || order != maxPrograms {
+		t.Errorf("cache holds %d programs (%d in order), cap is %d", n, order, maxPrograms)
+	}
+}

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	rstirun [-mech rsti-stwc] [-all] [-v] file.c
+//	rstirun [-mech rsti-stwc] [-all] [-timeout 10s] [-steps N] file.c
 //
 // With -all the program runs under every mechanism and a comparison table
 // is printed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,8 @@ import (
 func main() {
 	mechName := flag.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
 	all := flag.Bool("all", false, "run under every mechanism and compare")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit per run (0 = none)")
+	steps := flag.Int64("steps", 0, "modelled step budget per run (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -37,8 +41,22 @@ func main() {
 	}
 	p, err := rsti.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rstirun:", err)
+		switch {
+		case errors.Is(err, rsti.ErrParse):
+			fmt.Fprintln(os.Stderr, "rstirun: syntax error:", err)
+		case errors.Is(err, rsti.ErrTypeCheck):
+			fmt.Fprintln(os.Stderr, "rstirun: type error:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "rstirun:", err)
+		}
 		os.Exit(1)
+	}
+	opts := []rsti.RunOption{rsti.WithOutput(os.Stdout)}
+	if *timeout > 0 {
+		opts = append(opts, rsti.WithTimeout(*timeout))
+	}
+	if *steps > 0 {
+		opts = append(opts, rsti.WithStepBudget(*steps))
 	}
 
 	if *all {
@@ -47,7 +65,7 @@ func main() {
 		}
 		var baseCycles int64
 		for _, mech := range rsti.Mechanisms {
-			res, err := p.Run(mech, rsti.WithOutput(os.Stdout))
+			res, err := p.Run(mech, opts...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rstirun:", err)
 				os.Exit(1)
@@ -77,18 +95,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rstirun: unknown mechanism %q\n", *mechName)
 		os.Exit(2)
 	}
-	res, err := p.Run(mech, rsti.WithOutput(os.Stdout))
+	res, err := p.Run(mech, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstirun:", err)
 		os.Exit(1)
 	}
 	if res.Err != nil {
-		if res.Detected() {
-			fmt.Fprintf(os.Stderr, "rstirun: SECURITY TRAP: %v\n", res.Err)
+		var te *rsti.TrapError
+		switch {
+		case errors.As(res.Err, &te) && te.SecurityTrap():
+			fmt.Fprintf(os.Stderr, "rstirun: SECURITY TRAP in %s: %v\n", te.Fn, res.Err)
 			os.Exit(42)
+		case errors.Is(res.Err, rsti.ErrStepBudget):
+			fmt.Fprintf(os.Stderr, "rstirun: step budget exhausted: %v\n", res.Err)
+			os.Exit(1)
+		case errors.Is(res.Err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "rstirun: timed out: %v\n", res.Err)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "rstirun: %v\n", res.Err)
+			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "rstirun: %v\n", res.Err)
-		os.Exit(1)
 	}
 	fmt.Printf("exit=%d cycles=%d pa-ops=%d\n", res.Exit, res.Stats.Cycles, res.Stats.PACOps()+res.Stats.PPOps)
 	os.Exit(int(res.Exit) & 0x7f)

@@ -1,0 +1,218 @@
+package rsti_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rsti"
+	"rsti/internal/vm"
+)
+
+const sharedSrc = `
+int g;
+int benign(void) { return 7; }
+int evil(void)   { return 666; }
+int (*handler)(void);
+int main(void) {
+    int *p; int i;
+    p = &g;
+    handler = benign;
+    for (i = 0; i < 200; i = i + 1) { *p = *p + i; }
+    __hook(1);
+    return handler() + (*p & 0);
+}
+`
+
+// TestSharedProgramConcurrency hammers one *Program from many goroutines
+// across every mechanism simultaneously (run under -race in CI). Each
+// mechanism's result must equal its single-threaded reference, attacked
+// and benign alike.
+func TestSharedProgramConcurrency(t *testing.T) {
+	p, err := rsti.Compile(sharedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hijack := rsti.WithHook(1, func(m *vm.Machine) error {
+		slot, _ := m.GlobalAddr("handler")
+		tok, _ := m.FuncToken("evil")
+		return m.Mem.Poke(slot, tok, 8)
+	})
+
+	type ref struct {
+		exit     int64
+		cycles   int64
+		detected bool
+	}
+	benignRef := make(map[rsti.Mechanism]ref)
+	attackRef := make(map[rsti.Mechanism]ref)
+	mechs := append(append([]rsti.Mechanism{}, rsti.Mechanisms...), rsti.Adaptive)
+	for _, mech := range mechs {
+		b, err := p.Run(mech)
+		if err != nil {
+			t.Fatalf("%s benign: %v", mech, err)
+		}
+		benignRef[mech] = ref{b.Exit, b.Stats.Cycles, b.Detected()}
+		a, err := p.Run(mech, hijack)
+		if err != nil {
+			t.Fatalf("%s attacked: %v", mech, err)
+		}
+		attackRef[mech] = ref{a.Exit, a.Stats.Cycles, a.Detected()}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, mech := range mechs {
+			wg.Add(1)
+			go func(i int, mech rsti.Mechanism) {
+				defer wg.Done()
+				attacked := i%2 == 0
+				var opts []rsti.RunOption
+				want := benignRef[mech]
+				if attacked {
+					opts = append(opts, hijack)
+					want = attackRef[mech]
+				}
+				res, err := p.Run(mech, opts...)
+				if err != nil {
+					t.Errorf("%s (attacked=%v): %v", mech, attacked, err)
+					return
+				}
+				if res.Exit != want.exit || res.Stats.Cycles != want.cycles || res.Detected() != want.detected {
+					t.Errorf("%s (attacked=%v): got exit=%d cycles=%d detected=%v, want %+v",
+						mech, attacked, res.Exit, res.Stats.Cycles, res.Detected(), want)
+				}
+			}(i, mech)
+		}
+	}
+	wg.Wait()
+}
+
+// TestEnginePublicAPI drives the public Engine: concurrent submissions,
+// stats, and a mid-run deadline.
+func TestEnginePublicAPI(t *testing.T) {
+	p, err := rsti.Compile(sharedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := rsti.NewEngine(p, rsti.EngineConfig{Workers: 4, QueueDepth: 32})
+	defer eng.Close()
+
+	want, _ := p.Run(rsti.STWC)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := eng.Submit(context.Background(), rsti.STWC)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			if res.Exit != want.Exit || res.Stats.Cycles != want.Stats.Cycles {
+				t.Errorf("engine run differs from direct run")
+			}
+		}()
+	}
+	wg.Wait()
+	if st := eng.Stats(); st.Completed != 16 || st.Workers != 4 {
+		t.Errorf("stats = %+v, want 16 completed on 4 workers", st)
+	}
+
+	spin, err := rsti.Compile(`int main(void){ int i; int a; a = 0; for (i = 0; i < 100000000; i = i + 1) { a = a + i; } return a & 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spinEng := rsti.NewEngine(spin, rsti.EngineConfig{Workers: 1})
+	defer spinEng.Close()
+	res, err := spinEng.Submit(context.Background(), rsti.None, rsti.WithTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Errorf("want deadline-exceeded run, got %v", res.Err)
+	}
+}
+
+// TestTypedErrors covers the exported error taxonomy end to end.
+func TestTypedErrors(t *testing.T) {
+	if _, err := rsti.Compile("int main(void) { return 0 }"); !errors.Is(err, rsti.ErrParse) {
+		t.Errorf("syntax error: errors.Is(err, ErrParse) = false: %v", err)
+	}
+	if _, err := rsti.Compile("int main(void) { return nosuch; }"); !errors.Is(err, rsti.ErrTypeCheck) {
+		t.Errorf("semantic error: errors.Is(err, ErrTypeCheck) = false: %v", err)
+	}
+
+	p, err := rsti.Compile(sharedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(rsti.None, rsti.WithStepBudget(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, rsti.ErrStepBudget) {
+		t.Errorf("errors.Is(res.Err, ErrStepBudget) = false: %v", res.Err)
+	}
+	var te *rsti.TrapError
+	if !errors.As(res.Err, &te) || te.Kind != vm.TrapMaxSteps || te.Mechanism != rsti.None {
+		t.Errorf("errors.As TrapError: got %+v", te)
+	}
+
+	hijack := rsti.WithHook(1, func(m *vm.Machine) error {
+		slot, _ := m.GlobalAddr("handler")
+		tok, _ := m.FuncToken("evil")
+		return m.Mem.Poke(slot, tok, 8)
+	})
+	res, err = p.Run(rsti.STWC, hijack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.As(res.Err, &te) {
+		t.Fatalf("trapped run's Err is %T, want *TrapError", res.Err)
+	}
+	if !te.SecurityTrap() || te.Mechanism != rsti.STWC || te.Fn == "" {
+		t.Errorf("TrapError fields: %+v", te)
+	}
+	if tr, ok := vm.AsTrap(res.Err); !ok || tr != res.Trap {
+		t.Errorf("vm.AsTrap no longer reaches the underlying trap")
+	}
+}
+
+// TestOutputCap verifies the printf-flood guard: capped capture, surfaced
+// truncation, bounded memory.
+func TestOutputCap(t *testing.T) {
+	p, err := rsti.Compile(`
+int main(void) {
+    int i;
+    for (i = 0; i < 2000; i = i + 1) { printf("spam %d spam spam spam\n", i); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(rsti.None, rsti.WithMaxOutput(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputTruncated {
+		t.Fatal("OutputTruncated = false, want true")
+	}
+	if len(res.Output) > 512 {
+		t.Errorf("captured %d bytes, cap was 512", len(res.Output))
+	}
+	if !strings.HasPrefix(res.Output, "spam 0") {
+		t.Errorf("head of output lost: %q", res.Output[:20])
+	}
+
+	full, err := p.Run(rsti.None, rsti.WithMaxOutput(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.OutputTruncated || len(full.Output) < 2000*10 {
+		t.Errorf("uncapped run truncated: %d bytes, truncated=%v", len(full.Output), full.OutputTruncated)
+	}
+}

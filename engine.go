@@ -1,0 +1,94 @@
+package rsti
+
+import (
+	"context"
+
+	"rsti/internal/core"
+	"rsti/internal/engine"
+)
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Workers is the number of concurrent VM workers. Each worker is a
+	// shard with its own reusable machine state (call-frame pool, warm
+	// PAC caches). Zero means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many submitted-but-not-yet-running jobs the
+	// engine holds; a full queue makes Submit block (backpressure) and
+	// TrySubmit fail with ErrQueueFull. Zero means 4×Workers.
+	QueueDepth int
+}
+
+// EngineStats is a snapshot of an Engine's aggregate counters: gauges
+// (Queued, Running), admission counts (Submitted, Rejected), outcome
+// counts (Completed, Trapped, Cancelled, Panicked), and the modelled
+// execution volume (Instrs, Cycles, PAC cache counters) suitable for a
+// metrics endpoint. Derived rates: PACCacheHitRate, InstrsPerSec.
+type EngineStats = engine.Stats
+
+// Engine is a long-lived concurrent execution service for one compiled
+// Program — the compile-once/run-many serving shape of the paper's server
+// workloads (§6.6). It reuses the Program's cached per-mechanism builds
+// and each worker's warm machine state, so steady-state serving does not
+// re-instrument or re-allocate per request. Every run still gets its own
+// virtual machine: reported numbers (cycles, trap outcomes, equivalence
+// statistics) are bit-identical to single-threaded Program.Run calls.
+//
+//	p, _ := rsti.Compile(src)
+//	eng := rsti.NewEngine(p, rsti.EngineConfig{Workers: 8})
+//	defer eng.Close()
+//	res, err := eng.Submit(ctx, rsti.STWC, rsti.WithTimeout(time.Second))
+//
+// Submit is safe for arbitrary concurrent use. One poisoned run (a
+// panicking hook, a runaway printf loop, an exhausted budget) cannot take
+// down the engine: panics are isolated to the run, output capture is
+// capped, and budgets/deadlines stop the interpreter at its cancellation
+// checkpoints.
+type Engine struct {
+	p *Program
+	e *engine.Engine
+}
+
+// NewEngine starts an execution engine serving runs of p.
+func NewEngine(p *Program, cfg EngineConfig) *Engine {
+	return &Engine{
+		p: p,
+		e: engine.New(engine.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}),
+	}
+}
+
+// Program returns the program this engine serves.
+func (e *Engine) Program() *Program { return e.p }
+
+// Submit runs the program under mech on an engine worker and returns the
+// result. It blocks while the queue is full (backpressure), returning
+// ctx.Err() if ctx ends first or ErrEngineClosed if the engine shuts
+// down. Execution outcomes — traps, cancellation, budget exhaustion —
+// are reported inside the Result, exactly as Program.RunContext reports
+// them.
+func (e *Engine) Submit(ctx context.Context, mech Mechanism, opts ...RunOption) (*Result, error) {
+	return e.e.Submit(ctx, e.job(mech, opts))
+}
+
+// TrySubmit is Submit without the blocking: when the queue is full it
+// fails immediately with ErrQueueFull so callers can shed load.
+func (e *Engine) TrySubmit(ctx context.Context, mech Mechanism, opts ...RunOption) (*Result, error) {
+	return e.e.TrySubmit(ctx, e.job(mech, opts))
+}
+
+// Stats snapshots the engine's aggregate counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Close shuts the engine down: new submissions fail with
+// ErrEngineClosed, in-flight runs are cancelled at their next
+// interpreter checkpoint, and Close returns once every worker has
+// stopped.
+func (e *Engine) Close() { e.e.Close() }
+
+func (e *Engine) job(mech Mechanism, opts []RunOption) engine.Job {
+	var cfg core.RunConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return engine.Job{Comp: e.p.c, Mech: mech, Cfg: cfg}
+}

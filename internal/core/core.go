@@ -5,9 +5,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"rsti/internal/cminor"
 	"rsti/internal/lower"
@@ -37,11 +39,15 @@ type Build struct {
 	Stats     *rsti.Stats
 }
 
-// Compile runs the frontend, lowering and STI analysis.
+// Compile runs the frontend, lowering and STI analysis. Frontend failures
+// carry the ErrParse / ErrTypeCheck sentinels for errors.Is.
 func Compile(src string) (*Compilation, error) {
-	f, err := cminor.Frontend(src)
+	f, err := cminor.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("frontend: %w", err)
+		return nil, fmt.Errorf("frontend: %w: %w", ErrParse, err)
+	}
+	if err := cminor.Check(f); err != nil {
+		return nil, fmt.Errorf("frontend: %w: %w", ErrTypeCheck, err)
 	}
 	prog, err := lower.Lower(f)
 	if err != nil {
@@ -75,10 +81,18 @@ func (c *Compilation) Build(mech sti.Mechanism) (*Build, error) {
 type RunResult struct {
 	Mechanism sti.Mechanism
 	Exit      int64
-	Err       error
-	Trap      *vm.Trap // non-nil when Err is a trap
-	Stats     vm.Stats
-	Output    string
+	// Err is nil for a clean exit. A machine trap surfaces as a
+	// *TrapError (wrapping the *vm.Trap), so errors.As and errors.Is
+	// dispatch on it; Trap holds the raw trap for direct access.
+	Err   error
+	Trap  *vm.Trap // non-nil when Err is a trap
+	Stats vm.Stats
+	// Output is the program's captured printf/puts text (only when
+	// RunConfig.Output was nil and core captured it). OutputTruncated
+	// reports that the capture hit RunConfig.MaxOutputBytes and the tail
+	// was dropped.
+	Output          string
+	OutputTruncated bool
 }
 
 // Detected reports whether the run ended in a security trap — the defense
@@ -87,6 +101,12 @@ func (r *RunResult) Detected() bool { return r.Trap != nil && r.Trap.SecurityTra
 
 // Crashed reports whether the run ended abnormally for any reason.
 func (r *RunResult) Crashed() bool { return r.Err != nil }
+
+// DefaultMaxOutputBytes caps captured program output when
+// RunConfig.MaxOutputBytes is zero: enough for every evaluation workload,
+// small enough that a printf loop cannot exhaust host memory under a
+// long-lived engine.
+const DefaultMaxOutputBytes = 1 << 20
 
 // RunConfig parameterizes an execution.
 type RunConfig struct {
@@ -97,6 +117,24 @@ type RunConfig struct {
 	// Setup runs after machine construction, before execution (for
 	// scenario-specific machine preparation).
 	Setup func(*vm.Machine)
+
+	// Timeout, when positive, bounds the run's wall-clock time: the run's
+	// context gets a deadline and the interpreter stops with a
+	// TrapCancelled (errors.Is(err, context.DeadlineExceeded)) when it
+	// expires.
+	Timeout time.Duration
+	// StepBudget, when positive, overrides Options.MaxSteps. It is
+	// applied after Options, so it wins regardless of how Options was
+	// populated.
+	StepBudget int64
+	// MaxOutputBytes caps the internally captured program output (used
+	// only when Output is nil). Zero means DefaultMaxOutputBytes;
+	// negative means unlimited. Truncation is reported in
+	// RunResult.OutputTruncated, never as an execution error.
+	MaxOutputBytes int
+	// Worker, when non-nil, lends the run an engine worker's reusable
+	// machine state (see vm.WorkerState). Engine-internal.
+	Worker *vm.WorkerState
 }
 
 // PARTSPACCost is the per-instruction cycle charge for the PARTS
@@ -109,14 +147,31 @@ type RunConfig struct {
 // implementation-quality gap.
 const PARTSPACCost = 22
 
-// Run executes a build.
+// Run executes a build with a background context; see RunContext.
 func (c *Compilation) Run(mech sti.Mechanism, cfg RunConfig) (*RunResult, error) {
+	return c.RunContext(context.Background(), mech, cfg)
+}
+
+// RunContext executes a build under ctx. Cancellation and cfg.Timeout are
+// enforced by the interpreter's step-loop checkpoints: the run returns a
+// RunResult whose Err is a *TrapError of kind vm.TrapCancelled wrapping
+// the context's error. Compile/instrumentation failures (not execution
+// outcomes) are returned as RunContext's own error.
+func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg RunConfig) (*RunResult, error) {
 	b, err := c.Build(mech)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 	if cfg.Options.MaxSteps == 0 {
 		cfg.Options = vm.DefaultOptions()
+	}
+	if cfg.StepBudget > 0 {
+		cfg.Options.MaxSteps = cfg.StepBudget
 	}
 	if mech == sti.PARTS {
 		cfg.Options.Cost.PAC = PARTSPACCost
@@ -125,10 +180,16 @@ func (c *Compilation) Run(mech sti.Mechanism, cfg RunConfig) (*RunResult, error)
 	if cfg.Output != nil {
 		cfg.Options.Output = cfg.Output
 	} else {
-		sink = &outputCapture{}
+		limit := cfg.MaxOutputBytes
+		if limit == 0 {
+			limit = DefaultMaxOutputBytes
+		}
+		sink = &outputCapture{limit: limit}
 		cfg.Options.Output = sink
 	}
+	cfg.Options.Worker = cfg.Worker
 	m := vm.New(b.Prog, cfg.Options)
+	m.SetContext(ctx)
 	for id, h := range cfg.Hooks {
 		m.RegisterHook(id, h)
 	}
@@ -142,18 +203,37 @@ func (c *Compilation) Run(mech sti.Mechanism, cfg RunConfig) (*RunResult, error)
 	res := &RunResult{Mechanism: mech, Exit: exit, Err: err, Stats: m.Stats}
 	if t, ok := vm.AsTrap(err); ok {
 		res.Trap = t
+		res.Err = newTrapError(t, mech)
 	}
 	if sink != nil {
 		res.Output = sink.String()
+		res.OutputTruncated = sink.truncated
 	}
 	return res, nil
 }
 
-type outputCapture struct{ buf []byte }
+// outputCapture buffers program output up to limit bytes (negative =
+// unlimited); overflow is counted, not stored, so a printf loop cannot
+// grow host memory without bound.
+type outputCapture struct {
+	buf       []byte
+	limit     int
+	truncated bool
+}
 
 func (o *outputCapture) Write(p []byte) (int, error) {
+	n := len(p)
+	if o.limit >= 0 {
+		if room := o.limit - len(o.buf); room < n {
+			if room < 0 {
+				room = 0
+			}
+			p = p[:room]
+			o.truncated = true
+		}
+	}
 	o.buf = append(o.buf, p...)
-	return len(p), nil
+	return n, nil
 }
 
 func (o *outputCapture) String() string { return string(o.buf) }

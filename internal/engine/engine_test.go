@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// spinSrc runs long enough (hundreds of millions of steps) that a test
+// can reliably cancel it mid-run.
+const spinSrc = `
+int main(void) {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 100000000; i = i + 1) { acc = acc + i; }
+    return acc & 127;
+}
+`
+
+// quickSrc is a small pointer workload with a deterministic exit.
+const quickSrc = `
+int g;
+int main(void) {
+    int *p; int i;
+    p = &g;
+    for (i = 0; i < 100; i = i + 1) { *p = *p + i; }
+    return *p & 127;
+}
+`
+
+// hookSrc calls the attack hook once, which tests abuse to block or
+// panic mid-run.
+const hookSrc = `
+int main(void) { __hook(1); return 7; }
+`
+
+func compile(t *testing.T, src string) *core.Compilation {
+	t.Helper()
+	c, err := core.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestSubmitBasic(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	c := compile(t, quickSrc)
+
+	want, err := c.Run(sti.STWC, core.RunConfig{})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	res, err := e.Submit(context.Background(), Job{Comp: c, Mech: sti.STWC})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Exit != want.Exit || res.Stats.Cycles != want.Stats.Cycles {
+		t.Errorf("engine run differs: exit %d/%d cycles %d/%d",
+			res.Exit, want.Exit, res.Stats.Cycles, want.Stats.Cycles)
+	}
+	st := e.Stats()
+	if st.Completed != 1 || st.Instrs != want.Stats.Instrs {
+		t.Errorf("stats = %+v, want 1 completed, %d instrs", st, want.Stats.Instrs)
+	}
+}
+
+// TestBitIdenticalAcrossWorkers runs the same program many times across
+// warm workers and checks every reported number matches a cold
+// single-threaded run: worker-state reuse must be invisible.
+func TestBitIdenticalAcrossWorkers(t *testing.T) {
+	e := New(Config{Workers: 4, QueueDepth: 64})
+	defer e.Close()
+	c := compile(t, quickSrc)
+	want, err := c.Run(sti.STL, core.RunConfig{})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.Submit(context.Background(), Job{Comp: c, Mech: sti.STL})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			if res.Exit != want.Exit || res.Stats != want.Stats {
+				// Stats includes PAC cache hit/miss counters, which ARE
+				// allowed to differ on warm workers — compare the
+				// modelled fields only.
+				if res.Stats.Cycles != want.Stats.Cycles ||
+					res.Stats.Instrs != want.Stats.Instrs ||
+					res.Stats.PacSigns != want.Stats.PacSigns ||
+					res.Stats.PacAuths != want.Stats.PacAuths ||
+					res.Exit != want.Exit {
+					t.Errorf("run differs: exit %d cycles %d vs %d",
+						res.Exit, res.Stats.Cycles, want.Stats.Cycles)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCancellationMidRun(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	c := compile(t, spinSrc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := e.Submit(ctx, Job{Comp: c, Mech: sti.None})
+	// The run is stopped by the interpreter checkpoint, so it comes back
+	// as a RunResult with a cancellation trap — not a transport error.
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit: %v", err)
+		}
+		return
+	}
+	if res.Trap == nil || res.Trap.Kind != vm.TrapCancelled {
+		t.Fatalf("want cancellation trap, got %+v", res)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("errors.Is(res.Err, context.Canceled) = false; err = %v", res.Err)
+	}
+	if e.Stats().Cancelled != 1 {
+		t.Errorf("stats.Cancelled = %d, want 1", e.Stats().Cancelled)
+	}
+}
+
+func TestDeadlineMidRun(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	c := compile(t, spinSrc)
+
+	res, err := e.Submit(context.Background(), Job{
+		Comp: c, Mech: sti.None,
+		Cfg: core.RunConfig{Timeout: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Trap == nil || res.Trap.Kind != vm.TrapCancelled {
+		t.Fatalf("want cancellation trap, got exit=%d err=%v", res.Exit, res.Err)
+	}
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(res.Err, DeadlineExceeded) = false; err = %v", res.Err)
+	}
+}
+
+// TestQueueFullBackpressure fills the single worker with a blocked run
+// and the queue with a waiting one, then verifies TrySubmit sheds load
+// and Submit blocks until capacity frees.
+func TestQueueFullBackpressure(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1})
+	defer e.Close()
+	c := compile(t, hookSrc)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blockJob := Job{Comp: c, Mech: sti.None, Cfg: core.RunConfig{
+		Hooks: map[int64]vm.Hook{1: func(m *vm.Machine) error {
+			close(started)
+			<-gate
+			return nil
+		}},
+	}}
+	quick := Job{Comp: c, Mech: sti.None, Cfg: core.RunConfig{
+		Hooks: map[int64]vm.Hook{1: func(m *vm.Machine) error { return nil }},
+	}}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); e.Submit(context.Background(), blockJob) }()
+	<-started // worker is now parked in the hook
+
+	// Fill the queue.
+	wg.Add(1)
+	go func() { defer wg.Done(); e.Submit(context.Background(), quick) }()
+	waitFor(t, func() bool { return e.Stats().Queued == 1 })
+
+	if _, err := e.TrySubmit(context.Background(), quick); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit = %v, want ErrQueueFull", err)
+	}
+	if e.Stats().Rejected != 1 {
+		t.Errorf("stats.Rejected = %d, want 1", e.Stats().Rejected)
+	}
+
+	// A blocking Submit with a short context times out instead of
+	// queueing.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.Submit(ctx, quick); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Submit = %v, want DeadlineExceeded", err)
+	}
+
+	// Free the worker; everything drains.
+	close(gate)
+	wg.Wait()
+	if st := e.Stats(); st.Completed != 2 {
+		t.Errorf("stats.Completed = %d, want 2", st.Completed)
+	}
+}
+
+// TestPanicIsolation submits a run whose hook panics and verifies the
+// submitter gets ErrPanic, the worker survives, and subsequent runs on
+// the same (rebuilt) worker are correct.
+func TestPanicIsolation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	c := compile(t, hookSrc)
+
+	poison := Job{Comp: c, Mech: sti.STWC, Cfg: core.RunConfig{
+		Hooks: map[int64]vm.Hook{1: func(m *vm.Machine) error { panic("poisoned run") }},
+	}}
+	if _, err := e.Submit(context.Background(), poison); !errors.Is(err, ErrPanic) {
+		t.Fatalf("poisoned submit = %v, want ErrPanic", err)
+	}
+	if st := e.Stats(); st.Panicked != 1 {
+		t.Errorf("stats.Panicked = %d, want 1", st.Panicked)
+	}
+
+	// The engine must keep serving correct results afterwards.
+	cq := compile(t, quickSrc)
+	want, _ := cq.Run(sti.STWC, core.RunConfig{})
+	res, err := e.Submit(context.Background(), Job{Comp: cq, Mech: sti.STWC})
+	if err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	if res.Exit != want.Exit || res.Stats.Cycles != want.Stats.Cycles {
+		t.Errorf("post-panic run differs: exit %d/%d", res.Exit, want.Exit)
+	}
+}
+
+func TestSubmitFunc(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 1; i <= 10; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			err := e.SubmitFunc(context.Background(), func(ctx context.Context) error {
+				mu.Lock()
+				total += n
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Errorf("SubmitFunc: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if total != 55 {
+		t.Errorf("total = %d, want 55", total)
+	}
+}
+
+func TestCloseRejectsAndCancels(t *testing.T) {
+	e := New(Config{Workers: 1})
+	c := compile(t, spinSrc)
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := e.Submit(context.Background(), Job{Comp: c, Mech: sti.None})
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- res.Err
+	}()
+	waitFor(t, func() bool { return e.Stats().Running == 1 })
+	e.Close()
+
+	select {
+	case err := <-done:
+		// Either the shutdown cancelled the in-flight run (cancellation
+		// trap) or the submitter observed the close.
+		if err == nil {
+			t.Fatalf("long run finished cleanly despite Close")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("submit did not return after Close")
+	}
+
+	if _, err := e.Submit(context.Background(), Job{Comp: c, Mech: sti.None}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

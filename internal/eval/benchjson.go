@@ -43,6 +43,14 @@ type BenchRecord struct {
 	PACCacheHitRate         float64            `json:"pac_cache_hit_rate"`
 	Figure9WallSeconds      float64            `json:"figure9_wall_seconds"`
 
+	// Engine throughput sweep: modelled instrs/s through internal/engine
+	// at each worker count, whether every run stayed bit-identical to the
+	// sequential reference, and the best-over-1-worker scaling factor
+	// (bounded above by the host CPU count recorded in CPUs).
+	EngineThroughput   []EngineThroughputPoint `json:"engine_throughput,omitempty"`
+	EngineScalingOver1 float64                 `json:"engine_scaling_over_1,omitempty"`
+	EngineBitIdentical bool                    `json:"engine_bit_identical,omitempty"`
+
 	// Modelled invariants: host optimization must never move these.
 	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
 	GoldenCycles      map[string]int64   `json:"golden_cycles"`
@@ -169,6 +177,21 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 	for mech, g := range fig.Overall {
 		rec.Figure9GeomeanPct[mech.String()] = g * 100
 	}
+
+	// Engine throughput sweep over worker counts, with per-run
+	// bit-identical verification against the sequential reference.
+	points, err := MeasureEngineThroughput([]int{1, 2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	rec.EngineThroughput = points
+	rec.EngineScalingOver1 = ScalingOver1(points)
+	rec.EngineBitIdentical = true
+	for _, p := range points {
+		if !p.BitIdentical {
+			rec.EngineBitIdentical = false
+		}
+	}
 	return rec, nil
 }
 
@@ -193,6 +216,15 @@ func AppendBenchRecord(path string, rec *BenchRecord) error {
 
 // Summary renders the record as a human-readable report.
 func (r *BenchRecord) Summary() string {
+	eng := ""
+	for _, p := range r.EngineThroughput {
+		eng += fmt.Sprintf("\n  engine %d worker(s):   %8.1f M instrs/s (bit-identical: %v)",
+			p.Workers, p.InstrsPerSec/1e6, p.BitIdentical)
+	}
+	if len(r.EngineThroughput) > 0 {
+		eng += fmt.Sprintf("\n  engine scaling:       %8.2f x over 1 worker (%d cpus)",
+			r.EngineScalingOver1, r.CPUs)
+	}
 	return fmt.Sprintf(
 		"bench trajectory datapoint %q (%s, %s/%s, %d cpus)\n"+
 			"  qarma encrypt:        %8.1f ns/op\n"+
@@ -204,7 +236,7 @@ func (r *BenchRecord) Summary() string {
 			"  interpreter:          %8.1f M instrs/s\n"+
 			"  pac cache hit rate:   %8.2f %%\n"+
 			"  figure 9 wall clock:  %8.1f s\n"+
-			"  figure 9 geomeans:    STWC %.3f%%  STC %.3f%%  STL %.3f%%",
+			"  figure 9 geomeans:    STWC %.3f%%  STC %.3f%%  STL %.3f%%"+eng,
 		r.Label, r.GoVersion, r.GOOS, r.GOARCH, r.CPUs,
 		r.QarmaEncryptNsPerOp,
 		r.PACSignWarmNsPerOp,

@@ -1,0 +1,179 @@
+package eval
+
+// Engine throughput benchmark: drive the Figure 9 workload through
+// internal/engine at a sweep of worker counts and record aggregate
+// modelled-instruction throughput. Two things are being measured:
+//
+//   - Scaling: how wall-clock throughput grows with workers. On a
+//     multi-core host the modelled runs are embarrassingly parallel, so
+//     throughput should grow near-linearly until the host runs out of
+//     cores (the sweep records the host CPU count so a 1-CPU container's
+//     flat curve is interpretable).
+//
+//   - Determinism: the engine's per-worker state reuse must not move a
+//     single modelled number. Every point cross-checks each run's cycles
+//     and exit code against a sequential single-threaded reference and
+//     records the verdict in BitIdentical.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rsti/internal/core"
+	"rsti/internal/engine"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// EngineThroughputPoint is the measured engine throughput at one worker
+// count.
+type EngineThroughputPoint struct {
+	Workers         int     `json:"workers"`
+	Jobs            int     `json:"jobs"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Instrs          int64   `json:"instrs"`
+	InstrsPerSec    float64 `json:"instrs_per_sec"`
+	PACCacheHitRate float64 `json:"pac_cache_hit_rate"`
+	// BitIdentical reports whether every run's modelled cycles and exit
+	// code matched the sequential reference pass.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// ScalingOver1 is the throughput of the best point relative to the
+// 1-worker point (1.0 when no 1-worker point or no speedup).
+func ScalingOver1(points []EngineThroughputPoint) float64 {
+	var base, best float64
+	for _, p := range points {
+		if p.Workers == 1 {
+			base = p.InstrsPerSec
+		}
+		if p.InstrsPerSec > best {
+			best = p.InstrsPerSec
+		}
+	}
+	if base <= 0 {
+		return 1
+	}
+	return best / base
+}
+
+// engineJob is one (program, mechanism) execution of the throughput
+// workload, with its reference outcome.
+type engineJob struct {
+	name      string
+	comp      *core.Compilation
+	mech      sti.Mechanism
+	refCycles int64
+	refExit   int64
+}
+
+// MeasureEngineThroughput sweeps the engine over workerCounts on the full
+// Figure 9 workload (every suite × baseline + the three RSTI mechanisms).
+func MeasureEngineThroughput(workerCounts []int) ([]EngineThroughputPoint, error) {
+	var benches []*workload.Benchmark
+	for _, bs := range workload.AllSuites() {
+		benches = append(benches, bs...)
+	}
+	return measureEngineThroughput(benches, workerCounts)
+}
+
+// measureEngineThroughput builds the job list from benches, runs the
+// sequential reference pass, then measures one engine pass per worker
+// count.
+func measureEngineThroughput(benches []*workload.Benchmark, workerCounts []int) ([]EngineThroughputPoint, error) {
+	mechs := append([]sti.Mechanism{sti.None}, sti.RSTIMechanisms...)
+	var jobs []*engineJob
+	for _, b := range benches {
+		c, err := compileCached(b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b.Suite, b.Name, err)
+		}
+		// Warm the per-mechanism build cache outside the timed region so
+		// every pass measures pure execution, then record the sequential
+		// reference outcome.
+		for _, mech := range mechs {
+			res, err := c.Run(mech, core.RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			if res.Err != nil {
+				return nil, fmt.Errorf("%s/%s under %s: %w", b.Suite, b.Name, mech, res.Err)
+			}
+			jobs = append(jobs, &engineJob{
+				name:      b.Suite + "/" + b.Name,
+				comp:      c,
+				mech:      mech,
+				refCycles: res.Stats.Cycles,
+				refExit:   res.Exit,
+			})
+		}
+	}
+
+	var points []EngineThroughputPoint
+	for _, workers := range workerCounts {
+		p, err := runEnginePass(jobs, workers)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// runEnginePass executes every job once on an engine with the given
+// worker count and cross-checks the outcomes against the reference.
+func runEnginePass(jobs []*engineJob, workers int) (EngineThroughputPoint, error) {
+	eng := engine.New(engine.Config{Workers: workers, QueueDepth: len(jobs) + 1})
+	defer eng.Close()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	identical := true
+	var instrs int64
+	ctx := context.Background()
+	start := time.Now()
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *engineJob) {
+			defer wg.Done()
+			res, err := eng.Submit(ctx, engine.Job{Comp: j.comp, Mech: j.mech})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s under %s: %w", j.name, j.mech, err)
+				}
+			case res.Err != nil:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s under %s: %w", j.name, j.mech, res.Err)
+				}
+			default:
+				instrs += res.Stats.Instrs
+				if res.Stats.Cycles != j.refCycles || res.Exit != j.refExit {
+					identical = false
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		return EngineThroughputPoint{}, firstErr
+	}
+	st := eng.Stats()
+	return EngineThroughputPoint{
+		Workers:         workers,
+		Jobs:            len(jobs),
+		WallSeconds:     wall,
+		Instrs:          instrs,
+		InstrsPerSec:    float64(instrs) / wall,
+		PACCacheHitRate: st.PACCacheHitRate(),
+		BitIdentical:    identical,
+	}, nil
+}

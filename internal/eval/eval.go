@@ -4,6 +4,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 
 	"rsti/internal/attack"
 	"rsti/internal/core"
+	"rsti/internal/engine"
 	"rsti/internal/report"
 	"rsti/internal/sti"
 	"rsti/internal/workload"
@@ -29,15 +31,23 @@ type OverheadRow struct {
 }
 
 // MeasureBenchmark compiles and runs one benchmark under None plus the
-// given mechanisms.
+// given mechanisms, executing every run inline on the caller.
 func MeasureBenchmark(b *workload.Benchmark, mechs []sti.Mechanism) (*OverheadRow, error) {
 	c, err := core.Compile(b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", b.Suite, b.Name, err)
 	}
-	base, err := c.Run(sti.None, core.RunConfig{})
+	return measureBenchmark(b, mechs, func(mech sti.Mechanism) (*core.RunResult, error) {
+		return c.Run(mech, core.RunConfig{})
+	})
+}
+
+// measureBenchmark builds one overhead row, delegating each run to run —
+// either an inline execution or an engine submission.
+func measureBenchmark(b *workload.Benchmark, mechs []sti.Mechanism, run func(sti.Mechanism) (*core.RunResult, error)) (*OverheadRow, error) {
+	base, err := run(sti.None)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s/%s: %w", b.Suite, b.Name, err)
 	}
 	if base.Err != nil {
 		return nil, fmt.Errorf("%s/%s baseline: %w", b.Suite, b.Name, base.Err)
@@ -50,7 +60,7 @@ func MeasureBenchmark(b *workload.Benchmark, mechs []sti.Mechanism) (*OverheadRo
 		MemOps:     base.Stats.Loads + base.Stats.Stores,
 	}
 	for _, mech := range mechs {
-		res, err := c.Run(mech, core.RunConfig{})
+		res, err := run(mech)
 		if err != nil {
 			return nil, err
 		}
@@ -75,11 +85,22 @@ type Figure9 struct {
 	Overall  map[sti.Mechanism]float64
 }
 
-// MeasureFigure9 runs every suite under the three RSTI mechanisms.
-// Benchmarks are measured in parallel — each runs in its own Machine, and
-// the cycle model is deterministic, so parallelism changes nothing but
-// wall-clock time.
+// MeasureFigure9 runs every suite under the three RSTI mechanisms,
+// driving every execution through a dedicated engine worker pool. Each
+// run gets its own Machine and the cycle model is deterministic, so the
+// engine changes nothing but wall-clock time.
 func MeasureFigure9() (*Figure9, error) {
+	eng := engine.New(engine.Config{Workers: runtime.NumCPU()})
+	defer eng.Close()
+	return MeasureFigure9On(eng)
+}
+
+// MeasureFigure9On drives the Figure 9 sweep through an existing engine,
+// sharing its bounded worker pool — and the warm per-worker machine state
+// — with whatever else that engine is serving. Compilations go through
+// the pool too (via SubmitFunc), so total CPU admission is governed by
+// one queue.
+func MeasureFigure9On(eng *engine.Engine) (*Figure9, error) {
 	f := &Figure9{
 		Rows:     make(map[string][]*OverheadRow),
 		Geomeans: make(map[string]map[sti.Mechanism]float64),
@@ -103,14 +124,26 @@ func MeasureFigure9() (*Figure9, error) {
 		mu       sync.Mutex
 		firstErr error
 	)
-	sem := make(chan struct{}, runtime.NumCPU())
+	ctx := context.Background()
 	for _, j := range jobs {
 		wg.Add(1)
+		// Coordinator goroutines hold no worker while they wait, so the
+		// submit-compile-then-submit-runs sequence cannot deadlock the pool.
 		go func(j job) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			row, err := MeasureBenchmark(j.bench, sti.RSTIMechanisms)
+			var c *core.Compilation
+			err := eng.SubmitFunc(ctx, func(context.Context) error {
+				var cerr error
+				c, cerr = compileCached(j.bench.Source)
+				return cerr
+			})
+			var row *OverheadRow
+			if err == nil {
+				row, err = measureBenchmark(j.bench, sti.RSTIMechanisms,
+					func(mech sti.Mechanism) (*core.RunResult, error) {
+						return eng.Submit(ctx, engine.Job{Comp: c, Mech: mech})
+					})
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -250,22 +283,50 @@ type Table3Entry struct {
 
 // MeasureTable3 analyzes the full-size SPEC2006 static programs and
 // computes the equivalence-class statistics plus the §6.2.2
-// pointer-to-pointer census. Compilations are shared with the other
-// static-analysis measurements through compileCached.
+// pointer-to-pointer census. The per-benchmark compile+analysis work is
+// fanned out across an engine worker pool via SubmitFunc; results are
+// shared with the other static-analysis measurements through
+// compileCached, so repeated sweeps stay cheap.
 func MeasureTable3() ([]Table3Entry, error) {
-	var out []Table3Entry
-	for _, b := range workload.SPEC2006Static() {
-		c, err := compileCached(b.Source)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		out = append(out, Table3Entry{
-			Name:     b.Name,
-			Measured: c.Analysis.Equivalence(),
-			Paper:    b.PaperTable3,
-			PPTotal:  c.Analysis.PPTotalSites,
-			PPCE:     len(c.Analysis.PPSpecial),
-		})
+	eng := engine.New(engine.Config{Workers: runtime.NumCPU()})
+	defer eng.Close()
+	benches := workload.SPEC2006Static()
+	out := make([]Table3Entry, len(benches))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b *workload.Benchmark) {
+			defer wg.Done()
+			err := eng.SubmitFunc(context.Background(), func(context.Context) error {
+				c, cerr := compileCached(b.Source)
+				if cerr != nil {
+					return fmt.Errorf("%s: %w", b.Name, cerr)
+				}
+				out[i] = Table3Entry{
+					Name:     b.Name,
+					Measured: c.Analysis.Equivalence(),
+					Paper:    b.PaperTable3,
+					PPTotal:  c.Analysis.PPTotalSites,
+					PPCE:     len(c.Analysis.PPSpecial),
+				}
+				return nil
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -138,6 +138,31 @@ func TestTable3AndCensusRendering(t *testing.T) {
 	}
 }
 
+func TestEngineThroughputBitIdentical(t *testing.T) {
+	benches := []*workload.Benchmark{workload.SPEC2017()[0], workload.NBench()[0]}
+	points, err := measureEngineThroughput(benches, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Jobs != len(benches)*4 {
+			t.Errorf("%d workers: jobs = %d, want %d", p.Workers, p.Jobs, len(benches)*4)
+		}
+		if !p.BitIdentical {
+			t.Errorf("%d workers: engine runs diverged from the sequential reference", p.Workers)
+		}
+		if p.InstrsPerSec <= 0 || p.Instrs <= 0 {
+			t.Errorf("%d workers: empty throughput point %+v", p.Workers, p)
+		}
+	}
+	if s := ScalingOver1(points); s < 1 {
+		t.Errorf("scaling = %v, want >= 1", s)
+	}
+}
+
 func TestFigure9ShapeClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full overhead sweep")

@@ -10,6 +10,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +30,12 @@ type Options struct {
 	MaxDepth  int
 	Cost      CostModel
 	Output    io.Writer
+
+	// Worker, when non-nil, supplies per-worker reusable state (frame
+	// pool, warm PA units) owned by a long-lived execution worker. The
+	// machine must then run on that worker's goroutine. Nil keeps the
+	// machine self-contained.
+	Worker *WorkerState
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -79,18 +86,33 @@ type Machine struct {
 	maxSteps int64
 	maxDepth int
 
-	// Hot-path machinery. framePool recycles call frames (register slices
-	// and local-variable maps) so steady-state execution allocates nothing
-	// per call; argScratch is a watermark-managed stack for call-argument
-	// marshalling; dec holds the per-function predecoded instruction
-	// metadata (memory-access widths, extension modes, alloca sizes) so
-	// the interpreter loop never re-derives them from ctypes.
-	framePool  []*frame
-	argScratch []uint64
-	dec        map[*mir.Func][][]decInstr
+	// Hot-path machinery. ws holds the frame pool (recycled call frames,
+	// so steady-state execution allocates nothing per call) and the
+	// arg-marshalling scratch stack — per-machine by default, shared and
+	// persistent when an engine worker supplies its WorkerState; dec
+	// holds the per-function predecoded instruction metadata
+	// (memory-access widths, extension modes, alloca sizes) so the
+	// interpreter loop never re-derives them from ctypes.
+	ws  *WorkerState
+	dec map[*mir.Func][][]decInstr
+
+	// ctx, when non-nil, is polled at cancellation checkpoints in the
+	// step loop (every ctxCheckInterval steps).
+	ctx context.Context
+
+	// pacHits0/pacMisses0 are the PA unit's cache counters at machine
+	// construction, so Stats reports per-run deltas even when the unit
+	// is a warm one shared by a WorkerState.
+	pacHits0, pacMisses0 uint64
 
 	exitCode *int64
 }
+
+// ctxCheckInterval is how many interpreted steps may pass between context
+// cancellation checks. At ~100M modelled instrs/s a 1024-step interval
+// bounds cancellation latency to ~10µs of host time while keeping the
+// per-step cost of cancellation support to one branch on a local counter.
+const ctxCheckInterval = 1024
 
 type frame struct {
 	fn   *mir.Func
@@ -181,9 +203,14 @@ func New(prog *mir.Program, opts Options) *Machine {
 	if opts.Output == nil {
 		opts.Output = io.Discard
 	}
+	ws := opts.Worker
+	if ws == nil {
+		ws = NewWorkerState()
+	}
 	m := &Machine{
 		Prog:     prog,
-		Unit:     pa.NewUnit(opts.PAConfig, pa.GenerateKeys(opts.KeySeed)),
+		Unit:     ws.unit(opts.PAConfig, opts.KeySeed),
+		ws:       ws,
 		cost:     opts.Cost,
 		out:      opts.Output,
 		hooks:    make(map[int64]Hook),
@@ -193,6 +220,7 @@ func New(prog *mir.Program, opts Options) *Machine {
 		maxSteps: opts.MaxSteps,
 		maxDepth: opts.MaxDepth,
 	}
+	m.pacHits0, m.pacMisses0 = m.Unit.CacheStats()
 	m.cycles = m.cost.cycleTable()
 
 	// Lay out globals.
@@ -236,12 +264,23 @@ func New(prog *mir.Program, opts Options) *Machine {
 	return m
 }
 
+// SetContext installs a context whose cancellation the interpreter
+// honours: the step loop polls it every ctxCheckInterval steps and stops
+// with a TrapCancelled (whose Cause is ctx.Err()) once it is done. A nil
+// or never-cancelled context costs one counter test per step.
+func (m *Machine) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // not cancellable; skip polling entirely
+	}
+	m.ctx = ctx
+}
+
 // getFrame takes a frame from the pool (or allocates one) and prepares it
 // for f: registers zeroed and sized, local-variable map emptied.
 func (m *Machine) getFrame(f *mir.Func) *frame {
-	if n := len(m.framePool); n > 0 {
-		fr := m.framePool[n-1]
-		m.framePool = m.framePool[:n-1]
+	if n := len(m.ws.frames); n > 0 {
+		fr := m.ws.frames[n-1]
+		m.ws.frames = m.ws.frames[:n-1]
 		if cap(fr.regs) < f.NumRegs {
 			fr.regs = make([]uint64, f.NumRegs)
 		} else {
@@ -300,11 +339,13 @@ func (m *Machine) VarAddr(fn, name string) (uint64, bool) {
 	return 0, false
 }
 
-// syncPACStats copies the PA unit's memoization counters into Stats.
+// syncPACStats copies the PA unit's memoization counters into Stats,
+// relative to the counts at machine construction (a shared worker unit
+// accumulates across runs; Stats always reports this run's share).
 func (m *Machine) syncPACStats() {
 	hits, misses := m.Unit.CacheStats()
-	m.Stats.PACCacheHits = int64(hits)
-	m.Stats.PACCacheMisses = int64(misses)
+	m.Stats.PACCacheHits = int64(hits - m.pacHits0)
+	m.Stats.PACCacheMisses = int64(misses - m.pacMisses0)
 }
 
 // Run executes __init then main and returns main's exit value (or the
@@ -382,7 +423,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 	defer func() {
 		m.frames = m.frames[:len(m.frames)-1]
 		m.stackNext = fr.mark
-		m.framePool = append(m.framePool, fr)
+		m.ws.frames = append(m.ws.frames, fr)
 	}()
 
 	decoded := m.dec[f]
@@ -397,6 +438,17 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 		m.steps++
 		if m.steps > m.maxSteps {
 			return 0, m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
+		}
+		if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
+			if cerr := m.ctx.Err(); cerr != nil {
+				return 0, &Trap{
+					Kind:  TrapCancelled,
+					Fn:    f.Name,
+					Pos:   in.Pos,
+					Msg:   fmt.Sprintf("%v after %d steps", cerr, m.steps),
+					Cause: cerr,
+				}
+			}
 		}
 		m.charge(in.Op)
 		regs := fr.regs
@@ -493,12 +545,12 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 			// copies them into its own registers (or a builtin consumes
 			// them) before this frame touches the stack again, so the
 			// watermark discipline is safe under recursion.
-			base := len(m.argScratch)
+			base := len(m.ws.argScratch)
 			for _, r := range in.Args {
-				m.argScratch = append(m.argScratch, regs[r])
+				m.ws.argScratch = append(m.ws.argScratch, regs[r])
 			}
-			ret, err := m.exec(callee, m.argScratch[base:])
-			m.argScratch = m.argScratch[:base]
+			ret, err := m.exec(callee, m.ws.argScratch[base:])
+			m.ws.argScratch = m.ws.argScratch[:base]
 			if err != nil {
 				return 0, err
 			}

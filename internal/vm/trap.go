@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"rsti/internal/cminor"
@@ -31,6 +32,12 @@ const (
 	// TrapPPViolation: the pointer-to-pointer runtime library rejected a
 	// CE tag or modifier lookup.
 	TrapPPViolation
+	// TrapCancelled: the run's context was cancelled or its deadline
+	// expired; the interpreter stopped at the next cancellation
+	// checkpoint. The trap's Cause carries the context error, so
+	// errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) both work.
+	TrapCancelled
 )
 
 var trapNames = map[TrapKind]string{
@@ -42,6 +49,7 @@ var trapNames = map[TrapKind]string{
 	TrapMaxSteps:      "execution budget exhausted",
 	TrapStackOverflow: "stack overflow",
 	TrapPPViolation:   "pointer-to-pointer metadata violation",
+	TrapCancelled:     "execution cancelled",
 }
 
 func (k TrapKind) String() string {
@@ -59,11 +67,18 @@ type Trap struct {
 	Fn   string
 	Pos  cminor.Pos
 	Msg  string
+	// Cause is the underlying error for traps that wrap one (today only
+	// TrapCancelled, which carries the context's error). It is exposed
+	// through Unwrap so errors.Is can see through the trap.
+	Cause error
 }
 
 func (t *Trap) Error() string {
 	return fmt.Sprintf("trap: %s in %s at %s: %s", t.Kind, t.Fn, t.Pos, t.Msg)
 }
+
+// Unwrap exposes the trap's cause (nil for most kinds).
+func (t *Trap) Unwrap() error { return t.Cause }
 
 // SecurityTrap reports whether the trap is a defense detection rather
 // than an ordinary program fault: an authentication failure, a poisoned
@@ -77,8 +92,11 @@ func (t *Trap) SecurityTrap() bool {
 	return false
 }
 
-// AsTrap extracts a *Trap from an error, if it is one.
+// AsTrap extracts a *Trap from an error chain, if one is present.
 func AsTrap(err error) (*Trap, bool) {
-	t, ok := err.(*Trap)
-	return t, ok
+	var t *Trap
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
 }

@@ -1,0 +1,47 @@
+package vm
+
+import "rsti/internal/pa"
+
+// WorkerState is the per-worker reusable hot-path state of a long-lived
+// execution service: the call-frame pool and the keyed PA units with their
+// warm PAC memoization caches. A Machine normally owns this state itself
+// and discards it when the run ends; an engine worker that executes many
+// runs back to back hands the same WorkerState to every Machine it builds,
+// so steady-state serving allocates no frames and keeps the PAC cache warm
+// across runs.
+//
+// A WorkerState is NOT safe for concurrent use: it must be owned by
+// exactly one goroutine (the engine worker), and the Machines built from
+// it must run sequentially. Results are bit-identical with or without
+// reuse — the frame pool zeroes registers on reuse and the PAC cache can
+// only skip recomputing, never change, a PAC (see pa.Unit).
+type WorkerState struct {
+	frames     []*frame
+	argScratch []uint64
+	units      map[unitKey]*pa.Unit
+}
+
+// unitKey identifies a PA unit by everything that determines its keys and
+// layout; pa.Config has only comparable fields.
+type unitKey struct {
+	cfg  pa.Config
+	seed uint64
+}
+
+// NewWorkerState returns an empty WorkerState.
+func NewWorkerState() *WorkerState {
+	return &WorkerState{units: make(map[unitKey]*pa.Unit)}
+}
+
+// unit returns the worker's PA unit for (cfg, seed), building it on first
+// use. Key generation is deterministic, so reusing the unit (and its warm
+// PAC cache) across runs changes no signed or authenticated value.
+func (ws *WorkerState) unit(cfg pa.Config, seed uint64) *pa.Unit {
+	k := unitKey{cfg: cfg, seed: seed}
+	if u, ok := ws.units[k]; ok {
+		return u
+	}
+	u := pa.NewUnit(cfg, pa.GenerateKeys(seed))
+	ws.units[k] = u
+	return u
+}

@@ -30,7 +30,9 @@
 package rsti
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"rsti/internal/core"
 	"rsti/internal/rsti"
@@ -143,19 +145,63 @@ func WithOutput(w io.Writer) RunOption {
 	return func(cfg *core.RunConfig) { cfg.Output = w }
 }
 
-// WithOptions overrides the VM configuration (memory sizes, step budget,
-// PA layout, cost model).
+// WithOptions overrides the whole VM configuration (memory sizes, step
+// budget, PA layout, cost model). Precedence: WithOptions supplies the
+// base configuration; WithStepBudget is applied after it and overrides
+// Options.MaxSteps; WithTimeout is independent of the VM options (it
+// bounds wall-clock time through the run's context, not modelled steps).
+// If WithOptions is not given, vm.DefaultOptions() is the base.
 func WithOptions(opts vm.Options) RunOption {
 	return func(cfg *core.RunConfig) { cfg.Options = opts }
 }
 
-// Run executes the program under the given mechanism.
+// WithTimeout bounds the run's wall-clock time. When it expires the
+// interpreter stops at its next cancellation checkpoint and the Result's
+// Err is a *TrapError of kind vm.TrapCancelled satisfying
+// errors.Is(err, context.DeadlineExceeded). The deadline composes with
+// any deadline already on the RunContext context (whichever is sooner
+// wins).
+func WithTimeout(d time.Duration) RunOption {
+	return func(cfg *core.RunConfig) { cfg.Timeout = d }
+}
+
+// WithStepBudget bounds the run to n modelled interpreter steps; an
+// exhausted budget surfaces as a *TrapError satisfying
+// errors.Is(err, ErrStepBudget). It overrides the MaxSteps of any
+// WithOptions configuration regardless of option order.
+func WithStepBudget(n int64) RunOption {
+	return func(cfg *core.RunConfig) { cfg.StepBudget = n }
+}
+
+// WithMaxOutput caps the internally captured program output at n bytes
+// (see Result.OutputTruncated). It has no effect when WithOutput routes
+// output to a caller-supplied writer. Negative n removes the default
+// 1 MiB cap.
+func WithMaxOutput(n int) RunOption {
+	return func(cfg *core.RunConfig) { cfg.MaxOutputBytes = n }
+}
+
+// Run executes the program under the given mechanism with a background
+// context; see RunContext.
 func (p *Program) Run(mech Mechanism, opts ...RunOption) (*Result, error) {
+	return p.RunContext(context.Background(), mech, opts...)
+}
+
+// RunContext executes the program under the given mechanism, honouring
+// ctx: when ctx is cancelled or its deadline passes, the interpreter
+// stops at its next checkpoint (every few-thousand modelled steps) and
+// the Result carries a *TrapError of kind vm.TrapCancelled whose chain
+// includes ctx's error. A Program is immutable after Compile, so any
+// number of RunContext calls may run concurrently on the same Program —
+// each gets its own machine. The returned error reports infrastructure
+// failures (instrumentation bugs); execution outcomes, including traps
+// and cancellation, are reported in the Result.
+func (p *Program) RunContext(ctx context.Context, mech Mechanism, opts ...RunOption) (*Result, error) {
 	var cfg core.RunConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return p.c.Run(mech, cfg)
+	return p.c.RunContext(ctx, mech, cfg)
 }
 
 // Overhead computes the relative cycle overhead of a protected run over a
