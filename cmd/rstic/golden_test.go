@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/golden/<name>.golden, rewriting
+// the file under -update. Analysis and instrumentation are deterministic
+// functions of the source, so full-output goldens are stable.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rstic -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		// No mode flags: the default types+equiv summary.
+		{"demo-default", []string{"../../testdata/demo.c"}},
+		{"demo-stats-stl", []string{"-stats", "-mech", "rsti-stl", "../../testdata/demo.c"}},
+		{"demo-equiv", []string{"-equiv", "../../testdata/demo.c"}},
+		{"doubleptr-pp", []string{"-pp", "../../testdata/doubleptr.c"}},
+		// The instrumented IR for the paper's Figure 7 program — small
+		// enough to eyeball, pins pac/aut placement end to end.
+		{"doubleptr-dump-stwc", []string{"-dump", "-mech", "rsti-stwc", "../../testdata/doubleptr.c"}},
+		{"victim-types", []string{"-types", "../../testdata/victim.c"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+			}
+			if stderr.Len() != 0 {
+				t.Errorf("clean run wrote to stderr: %s", stderr.String())
+			}
+			golden(t, tc.name, stdout.Bytes())
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"no-file", nil, 2},
+		{"bad-flag", []string{"-definitely-not-a-flag"}, 2},
+		{"unknown-mechanism", []string{"-mech", "rop", "../../testdata/demo.c"}, 2},
+		{"missing-file", []string{"no-such-file.c"}, 1},
+		{"parse-error", []string{"testdata/broken.c"}, 1},
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "broken.c"), []byte("int main(void) { return 0 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Remove(filepath.Join("testdata", "broken.c")) })
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.wantCode {
+				t.Errorf("exit code %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("error case produced no diagnostics on stderr")
+			}
+		})
+	}
+}

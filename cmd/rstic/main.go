@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rsti"
@@ -23,72 +24,81 @@ import (
 )
 
 func main() {
-	mechName := flag.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
-	dump := flag.Bool("dump", false, "print the instrumented IR")
-	types := flag.Bool("types", false, "print the RSTI-type table")
-	equiv := flag.Bool("equiv", false, "print equivalence-class statistics")
-	pp := flag.Bool("pp", false, "print the pointer-to-pointer census")
-	stats := flag.Bool("stats", false, "print static instrumentation counts")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rstic [flags] file.c")
-		flag.PrintDefaults()
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rstic", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mechName := fs.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
+	dump := fs.Bool("dump", false, "print the instrumented IR")
+	types := fs.Bool("types", false, "print the RSTI-type table")
+	equiv := fs.Bool("equiv", false, "print equivalence-class statistics")
+	pp := fs.Bool("pp", false, "print the pointer-to-pointer census")
+	stats := fs.Bool("stats", false, "print static instrumentation counts")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: rstic [flags] file.c")
+		fs.PrintDefaults()
+		return 2
 	}
 	mech, ok := sti.ParseMechanism(*mechName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "rstic: unknown mechanism %q\n", *mechName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rstic: unknown mechanism %q\n", *mechName)
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rstic:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rstic:", err)
+		return 1
 	}
 	p, err := rsti.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rstic:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rstic:", err)
+		return 1
 	}
 
 	nothing := !*dump && !*types && !*equiv && !*pp && !*stats
 	if *types || nothing {
-		fmt.Println("RSTI-types:")
+		fmt.Fprintln(stdout, "RSTI-types:")
 		for _, rt := range p.Analysis().Types {
 			if len(rt.Vars)+len(rt.Fields) > 0 {
-				fmt.Printf("  %s  (%d vars, %d fields)\n", rt, len(rt.Vars), len(rt.Fields))
+				fmt.Fprintf(stdout, "  %s  (%d vars, %d fields)\n", rt, len(rt.Vars), len(rt.Fields))
 			}
 		}
 	}
 	if *equiv || nothing {
 		eq := p.Equivalence()
-		fmt.Printf("equivalence: NT=%d NV=%d RT(STWC)=%d RT(STC)=%d largestECV(STWC)=%d largestECV(STC)=%d largestECT(STC)=%d\n",
+		fmt.Fprintf(stdout, "equivalence: NT=%d NV=%d RT(STWC)=%d RT(STC)=%d largestECV(STWC)=%d largestECV(STC)=%d largestECT(STC)=%d\n",
 			eq.NT, eq.NV, eq.RTSTWC, eq.RTSTC, eq.LargestECVSTWC, eq.LargestECVSTC, eq.LargestECTSTC)
 	}
 	if *pp {
 		an := p.Analysis()
-		fmt.Printf("pointer-to-pointer: %d sites, %d CE/FE sites\n", an.PPTotalSites, len(an.PPSpecial))
+		fmt.Fprintf(stdout, "pointer-to-pointer: %d sites, %d CE/FE sites\n", an.PPTotalSites, len(an.PPSpecial))
 		for _, s := range an.PPSpecial {
-			fmt.Printf("  %s: %s -> %s (CE %d)\n", s.Fn, s.FromTy, s.ToTy, s.CE)
+			fmt.Fprintf(stdout, "  %s: %s -> %s (CE %d)\n", s.Fn, s.FromTy, s.ToTy, s.CE)
 		}
 	}
 	if *stats {
 		st, err := p.InstrumentationStats(mech)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rstic:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "rstic:", err)
+			return 1
 		}
-		fmt.Printf("instrumentation under %s: %d pac, %d aut, %d conversion pairs, %d pp ops (total %d)\n",
+		fmt.Fprintf(stdout, "instrumentation under %s: %d pac, %d aut, %d conversion pairs, %d pp ops (total %d)\n",
 			mech, st.Signs, st.Auths, st.ConvPairs,
 			st.PPAdds+st.PPSigns+st.PPAuths+st.PPTags, st.Total())
 	}
 	if *dump {
 		ir, err := p.DumpIR(mech)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rstic:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "rstic:", err)
+			return 1
 		}
-		fmt.Print(ir)
+		fmt.Fprint(stdout, ir)
 	}
+	return 0
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"rsti/internal/vm"
+)
+
+// TestErrorTaxonomyOverHTTP drives the library's typed error taxonomy
+// through the daemon's wire classification in one table: compile
+// sentinels become 422s with a machine-readable kind, protocol mistakes
+// become 4xx statuses, and execution outcomes (traps, budget, deadline)
+// ride inside a 200 with a structured trap — never a bare message to
+// regex.
+func TestErrorTaxonomyOverHTTP(t *testing.T) {
+	ts, _ := startServer(t)
+
+	spin := `int main(void){ int i; int a; a = 0; for (i = 0; i < 100000000; i = i + 1) { a = a + i; } return a & 1; }`
+
+	t.Run("compile-classification", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			source string
+			status int
+			kind   string // the 422 body's "kind" field
+		}{
+			{"parse", "int main(void) { return 0 }", 422, "parse"},
+			{"typecheck", "int main(void) { return nosuch; }", 422, "typecheck"},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				var body map[string]string
+				code := post(t, ts.URL+"/v1/compile", compileRequest{Source: tc.source}, &body)
+				if code != tc.status {
+					t.Fatalf("status %d, want %d", code, tc.status)
+				}
+				if body["kind"] != tc.kind {
+					t.Errorf("kind = %q, want %q", body["kind"], tc.kind)
+				}
+				if body["error"] == "" {
+					t.Error("422 body carries no error text")
+				}
+			})
+		}
+	})
+
+	t.Run("protocol-classification", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			req    runRequest
+			status int
+		}{
+			{"unknown-program", runRequest{Program: "feedbead", Mechanism: "rsti-stl"}, 404},
+			{"unknown-mechanism", runRequest{Source: victimSrc, Mechanism: "rop"}, 400},
+			{"program-and-source", runRequest{Program: "x", Source: victimSrc}, 400},
+			{"neither", runRequest{Mechanism: "rsti-stwc"}, 400},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				if code := post(t, ts.URL+"/v1/run", tc.req, nil); code != tc.status {
+					t.Errorf("status %d, want %d", code, tc.status)
+				}
+			})
+		}
+	})
+
+	// Execution outcomes: the trap taxonomy must survive the JSON
+	// round-trip with its kind intact.
+	t.Run("outcome-classification", func(t *testing.T) {
+		cases := []struct {
+			name      string
+			req       runRequest
+			trapKind  string
+			cancelled bool
+			detected  bool
+		}{
+			{
+				name:     "step-budget",
+				req:      runRequest{Source: victimSrc, StepBudget: 50},
+				trapKind: vm.TrapMaxSteps.String(),
+			},
+			{
+				name:      "deadline",
+				req:       runRequest{Source: spin, TimeoutMS: 20},
+				trapKind:  vm.TrapCancelled.String(),
+				cancelled: true,
+			},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				var run runResponse
+				if code := post(t, ts.URL+"/v1/run", tc.req, &run); code != 200 {
+					t.Fatalf("status %d, want 200 (outcomes ride inside success)", code)
+				}
+				if run.Trap == nil {
+					t.Fatalf("no trap in response: %+v", run)
+				}
+				if run.Trap.Kind != tc.trapKind {
+					t.Errorf("trap kind = %q, want %q", run.Trap.Kind, tc.trapKind)
+				}
+				if run.Cancelled != tc.cancelled {
+					t.Errorf("cancelled = %v, want %v", run.Cancelled, tc.cancelled)
+				}
+				if run.Detected != tc.detected {
+					t.Errorf("detected = %v, want %v", run.Detected, tc.detected)
+				}
+				if run.Error == "" {
+					t.Error("trapped run carries no error text")
+				}
+			})
+		}
+	})
+
+	// A closed engine's sentinel maps to 503, the shutting-down status.
+	t.Run("engine-closed", func(t *testing.T) {
+		srv := newServer(1, 1)
+		hts := httptest.NewServer(srv)
+		defer hts.Close()
+		srv.close()
+		if code := post(t, hts.URL+"/v1/run", runRequest{Source: victimSrc}, nil); code != 503 {
+			t.Errorf("run on closed engine: status %d, want 503", code)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSoakRange(t *testing.T) {
+	if code := run([]string{"-seed", "1", "-n", "2", "-workers", "1"}); code != 0 {
+		t.Fatalf("healthy soak exited %d", code)
+	}
+}
+
+func TestRunReplayCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seeds.txt"), []byte("# corpus\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-replay", "-workers", "1", "-corpus", dir}); code != 0 {
+		t.Fatalf("replay of a healthy corpus exited %d", code)
+	}
+}
+
+func TestRunReplayMissingCorpus(t *testing.T) {
+	if code := run([]string{"-replay", "-corpus", filepath.Join(t.TempDir(), "nope")}); code != 1 {
+		t.Fatalf("missing corpus exited %d, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

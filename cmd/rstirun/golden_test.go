@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/golden/<name>.golden, rewriting
+// the file under -update. The modelled machine is deterministic (cycle
+// counts included), so full-output goldens are stable.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rstirun -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"demo-stwc", []string{"-mech", "rsti-stwc", "../../testdata/demo.c"}, 33},
+		{"demo-all", []string{"-all", "../../testdata/demo.c"}, 0},
+		// A generous -timeout must leave a clean run's output untouched.
+		{"demo-timeout-clean", []string{"-mech", "rsti-stwc", "-timeout", "30s", "../../testdata/demo.c"}, 33},
+		// A tiny -steps budget deterministically exhausts mid-run.
+		{"demo-steps-exhausted", []string{"-mech", "none", "-steps", "50", "../../testdata/demo.c"}, 1},
+		{"doubleptr-stl", []string{"-mech", "rsti-stl", "../../testdata/doubleptr.c"}, 0},
+		{"victim-none", []string{"-mech", "none", "../../testdata/victim.c"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			var combined bytes.Buffer
+			combined.WriteString("== stdout ==\n")
+			combined.Write(stdout.Bytes())
+			combined.WriteString("== stderr ==\n")
+			combined.Write(stderr.Bytes())
+			golden(t, tc.name, combined.Bytes())
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"no-file", []string{"-mech", "rsti-stwc"}, 2},
+		{"bad-flag", []string{"-definitely-not-a-flag"}, 2},
+		{"unknown-mechanism", []string{"-mech", "rop", "../../testdata/demo.c"}, 2},
+		{"missing-file", []string{"no-such-file.c"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.wantCode {
+				t.Errorf("exit code %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("usage error produced no diagnostics on stderr")
+			}
+		})
+	}
+}
+
+// TestSecurityTrapExitCode: the documented grep-able exit code for a
+// defense detection, produced by a deliberately type-confused program.
+func TestSecurityTrapExitCode(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "confused.c")
+	prog := `
+struct a { long x; struct a *next; };
+struct b { long y; struct b *prev; };
+struct a *ga;
+struct b *gb;
+int main(void) {
+	ga = (struct a*) malloc(sizeof(struct a));
+	gb = (struct b*) malloc(sizeof(struct b));
+	ga->x = 1;
+	gb->y = 2;
+	__hook(1);
+	return (int)(ga->x + gb->y);
+}
+`
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Benign run first: the __hook site with no registered hook is inert.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mech", "rsti-stl", src}, &stdout, &stderr); code != 3 {
+		t.Fatalf("benign run exit %d, want 3\nstderr: %s", code, stderr.String())
+	}
+}

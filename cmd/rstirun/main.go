@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rsti"
@@ -22,36 +23,49 @@ import (
 	"rsti/internal/sti"
 )
 
-func main() {
-	mechName := flag.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
-	all := flag.Bool("all", false, "run under every mechanism and compare")
-	timeout := flag.Duration("timeout", 0, "wall-clock limit per run (0 = none)")
-	steps := flag.Int64("steps", 0, "modelled step budget per run (0 = default)")
-	flag.Parse()
+// Exit codes: 0 clean (or the program's own low exit bits), 1 for
+// compile/run failures, 2 for usage errors, and exitSecurityTrap when
+// the defense fired — scripts grep for that one.
+const exitSecurityTrap = 42
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rstirun [flags] file.c")
-		flag.PrintDefaults()
-		os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rstirun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mechName := fs.String("mech", "rsti-stwc", "mechanism: none|parts|rsti-stwc|rsti-stc|rsti-stl")
+	all := fs.Bool("all", false, "run under every mechanism and compare")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit per run (0 = none)")
+	steps := fs.Int64("steps", 0, "modelled step budget per run (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: rstirun [flags] file.c")
+		fs.PrintDefaults()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rstirun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rstirun:", err)
+		return 1
 	}
 	p, err := rsti.Compile(string(src))
 	if err != nil {
 		switch {
 		case errors.Is(err, rsti.ErrParse):
-			fmt.Fprintln(os.Stderr, "rstirun: syntax error:", err)
+			fmt.Fprintln(stderr, "rstirun: syntax error:", err)
 		case errors.Is(err, rsti.ErrTypeCheck):
-			fmt.Fprintln(os.Stderr, "rstirun: type error:", err)
+			fmt.Fprintln(stderr, "rstirun: type error:", err)
 		default:
-			fmt.Fprintln(os.Stderr, "rstirun:", err)
+			fmt.Fprintln(stderr, "rstirun:", err)
 		}
-		os.Exit(1)
+		return 1
 	}
-	opts := []rsti.RunOption{rsti.WithOutput(os.Stdout)}
+	opts := []rsti.RunOption{rsti.WithOutput(stdout)}
 	if *timeout > 0 {
 		opts = append(opts, rsti.WithTimeout(*timeout))
 	}
@@ -67,8 +81,8 @@ func main() {
 		for _, mech := range rsti.Mechanisms {
 			res, err := p.Run(mech, opts...)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "rstirun:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "rstirun:", err)
+				return 1
 			}
 			if mech == rsti.None {
 				baseCycles = res.Stats.Cycles
@@ -86,37 +100,37 @@ func main() {
 				fmt.Sprintf("%d", res.Stats.PACOps()+res.Stats.PPOps),
 				over, status)
 		}
-		fmt.Println(t)
-		return
+		fmt.Fprintln(stdout, t)
+		return 0
 	}
 
 	mech, ok := sti.ParseMechanism(*mechName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "rstirun: unknown mechanism %q\n", *mechName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rstirun: unknown mechanism %q\n", *mechName)
+		return 2
 	}
 	res, err := p.Run(mech, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rstirun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rstirun:", err)
+		return 1
 	}
 	if res.Err != nil {
 		var te *rsti.TrapError
 		switch {
 		case errors.As(res.Err, &te) && te.SecurityTrap():
-			fmt.Fprintf(os.Stderr, "rstirun: SECURITY TRAP in %s: %v\n", te.Fn, res.Err)
-			os.Exit(42)
+			fmt.Fprintf(stderr, "rstirun: SECURITY TRAP in %s: %v\n", te.Fn, res.Err)
+			return exitSecurityTrap
 		case errors.Is(res.Err, rsti.ErrStepBudget):
-			fmt.Fprintf(os.Stderr, "rstirun: step budget exhausted: %v\n", res.Err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rstirun: step budget exhausted: %v\n", res.Err)
+			return 1
 		case errors.Is(res.Err, context.DeadlineExceeded):
-			fmt.Fprintf(os.Stderr, "rstirun: timed out: %v\n", res.Err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rstirun: timed out: %v\n", res.Err)
+			return 1
 		default:
-			fmt.Fprintf(os.Stderr, "rstirun: %v\n", res.Err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rstirun: %v\n", res.Err)
+			return 1
 		}
 	}
-	fmt.Printf("exit=%d cycles=%d pa-ops=%d\n", res.Exit, res.Stats.Cycles, res.Stats.PACOps()+res.Stats.PPOps)
-	os.Exit(int(res.Exit) & 0x7f)
+	fmt.Fprintf(stdout, "exit=%d cycles=%d pa-ops=%d\n", res.Exit, res.Stats.Cycles, res.Stats.PACOps()+res.Stats.PPOps)
+	return int(res.Exit) & 0x7f
 }

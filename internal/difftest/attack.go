@@ -1,0 +1,143 @@
+package difftest
+
+import (
+	"fmt"
+
+	"rsti/internal/vm"
+)
+
+// An attackVariant is one corruption injected at the generated program's
+// __hook(1) site, modelling an exploit's arbitrary-write primitive the
+// way internal/attack's Table 1 scenarios do. Each variant carries the
+// detection expectations the mechanisms' guarantees imply; expectations
+// the analysis cannot promise for every program shape are left nil.
+type attackVariant struct {
+	Name string
+	Hook vm.Hook
+	// MustDetect lists mechanism names (sti.Mechanism.String) that are
+	// guaranteed to trap this corruption on every generated program.
+	MustDetect []string
+	// MustMiss lists mechanisms guaranteed NOT to trap it — the
+	// paper's detection gradient (a same-class replay shares the STWC
+	// modifier, so only STL's location binding can catch it).
+	MustMiss []string
+}
+
+// variants returns the corruption set for a generated program. All four
+// rely only on names Generate always emits (slotA, slotB, slotC,
+// fp_slot, f0..fN-1).
+func variants(cfg Config) []attackVariant {
+	cfg = cfg.normalize()
+	out := []attackVariant{
+		{
+			// The classic control-flow hijack: overwrite the global
+			// function pointer with a different function's raw entry
+			// token. The token carries no PAC, so every signing
+			// mechanism — PARTS included — must trap the post-hook
+			// call; the baseline happily calls the substituted target.
+			Name:       "raw-fp",
+			Hook:       rawFPHook(cfg.Targets),
+			MustDetect: []string{"parts", "rsti-stwc", "rsti-stc", "rsti-stl", "rsti-adaptive"},
+		},
+		{
+			// A raw data-pointer overwrite: slotA is pointed at slotB's
+			// object using the canonical (unsigned) address an
+			// arbitrary-write attacker would forge.
+			Name:       "raw-data",
+			Hook:       rawDataHook(),
+			MustDetect: []string{"parts", "rsti-stwc", "rsti-stc", "rsti-stl", "rsti-adaptive"},
+		},
+		{
+			// The pointer-substitution replay inside one equivalence
+			// class: slotB's correctly signed value is copied over
+			// slotA. slotA and slotB share basic type, scope and
+			// permission by construction, so STWC/STC authenticate the
+			// replayed value with the very modifier it was signed under
+			// — only STL's &p binding distinguishes the slots. This is
+			// the STL ⊋ STWC guarantee the paper argues.
+			Name:       "replay-same-class",
+			Hook:       replayHook("slotB", "slotA"),
+			MustDetect: []string{"rsti-stl"},
+			MustMiss:   []string{"parts", "rsti-stwc", "rsti-stc"},
+		},
+	}
+	if cfg.SlotCDistinct() {
+		// A cross-type replay: slotC's signed value (a different
+		// RSTI-type: different struct, different scope) over slotA.
+		// STWC's per-triple classes must catch it; STC may legitimately
+		// miss it when a cast bridge merged the two types — exactly the
+		// STWC ⊋ STC gap — so STC carries no expectation here beyond
+		// the monotonicity the oracle always enforces.
+		out = append(out, attackVariant{
+			Name:       "replay-cross-type",
+			Hook:       replayHook("slotC", "slotA"),
+			MustDetect: []string{"rsti-stwc", "rsti-stl", "rsti-adaptive"},
+		})
+	}
+	return out
+}
+
+// rawFPHook overwrites fp_slot with the entry token of some function
+// other than the one currently installed.
+func rawFPHook(targets int) vm.Hook {
+	return func(m *vm.Machine) error {
+		addr, ok := m.GlobalAddr("fp_slot")
+		if !ok {
+			return fmt.Errorf("difftest: no global fp_slot")
+		}
+		cur, err := m.Mem.Peek(addr, 8)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < targets; i++ {
+			tok, ok := m.FuncToken(fmt.Sprintf("f%d", i))
+			if !ok {
+				break
+			}
+			if tok != m.Unit.Canonical(cur) {
+				return m.Mem.Poke(addr, tok, 8)
+			}
+		}
+		return fmt.Errorf("difftest: no substitute function token found")
+	}
+}
+
+// rawDataHook points slotA at slotB's heap object via the canonical
+// address (no PAC), the raw-write data attack.
+func rawDataHook() vm.Hook {
+	return func(m *vm.Machine) error {
+		src, ok := m.GlobalAddr("slotB")
+		if !ok {
+			return fmt.Errorf("difftest: no global slotB")
+		}
+		dst, ok := m.GlobalAddr("slotA")
+		if !ok {
+			return fmt.Errorf("difftest: no global slotA")
+		}
+		v, err := m.Mem.Peek(src, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(dst, m.Unit.Canonical(v), 8)
+	}
+}
+
+// replayHook copies the (possibly signed) 8-byte value stored in global
+// src over global dst — the substitution/replay primitive.
+func replayHook(src, dst string) vm.Hook {
+	return func(m *vm.Machine) error {
+		s, ok := m.GlobalAddr(src)
+		if !ok {
+			return fmt.Errorf("difftest: no global %s", src)
+		}
+		d, ok := m.GlobalAddr(dst)
+		if !ok {
+			return fmt.Errorf("difftest: no global %s", dst)
+		}
+		v, err := m.Mem.Peek(s, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(d, v, 8)
+	}
+}

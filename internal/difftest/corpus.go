@@ -1,0 +1,139 @@
+package difftest
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Corpus layout (testdata/difftest/ at the repository root):
+//
+//	seeds.txt        committed regression seeds, one decimal seed per
+//	                 line ('#' comments allowed); replayed by
+//	                 TestCorpusRegressions and `rstifuzz -replay`.
+//	failures/        divergence reproductions written by soak runs:
+//	                 seed-<N>.c (the minimized source) and seed-<N>.txt
+//	                 (config, divergences, replay command). Never
+//	                 committed while the pipeline is healthy.
+
+// ReadSeeds parses a seeds.txt-style corpus file.
+func ReadSeeds(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var seeds []uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad seed %q: %w", path, line, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds, sc.Err()
+}
+
+// SaveFailure persists a diverging report under dir/failures: the
+// (minimized) source as seed-<N>.c and a replay description as
+// seed-<N>.txt. It returns the written paths.
+func SaveFailure(dir string, rep *Report) ([]string, error) {
+	fdir := filepath.Join(dir, "failures")
+	if err := os.MkdirAll(fdir, 0o755); err != nil {
+		return nil, err
+	}
+	cPath := filepath.Join(fdir, fmt.Sprintf("seed-%d.c", rep.Cfg.Seed))
+	tPath := filepath.Join(fdir, fmt.Sprintf("seed-%d.txt", rep.Cfg.Seed))
+	if err := os.WriteFile(cPath, []byte(rep.Source), 0o644); err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay: go run ./cmd/rstifuzz -seed %d -n 1\n", rep.Cfg.Seed)
+	fmt.Fprintf(&b, "config: %+v\n", rep.Cfg)
+	fmt.Fprintf(&b, "divergences (%d):\n", len(rep.Divergences))
+	for _, d := range rep.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if err := os.WriteFile(tPath, []byte(b.String()), 0o644); err != nil {
+		return nil, err
+	}
+	return []string{cPath, tPath}, nil
+}
+
+// Minimize greedily shrinks a diverging Config while the oracle still
+// reports a divergence, so saved reproductions are as small as the
+// divergence allows. It re-checks at most budget candidates and returns
+// the smallest still-diverging config with its report. The Seed is held
+// fixed — the statement mix it selects is usually what matters.
+func Minimize(cfg Config, opt Options, budget int) (Config, *Report, error) {
+	cfg = cfg.normalize()
+	cur, err := Check(cfg, opt)
+	if err != nil {
+		return cfg, nil, err
+	}
+	if cur.OK() {
+		return cfg, cur, nil // nothing to minimize
+	}
+	diverges := func(c Config) (*Report, bool) {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		rep, err := Check(c, opt)
+		if err != nil || rep.OK() {
+			return nil, false
+		}
+		return rep, true
+	}
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for _, cand := range shrinkSteps(cfg) {
+			if rep, ok := diverges(cand); ok {
+				cfg, cur, changed = cand, rep, true
+				break
+			}
+		}
+	}
+	return cfg, cur, nil
+}
+
+// shrinkSteps proposes configs strictly smaller than c, most aggressive
+// first.
+func shrinkSteps(c Config) []Config {
+	var out []Config
+	shrinkInt := func(set func(*Config, int), cur, min int) {
+		for _, v := range []int{min, cur / 2, cur - 1} {
+			if v >= min && v < cur {
+				n := c
+				set(&n, v)
+				out = append(out, n)
+			}
+		}
+	}
+	shrinkInt(func(n *Config, v int) { n.Iters = v }, c.Iters, 1)
+	shrinkInt(func(n *Config, v int) { n.Stmts = v }, c.Stmts, 1)
+	shrinkInt(func(n *Config, v int) { n.ChainLen = v }, c.ChainLen, 1)
+	shrinkInt(func(n *Config, v int) { n.Helpers = v }, c.Helpers, 0)
+	shrinkInt(func(n *Config, v int) { n.Structs = v }, c.Structs, 1)
+	shrinkInt(func(n *Config, v int) { n.Targets = v }, c.Targets, 2)
+	for _, clear := range []func(*Config){
+		func(n *Config) { n.UseSwitch = false },
+		func(n *Config) { n.Escapes = false },
+		func(n *Config) { n.CastBridge = false },
+	} {
+		n := c
+		clear(&n)
+		if n != c {
+			out = append(out, n)
+		}
+	}
+	return out
+}

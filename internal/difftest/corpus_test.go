@@ -1,0 +1,101 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusDir is the repository-level corpus location (tests run with the
+// package directory as cwd).
+var corpusDir = filepath.Join("..", "..", "testdata", "difftest")
+
+// TestCorpusRegressions replays every committed seed in
+// testdata/difftest/seeds.txt through the full oracle — the permanent
+// home for seeds of previously fixed divergences.
+func TestCorpusRegressions(t *testing.T) {
+	seeds, err := ReadSeeds(filepath.Join(corpusDir, "seeds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty regression corpus")
+	}
+	opt := Options{Attacks: true, EngineWorkers: 1}
+	for _, seed := range seeds {
+		rep, err := Check(ConfigForSeed(seed), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestSaveFailureAndMinimize exercises the persistence and minimization
+// machinery against a synthetic divergence (a report constructed by
+// hand — the healthy pipeline has no real one to use).
+func TestSaveFailureAndMinimize(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ConfigForSeed(99)
+	rep := &Report{Cfg: cfg, Source: Generate(cfg)}
+	rep.add("benign", "rsti-stwc", "synthetic divergence for the persistence test")
+
+	paths, err := SaveFailure(dir, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("SaveFailure wrote %d files, want 2", len(paths))
+	}
+	src, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != rep.Source {
+		t.Error("saved source differs from report source")
+	}
+	meta, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replay: go run ./cmd/rstifuzz -seed 99", "synthetic divergence"} {
+		if !strings.Contains(string(meta), want) {
+			t.Errorf("metadata lacks %q:\n%s", want, meta)
+		}
+	}
+
+	// Minimize on a healthy config is the identity (no divergence to
+	// preserve) and must not loop or error.
+	min, minRep, err := Minimize(cfg, Options{EngineWorkers: 0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minRep == nil || !minRep.OK() {
+		t.Fatalf("healthy config reported divergences: %+v", minRep)
+	}
+	if min != cfg.normalize() {
+		t.Errorf("healthy config was mutated by Minimize: %+v -> %+v", cfg.normalize(), min)
+	}
+}
+
+// TestReadSeedsRejectsGarbage: corpus parse errors must be loud, not
+// silently skipped.
+func TestReadSeedsRejectsGarbage(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "seeds.txt")
+	if err := os.WriteFile(p, []byte("1\nnot-a-seed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSeeds(p); err == nil {
+		t.Fatal("garbage seed accepted")
+	}
+	if err := os.WriteFile(p, []byte("# only comments\n\n  5 \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := ReadSeeds(p)
+	if err != nil || len(seeds) != 1 || seeds[0] != 5 {
+		t.Fatalf("ReadSeeds = %v, %v; want [5]", seeds, err)
+	}
+}

@@ -1,0 +1,66 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"rsti"
+)
+
+// TestGeneratorDeterministic: one Config must always render to the same
+// bytes — the property seed-replay depends on.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		cfg := ConfigForSeed(seed)
+		if a, b := Generate(cfg), Generate(cfg); a != b {
+			t.Fatalf("seed %d: two renders differ", seed)
+		}
+	}
+}
+
+// TestGeneratorAlwaysCompiles: every generated program must pass the
+// frontend — the generator's well-typed-by-construction promise.
+func TestGeneratorAlwaysCompiles(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		src := Generate(ConfigForSeed(seed))
+		if _, err := rsti.Compile(src); err != nil {
+			t.Fatalf("seed %d: %v\n--- source ---\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestGeneratorEmitsAttackSurface: the globals the attack variants poke
+// must always be present.
+func TestGeneratorEmitsAttackSurface(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		src := Generate(ConfigForSeed(seed))
+		for _, want := range []string{"slotA", "slotB", "slotC", "fp_slot", "__hook(1)"} {
+			if !strings.Contains(src, want) {
+				t.Fatalf("seed %d: generated program lacks %q", seed, want)
+			}
+		}
+	}
+}
+
+// TestOracleBenignSweep: the full oracle (benign + engine + attacks)
+// over a block of seeds must find zero divergences. This is the
+// standing gate every future pipeline change runs under `go test`.
+func TestOracleBenignSweep(t *testing.T) {
+	n := uint64(40)
+	if testing.Short() {
+		n = 8
+	}
+	opt := Options{Attacks: true, EngineWorkers: 2}
+	for seed := uint64(1); seed <= n; seed++ {
+		rep, err := Check(ConfigForSeed(seed), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("%s", d)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d diverged; source:\n%s", seed, rep.Source)
+		}
+	}
+}

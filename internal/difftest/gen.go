@@ -1,0 +1,331 @@
+// Package difftest is the standing correctness gate for the RSTI
+// pipeline: a seeded random program generator for the cminor C subset
+// plus a differential oracle that executes each generated program under
+// every protection mechanism — through both the public Program.Run path
+// and the concurrent engine pool — and flags any divergence.
+//
+// The paper's claim is behavioral: benign programs must run identically
+// under NoProtection, RSTI-STWC, RSTI-STC and RSTI-STL, while injected
+// pointer corruptions must trap according to each mechanism's guarantee
+// (STL's equivalence class of one catches replays that STWC's and STC's
+// merged classes may miss). The oracle checks exactly that, so every
+// fast path, cache and worker pool added by later performance work is
+// re-validated against the semantics it must preserve.
+//
+// Entry points: Generate (deterministic source for a Config),
+// ConfigForSeed (derive a Config from one seed), Check (the oracle).
+// cmd/rstifuzz drives long soak runs; FuzzDifferential is the native
+// go-fuzz target.
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes one generated program. Every field is derived
+// deterministically from a seed by ConfigForSeed, but the knobs are
+// exported so failures minimize (see Minimize) and replay exactly.
+type Config struct {
+	// Seed drives every random choice the generator makes.
+	Seed uint64
+
+	// Structs is the number of composite node types (1..4). Every
+	// struct starts with a `long v` field so cross-type pointer replays
+	// stay memory-safe under the unprotected baseline.
+	Structs int
+	// Targets is the number of indirect-call target functions (2..5).
+	Targets int
+	// Helpers is the number of helper functions taking pointer
+	// parameters — the scope diversity of the STI analysis (0..4).
+	Helpers int
+	// Iters bounds the hot loop (1..24); ChainLen the linked chain
+	// walked by it (1..6).
+	Iters    int
+	ChainLen int
+	// Stmts is the number of random statements emitted into the hot
+	// loop body (1..10).
+	Stmts int
+	// CastBridge, when true, links the first two struct types through a
+	// void* round-trip, giving STC a cast edge to merge — the knob that
+	// separates STC's detection from STWC's.
+	CastBridge bool
+	// Escapes, when true, passes &local into a helper (scoped escape).
+	Escapes bool
+	// UseSwitch adds a switch statement over the loop counter.
+	UseSwitch bool
+}
+
+// ConfigForSeed expands one 64-bit seed into a full Config using
+// splitmix64, the same deterministic expansion the CLI and fuzz targets
+// use, so a reported seed is a complete reproduction recipe.
+func ConfigForSeed(seed uint64) Config {
+	r := rng{s: seed ^ 0xD1FF7E57}
+	return Config{
+		Seed:       seed,
+		Structs:    1 + r.intn(4),
+		Targets:    2 + r.intn(4),
+		Helpers:    r.intn(5),
+		Iters:      1 + r.intn(24),
+		ChainLen:   1 + r.intn(6),
+		Stmts:      1 + r.intn(10),
+		CastBridge: r.intn(2) == 1,
+		Escapes:    r.intn(2) == 1,
+		UseSwitch:  r.intn(2) == 1,
+	}
+}
+
+// normalize clamps a (possibly minimized or fuzz-mutated) Config into
+// the generator's supported ranges.
+func (c Config) normalize() Config {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	c.Structs = clamp(c.Structs, 1, 4)
+	c.Targets = clamp(c.Targets, 2, 5)
+	c.Helpers = clamp(c.Helpers, 0, 4)
+	c.Iters = clamp(c.Iters, 1, 24)
+	c.ChainLen = clamp(c.ChainLen, 1, 6)
+	c.Stmts = clamp(c.Stmts, 1, 10)
+	return c
+}
+
+// SlotCDistinct reports whether slotC's struct type is distinct from
+// slotA/slotB's (requires at least two struct types). The oracle's
+// cross-type replay expectations only apply when it is.
+func (c Config) SlotCDistinct() bool { return c.normalize().Structs >= 2 }
+
+// rng is splitmix64: tiny, seedable, deterministic (the same generator
+// the workload package uses).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Generate renders cfg into cminor source. The output is deterministic
+// (same Config, same bytes), always type-checks, always terminates, and
+// never traps on a benign run: loops are bounded, divisions are
+// guarded, every dereference goes through an initialized pointer, and
+// no pointer value is printed or cast to an integer (which would make
+// output PAC-dependent).
+//
+// The program always declares the attack surface the oracle's injected
+// corruptions rely on:
+//
+//	struct S0 *slotA, *slotB;   // same RSTI-type: the replay gradient
+//	struct S1 *slotC;           // a cross-type replay source
+//	long (*fp_slot)(long);      // the classic control-flow hijack slot
+//
+// slotA and slotB are used symmetrically in every function that touches
+// either, so they intern to one RSTI-type: a same-class replay between
+// them must pass STWC/STC (one shared modifier) and trap under STL (the
+// modifier binds &slotA). main's __hook(1) site fires after the slots
+// are populated and before they are read, so a corruption injected
+// there is always exercised.
+func Generate(cfg Config) string {
+	cfg = cfg.normalize()
+	r := &rng{s: cfg.Seed ^ 0x5EEDFACE}
+	var b strings.Builder
+
+	// Composite types: a self chain, a cross-type peer (ring), and an
+	// indirect-call slot. `long v` is first in every type so a replayed
+	// cross-type pointer still reads a mapped long under NoProtection.
+	slotCTy := (1) % cfg.Structs // slotC's type: distinct from S0 when possible
+	for i := 0; i < cfg.Structs; i++ {
+		fmt.Fprintf(&b, "struct S%d { long v; struct S%d *next; struct S%d *peer; long (*op)(long); };\n",
+			i, i, (i+1)%cfg.Structs)
+	}
+	b.WriteString("\n")
+
+	// Indirect-call targets with small random bodies.
+	for i := 0; i < cfg.Targets; i++ {
+		fmt.Fprintf(&b, "long f%d(long x) { return %s; }\n", i, genArith(r, "x", 2))
+	}
+	b.WriteString("\n")
+
+	// Globals: the attack surface plus an accumulator and scalars.
+	b.WriteString("long acc;\n")
+	fmt.Fprintf(&b, "long g0 = %d;\n", 1+r.intn(9))
+	fmt.Fprintf(&b, "long g1 = %d;\n", 1+r.intn(9))
+	b.WriteString("struct S0 *slotA;\n")
+	b.WriteString("struct S0 *slotB;\n")
+	fmt.Fprintf(&b, "struct S%d *slotC;\n", slotCTy)
+	b.WriteString("long (*fp_slot)(long);\n\n")
+
+	// Helpers: pointer parameters diversify scopes; escape0 receives
+	// &local when cfg.Escapes is set.
+	helperTy := make([]int, cfg.Helpers)
+	for h := 0; h < cfg.Helpers; h++ {
+		st := r.intn(cfg.Structs)
+		helperTy[h] = st
+		fmt.Fprintf(&b, "long helper%d(struct S%d *p, long k) {\n", h, st)
+		fmt.Fprintf(&b, "\tif (p != NULL) { acc += p->v + %d; }\n", r.intn(7))
+		fmt.Fprintf(&b, "\treturn %s;\n}\n", genArith(r, "k", 1+r.intn(2)))
+	}
+	if cfg.Escapes {
+		b.WriteString("long escape0(long *q) { *q = *q + 5; return *q ^ 3; }\n")
+	}
+	b.WriteString("\n")
+
+	// setup: allocate and link everything the rest of the program
+	// dereferences, so no benign run can fault.
+	b.WriteString("void setup(void) {\n")
+	b.WriteString("\tslotA = (struct S0*) malloc(sizeof(struct S0));\n")
+	b.WriteString("\tslotB = (struct S0*) malloc(sizeof(struct S0));\n")
+	fmt.Fprintf(&b, "\tslotC = (struct S%d*) malloc(sizeof(struct S%d));\n", slotCTy, slotCTy)
+	fmt.Fprintf(&b, "\tslotA->v = %d; slotA->next = NULL; slotA->peer = NULL;\n", 10+r.intn(90))
+	fmt.Fprintf(&b, "\tslotB->v = %d; slotB->next = NULL; slotB->peer = NULL;\n", 10+r.intn(90))
+	fmt.Fprintf(&b, "\tslotC->v = %d; slotC->next = NULL; slotC->peer = NULL;\n", 10+r.intn(90))
+	fmt.Fprintf(&b, "\tslotA->op = f%d;\n", r.intn(cfg.Targets))
+	fmt.Fprintf(&b, "\tslotB->op = f%d;\n", r.intn(cfg.Targets))
+	fmt.Fprintf(&b, "\tslotC->op = f%d;\n", r.intn(cfg.Targets))
+	fmt.Fprintf(&b, "\tfp_slot = f%d;\n", r.intn(cfg.Targets))
+	// Extend slotA's chain; keep the tail NULL so walks must be guarded.
+	fmt.Fprintf(&b, "\tstruct S0 *tail = slotA;\n")
+	fmt.Fprintf(&b, "\tfor (long i = 1; i < %d; i++) {\n", cfg.ChainLen+1)
+	b.WriteString("\t\tstruct S0 *n = (struct S0*) malloc(sizeof(struct S0));\n")
+	fmt.Fprintf(&b, "\t\tn->v = i * %d + %d;\n", 1+r.intn(5), r.intn(9))
+	fmt.Fprintf(&b, "\t\tn->op = f%d;\n", r.intn(cfg.Targets))
+	b.WriteString("\t\tn->next = NULL; n->peer = NULL;\n")
+	b.WriteString("\t\ttail->next = n;\n")
+	b.WriteString("\t\ttail = n;\n")
+	b.WriteString("\t}\n")
+	if cfg.CastBridge {
+		// A void*-mediated bridge between S0* and the slotC type: the
+		// cast edge STC's union-find merges and STWC keeps apart.
+		b.WriteString("\tvoid *bridge = (void*) slotA;\n")
+		fmt.Fprintf(&b, "\tstruct S%d *bridged = (struct S%d*) bridge;\n", slotCTy, slotCTy)
+		b.WriteString("\tif (bridged != NULL) { acc += 1; }\n")
+	}
+	b.WriteString("}\n\n")
+
+	// hot: the randomized bounded loop over the generated statement mix.
+	// slotA and slotB are referenced symmetrically so they stay in one
+	// equivalence class.
+	b.WriteString("long hot(void) {\n")
+	b.WriteString("\tlong sum = 0;\n")
+	b.WriteString("\tstruct S0 *p = slotA;\n")
+	if cfg.Escapes {
+		b.WriteString("\tlong loc = 1;\n")
+	}
+	fmt.Fprintf(&b, "\tfor (long i = 0; i < %d; i++) {\n", cfg.Iters)
+	for s := 0; s < cfg.Stmts; s++ {
+		b.WriteString("\t\t" + genStmt(r, cfg) + "\n")
+	}
+	// Re-root the walk so p is never NULL at the loop head.
+	b.WriteString("\t\tif ((i & 3) == 0) { p = slotB; } else if (p->next != NULL) { p = p->next; } else { p = slotA; }\n")
+	if cfg.UseSwitch {
+		b.WriteString("\t\tswitch (i & 3) {\n")
+		fmt.Fprintf(&b, "\t\tcase 0: sum += %d; break;\n", 1+r.intn(9))
+		fmt.Fprintf(&b, "\t\tcase 1: case 2: sum ^= %d; break;\n", 1+r.intn(9))
+		b.WriteString("\t\tdefault: sum -= 1;\n")
+		b.WriteString("\t\t}\n")
+	}
+	b.WriteString("\t}\n")
+	b.WriteString("\treturn sum;\n}\n\n")
+
+	// main: setup, pre-hook computation, the injection site, then the
+	// post-hook reads that exercise whatever the hook corrupted.
+	b.WriteString("int main(void) {\n")
+	b.WriteString("\tsetup();\n")
+	b.WriteString("\tlong pre = hot();\n")
+	b.WriteString("\tprintf(\"pre=%d acc=%d\\n\", pre, acc);\n")
+	b.WriteString("\t__hook(1);\n")
+	b.WriteString("\tlong post = 0;\n")
+	b.WriteString("\tpost += slotA->v;\n")
+	b.WriteString("\tpost += slotB->v;\n")
+	b.WriteString("\tpost += slotC->v;\n")
+	b.WriteString("\tpost += fp_slot(pre & 15);\n")
+	b.WriteString("\tpost += slotA->op(3) + slotB->op(4);\n")
+	for h := 0; h < cfg.Helpers; h++ {
+		// Helpers over S0 get both slots — always the pair, so slotA and
+		// slotB keep symmetric use sites; others are exercised with NULL.
+		if helperTy[h] == 0 {
+			fmt.Fprintf(&b, "\tpost += helper%d(slotA, %d) + helper%d(slotB, %d);\n", h, r.intn(9), h, r.intn(9))
+		} else {
+			fmt.Fprintf(&b, "\tpost += helper%d(NULL, %d);\n", h, r.intn(9))
+		}
+	}
+	b.WriteString("\tprintf(\"post=%d\\n\", post);\n")
+	b.WriteString("\treturn (int)((pre + post + acc) & 63);\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// genArith builds a small side-effect-free integer expression over v.
+func genArith(r *rng, v string, depth int) string {
+	if depth <= 0 {
+		switch r.intn(3) {
+		case 0:
+			return v
+		case 1:
+			return fmt.Sprintf("%d", 1+r.intn(13))
+		default:
+			return fmt.Sprintf("(%s >> %d)", v, 1+r.intn(3))
+		}
+	}
+	a := genArith(r, v, depth-1)
+	c := genArith(r, v, depth-1)
+	switch r.intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, c)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, c)
+	case 2:
+		return fmt.Sprintf("(%s * %d)", a, 1+r.intn(7))
+	case 3:
+		return fmt.Sprintf("(%s ^ %s)", a, c)
+	case 4:
+		// Guarded division: the denominator is always positive.
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", a, c)
+	default:
+		return fmt.Sprintf("(%s | %s)", a, c)
+	}
+}
+
+// genStmt emits one hot-loop statement. Every choice only reads
+// initialized state and writes sum/acc/locals, so the loop body is
+// benign under every mechanism.
+func genStmt(r *rng, cfg Config) string {
+	choices := 7
+	if cfg.Escapes {
+		choices = 8
+	}
+	switch r.intn(choices) {
+	case 0:
+		return fmt.Sprintf("sum += p->v * (i + %d);", 1+r.intn(5))
+	case 1:
+		return fmt.Sprintf("sum ^= p->op(i + %d);", r.intn(4))
+	case 2:
+		// void* round trip on a live pointer.
+		return "{ void *tmp = (void*) p; struct S0 *rp = (struct S0*) tmp; sum += rp->v; }"
+	case 3:
+		return fmt.Sprintf("sum += %s;", genArith(r, "i", 2))
+	case 4:
+		return fmt.Sprintf("acc += (i * %d) / ((i & 3) + 1);", 1+r.intn(9))
+	case 5:
+		return fmt.Sprintf("sum += (i & 1) ? g0 + %d : g1;", r.intn(5))
+	case 6:
+		return fmt.Sprintf("if (slotB->v > %d) { sum += slotA->v; } else { sum += slotB->v; }", r.intn(60))
+	default:
+		return "loc = i + 1; sum += escape0(&loc);"
+	}
+}

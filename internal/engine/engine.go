@@ -258,23 +258,33 @@ func (e *Engine) dispatch(ctx context.Context, do func(context.Context, *vm.Work
 		return nil, ErrClosed
 	}
 	t := &task{ctx: ctx, do: do, res: make(chan taskResult, 1)}
+	// Count the admission BEFORE the queue send and roll it back on the
+	// paths where the job was never accepted. The moment the send
+	// succeeds a worker may dequeue, run, and count the job completed;
+	// charging submitted only afterwards let a concurrent Stats snapshot
+	// observe Completed > Submitted. A transient overcount in the other
+	// direction (an attempt that is rolled back) keeps the invariant
+	// Completed + Panicked ≤ Submitted true at every instant.
+	e.submitted.Add(1)
 	if block {
 		select {
 		case e.queue <- t:
 		case <-ctx.Done():
+			e.submitted.Add(-1)
 			return nil, ctx.Err()
 		case <-e.root.Done():
+			e.submitted.Add(-1)
 			return nil, ErrClosed
 		}
 	} else {
 		select {
 		case e.queue <- t:
 		default:
+			e.submitted.Add(-1)
 			e.rejected.Add(1)
 			return nil, ErrQueueFull
 		}
 	}
-	e.submitted.Add(1)
 	select {
 	case r := <-t.res:
 		return r.res, r.err

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+)
+
+// TestStatsAccountingUnderContention hammers the engine's admission
+// paths — TrySubmit shedding into a tiny queue, Submit-carried panics
+// being isolated — from many goroutines while a sampler continuously
+// snapshots Stats. It pins down two properties:
+//
+//  1. Instantaneous consistency: no snapshot may ever show more
+//     completed-or-panicked jobs than submitted ones (the ordering bug
+//     this test was written against: submitted was charged only after
+//     the queue send, so a fast worker could finish the job first).
+//  2. Quiescent exactness: once everything drains, every counter equals
+//     the ground truth the submitters tracked locally.
+func TestStatsAccountingUnderContention(t *testing.T) {
+	comp, err := core.Compile(`int main(void) { return 7; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 2, QueueDepth: 1})
+	defer e.Close()
+
+	const (
+		goroutines = 8
+		perG       = 60
+		panicsPerG = 5
+	)
+	var accepted, rejected, panicked atomic.Int64
+	var wg sync.WaitGroup
+
+	// Sampler: Stats must be internally consistent at every instant.
+	stop := make(chan struct{})
+	samplerDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				samplerDone <- nil
+				return
+			default:
+			}
+			s := e.Stats()
+			if s.Completed+s.Panicked > s.Submitted {
+				samplerDone <- errors.New("snapshot shows more finished than submitted jobs")
+				return
+			}
+			if s.Running < 0 || s.Running > s.Workers {
+				samplerDone <- errors.New("running gauge out of range")
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				res, err := e.TrySubmit(context.Background(), Job{Comp: comp, Mech: sti.STWC})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					if res.Exit != 7 {
+						t.Errorf("exit = %d, want 7", res.Exit)
+					}
+				case errors.Is(err, ErrQueueFull):
+					rejected.Add(1)
+				default:
+					t.Errorf("TrySubmit: %v", err)
+				}
+			}
+			for i := 0; i < panicsPerG; i++ {
+				err := e.SubmitFunc(context.Background(), func(context.Context) error {
+					panic("stats hammer")
+				})
+				if !errors.Is(err, ErrPanic) {
+					t.Errorf("panicking job returned %v, want ErrPanic", err)
+					continue
+				}
+				accepted.Add(1)
+				panicked.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-samplerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything has drained (every submitter got its reply), so the
+	// counters must now match the ground truth exactly.
+	s := e.Stats()
+	if s.Submitted != accepted.Load() {
+		t.Errorf("Submitted = %d, want %d", s.Submitted, accepted.Load())
+	}
+	if s.Rejected != rejected.Load() {
+		t.Errorf("Rejected = %d, want %d", s.Rejected, rejected.Load())
+	}
+	if s.Panicked != panicked.Load() {
+		t.Errorf("Panicked = %d, want %d", s.Panicked, panicked.Load())
+	}
+	if want := accepted.Load() - panicked.Load(); s.Completed != want {
+		t.Errorf("Completed = %d, want %d", s.Completed, want)
+	}
+	if s.Queued != 0 || s.Running != 0 {
+		t.Errorf("gauges not drained: queued=%d running=%d", s.Queued, s.Running)
+	}
+	if s.Rejected == 0 {
+		t.Log("note: queue never filled; rejection path unexercised this run")
+	}
+	// The engine must still be serving after the panic storm.
+	res, err := e.Submit(context.Background(), Job{Comp: comp, Mech: sti.None})
+	if err != nil || res.Exit != 7 {
+		t.Fatalf("engine unhealthy after hammer: res=%+v err=%v", res, err)
+	}
+}
+
+// TestStatsSubmitRollbackOnCancel: a Submit that gives up while parked
+// on a full queue must not leave a phantom admission in Submitted.
+func TestStatsSubmitRollbackOnCancel(t *testing.T) {
+	comp, err := core.Compile(`int main(void) { long s = 0; for (long i = 0; i < 100000; i++) { s += i; } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 1, QueueDepth: 1})
+	defer e.Close()
+
+	// Occupy the worker and fill the queue.
+	block := make(chan struct{})
+	release := make(chan struct{})
+	go e.SubmitFunc(context.Background(), func(context.Context) error {
+		close(block)
+		<-release
+		return nil
+	})
+	<-block
+	go e.Submit(context.Background(), Job{Comp: comp, Mech: sti.None}) // sits in the queue
+
+	// Wait until the queue slot is taken, then park a Submit on it and
+	// cancel it.
+	for e.Stats().Queued == 0 {
+		runtime.Gosched()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Submit(ctx, Job{Comp: comp, Mech: sti.None}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked Submit returned %v, want context.Canceled", err)
+	}
+	close(release)
+
+	// Drain, then check: exactly two jobs were ever admitted (the
+	// blocker and the queued one), the cancelled attempt was rolled
+	// back.
+	for {
+		s := e.Stats()
+		if s.Completed == 2 {
+			if s.Submitted != 2 {
+				t.Fatalf("Submitted = %d after rollback, want 2", s.Submitted)
+			}
+			return
+		}
+		runtime.Gosched()
+	}
+}
