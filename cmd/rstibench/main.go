@@ -58,10 +58,20 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Compare against history from the same host shape before
+		// appending: a stage that slowed >25% vs the previous datapoint
+		// is the exact regression this file exists to catch.
+		prev, err := eval.ReadBenchRecords(*benchout)
+		if err != nil {
+			fail(err)
+		}
 		if err := eval.AppendBenchRecord(*benchout, rec); err != nil {
 			fail(err)
 		}
 		fmt.Println(rec.Summary())
+		for _, warn := range eval.TrajectoryWarnings(prev, rec, 0.25) {
+			fmt.Printf("WARNING: %s\n", warn)
+		}
 		fmt.Printf("appended to %s\n", *benchout)
 		return
 	}

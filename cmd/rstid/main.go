@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"rsti/internal/attack"
+	"rsti/internal/compilecache"
 	"rsti/internal/core"
 	"rsti/internal/engine"
 	"rsti/internal/sti"
@@ -58,11 +59,15 @@ const (
 	maxPrograms    = 128
 )
 
-// server wires the HTTP surface to one shared engine and a bounded
-// program cache.
+// server wires the HTTP surface to one shared engine, the shared
+// compilation cache (content-addressed, singleflight-deduped: a burst of
+// identical /compile requests runs the pipeline once) and a bounded
+// handle table mapping the sha256 program handles we mint back to their
+// compilations.
 type server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng   *engine.Engine
+	cache *compilecache.Cache
+	mux   *http.ServeMux
 
 	mu       sync.Mutex
 	programs map[string]*core.Compilation
@@ -74,6 +79,7 @@ type server struct {
 func newServer(workers, queue int) *server {
 	s := &server{
 		eng:       engine.New(engine.Config{Workers: workers, QueueDepth: queue}),
+		cache:     compilecache.New(compilecache.Config{MaxEntries: maxPrograms}),
 		mux:       http.NewServeMux(),
 		programs:  make(map[string]*core.Compilation),
 		scenarios: make(map[string]*attack.Scenario),
@@ -105,8 +111,11 @@ func (s *server) compile(src string) (string, *core.Compilation, bool, error) {
 		return key, c, true, nil
 	}
 	s.mu.Unlock()
-	// Compile outside the lock; a racing duplicate costs one compile.
-	c, err := core.Compile(src)
+	// Compile outside the lock, through the shared cache: a burst of
+	// racing duplicates coalesces onto one compile (singleflight) and a
+	// source recently evicted from the handle table is still answered
+	// from cache.
+	c, err := s.cache.Get(src)
 	if err != nil {
 		return "", nil, false, err
 	}
@@ -422,8 +431,19 @@ func (s *server) handleAttackList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// metricsResponse keeps the engine counters at the top level (the
+// long-standing shape) and nests the compile-cache counters under their
+// own key.
+type metricsResponse struct {
+	engine.Stats
+	CompileCache compilecache.Stats `json:"compile_cache"`
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Stats:        s.eng.Stats(),
+		CompileCache: s.cache.Stats(),
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 )
 
@@ -182,6 +183,16 @@ func TestMetricsAndHealth(t *testing.T) {
 	if m["completed"].(float64) < 3 || m["workers"].(float64) != 2 {
 		t.Errorf("metrics: %v", m)
 	}
+	cc, ok := m["compile_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing compile_cache: %v", m)
+	}
+	// Three source-direct runs of the same program: one real compile
+	// (the repeats are answered from the handle table before reaching
+	// the cache), one retained entry.
+	if cc["misses"].(float64) != 1 || cc["entries"].(float64) != 1 {
+		t.Errorf("compile_cache counters: %v", cc)
+	}
 
 	h, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -190,6 +201,40 @@ func TestMetricsAndHealth(t *testing.T) {
 	h.Body.Close()
 	if h.StatusCode != 200 {
 		t.Errorf("healthz: %d", h.StatusCode)
+	}
+}
+
+// TestCompileBurstDeduped fires concurrent /compile requests for one
+// fresh source and proves the pipeline ran once: the compile cache's
+// singleflight coalesces the burst, so misses stays 1 no matter how the
+// requests interleave.
+func TestCompileBurstDeduped(t *testing.T) {
+	ts, s := startServer(t)
+
+	src := "int main(void) { int burst; burst = 42; return burst; }"
+	const n = 8
+	var wg sync.WaitGroup
+	programs := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var comp compileResponse
+			if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: src}, &comp); code != 200 {
+				t.Errorf("compile %d: status %d", i, code)
+				return
+			}
+			programs[i] = comp.Program
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if programs[i] != programs[0] {
+			t.Fatalf("request %d got handle %q, want %q", i, programs[i], programs[0])
+		}
+	}
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Errorf("burst of %d compiles ran the pipeline %d times, want 1", n, st.Misses)
 	}
 }
 

@@ -1,0 +1,218 @@
+// Package compilecache is a shared, content-addressed cache of compiled
+// programs. Compilation is deterministic — the same source always yields
+// the same analysis — so any two callers presenting identical source text
+// can share one *core.Compilation: the eval sweeps re-walk the same 18
+// SPEC2006 programs per measurement, rstid sees bursts of identical
+// /compile requests, and the public rsti API wants repeat compiles of a
+// hot source to be free.
+//
+// The cache is keyed by the sha256 of the source text, deduplicates
+// concurrent compiles of the same source (singleflight: one compile runs,
+// the rest wait for its result), and is LRU-bounded by both entry count
+// and an estimate of retained bytes so a churning workload cannot grow
+// host memory without bound. Failed compiles are handed to every waiter
+// of the flight that produced them but are never stored: error entries
+// would spend capacity on programs nobody can run.
+package compilecache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"unsafe"
+
+	"rsti/internal/core"
+	"rsti/internal/mir"
+)
+
+// Defaults bound the cache when Config leaves a limit zero. 256 entries /
+// 64 MiB comfortably hold the full evaluation suite (18 workloads plus
+// attack scenarios, ~1 MiB retained) while capping a pathological
+// all-distinct workload.
+const (
+	DefaultMaxEntries = 256
+	DefaultMaxBytes   = 64 << 20
+)
+
+// Config bounds a Cache. Zero values take the package defaults; negative
+// values mean unlimited.
+type Config struct {
+	// MaxEntries caps the number of cached compilations.
+	MaxEntries int
+	// MaxBytes caps the estimated retained size across all entries.
+	MaxBytes int64
+}
+
+func (cfg Config) maxEntries() int {
+	if cfg.MaxEntries == 0 {
+		return DefaultMaxEntries
+	}
+	return cfg.MaxEntries
+}
+
+func (cfg Config) maxBytes() int64 {
+	if cfg.MaxBytes == 0 {
+		return DefaultMaxBytes
+	}
+	return cfg.MaxBytes
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Hits counts Get calls answered from a stored entry.
+	Hits int64 `json:"hits"`
+	// Misses counts Get calls that started a compile.
+	Misses int64 `json:"misses"`
+	// Dedups counts Get calls that joined another caller's in-flight
+	// compile instead of starting their own.
+	Dedups int64 `json:"dedups"`
+	// Evictions counts entries dropped to stay within the configured
+	// bounds.
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes are the current footprint.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// HitRate is hits / (hits + misses), 0 when the cache is untouched.
+// In-flight joins count as neither: they are a concurrency dedup, not a
+// storage outcome.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type key [sha256.Size]byte
+
+type entry struct {
+	c    *core.Compilation
+	size int64
+	elem *list.Element // value is the key, for reverse lookup on evict
+}
+
+type flight struct {
+	done chan struct{}
+	c    *core.Compilation
+	err  error
+}
+
+// Cache is safe for concurrent use. The zero value is not usable; call
+// New.
+type Cache struct {
+	mu      sync.Mutex
+	cfg     Config
+	entries map[key]*entry
+	lru     *list.List // front = most recently used
+	flights map[key]*flight
+	bytes   int64
+	stats   Stats
+
+	// compile is core.Compile, injectable so tests can count invocations
+	// and stall flights.
+	compile func(string) (*core.Compilation, error)
+}
+
+// New returns an empty cache bounded by cfg.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[key]*entry),
+		lru:     list.New(),
+		flights: make(map[key]*flight),
+		compile: core.Compile,
+	}
+}
+
+// Get returns the compilation of src, compiling it on first sight. Any
+// number of concurrent Gets for the same source run exactly one compile;
+// the rest block until it finishes and share the result. A compile error
+// is returned to every waiter but not cached, so a later Get retries.
+func (c *Cache) Get(src string) (*core.Compilation, error) {
+	k := key(sha256.Sum256([]byte(src)))
+
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.c, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.stats.Dedups++
+		c.mu.Unlock()
+		<-f.done
+		return f.c, f.err
+	}
+	c.stats.Misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	f.c, f.err = c.compile(src)
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	if f.err == nil {
+		c.insert(k, src, f.c)
+	}
+	c.mu.Unlock()
+	return f.c, f.err
+}
+
+// insert stores a freshly compiled entry at the LRU front and evicts from
+// the back until the cache is within bounds again. The entry being
+// inserted is never evicted, even if it alone exceeds MaxBytes — the
+// caller already paid for it, and pinning it keeps Get-after-miss
+// coherent.
+func (c *Cache) insert(k key, src string, comp *core.Compilation) {
+	e := &entry{c: comp, size: estimateSize(src, comp)}
+	e.elem = c.lru.PushFront(k)
+	c.entries[k] = e
+	c.bytes += e.size
+	maxE, maxB := c.cfg.maxEntries(), c.cfg.maxBytes()
+	for c.lru.Len() > 1 &&
+		((maxE >= 0 && c.lru.Len() > maxE) || (maxB >= 0 && c.bytes > maxB)) {
+		back := c.lru.Back()
+		bk := back.Value.(key)
+		c.lru.Remove(back)
+		c.bytes -= c.entries[bk].size
+		delete(c.entries, bk)
+		c.stats.Evictions++
+	}
+}
+
+// estimateSize approximates what a cached compilation pins in memory: the
+// source text plus the lowered instruction stream (the dominant retained
+// structure; the analysis tables are small by comparison). It must be
+// cheap — it runs under the cache lock — and stable, so eviction order is
+// deterministic for a deterministic workload.
+func estimateSize(src string, comp *core.Compilation) int64 {
+	size := int64(len(src))
+	const instrSize = int64(unsafe.Sizeof(mir.Instr{}))
+	for _, f := range comp.Prog.Funcs {
+		for _, b := range f.Blocks {
+			size += int64(len(b.Instrs)) * instrSize
+		}
+	}
+	return size
+}
+
+// Stats returns a snapshot of the counters and current footprint.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	return s
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,231 @@
+package compilecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rsti/internal/core"
+)
+
+// program returns a distinct well-formed source per n so the cache sees
+// genuinely different content hashes.
+func program(n int) string {
+	return fmt.Sprintf("int main() { int x; x = %d; return x; }", n)
+}
+
+func TestGetCompilesOnceAndHits(t *testing.T) {
+	c := New(Config{})
+	var calls atomic.Int64
+	c.compile = func(src string) (*core.Compilation, error) {
+		calls.Add(1)
+		return core.Compile(src)
+	}
+	src := program(1)
+	first, err := c.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("repeat Get returned a different Compilation")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compile ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", s.HitRate())
+	}
+}
+
+func TestSingleflightDedupesConcurrentGets(t *testing.T) {
+	c := New(Config{})
+	var calls atomic.Int64
+	release := make(chan struct{})
+	c.compile = func(src string) (*core.Compilation, error) {
+		calls.Add(1)
+		<-release // hold the flight open so every other Get must join it
+		return core.Compile(src)
+	}
+	src := program(2)
+	const waiters = 8
+	results := make([]*core.Compilation, waiters)
+	var started, wg sync.WaitGroup
+	started.Add(waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			comp, err := c.Get(src)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = comp
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compile ran %d times for %d concurrent Gets, want 1", n, waiters)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different Compilation", i)
+		}
+	}
+	if s := c.Stats(); s.Dedups != waiters-1 {
+		t.Fatalf("dedups = %d, want %d", s.Dedups, waiters-1)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(Config{})
+	fail := errors.New("transient")
+	var calls atomic.Int64
+	c.compile = func(src string) (*core.Compilation, error) {
+		if calls.Add(1) == 1 {
+			return nil, fail
+		}
+		return core.Compile(src)
+	}
+	src := program(3)
+	if _, err := c.Get(src); !errors.Is(err, fail) {
+		t.Fatalf("first Get error = %v, want %v", err, fail)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compile was stored")
+	}
+	if _, err := c.Get(src); err != nil {
+		t.Fatalf("retry after error failed: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("compile ran %d times, want 2 (error not cached)", n)
+	}
+}
+
+// TestEntryCapBoundsChurn drives many distinct programs through a small
+// cache and proves the footprint stays bounded the whole way.
+func TestEntryCapBoundsChurn(t *testing.T) {
+	const cap = 4
+	c := New(Config{MaxEntries: cap})
+	for i := 0; i < 10*cap; i++ {
+		if _, err := c.Get(program(i)); err != nil {
+			t.Fatal(err)
+		}
+		if n := c.Len(); n > cap {
+			t.Fatalf("after %d inserts cache holds %d entries, cap %d", i+1, n, cap)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != cap {
+		t.Fatalf("entries = %d, want %d", s.Entries, cap)
+	}
+	if want := int64(10*cap - cap); s.Evictions != want {
+		t.Fatalf("evictions = %d, want %d", s.Evictions, want)
+	}
+}
+
+func TestByteCapBoundsChurn(t *testing.T) {
+	// Pick a byte cap that fits a couple of tiny programs but not many.
+	probe := New(Config{})
+	comp, err := probe.Get(program(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := estimateSize(program(0), comp)
+	c := New(Config{MaxBytes: 3 * one})
+	for i := 0; i < 12; i++ {
+		if _, err := c.Get(program(i)); err != nil {
+			t.Fatal(err)
+		}
+		if s := c.Stats(); s.Bytes > 3*one+one {
+			t.Fatalf("bytes = %d beyond cap %d (+1 entry slack)", s.Bytes, 3*one)
+		}
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatal("byte cap never evicted")
+	}
+}
+
+func TestLRUEvictsColdestFirst(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	a, b, d := program(100), program(101), program(102)
+	if _, err := c.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes the coldest, then insert d to force eviction.
+	if _, err := c.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(d); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	if _, err := c.Get(a); err != nil { // must still be cached
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != before.Hits+1 {
+		t.Fatal("recently used entry was evicted instead of coldest")
+	}
+	if _, err := c.Get(b); err != nil { // evicted: recompiles (a miss)
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != before.Misses+1 {
+		t.Fatal("coldest entry survived eviction")
+	}
+}
+
+func TestUnlimitedWhenNegative(t *testing.T) {
+	c := New(Config{MaxEntries: -1, MaxBytes: -1})
+	for i := 0; i < DefaultMaxEntries/32; i++ {
+		if _, err := c.Get(program(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Fatalf("unlimited cache evicted %d entries", s.Evictions)
+	}
+}
+
+// TestConcurrentChurnStaysBounded hammers a small cache from several
+// goroutines with overlapping keys; run under -race this also checks the
+// locking.
+func TestConcurrentChurnStaysBounded(t *testing.T) {
+	const cap = 8
+	c := New(Config{MaxEntries: cap})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := c.Get(program((g*17 + i) % 24)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > cap {
+		t.Fatalf("cache holds %d entries, cap %d", n, cap)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses+s.Dedups != 4*40 {
+		t.Fatalf("counter sum = %d, want %d", s.Hits+s.Misses+s.Dedups, 4*40)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsti/internal/cminor"
@@ -21,15 +22,30 @@ import (
 
 // Compilation is a fully analyzed program plus its per-mechanism
 // instrumented builds (built lazily and cached). A Compilation may be
-// shared — eval's compilation cache hands the same one to several
-// measurements — so the build cache is guarded by a mutex.
+// shared — the compilation cache hands the same one to several
+// measurements — so the build cache must be safe for concurrent use.
+// Each mechanism gets its own once-cell: the map mutex is held only to
+// look the cell up, never across instrumentation, so distinct mechanisms
+// build in parallel and duplicate Build(mech) calls block only on their
+// own mechanism.
 type Compilation struct {
 	File     *cminor.File
 	Prog     *mir.Program
 	Analysis *sti.Analysis
 
-	mu     sync.Mutex
-	builds map[sti.Mechanism]*Build
+	mu     sync.Mutex // guards the builds map, not the builds themselves
+	builds map[sti.Mechanism]*buildCell
+
+	instrumentCalls atomic.Int64
+}
+
+// buildCell is one mechanism's once-initialized build. Instrumentation is
+// deterministic, so a failure is as cacheable as a success: retrying the
+// same program under the same mechanism would fail identically.
+type buildCell struct {
+	once sync.Once
+	b    *Build
+	err  error
 }
 
 // Build is one protected (or baseline) executable image.
@@ -57,25 +73,71 @@ func Compile(src string) (*Compilation, error) {
 		File:     f,
 		Prog:     prog,
 		Analysis: sti.Analyze(prog),
-		builds:   make(map[sti.Mechanism]*Build),
+		builds:   make(map[sti.Mechanism]*buildCell),
 	}, nil
 }
 
-// Build instruments the program under the given mechanism (cached).
-func (c *Compilation) Build(mech sti.Mechanism) (*Build, error) {
+// cell returns the mechanism's once-cell, creating it on first request.
+func (c *Compilation) cell(mech sti.Mechanism) *buildCell {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if b, ok := c.builds[mech]; ok {
-		return b, nil
+	if c.builds == nil {
+		c.builds = make(map[sti.Mechanism]*buildCell)
 	}
-	prog, stats, err := rsti.Instrument(c.Prog, c.Analysis, mech)
-	if err != nil {
-		return nil, err
+	cl, ok := c.builds[mech]
+	if !ok {
+		cl = &buildCell{}
+		c.builds[mech] = cl
 	}
-	b := &Build{Mechanism: mech, Prog: prog, Stats: stats}
-	c.builds[mech] = b
-	return b, nil
+	return cl
 }
+
+// Build instruments the program under the given mechanism, exactly once
+// per mechanism no matter how many goroutines race here. Concurrent calls
+// for the same mechanism coalesce on its once-cell; calls for different
+// mechanisms never block each other.
+func (c *Compilation) Build(mech sti.Mechanism) (*Build, error) {
+	cl := c.cell(mech)
+	cl.once.Do(func() {
+		c.instrumentCalls.Add(1)
+		prog, stats, err := rsti.Instrument(c.Prog, c.Analysis, mech)
+		if err != nil {
+			cl.err = err
+			return
+		}
+		cl.b = &Build{Mechanism: mech, Prog: prog, Stats: stats}
+	})
+	return cl.b, cl.err
+}
+
+// BuildAll instruments the program under every requested mechanism
+// concurrently, returning builds in mechanism order. The first failure
+// (by request order) is returned.
+func (c *Compilation) BuildAll(mechs []sti.Mechanism) ([]*Build, error) {
+	out := make([]*Build, len(mechs))
+	errs := make([]error, len(mechs))
+	var wg sync.WaitGroup
+	for i, m := range mechs {
+		wg.Add(1)
+		go func(i int, m sti.Mechanism) {
+			defer wg.Done()
+			out[i], errs[i] = c.Build(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mechs[i], err)
+		}
+	}
+	return out, nil
+}
+
+// InstrumentCalls reports how many times instrumentation actually ran —
+// the exactly-once guarantee's observable: after any number of Build
+// calls across any number of goroutines, it equals the number of
+// distinct mechanisms built.
+func (c *Compilation) InstrumentCalls() int64 { return c.instrumentCalls.Load() }
 
 // RunResult is one execution's outcome.
 type RunResult struct {

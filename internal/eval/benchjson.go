@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"rsti/internal/cminor"
+	"rsti/internal/compilecache"
 	"rsti/internal/core"
 	"rsti/internal/lower"
 	"rsti/internal/pa"
@@ -50,6 +52,17 @@ type BenchRecord struct {
 	EngineThroughput   []EngineThroughputPoint `json:"engine_throughput,omitempty"`
 	EngineScalingOver1 float64                 `json:"engine_scaling_over_1,omitempty"`
 	EngineBitIdentical bool                    `json:"engine_bit_identical,omitempty"`
+
+	// Compile-path measurements: effectiveness of the shared
+	// content-addressed compile cache on a double pass over part of the
+	// static corpus (the second pass must be pure hits), the warm-hit
+	// latency, and the wall time to produce the three RSTI builds of a
+	// Table 3-sized program serially (Build × 3) versus concurrently
+	// (BuildAll over the per-mechanism once-cells).
+	CompileCacheHitRate     float64 `json:"compile_cache_hit_rate,omitempty"`
+	CompileCacheWarmNsPerOp float64 `json:"compile_cache_warm_ns_per_op,omitempty"`
+	Build3SerialNsPerOp     float64 `json:"build3_serial_ns_per_op,omitempty"`
+	Build3ParallelNsPerOp   float64 `json:"build3_parallel_ns_per_op,omitempty"`
 
 	// Modelled invariants: host optimization must never move these.
 	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
@@ -118,6 +131,53 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 	rec.PipelineStageNsPerOp["lower"] = timeOp(5, 1, func() { lower.Lower(f) })
 	rec.PipelineStageNsPerOp["analyze"] = timeOp(5, 1, func() { sti.Analyze(prog) })
 	rec.PipelineStageNsPerOp["instrument"] = timeOp(5, 1, func() { rsti.Instrument(prog, an, sti.STWC) })
+
+	// Compile-cache effectiveness: one cold pass over a slice of the
+	// static corpus through a fresh bounded cache, then timed warm passes
+	// that must be answered entirely from cache. With 3 timed passes the
+	// hit rate lands at exactly 0.75 — any deviation means the cache
+	// stopped recognizing identical source. The latency figure is the
+	// warm-hit path: a content hash plus a map probe.
+	statics := workload.SPEC2006Static()
+	if len(statics) > 6 {
+		statics = statics[:6]
+	}
+	cc := compilecache.New(compilecache.Config{})
+	for _, b := range statics {
+		if _, err := cc.Get(b.Source); err != nil {
+			return nil, err
+		}
+	}
+	rec.CompileCacheWarmNsPerOp = timeOp(3, len(statics), func() {
+		for _, b := range statics {
+			cc.Get(b.Source)
+		}
+	})
+	rec.CompileCacheHitRate = cc.Stats().HitRate()
+
+	// Three-mechanism build wall time, serial vs concurrent, on fresh
+	// compilations of the same Table 3-sized program (each measurement
+	// needs virgin once-cells).
+	mechs3 := []sti.Mechanism{sti.STWC, sti.STC, sti.STL}
+	comps := make([]*core.Compilation, 6)
+	for i := range comps {
+		if comps[i], err = core.Compile(src); err != nil {
+			return nil, err
+		}
+	}
+	rep := 0
+	rec.Build3SerialNsPerOp = timeOp(3, 1, func() {
+		c := comps[rep]
+		rep++
+		for _, m := range mechs3 {
+			c.Build(m)
+		}
+	})
+	rec.Build3ParallelNsPerOp = timeOp(3, 1, func() {
+		c := comps[rep]
+		rep++
+		c.BuildAll(mechs3)
+	})
 
 	// Interpreter throughput (modelled instructions per host second) on an
 	// uninstrumented SPEC2017 run, best of three.
@@ -195,15 +255,67 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 	return rec, nil
 }
 
+// ReadBenchRecords loads the trajectory at path; a missing file is an
+// empty trajectory, not an error.
+func ReadBenchRecords(path string) ([]BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var records []BenchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("bench trajectory %s is not a record array: %w", path, err)
+	}
+	return records, nil
+}
+
+// TrajectoryWarnings compares a fresh record's pipeline-stage times
+// against the most recent prior record from the same host shape
+// (goos/goarch/cpu count — wall-clock comparisons across different hosts
+// are noise) and returns one warning line per stage that slowed down by
+// more than threshold (a fraction: 0.25 warns beyond +25%). Nil means
+// nothing regressed or there is no comparable prior record.
+func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float64) []string {
+	var prev *BenchRecord
+	for i := len(records) - 1; i >= 0; i-- {
+		r := &records[i]
+		if r.GOOS == rec.GOOS && r.GOARCH == rec.GOARCH && r.CPUs == rec.CPUs {
+			prev = r
+			break
+		}
+	}
+	if prev == nil {
+		return nil
+	}
+	stages := make([]string, 0, len(rec.PipelineStageNsPerOp))
+	for st := range rec.PipelineStageNsPerOp {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	var warns []string
+	for _, st := range stages {
+		now := rec.PipelineStageNsPerOp[st]
+		was, ok := prev.PipelineStageNsPerOp[st]
+		if !ok || was <= 0 {
+			continue
+		}
+		if now > was*(1+threshold) {
+			warns = append(warns, fmt.Sprintf(
+				"pipeline stage %q regressed %.0f%% vs %q: %.2f ms -> %.2f ms",
+				st, (now/was-1)*100, prev.Label, was/1e6, now/1e6))
+		}
+	}
+	return warns
+}
+
 // AppendBenchRecord appends rec to the JSON trajectory at path (created if
 // absent), keeping all previous datapoints.
 func AppendBenchRecord(path string, rec *BenchRecord) error {
-	var records []BenchRecord
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &records); err != nil {
-			return fmt.Errorf("bench trajectory %s is not a record array: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
+	records, err := ReadBenchRecords(path)
+	if err != nil {
 		return err
 	}
 	records = append(records, *rec)
@@ -225,6 +337,16 @@ func (r *BenchRecord) Summary() string {
 		eng += fmt.Sprintf("\n  engine scaling:       %8.2f x over 1 worker (%d cpus)",
 			r.EngineScalingOver1, r.CPUs)
 	}
+	compile := ""
+	if r.Build3SerialNsPerOp > 0 {
+		compile = fmt.Sprintf(
+			"\n  compile cache:        %8.2f pct hits, warm get %.1f µs"+
+				"\n  3-mech build:         %8.2f ms serial, %.2f ms parallel",
+			r.CompileCacheHitRate*100, r.CompileCacheWarmNsPerOp/1e3,
+			r.Build3SerialNsPerOp/1e6, r.Build3ParallelNsPerOp/1e6)
+	}
+	// compile and eng are appended outside the format string: they are
+	// already-rendered text, and Sprintf must not re-scan them for verbs.
 	return fmt.Sprintf(
 		"bench trajectory datapoint %q (%s, %s/%s, %d cpus)\n"+
 			"  qarma encrypt:        %8.1f ns/op\n"+
@@ -236,7 +358,7 @@ func (r *BenchRecord) Summary() string {
 			"  interpreter:          %8.1f M instrs/s\n"+
 			"  pac cache hit rate:   %8.2f %%\n"+
 			"  figure 9 wall clock:  %8.1f s\n"+
-			"  figure 9 geomeans:    STWC %.3f%%  STC %.3f%%  STL %.3f%%"+eng,
+			"  figure 9 geomeans:    STWC %.3f%%  STC %.3f%%  STL %.3f%%",
 		r.Label, r.GoVersion, r.GOOS, r.GOARCH, r.CPUs,
 		r.QarmaEncryptNsPerOp,
 		r.PACSignWarmNsPerOp,
@@ -249,5 +371,5 @@ func (r *BenchRecord) Summary() string {
 		r.Figure9WallSeconds,
 		r.Figure9GeomeanPct[sti.STWC.String()],
 		r.Figure9GeomeanPct[sti.STC.String()],
-		r.Figure9GeomeanPct[sti.STL.String()])
+		r.Figure9GeomeanPct[sti.STL.String()]) + compile + eng
 }

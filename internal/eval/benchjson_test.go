@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func stageRecord(label, goos string, cpus int, stages map[string]float64) BenchRecord {
+	return BenchRecord{
+		Label: label, GOOS: goos, GOARCH: "amd64", CPUs: cpus,
+		PipelineStageNsPerOp: stages,
+	}
+}
+
+func TestTrajectoryWarningsFlagRegressions(t *testing.T) {
+	history := []BenchRecord{
+		stageRecord("old", "linux", 1, map[string]float64{"instrument": 900e3}),
+		stageRecord("prev", "linux", 1, map[string]float64{
+			"instrument": 500e3, "frontend": 2e6,
+		}),
+		// Different host shape: must be skipped even though it is newer.
+		stageRecord("otherhost", "linux", 8, map[string]float64{"instrument": 100e3}),
+	}
+
+	// 30% slower than "prev" (not "otherhost", not "old").
+	rec := stageRecord("now", "linux", 1, map[string]float64{
+		"instrument": 650e3, "frontend": 2.1e6, "analyze": 1e6,
+	})
+	warns := TrajectoryWarnings(history, &rec, 0.25)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warns)
+	}
+	if !strings.Contains(warns[0], "instrument") || !strings.Contains(warns[0], `"prev"`) {
+		t.Errorf("warning %q should name the stage and the compared record", warns[0])
+	}
+
+	// Within threshold: quiet.
+	ok := stageRecord("ok", "linux", 1, map[string]float64{"instrument": 600e3})
+	if warns := TrajectoryWarnings(history, &ok, 0.25); len(warns) != 0 {
+		t.Errorf("within-threshold record warned: %v", warns)
+	}
+
+	// No comparable host shape: quiet.
+	alien := stageRecord("alien", "darwin", 1, map[string]float64{"instrument": 9e9})
+	if warns := TrajectoryWarnings(history, &alien, 0.25); len(warns) != 0 {
+		t.Errorf("record with no comparable history warned: %v", warns)
+	}
+}
+
+func TestReadAppendBenchRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	if recs, err := ReadBenchRecords(path); err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v, want nil/nil", recs, err)
+	}
+	a := stageRecord("a", "linux", 1, map[string]float64{"lower": 1})
+	b := stageRecord("b", "linux", 1, map[string]float64{"lower": 2})
+	if err := AppendBenchRecord(path, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchRecord(path, &b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadBenchRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Label != "a" || recs[1].Label != "b" {
+		t.Fatalf("round trip = %+v", recs)
+	}
+
+	if err := os.WriteFile(path, []byte("{not an array}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchRecords(path); err == nil {
+		t.Error("corrupt trajectory accepted")
+	}
+}

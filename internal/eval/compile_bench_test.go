@@ -1,0 +1,124 @@
+package eval
+
+// Compile-path benchmarks: the cost of producing protected builds — the
+// parallel per-function instrumentation fan-out, the three-mechanism
+// build (serial Build×3 vs concurrent BuildAll over once-cells), and the
+// shared compile cache's warm-hit path.
+
+import (
+	"testing"
+
+	"rsti/internal/cminor"
+	"rsti/internal/compilecache"
+	"rsti/internal/core"
+	"rsti/internal/lower"
+	"rsti/internal/rsti"
+	"rsti/internal/sti"
+)
+
+// BenchmarkPipelineInstrumentParallel is BenchmarkPipelineInstrument with
+// an explicit multi-worker fan-out (the default tracks GOMAXPROCS, which
+// is 1 on a single-core host).
+func BenchmarkPipelineInstrumentParallel(b *testing.B) {
+	f, err := cminor.Frontend(pipelineSource(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lower.Lower(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := sti.Analyze(prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rsti.InstrumentWithOptions(prog, an, sti.STWC, rsti.Options{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCompilations pre-compiles b.N fresh compilations outside the timer
+// so a build benchmark measures instrumentation alone, on virgin
+// once-cells every iteration.
+func benchCompilations(b *testing.B) []*core.Compilation {
+	b.Helper()
+	src := pipelineSource(b)
+	comps := make([]*core.Compilation, b.N)
+	for i := range comps {
+		c, err := core.Compile(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comps[i] = c
+	}
+	return comps
+}
+
+var build3Mechs = []sti.Mechanism{sti.STWC, sti.STC, sti.STL}
+
+func BenchmarkBuild3Serial(b *testing.B) {
+	comps := benchCompilations(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range build3Mechs {
+			if _, err := comps[i].Build(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBuild3Parallel(b *testing.B) {
+	comps := benchCompilations(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comps[i].BuildAll(build3Mechs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileParallel is the whole compile path a served burst pays
+// after the first request: a cache-warm Get plus a concurrent
+// three-mechanism build on already-populated once-cells.
+func BenchmarkCompileParallel(b *testing.B) {
+	src := pipelineSource(b)
+	cache := compilecache.New(compilecache.Config{})
+	c, err := cache.Get(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.BuildAll(build3Mechs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := cache.Get(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.BuildAll(build3Mechs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileCacheWarmGet(b *testing.B) {
+	src := pipelineSource(b)
+	cache := compilecache.New(compilecache.Config{})
+	if _, err := cache.Get(src); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Get(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

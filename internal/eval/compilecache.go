@@ -1,36 +1,34 @@
 package eval
 
 import (
-	"sync"
-
+	"rsti/internal/compilecache"
 	"rsti/internal/core"
 )
 
-// compileCached memoizes core.Compile by source text. The static-analysis
-// measurements (MeasureTable3, the pointer-to-pointer census it carries,
-// and MeasureReplaySurface) all walk the same 18 full-size SPEC2006
-// programs; before this cache each of them recompiled the whole suite from
-// scratch. Compilation is deterministic and the resulting Analysis is
-// read-only, so sharing one Compilation across measurements is safe
-// (Compilation.Build has its own lock for the lazily instrumented
-// variants).
+// evalCache memoizes core.Compile by source text through the shared
+// content-addressed cache. The static-analysis measurements
+// (MeasureTable3, the pointer-to-pointer census it carries, and
+// MeasureReplaySurface) all walk the same 18 full-size SPEC2006 programs;
+// before this cache each of them recompiled the whole suite from scratch.
+// Compilation is deterministic and the resulting Analysis is read-only,
+// so sharing one Compilation across measurements is safe (per-mechanism
+// builds are built exactly once behind their own once-cells).
 //
 // The cache is intentionally scoped to the static-analysis paths: the
-// performance measurements (MeasureBenchmark and everything above it) keep
-// compiling fresh so benchmark timings keep including compile cost.
-var compileCache sync.Map // source string -> *compileEntry
-
-type compileEntry struct {
-	once sync.Once
-	c    *core.Compilation
-	err  error
-}
+// performance measurements (MeasureBenchmark and everything above it)
+// keep compiling fresh so benchmark timings keep including compile cost.
+// Unbounded within a process: the evaluation corpus is a fixed, known
+// set, and eviction would silently turn repeat measurements into
+// recompiles.
+var evalCache = compilecache.New(compilecache.Config{MaxEntries: -1, MaxBytes: -1})
 
 func compileCached(src string) (*core.Compilation, error) {
-	v, _ := compileCache.LoadOrStore(src, &compileEntry{})
-	e := v.(*compileEntry)
-	e.once.Do(func() {
-		e.c, e.err = core.Compile(src)
-	})
-	return e.c, e.err
+	return evalCache.Get(src)
+}
+
+// CompileCacheStats reports the shared evaluation compile cache's
+// effectiveness counters (hits, misses, dedups, footprint) for the
+// benchmark-trajectory record.
+func CompileCacheStats() compilecache.Stats {
+	return evalCache.Stats()
 }

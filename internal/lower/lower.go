@@ -8,15 +8,35 @@ package lower
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rsti/internal/cminor"
 	"rsti/internal/ctypes"
 	"rsti/internal/mir"
 )
 
+// Options controls how Lower runs. The zero value is the default
+// configuration.
+type Options struct {
+	// Workers bounds the number of goroutines lowering function bodies.
+	// 0 means GOMAXPROCS; 1 forces the serial path. Output is
+	// bit-identical for every worker count: each function is lowered
+	// into its own lowerer with a function-local string pool, and the
+	// pools are merged into the program in function order afterwards,
+	// reproducing the serial pool exactly.
+	Workers int
+}
+
 // Lower converts a checked File into a mir.Program. The returned program
 // passes mir.Verify.
 func Lower(f *cminor.File) (*mir.Program, error) {
+	return LowerWithOptions(f, Options{})
+}
+
+// LowerWithOptions is Lower with explicit concurrency control.
+func LowerWithOptions(f *cminor.File, opts Options) (*mir.Program, error) {
 	p := &mir.Program{
 		ByName: make(map[string]*mir.Func),
 		Types:  f.Types,
@@ -26,30 +46,31 @@ func Lower(f *cminor.File) (*mir.Program, error) {
 			Name: s.Name, Type: s.Type, Global: s.Global, Param: s.Param, DeclFn: s.DeclFn,
 		})
 	}
-	for i, g := range f.Globals {
+	for _, g := range f.Globals {
 		p.Globals = append(p.Globals, &mir.Global{Name: g.Name, Type: g.Type, Var: g.Sym.ID})
-		_ = i
 	}
 
-	lw := &lowerer{prog: p, file: f}
-
 	// Synthetic __init runs global initializers before main.
+	initLw := &lowerer{prog: p, file: f}
 	initFn := &mir.Func{Name: mir.InitFuncName, Ret: ctypes.VoidType}
 	p.Funcs = append(p.Funcs, initFn)
 	p.ByName[initFn.Name] = initFn
-	lw.beginFunc(initFn, nil)
+	initLw.beginFunc(initFn, nil)
 	for gi, g := range f.Globals {
 		if g.Init == nil {
 			continue
 		}
-		v := lw.expr(g.Init)
-		addr := lw.emitDst(mir.Instr{Op: mir.GlobalAddr, Imm: int64(gi), Ty: ctypes.PointerTo(g.Type), Pos: g.Pos,
+		v := initLw.expr(g.Init)
+		addr := initLw.emitDst(mir.Instr{Op: mir.GlobalAddr, Imm: int64(gi), Ty: ctypes.PointerTo(g.Type), Pos: g.Pos,
 			Slot: mir.Slot{Kind: mir.SlotVar, Var: g.Sym.ID}})
-		lw.emit(mir.Instr{Op: mir.Store, A: addr, B: v, Ty: g.Type, Pos: g.Pos,
+		initLw.emit(mir.Instr{Op: mir.Store, A: addr, B: v, Ty: g.Type, Pos: g.Pos,
 			Slot: mir.Slot{Kind: mir.SlotVar, Var: g.Sym.ID}})
 	}
-	lw.emit(mir.Instr{Op: mir.RetOp, A: mir.NoReg})
-	lw.endFunc()
+	initLw.emit(mir.Instr{Op: mir.RetOp, A: mir.NoReg})
+	initLw.endFunc()
+	if initLw.err != nil {
+		return nil, initLw.err
+	}
 
 	for _, fn := range f.Funcs {
 		mf := &mir.Func{
@@ -66,18 +87,94 @@ func Lower(f *cminor.File) (*mir.Program, error) {
 		p.Funcs = append(p.Funcs, mf)
 		p.ByName[mf.Name] = mf
 	}
+
+	// Lower every function body. Bodies are independent — the only
+	// program-level mutable state a body touches is the string pool,
+	// which each lowerer keeps locally — so they fan out across a
+	// bounded worker set. Funcs and ByName are fully built above and
+	// only read from here on.
+	type unit struct {
+		fn *cminor.FuncDecl
+		lw *lowerer
+	}
+	var units []unit
 	for _, fn := range f.Funcs {
-		if fn.Body == nil {
-			continue
-		}
-		if err := lw.lowerFunc(fn, p.ByName[fn.Name]); err != nil {
-			return nil, err
+		if fn.Body != nil {
+			units = append(units, unit{fn: fn, lw: &lowerer{prog: p, file: f}})
 		}
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	lowerOne := func(u unit) error {
+		return u.lw.lowerFunc(u.fn, p.ByName[u.fn.Name])
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			if err := lowerOne(u); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		errs := make([]error, len(units))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(units) {
+						return
+					}
+					errs[i] = lowerOne(units[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Merge the function-local string pools into the program pool in
+	// function order (__init first), rewriting each StrConst through the
+	// local-index -> pool-index remap. Because AddString dedups in
+	// insertion order, the resulting pool is exactly what the serial
+	// single-pool lowering produced.
+	mergeStrings(p, initLw, initFn)
+	for _, u := range units {
+		mergeStrings(p, u.lw, p.ByName[u.fn.Name])
+	}
+
 	if err := p.Verify(); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+func mergeStrings(p *mir.Program, lw *lowerer, mf *mir.Func) {
+	if len(lw.strs) == 0 {
+		return
+	}
+	remap := make([]int, len(lw.strs))
+	for i, s := range lw.strs {
+		remap[i] = p.AddString(s)
+	}
+	for _, b := range mf.Blocks {
+		for j := range b.Instrs {
+			if b.Instrs[j].Op == mir.StrConst {
+				b.Instrs[j].Imm = int64(remap[b.Instrs[j].Imm])
+			}
+		}
+	}
 }
 
 type loopCtx struct {
@@ -95,6 +192,25 @@ type lowerer struct {
 	loops   []loopCtx
 	allocas []mir.Instr // hoisted to the entry block at endFunc
 	err     error
+
+	// Function-local string pool. StrConst Imm values index this pool
+	// until mergeStrings rewrites them to program-pool indices; keeping
+	// the pool local is what lets function bodies lower concurrently.
+	strs   []string
+	strMap map[string]int
+}
+
+func (lw *lowerer) addString(s string) int {
+	if i, ok := lw.strMap[s]; ok {
+		return i
+	}
+	if lw.strMap == nil {
+		lw.strMap = make(map[string]int)
+	}
+	i := len(lw.strs)
+	lw.strs = append(lw.strs, s)
+	lw.strMap[s] = i
+	return i
 }
 
 // emitAlloca hoists every alloca to the entry block, as Clang does at -O0:
@@ -503,7 +619,7 @@ func (lw *lowerer) expr(e cminor.Expr) mir.Reg {
 	case *cminor.NullLit:
 		return lw.emitDst(mir.Instr{Op: mir.Const, Imm: 0, Ty: x.Ty, Pos: x.Position()})
 	case *cminor.StrLit:
-		idx := lw.prog.AddString(x.Val)
+		idx := lw.addString(x.Val)
 		return lw.emitDst(mir.Instr{Op: mir.StrConst, Imm: int64(idx), Ty: x.Ty, Pos: x.Position()})
 	case *cminor.SizeofExpr:
 		return lw.emitDst(mir.Instr{Op: mir.Const, Imm: int64(x.Of.Size()), Ty: x.Ty, Pos: x.Position()})

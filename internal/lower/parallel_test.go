@@ -1,0 +1,91 @@
+package lower
+
+import (
+	"fmt"
+	"testing"
+
+	"rsti/internal/cminor"
+)
+
+// parallelSrc has enough functions to occupy several workers and enough
+// string literals — shared and function-private — to exercise the
+// local-pool merge: the final pool order must match the serial encounter
+// order (__init first, then function order).
+const parallelSrc = `
+char *g0 = "global-zero";
+char *g1 = "shared";
+
+int f0(void) { char *s = "f0-only"; char *t = "shared"; return 0; }
+int f1(void) { char *s = "shared"; char *t = "f1-only"; return 1; }
+int f2(void) { char *s = "f2-a"; char *t = "f2-b"; char *u = "global-zero"; return 2; }
+int f3(int n) {
+	char *s = "f3-loop";
+	int i;
+	int acc = 0;
+	for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+	return acc;
+}
+int f4(void) { return 4; }
+int f5(void) { char *s = "shared"; char *t = "f0-only"; return 5; }
+int main(void) {
+	char *banner = "main-banner";
+	return f0() + f1() + f2() + f3(3) + f4() + f5();
+}
+`
+
+func TestParallelLowerBitIdentical(t *testing.T) {
+	f, err := cminor.Frontend(parallelSrc)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	serial, err := LowerWithOptions(f, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial lower: %v", err)
+	}
+	want := serial.String()
+	wantPool := fmt.Sprintf("%q", serial.Strings)
+	for _, workers := range []int{2, 4, 8} {
+		f2, err := cminor.Frontend(parallelSrc)
+		if err != nil {
+			t.Fatalf("frontend: %v", err)
+		}
+		p, err := LowerWithOptions(f2, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := p.String(); got != want {
+			t.Errorf("workers=%d: program differs from serial lowering\nserial:\n%s\nparallel:\n%s", workers, want, got)
+		}
+		if gotPool := fmt.Sprintf("%q", p.Strings); gotPool != wantPool {
+			t.Errorf("workers=%d: string pool %s, want %s", workers, gotPool, wantPool)
+		}
+	}
+}
+
+func TestParallelLowerPoolOrderIsSerialEncounterOrder(t *testing.T) {
+	f, err := cminor.Frontend(parallelSrc)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := LowerWithOptions(f, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	want := []string{
+		"global-zero",  // __init: g0's initializer
+		"shared",       // __init: g1's initializer
+		"f0-only",      // f0 (dedup keeps first occurrences only)
+		"f1-only",      // f1
+		"f2-a", "f2-b", // f2 ("global-zero" dedups against __init)
+		"f3-loop",     // f3
+		"main-banner", // main ("shared"/"f0-only" in f5 dedup)
+	}
+	if len(p.Strings) != len(want) {
+		t.Fatalf("pool = %q, want %q", p.Strings, want)
+	}
+	for i := range want {
+		if p.Strings[i] != want[i] {
+			t.Fatalf("pool[%d] = %q, want %q (pool %q)", i, p.Strings[i], want[i], p.Strings)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package mir
+
+import (
+	"testing"
+
+	"rsti/internal/ctypes"
+)
+
+// cloneProgram is tinyProgram plus a second function, a second block and
+// a call with arguments, so the arena layout (multiple blocks and Args
+// slices packed into shared backing arrays) is actually exercised.
+func cloneProgram() *Program {
+	p := &Program{ByName: make(map[string]*Func), Types: ctypes.NewTable()}
+
+	g := &Func{Name: "callee", Ret: ctypes.IntType, NumRegs: 2,
+		Params: []*ctypes.Type{ctypes.IntType}, ParamVar: []int{-1}}
+	gb := g.NewBlock("entry")
+	gb.Instrs = []Instr{
+		{Op: Const, Dst: 1, A: NoReg, B: NoReg, Imm: 1, Ty: ctypes.IntType},
+		{Op: BinInstr, BinSub: Add, Dst: 0, A: 0, B: 1, Ty: ctypes.IntType},
+		{Op: RetOp, Dst: NoReg, A: 0, B: NoReg},
+	}
+	p.Funcs = append(p.Funcs, g)
+	p.ByName[g.Name] = g
+
+	f := &Func{Name: "main", Ret: ctypes.IntType, NumRegs: 3}
+	b0 := f.NewBlock("entry")
+	b0.Instrs = []Instr{
+		{Op: Const, Dst: 0, A: NoReg, B: NoReg, Imm: 20, Ty: ctypes.IntType},
+		{Op: Const, Dst: 1, A: NoReg, B: NoReg, Imm: 21, Ty: ctypes.IntType},
+		{Op: Jmp, Dst: NoReg, A: NoReg, B: NoReg, Targets: [2]int{1}},
+	}
+	b1 := f.NewBlock("exit")
+	b1.Instrs = []Instr{
+		{Op: CallOp, Dst: 2, A: NoReg, B: NoReg, Callee: "callee",
+			Args: []Reg{0, 1}, Ty: ctypes.IntType},
+		{Op: RetOp, Dst: NoReg, A: 2, B: NoReg},
+	}
+	p.Funcs = append(p.Funcs, f)
+	p.ByName[f.Name] = f
+	return p
+}
+
+// TestCloneSharesNoMutableState mutates every mutable part of a clone —
+// instruction fields, call Args, appended instructions — and checks that
+// neither the source nor a sibling clone observes any of it. This is the
+// contract that lets per-mechanism builds instrument clones of one
+// lowering concurrently.
+func TestCloneSharesNoMutableState(t *testing.T) {
+	src := cloneProgram()
+	before := src.String()
+	a, b := src.Clone(), src.Clone()
+
+	if err := a.Verify(); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+	if a.String() != before {
+		t.Fatal("clone does not render identically to its source")
+	}
+
+	am := a.ByName["main"]
+	// Field mutation.
+	am.Blocks[0].Instrs[0].Imm = 999
+	// Args mutation: writing through the cloned Args slice must not show
+	// through the source's backing array.
+	am.Blocks[1].Instrs[0].Args[0] = 2
+	// Growth: appending into a block must not bleed into the arena region
+	// backing the next block or another function.
+	am.Blocks[0].Instrs = append(am.Blocks[0].Instrs,
+		Instr{Op: RetOp, Dst: NoReg, A: 0, B: NoReg})
+
+	if src.String() != before {
+		t.Fatal("mutating a clone changed the source program")
+	}
+	if b.String() != before {
+		t.Fatal("mutating one clone changed a sibling clone")
+	}
+
+	// The source's Args backing really is independent.
+	if got := src.ByName["main"].Blocks[1].Instrs[0].Args[0]; got != 0 {
+		t.Fatalf("source call arg = %d after clone mutation, want 0", got)
+	}
+}
+
+// TestCloneShellSkeleton: CloneShell must reproduce the function/block
+// skeleton exactly — order, indices, register counts — with no
+// instructions, so an instrumentation pass can walk source and shell in
+// lockstep.
+func TestCloneShellSkeleton(t *testing.T) {
+	src := cloneProgram()
+	sh := src.CloneShell()
+
+	if len(sh.Funcs) != len(src.Funcs) {
+		t.Fatalf("shell has %d funcs, want %d", len(sh.Funcs), len(src.Funcs))
+	}
+	for i, f := range src.Funcs {
+		g := sh.Funcs[i]
+		if g == f {
+			t.Fatalf("func %d shared with source", i)
+		}
+		if g.Name != f.Name || g.NumRegs != f.NumRegs || len(g.Blocks) != len(f.Blocks) {
+			t.Fatalf("func %d skeleton mismatch: %+v vs %+v", i, g, f)
+		}
+		if sh.ByName[f.Name] != g {
+			t.Fatalf("ByName[%q] not wired to the shell's func", f.Name)
+		}
+		for j, blk := range f.Blocks {
+			sb := g.Blocks[j]
+			if sb == blk {
+				t.Fatalf("block %s.%d shared with source", f.Name, j)
+			}
+			if sb.Index != blk.Index || sb.Name != blk.Name {
+				t.Fatalf("block %s.%d skeleton mismatch", f.Name, j)
+			}
+			if sb.Instrs != nil {
+				t.Fatalf("block %s.%d carries instructions", f.Name, j)
+			}
+		}
+	}
+}

@@ -35,6 +35,9 @@ package rsti
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rsti/internal/ctypes"
 	"rsti/internal/mir"
@@ -62,6 +65,22 @@ func (s *Stats) Total() int {
 	return s.Signs + s.Auths + s.Strips + s.PPAdds + s.PPSigns + s.PPAuths + s.PPTags
 }
 
+// add accumulates o into s. Every field is a plain count, so merging
+// per-worker stats by summation is order-independent: the merged totals
+// are bit-identical regardless of how functions were scheduled.
+func (s *Stats) add(o *Stats) {
+	s.Signs += o.Signs
+	s.Auths += o.Auths
+	s.Strips += o.Strips
+	s.ConvPairs += o.ConvPairs
+	s.PPAdds += o.PPAdds
+	s.PPSigns += o.PPSigns
+	s.PPAuths += o.PPAuths
+	s.PPTags += o.PPTags
+	s.ProtectedLoads += o.ProtectedLoads
+	s.ProtectedStores += o.ProtectedStores
+}
+
 // Options tunes the instrumentation pass, mainly for ablation studies.
 type Options struct {
 	// DisablePP turns off the pointer-to-pointer CE/FE machinery: no
@@ -70,6 +89,11 @@ type Options struct {
 	// pattern — struct node** cast to void** — then false-positives,
 	// which is exactly the ablation demonstrating why §4.7.7 exists.
 	DisablePP bool
+	// Workers bounds the per-function instrumentation fan-out. Zero means
+	// GOMAXPROCS; 1 forces the serial path. Output is bit-identical at
+	// every worker count: functions are rewritten independently (register
+	// numbering is per-function) and stats merge commutatively.
+	Workers int
 }
 
 // Instrument clones prog and protects the clone under the given mechanism.
@@ -79,22 +103,85 @@ func Instrument(prog *mir.Program, an *sti.Analysis, mech sti.Mechanism) (*mir.P
 }
 
 // InstrumentWithOptions is Instrument with pass options.
+//
+// Functions are instrumented concurrently by a bounded worker set (see
+// Options.Workers): each mir.Func is independent — register numbering is
+// function-local, the shared Analysis is internally synchronized, and the
+// raw-argument convention is precomputed — so the protected program is
+// bit-identical to a serial pass regardless of scheduling.
 func InstrumentWithOptions(prog *mir.Program, an *sti.Analysis, mech sti.Mechanism, opts Options) (*mir.Program, *Stats, error) {
-	out := prog.Clone()
 	stats := &Stats{}
 	if mech == sti.None {
-		return out, stats, nil
+		return prog.Clone(), stats, nil
 	}
-	ins := &inserter{prog: out, an: an, mech: mech, stats: stats, opts: opts}
-	ins.rawConvention = rawConventionFuncs(prog, an, mech)
-	for _, fn := range out.Funcs {
-		if fn.Extern {
-			continue
-		}
-		if err := ins.instrumentFunc(fn); err != nil {
-			return nil, nil, err
+	// The pass re-emits every instruction into fresh arenas, so the
+	// protected program starts as a skeleton: cloning the source
+	// instruction arrays only to discard them would double the copy cost.
+	// The source program is never mutated (instructions are rewritten as
+	// stack copies; call Args are copied into per-function arenas before
+	// the first write).
+	out := prog.CloneShell()
+	raw := rawConventionFuncs(prog, an, mech)
+	type unit struct{ src, dst *mir.Func }
+	units := make([]unit, 0, len(out.Funcs))
+	for i, fn := range out.Funcs {
+		if !fn.Extern {
+			units = append(units, unit{src: prog.Funcs[i], dst: fn})
 		}
 	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	if workers <= 1 {
+		ins := &inserter{prog: out, an: an, mech: mech, stats: stats, opts: opts, rawConvention: raw}
+		for _, u := range units {
+			if err := ins.instrumentFunc(u.dst, u.src); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		// Work-stealing fan-out: workers pull function indices from a
+		// shared counter, so a function-sized straggler cannot idle the
+		// pool. Per-worker stats and caches avoid all cross-worker
+		// synchronization except the Analysis' own lock; the first error
+		// by function order wins, keeping failures deterministic too.
+		var (
+			next  atomic.Int64
+			wg    sync.WaitGroup
+			errs  = make([]error, len(units))
+			parts = make([]Stats, workers)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ins := &inserter{prog: out, an: an, mech: mech, stats: &parts[w], opts: opts, rawConvention: raw}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(units) {
+						return
+					}
+					errs[i] = ins.instrumentFunc(units[i].dst, units[i].src)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for w := range parts {
+			stats.add(&parts[w])
+		}
+	}
+
 	if err := out.Verify(); err != nil {
 		return nil, nil, fmt.Errorf("rsti: instrumented program fails verification: %w", err)
 	}
@@ -175,6 +262,43 @@ type inserter struct {
 	fn  *mir.Func
 	sig []signature
 	out []mir.Instr
+
+	// Memoization of Analysis lookups. Modifier resolution hashes an
+	// interned key string on every call; a function body revisits the same
+	// few slots and types thousands of times, so these per-inserter maps
+	// (never shared across workers) turn the steady state into map hits.
+	// Keys are stable *ctypes.Type pointers from the analyzed program.
+	slotMods map[slotKey]slotMod
+	escMods  map[*ctypes.Type]uint64
+	feMods   map[*ctypes.Type]uint64
+
+	// Reused scratch storage (per worker): the signature buffer, the
+	// instruction accumulator shared by every block of a function, and the
+	// block boundary list. Final per-function storage is one exact-size
+	// arena, so the steady-state pass allocates once per function.
+	sigBuf    []signature
+	scratch   []mir.Instr
+	blockEnds []int
+	argArena  []mir.Reg // per-function call-argument storage (exact-size)
+}
+
+// slotKey identifies a slot-modifier lookup: the Slot identity plus the
+// accessed type (the defensive EscapedType fallbacks key on it).
+type slotKey struct {
+	kind  mir.SlotKind
+	v     int
+	strct *ctypes.Type
+	field int
+	ty    *ctypes.Type
+}
+
+// slotMod is a cached SlotModifier result (location register excluded:
+// it is per-access state layered on top by slotSig).
+type slotMod struct {
+	class  int
+	mod    uint64
+	useLoc bool
+	ok     bool
 }
 
 func (ins *inserter) newReg() mir.Reg {
@@ -202,15 +326,50 @@ func (ins *inserter) sigOf(r mir.Reg) signature {
 
 // slotSig computes the signature a value stored in the given slot carries.
 func (ins *inserter) slotSig(slot mir.Slot, ty *ctypes.Type, addr mir.Reg) (signature, bool) {
-	class, mod, useLoc, ok := ins.an.SlotModifier(slot, ty, ins.mech)
-	if !ok {
+	key := slotKey{kind: slot.Kind, v: slot.Var, strct: slot.Struct, field: slot.Field, ty: ty}
+	sm, hit := ins.slotMods[key]
+	if !hit {
+		sm.class, sm.mod, sm.useLoc, sm.ok = ins.an.SlotModifier(slot, ty, ins.mech)
+		if ins.slotMods == nil {
+			ins.slotMods = make(map[slotKey]slotMod)
+		}
+		ins.slotMods[key] = sm
+	}
+	if !sm.ok {
 		return rawSig(), false
 	}
 	loc := mir.NoReg
-	if useLoc {
+	if sm.useLoc {
 		loc = addr
 	}
-	return signature{kind: sigSigned, class: class, mod: mod, loc: loc, outer: mir.NoReg}, true
+	return signature{kind: sigSigned, class: sm.class, mod: sm.mod, loc: loc, outer: mir.NoReg}, true
+}
+
+// escapedModifier memoizes the escaped-type fallback modifier for a
+// pointer type (the universal double-pointer dereference path).
+func (ins *inserter) escapedModifier(ty *ctypes.Type) uint64 {
+	if m, ok := ins.escMods[ty]; ok {
+		return m
+	}
+	m := ins.an.Modifier(ins.an.EscapedType(ty).ID, ins.mech)
+	if ins.escMods == nil {
+		ins.escMods = make(map[*ctypes.Type]uint64)
+	}
+	ins.escMods[ty] = m
+	return m
+}
+
+// feModifier memoizes FEModifierFor per FE inner type.
+func (ins *inserter) feModifier(fe *ctypes.Type) uint64 {
+	if m, ok := ins.feMods[fe]; ok {
+		return m
+	}
+	m := ins.an.FEModifierFor(fe, ins.mech)
+	if ins.feMods == nil {
+		ins.feMods = make(map[*ctypes.Type]uint64)
+	}
+	ins.feMods[fe] = m
+	return m
 }
 
 // auth emits an aut (or pp_auth) making reg raw, returning the raw reg.
@@ -309,7 +468,7 @@ func (ins *inserter) maybeTagPP(arg mir.Reg, fo *sti.FuncOrigins) mir.Reg {
 	fe := o.CastFrom.Elem
 	for level := ce; level != 0; {
 		inner := ins.an.CEInner(level)
-		feMod := ins.an.FEModifierFor(fe, ins.mech)
+		feMod := ins.feModifier(fe)
 		ins.emit(mir.Instr{Op: mir.PPAdd, Dst: mir.NoReg, A: mir.NoReg, B: mir.NoReg,
 			CE: level, Mod: feMod, Imm: int64(inner)})
 		ins.stats.PPAdds++
@@ -325,9 +484,16 @@ func (ins *inserter) maybeTagPP(arg mir.Reg, fo *sti.FuncOrigins) mir.Reg {
 	return tagged
 }
 
-func (ins *inserter) instrumentFunc(fn *mir.Func) error {
+// instrumentFunc protects dst by re-emitting src's instructions plus the
+// inserted PA ops. src is read-only: instructions are rewritten as stack
+// copies, and call Args are copied into dst's argument arena before any
+// register rewrite touches them.
+func (ins *inserter) instrumentFunc(fn, src *mir.Func) error {
 	ins.fn = fn
-	ins.sig = make([]signature, fn.NumRegs)
+	if cap(ins.sigBuf) < fn.NumRegs {
+		ins.sigBuf = make([]signature, fn.NumRegs+fn.NumRegs/2)
+	}
+	ins.sig = ins.sigBuf[:fn.NumRegs]
 	for i := range ins.sig {
 		ins.sig[i] = rawSig()
 	}
@@ -348,13 +514,44 @@ func (ins *inserter) instrumentFunc(fn *mir.Func) error {
 		}
 	}
 
-	for _, blk := range fn.Blocks {
-		ins.out = make([]mir.Instr, 0, len(blk.Instrs)*2)
+	// One exact-size argument arena per function: call-site Args are
+	// copied here before rewriting, keeping src untouched without a
+	// per-call allocation.
+	nArgs := 0
+	for _, blk := range src.Blocks {
+		for i := range blk.Instrs {
+			nArgs += len(blk.Instrs[i].Args)
+		}
+	}
+	ins.argArena = make([]mir.Reg, 0, nArgs)
+
+	// Emit every block into one reused scratch accumulator, recording
+	// block boundaries, then copy into a single exact-size arena the
+	// blocks subslice (capacity-capped, so blocks stay independent). The
+	// steady state allocates one instruction backing array per function
+	// instead of a 2x-capacity guess per block.
+	ins.out = ins.scratch[:0]
+	ins.blockEnds = ins.blockEnds[:0]
+	for _, blk := range src.Blocks {
 		for idx := range blk.Instrs {
 			in := blk.Instrs[idx] // copy
 			ins.instr(&in, fo)
 		}
-		blk.Instrs = ins.out
+		ins.blockEnds = append(ins.blockEnds, len(ins.out))
+	}
+	arena := make([]mir.Instr, len(ins.out))
+	copy(arena, ins.out)
+	start := 0
+	for i, blk := range fn.Blocks {
+		end := ins.blockEnds[i]
+		blk.Instrs = arena[start:end:end]
+		start = end
+	}
+	ins.scratch = ins.out[:0]
+
+	// Retain grown buffers for the next function this worker handles.
+	if cap(ins.sig) > cap(ins.sigBuf) {
+		ins.sigBuf = ins.sig
 	}
 	return nil
 }
@@ -371,7 +568,7 @@ func (ins *inserter) instr(in *mir.Instr, fo *sti.FuncOrigins) {
 		if in.Ty != nil && in.Ty.IsPointer() {
 			ins.stats.ProtectedLoads++
 			if isPP {
-				fallback := ins.an.Modifier(ins.an.EscapedType(in.Ty).ID, ins.mech)
+				fallback := ins.escapedModifier(in.Ty)
 				ins.setSig(in.Dst, signature{kind: sigSignedPP, mod: fallback, outer: outerRaw, loc: mir.NoReg})
 			} else if s, ok := ins.slotSig(in.Slot, in.Ty, outerRaw); ok {
 				ins.setSig(in.Dst, s)
@@ -393,7 +590,7 @@ func (ins *inserter) instr(in *mir.Instr, fo *sti.FuncOrigins) {
 				if ins.mech == sti.STL {
 					imm = 1
 				}
-				fallback := ins.an.Modifier(ins.an.EscapedType(in.Ty).ID, ins.mech)
+				fallback := ins.escapedModifier(in.Ty)
 				ins.emit(mir.Instr{Op: mir.PPSign, Dst: dst, A: outerRaw, B: raw, Mod: fallback, Key: uint8(pa.KeyDA), Imm: imm})
 				ins.stats.PPSigns++
 				in.B = dst
@@ -481,6 +678,14 @@ func (ins *inserter) call(in *mir.Instr, fo *sti.FuncOrigins) {
 		callee = ins.prog.ByName[in.Callee]
 	} else {
 		in.A = ins.auth(in.A) // indirect target must be raw for the token check
+	}
+
+	// Detach Args from the (read-only) source program before rewriting.
+	// The arena was sized in instrumentFunc, so this never reallocates.
+	if len(in.Args) > 0 {
+		base := len(ins.argArena)
+		ins.argArena = append(ins.argArena, in.Args...)
+		in.Args = ins.argArena[base : base+len(in.Args) : base+len(in.Args)]
 	}
 
 	for i, arg := range in.Args {

@@ -1,0 +1,131 @@
+package rsti_test
+
+import (
+	"sync"
+	"testing"
+
+	"rsti/internal/cminor"
+	"rsti/internal/lower"
+	"rsti/internal/mir"
+	"rsti/internal/rsti"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// parallelCorpus builds a few generated programs large and varied enough
+// that the parallel fan-out actually schedules functions across workers.
+func parallelCorpus(t *testing.T) []*mir.Program {
+	t.Helper()
+	var progs []*mir.Program
+	for i, cfg := range []workload.Config{
+		{Name: "par-small", Suite: "t", Structs: 2, PtrVars: 8, ColdFns: 2,
+			CastRate: 20, Iters: 4, ChainLen: 3, DerefOps: 2, Seed: 11},
+		{Name: "par-casts", Suite: "t", Structs: 5, PtrVars: 30, ColdFns: 6,
+			CastRate: 60, Popular: 10, SharedCasts: 8, Iters: 6, ChainLen: 5,
+			DerefOps: 4, CallOps: 2, CastOps: 2, Seed: 23},
+		{Name: "par-pp", Suite: "t", Structs: 4, PtrVars: 24, ColdFns: 8,
+			CastRate: 30, PPPlain: 4, PPSpecial: 2, Iters: 5, ChainLen: 4,
+			DerefOps: 3, ArithOps: 3, FloatOps: 2, Seed: 37},
+	} {
+		b := workload.Generate(cfg)
+		f, err := cminor.Parse(b.Source)
+		if err != nil {
+			t.Fatalf("corpus %d: parse: %v", i, err)
+		}
+		if err := cminor.Check(f); err != nil {
+			t.Fatalf("corpus %d: check: %v", i, err)
+		}
+		p, err := lower.Lower(f)
+		if err != nil {
+			t.Fatalf("corpus %d: lower: %v", i, err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+// TestParallelInstrumentBitIdentical is the determinism contract for the
+// parallel fan-out: for every mechanism, instrumenting with many workers
+// must produce output bit-identical to the serial path — same rendered
+// program, same stats. Worker count and goroutine scheduling must be
+// invisible in the result.
+func TestParallelInstrumentBitIdentical(t *testing.T) {
+	mechs := append(append([]sti.Mechanism{}, sti.Mechanisms...), sti.Adaptive)
+	for ci, prog := range parallelCorpus(t) {
+		an := sti.Analyze(prog)
+		for _, mech := range mechs {
+			serial, sstats, err := rsti.InstrumentWithOptions(prog, an, mech, rsti.Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("corpus %d %s serial: %v", ci, mech, err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par, pstats, err := rsti.InstrumentWithOptions(prog, an, mech, rsti.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("corpus %d %s workers=%d: %v", ci, mech, workers, err)
+				}
+				if got, want := par.String(), serial.String(); got != want {
+					t.Fatalf("corpus %d %s: workers=%d output differs from serial", ci, mech, workers)
+				}
+				if *pstats != *sstats {
+					t.Fatalf("corpus %d %s workers=%d stats = %+v, serial %+v", ci, mech, workers, *pstats, *sstats)
+				}
+			}
+		}
+	}
+}
+
+// TestInstrumentLeavesSourceUntouched: the pass reads the source program
+// and shares its Analysis, so instrumenting repeatedly — serially or
+// concurrently across mechanisms — must never perturb the source or the
+// outputs.
+func TestInstrumentLeavesSourceUntouched(t *testing.T) {
+	prog := parallelCorpus(t)[1]
+	an := sti.Analyze(prog)
+	before := prog.String()
+
+	mechs := append(append([]sti.Mechanism{}, sti.Mechanisms...), sti.Adaptive)
+	want := make([]string, len(mechs))
+	for i, mech := range mechs {
+		out, _, err := rsti.Instrument(prog, an, mech)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		want[i] = out.String()
+	}
+	if prog.String() != before {
+		t.Fatal("serial instrumentation mutated the source program")
+	}
+
+	// All mechanisms at once, several rounds: same outputs, same source.
+	var wg sync.WaitGroup
+	got := make([][]string, 4)
+	for round := range got {
+		got[round] = make([]string, len(mechs))
+		for i, mech := range mechs {
+			wg.Add(1)
+			go func(round, i int, mech sti.Mechanism) {
+				defer wg.Done()
+				out, _, err := rsti.Instrument(prog, an, mech)
+				if err != nil {
+					t.Errorf("round %d %s: %v", round, mech, err)
+					return
+				}
+				got[round][i] = out.String()
+			}(round, i, mech)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for round := range got {
+		for i := range mechs {
+			if got[round][i] != want[i] {
+				t.Fatalf("round %d %s: concurrent output differs from serial", round, mechs[i])
+			}
+		}
+	}
+	if prog.String() != before {
+		t.Fatal("concurrent instrumentation mutated the source program")
+	}
+}

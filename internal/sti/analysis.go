@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rsti/internal/ctypes"
 	"rsti/internal/mir"
@@ -24,10 +25,18 @@ type RSTIType struct {
 	// Members: the variables and fields protected by this RSTI-type.
 	Vars   []int
 	Fields []FieldKey
+
+	// key caches the canonical identity string (set at intern time);
+	// modifier derivation hashes it on every instrumented site, so
+	// rebuilding it with Sprintf each call was a compile-path hot spot.
+	key string
 }
 
 // Key is the canonical identity string the type was interned under.
 func (rt *RSTIType) Key() string {
+	if rt.key != "" {
+		return rt.key
+	}
 	if rt.Escaped {
 		return fmt.Sprintf("esc|%s|%s", rt.Type.Key(), rt.Perm)
 	}
@@ -88,6 +97,26 @@ type Analysis struct {
 	byKey   map[string]*RSTIType
 	escaped map[string]*RSTIType
 	parent  []int // STC union-find over Types
+
+	// mu guards the lazily mutated state (Types/byKey/escaped growth via
+	// EscapedType interning, union-find path compression, the memo maps
+	// below) so one Analysis can serve concurrent per-function and
+	// per-mechanism instrumentation. Analyze itself runs single-threaded
+	// and uses the unlocked internals.
+	mu sync.Mutex
+
+	// escByTy short-circuits escapedType per program type pointer,
+	// skipping the strip/rebuild/Sprintf probe on the hit path; modCache
+	// memoizes modifier derivation (a key-string hash) per (type,
+	// mechanism). Both are deterministic functions of their keys, so
+	// memoization cannot change any reported number.
+	escByTy  map[*ctypes.Type]*RSTIType
+	modCache map[modCacheKey]uint64
+}
+
+type modCacheKey struct {
+	rtID int
+	mech Mechanism
 }
 
 // Analyze runs the full STI analysis over a lowered program.
@@ -352,6 +381,7 @@ func (a *Analysis) intern(ty *ctypes.Type, scope []string, perm Permission, esca
 	if got, ok := a.byKey[k]; ok {
 		return got
 	}
+	rt.key = k
 	rt.ID = len(a.Types)
 	a.Types = append(a.Types, rt)
 	a.byKey[k] = rt
@@ -362,9 +392,24 @@ func (a *Analysis) intern(ty *ctypes.Type, scope []string, perm Permission, esca
 }
 
 // EscapedType interns (or returns) the escaped RSTI-type for a pointer
-// type: what anonymous storage of that type is protected with.
+// type: what anonymous storage of that type is protected with. Safe for
+// concurrent use after Analyze.
 func (a *Analysis) EscapedType(ty *ctypes.Type) *RSTIType {
-	return a.intern(stripConstDeep(ty), nil, PermOf(ty), true)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.escapedType(ty)
+}
+
+func (a *Analysis) escapedType(ty *ctypes.Type) *RSTIType {
+	if rt, ok := a.escByTy[ty]; ok {
+		return rt
+	}
+	rt := a.intern(stripConstDeep(ty), nil, PermOf(ty), true)
+	if a.escByTy == nil {
+		a.escByTy = make(map[*ctypes.Type]*RSTIType)
+	}
+	a.escByTy[ty] = rt
+	return rt
 }
 
 func (a *Analysis) internTypes(scopes [][]string) {
@@ -687,9 +732,12 @@ func (a *Analysis) union(x, y int) {
 }
 
 // ClassOf returns the enforcement class ID of an RSTI-type under the
-// mechanism: the merged root for STC, the type itself otherwise.
+// mechanism: the merged root for STC, the type itself otherwise. Safe for
+// concurrent use after Analyze.
 func (a *Analysis) ClassOf(rtID int, mech Mechanism) int {
 	if mech == STC {
+		a.mu.Lock()
+		defer a.mu.Unlock()
 		return a.find(rtID)
 	}
 	return rtID

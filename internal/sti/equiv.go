@@ -22,7 +22,10 @@ type EquivStats struct {
 }
 
 // Equivalence computes the Table 3 statistics for the analyzed program.
+// Safe for concurrent use after Analyze.
 func (a *Analysis) Equivalence() EquivStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var st EquivStats
 
 	basicTypes := make(map[string]bool)

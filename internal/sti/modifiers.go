@@ -22,18 +22,35 @@ func hash64(s string) uint64 {
 
 // Modifier returns the 64-bit PAC modifier for an RSTI-type under the
 // given mechanism. For STL this is the static half; the VM XORs in the
-// pointer's location (&p) at runtime (Figure 5c's "M = M ^ &p").
+// pointer's location (&p) at runtime (Figure 5c's "M = M ^ &p"). Safe for
+// concurrent use after Analyze.
 func (a *Analysis) Modifier(rtID int, mech Mechanism) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.modifier(rtID, mech)
+}
+
+func (a *Analysis) modifier(rtID int, mech Mechanism) uint64 {
+	ck := modCacheKey{rtID, mech}
+	if m, ok := a.modCache[ck]; ok {
+		return m
+	}
+	var m uint64
 	switch mech {
 	case PARTS:
 		// PARTS derives its modifier from the pointer's element type
 		// alone (the LLVM ElementType), discarding scope and permission.
-		return PARTSModifier(a.Types[rtID].Type)
+		m = PARTSModifier(a.Types[rtID].Type)
 	case STC:
-		return hash64("stc|" + a.Types[a.find(rtID)].Key())
+		m = hash64("stc|" + a.Types[a.find(rtID)].Key())
 	default:
-		return hash64("rsti|" + a.Types[rtID].Key())
+		m = hash64("rsti|" + a.Types[rtID].Key())
 	}
+	if a.modCache == nil {
+		a.modCache = make(map[modCacheKey]uint64)
+	}
+	a.modCache[ck] = m
+	return m
 }
 
 // PARTSModifier is the baseline's type-only modifier.
@@ -57,8 +74,15 @@ func stripConstDeep(t *ctypes.Type) *ctypes.Type {
 
 // SlotRT resolves the RSTI-type protecting a memory slot: the variable's
 // or field's interned triple for named slots, the escaped type for
-// anonymous storage. ok is false when the slot holds a non-pointer.
+// anonymous storage. ok is false when the slot holds a non-pointer. Safe
+// for concurrent use after Analyze.
 func (a *Analysis) SlotRT(slot mir.Slot, ty *ctypes.Type) (*RSTIType, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.slotRT(slot, ty)
+}
+
+func (a *Analysis) slotRT(slot mir.Slot, ty *ctypes.Type) (*RSTIType, bool) {
 	if ty == nil || !ty.IsPointer() {
 		return nil, false
 	}
@@ -69,15 +93,15 @@ func (a *Analysis) SlotRT(slot mir.Slot, ty *ctypes.Type) (*RSTIType, bool) {
 		}
 		// A pointer store to a var without an interned RT cannot happen
 		// after internTypes, but stay defensive.
-		return a.EscapedType(ty), true
+		return a.escapedType(ty), true
 	case mir.SlotField:
 		fk := FieldKey{slot.Struct.Name, slot.Field}
 		if id, ok := a.FieldRT[fk]; ok {
 			return a.Types[id], true
 		}
-		return a.EscapedType(ty), true
+		return a.escapedType(ty), true
 	default:
-		return a.EscapedType(ty), true
+		return a.escapedType(ty), true
 	}
 }
 
@@ -85,18 +109,31 @@ func (a *Analysis) SlotRT(slot mir.Slot, ty *ctypes.Type) (*RSTIType, bool) {
 // class ID plus static modifier for a slot access under a mechanism, and
 // whether the mechanism binds this slot's location into the modifier
 // (always for STL; for Adaptive, only when the class is large enough that
-// replay is a credible threat).
+// replay is a credible threat). Safe for concurrent use after Analyze.
 func (a *Analysis) SlotModifier(slot mir.Slot, ty *ctypes.Type, mech Mechanism) (classID int, mod uint64, useLoc, ok bool) {
-	rt, ok := a.SlotRT(slot, ty)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rt, ok := a.slotRT(slot, ty)
 	if !ok {
 		return 0, 0, false, false
 	}
-	return a.ClassOf(rt.ID, mech), a.Modifier(rt.ID, mech), a.UsesLocation(rt.ID, mech), true
+	class := rt.ID
+	if mech == STC {
+		class = a.find(rt.ID)
+	}
+	return class, a.modifier(rt.ID, mech), a.usesLocation(rt.ID, mech), true
 }
 
 // UsesLocation reports whether slots of this RSTI-type bind their address
-// into the modifier under the mechanism.
+// into the modifier under the mechanism. Safe for concurrent use after
+// Analyze.
 func (a *Analysis) UsesLocation(rtID int, mech Mechanism) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usesLocation(rtID, mech)
+}
+
+func (a *Analysis) usesLocation(rtID int, mech Mechanism) bool {
 	switch mech {
 	case STL:
 		return true
@@ -123,8 +160,10 @@ func (a *Analysis) CEOf(feInner *ctypes.Type) (uint16, bool) {
 
 // FEModifierFor computes the modifier stored in the pointer-to-pointer
 // metadata table for a CE under the given mechanism: the escaped
-// RSTI-type modifier of the original inner pointer type.
+// RSTI-type modifier of the original inner pointer type. Safe for
+// concurrent use after Analyze.
 func (a *Analysis) FEModifierFor(feInner *ctypes.Type, mech Mechanism) uint64 {
-	rt := a.EscapedType(feInner)
-	return a.Modifier(rt.ID, mech)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.modifier(a.escapedType(feInner).ID, mech)
 }

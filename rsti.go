@@ -34,6 +34,7 @@ import (
 	"io"
 	"time"
 
+	"rsti/internal/compilecache"
 	"rsti/internal/core"
 	"rsti/internal/rsti"
 	"rsti/internal/sti"
@@ -74,14 +75,84 @@ type Program struct {
 	c *core.Compilation
 }
 
+// CacheConfig bounds a compilation Cache: MaxEntries caps stored
+// compilations, MaxBytes caps their estimated retained size. Zero fields
+// take the package defaults (256 entries / 64 MiB); negative means
+// unlimited.
+type CacheConfig = compilecache.Config
+
+// CacheStats is a snapshot of a Cache's hit/miss/eviction counters and
+// current footprint.
+type CacheStats = compilecache.Stats
+
+// Cache is a shared, content-addressed compilation cache. Compilation is
+// deterministic, so programs with identical source text share one
+// compiled representation; concurrent Compile calls for the same source
+// run the frontend once and everyone waits for that result. The cache is
+// LRU-bounded by entry count and estimated bytes. Safe for concurrent
+// use.
+type Cache struct {
+	c *compilecache.Cache
+}
+
+// NewCache returns an empty compilation cache bounded by cfg.
+func NewCache(cfg CacheConfig) *Cache {
+	return &Cache{c: compilecache.New(cfg)}
+}
+
+// Stats returns the cache's effectiveness counters.
+func (c *Cache) Stats() CacheStats { return c.c.Stats() }
+
+// CompileOption configures Compile.
+type CompileOption func(*compileConfig)
+
+type compileConfig struct {
+	cache *Cache
+}
+
+// WithCache makes Compile consult (and populate) the given cache: a
+// source already compiled through the same cache is returned without
+// re-running the pipeline. Programs handed out by a cached Compile share
+// their underlying compilation — safe, since a Program is immutable and
+// its per-mechanism builds are built exactly once regardless of how many
+// holders race.
+func WithCache(c *Cache) CompileOption {
+	return func(cfg *compileConfig) { cfg.cache = c }
+}
+
 // Compile parses, checks, lowers, and analyzes a program written in the
 // supported C subset (see package internal/cminor for the exact grammar).
-func Compile(src string) (*Program, error) {
-	c, err := core.Compile(src)
+func Compile(src string, opts ...CompileOption) (*Program, error) {
+	var cfg compileConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var (
+		c   *core.Compilation
+		err error
+	)
+	if cfg.cache != nil {
+		c, err = cfg.cache.c.Get(src)
+	} else {
+		c, err = core.Compile(src)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Program{c: c}, nil
+}
+
+// Prewarm instruments the program under every given mechanism (all of
+// them when none are named), building distinct mechanisms concurrently.
+// A long-lived service calls this once after Compile so first requests
+// never pay instrumentation latency; it is never required — Run builds
+// lazily.
+func (p *Program) Prewarm(mechs ...Mechanism) error {
+	if len(mechs) == 0 {
+		mechs = Mechanisms
+	}
+	_, err := p.c.BuildAll(mechs)
+	return err
 }
 
 // Analysis exposes the STI analysis results: RSTI-types, scopes,

@@ -151,3 +151,46 @@ func TestPublicAPIWithExtern(t *testing.T) {
 		t.Errorf("exit = %d", res.Exit)
 	}
 }
+
+func TestPublicAPICompileCache(t *testing.T) {
+	cache := rsti.NewCache(rsti.CacheConfig{})
+	first, err := rsti.Compile(demoSrc, rsti.WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := rsti.Compile(demoSrc, rsti.WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Analysis() != again.Analysis() {
+		t.Error("cached Compile did not share the compilation")
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	// Cached programs still run under every mechanism.
+	res, err := again.Run(rsti.STL)
+	if err != nil || res.Err != nil {
+		t.Fatalf("cached program run: %v %v", err, res.Err)
+	}
+	if res.Exit != 7 {
+		t.Errorf("exit = %d, want 7", res.Exit)
+	}
+}
+
+func TestPublicAPIPrewarm(t *testing.T) {
+	p, err := rsti.Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Prewarm(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range rsti.Mechanisms {
+		res, err := p.Run(mech)
+		if err != nil || res.Err != nil {
+			t.Fatalf("%s after Prewarm: %v %v", mech, err, res.Err)
+		}
+	}
+}
