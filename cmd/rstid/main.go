@@ -11,14 +11,14 @@
 //	POST /v1/compile  {"source": "..."}
 //	    → {"program": "<sha256>", "cached": bool, "equivalence": {...}}
 //	POST /v1/run      {"program": "<sha256>" | "source": "...",
-//	                   "mechanism": "rsti-stwc",
+//	                   "mechanism": "rsti-stwc", "optimizer": "on"|"off",
 //	                   "timeout_ms": 0, "step_budget": 0, "max_output_bytes": 0}
 //	    → {"exit", "cycles", "instrs", "output", "detected", "trap", ...}
 //	POST /v1/attack   {"scenario": "<Table 1 name>", "mechanism": "...",
 //	                   "benign": bool}
 //	    → {"detected", "succeeded", "exit", ...}
 //	GET  /v1/attacks  → the Table 1 scenario catalogue
-//	GET  /metrics     → engine counters (JSON)
+//	GET  /metrics     → engine + compile-cache + per-mechanism PAC-op counters (JSON)
 //	GET  /healthz     → liveness
 //
 // Execution outcomes (traps, budget exhaustion, deadline) are reported
@@ -74,6 +74,57 @@ type server struct {
 	order    []string // insertion order for FIFO eviction
 
 	scenarios map[string]*attack.Scenario
+
+	// pacMu guards the per-mechanism dynamic PAC-op accumulators served
+	// under /metrics: every completed run adds its executed sign/auth/strip
+	// counts and fused-dispatch counts for its mechanism.
+	pacMu  sync.Mutex
+	pacOps map[string]*pacOpMetrics
+}
+
+// pacOpMetrics accumulates the dynamic PA-instruction counters of every
+// run served under one mechanism, including the superinstruction
+// dispatches (fused pairs execute the same modelled ops; the fused
+// counters measure how many dispatches the host saved).
+type pacOpMetrics struct {
+	Runs            int64 `json:"runs"`
+	PacSigns        int64 `json:"pac_signs"`
+	PacAuths        int64 `json:"pac_auths"`
+	PacStrips       int64 `json:"pac_strips"`
+	FusedAuthLoads  int64 `json:"fused_auth_loads"`
+	FusedSignStores int64 `json:"fused_sign_stores"`
+}
+
+// recordPACOps folds one run's executed PAC-op counters into the
+// mechanism's accumulator.
+func (s *server) recordPACOps(mech sti.Mechanism, res *core.RunResult) {
+	if res == nil {
+		return
+	}
+	s.pacMu.Lock()
+	defer s.pacMu.Unlock()
+	m := s.pacOps[mech.String()]
+	if m == nil {
+		m = &pacOpMetrics{}
+		s.pacOps[mech.String()] = m
+	}
+	m.Runs++
+	m.PacSigns += res.Stats.PacSigns
+	m.PacAuths += res.Stats.PacAuths
+	m.PacStrips += res.Stats.PacStrips
+	m.FusedAuthLoads += res.Stats.FusedAuthLoads
+	m.FusedSignStores += res.Stats.FusedSignStores
+}
+
+// pacOpsSnapshot copies the accumulators for /metrics.
+func (s *server) pacOpsSnapshot() map[string]pacOpMetrics {
+	s.pacMu.Lock()
+	defer s.pacMu.Unlock()
+	out := make(map[string]pacOpMetrics, len(s.pacOps))
+	for k, v := range s.pacOps {
+		out[k] = *v
+	}
+	return out
 }
 
 func newServer(workers, queue int) *server {
@@ -83,6 +134,7 @@ func newServer(workers, queue int) *server {
 		mux:       http.NewServeMux(),
 		programs:  make(map[string]*core.Compilation),
 		scenarios: make(map[string]*attack.Scenario),
+		pacOps:    make(map[string]*pacOpMetrics),
 	}
 	for _, sc := range attack.Scenarios() {
 		s.scenarios[sc.Name] = sc
@@ -213,8 +265,26 @@ type runRequest struct {
 	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
 	StepBudget     int64  `json:"step_budget,omitempty"`
 	MaxOutputBytes int    `json:"max_output_bytes,omitempty"`
+	// Optimizer selects the build flavour: "on", "off", or "" for the
+	// process default (RSTI_OPT). Optimized and unoptimized builds are
+	// cached independently, so flipping this per request is cheap.
+	Optimizer string `json:"optimizer,omitempty"`
 	// NoWait sheds load instead of queueing: a full queue answers 429.
 	NoWait bool `json:"no_wait,omitempty"`
+}
+
+// parseOptimizer maps the wire field onto a build mode.
+func parseOptimizer(w http.ResponseWriter, name string) (core.OptimizeMode, bool) {
+	switch name {
+	case "":
+		return core.OptimizeDefault, true
+	case "on":
+		return core.OptimizeOn, true
+	case "off":
+		return core.OptimizeOff, true
+	}
+	httpError(w, http.StatusBadRequest, "unknown optimizer mode %q (want on, off, or empty)", name)
+	return core.OptimizeDefault, false
 }
 
 // trapJSON is the wire form of a machine trap.
@@ -297,6 +367,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request, key string, job 
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.recordPACOps(job.Mech, res)
 	out := runResponse{
 		Program:         key,
 		Mechanism:       job.Mech.String(),
@@ -331,10 +402,15 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	optMode, ok := parseOptimizer(w, req.Optimizer)
+	if !ok {
+		return
+	}
 	cfg := core.RunConfig{
 		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
 		StepBudget:     req.StepBudget,
 		MaxOutputBytes: req.MaxOutputBytes,
+		Optimize:       optMode,
 	}
 	s.submit(w, r, key, engine.Job{Comp: c, Mech: mech, Cfg: cfg}, req.NoWait)
 }
@@ -392,6 +468,7 @@ func (s *server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.recordPACOps(mech, res)
 	out := attackResponse{
 		Scenario:  sc.Name,
 		Mechanism: mech.String(),
@@ -436,13 +513,15 @@ func (s *server) handleAttackList(w http.ResponseWriter, _ *http.Request) {
 // own key.
 type metricsResponse struct {
 	engine.Stats
-	CompileCache compilecache.Stats `json:"compile_cache"`
+	CompileCache compilecache.Stats      `json:"compile_cache"`
+	PACOps       map[string]pacOpMetrics `json:"pac_ops"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Stats:        s.eng.Stats(),
 		CompileCache: s.cache.Stats(),
+		PACOps:       s.pacOpsSnapshot(),
 	})
 }
 

@@ -168,8 +168,21 @@ func TestAttackEndpoints(t *testing.T) {
 func TestMetricsAndHealth(t *testing.T) {
 	ts, _ := startServer(t)
 
-	for i := 0; i < 3; i++ {
-		post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc, Mechanism: "rsti-stc"}, nil)
+	// Mix optimizer modes so the PAC-op block sees both unfused and fused
+	// dispatch counters under one mechanism.
+	for i, opt := range []string{"off", "on", ""} {
+		var run runResponse
+		if code := post(t, ts.URL+"/v1/run",
+			runRequest{Source: victimSrc, Mechanism: "rsti-stc", Optimizer: opt}, &run); code != 200 {
+			t.Fatalf("run %d (optimizer %q): status %d", i, opt, code)
+		}
+		if run.Exit != 7 {
+			t.Fatalf("run %d (optimizer %q): %+v", i, opt, run)
+		}
+	}
+	if code := post(t, ts.URL+"/v1/run",
+		runRequest{Source: victimSrc, Mechanism: "rsti-stc", Optimizer: "fast"}, nil); code != 400 {
+		t.Errorf("bad optimizer mode: status %d, want 400", code)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -192,6 +205,23 @@ func TestMetricsAndHealth(t *testing.T) {
 	// the cache), one retained entry.
 	if cc["misses"].(float64) != 1 || cc["entries"].(float64) != 1 {
 		t.Errorf("compile_cache counters: %v", cc)
+	}
+	pac, ok := m["pac_ops"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing pac_ops: %v", m)
+	}
+	stc, ok := pac["rsti-stc"].(map[string]any)
+	if !ok {
+		t.Fatalf("pac_ops missing rsti-stc: %v", pac)
+	}
+	if stc["runs"].(float64) != 3 || stc["pac_signs"].(float64) == 0 || stc["pac_auths"].(float64) == 0 {
+		t.Errorf("pac_ops[rsti-stc]: %v", stc)
+	}
+	// Predecode fuses adjacent aut+load / pac+store pairs in every build
+	// flavour, and the victim's hot loop dereferences a protected pointer,
+	// so fused dispatches must have accumulated.
+	if stc["fused_auth_loads"].(float64)+stc["fused_sign_stores"].(float64) == 0 {
+		t.Errorf("no fused dispatches recorded: %v", stc)
 	}
 
 	h, err := http.Get(ts.URL + "/healthz")

@@ -44,12 +44,23 @@ func run(args []string) int {
 		budget   = fs.Int64("budget", 0, "per-run step budget (0 = default)")
 		replay   = fs.Bool("replay", false, "re-check the committed seeds in <corpus>/seeds.txt")
 		verbose  = fs.Bool("v", false, "log every seed")
+		optmode  = fs.String("optimizer", "inherit", "optimizer mode for all phases: inherit, on or off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	opt := difftest.Options{Attacks: *attacks, EngineWorkers: *workers, StepBudget: *budget}
+	switch *optmode {
+	case "inherit":
+	case "on":
+		opt.Optimizer = difftest.OptimizerOn
+	case "off":
+		opt.Optimizer = difftest.OptimizerOff
+	default:
+		fmt.Fprintf(os.Stderr, "rstifuzz: unknown -optimizer mode %q\n", *optmode)
+		return 2
+	}
 	var seeds []uint64
 	if *replay {
 		var err error

@@ -8,6 +8,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"rsti/internal/cminor"
 	"rsti/internal/lower"
 	"rsti/internal/mir"
+	"rsti/internal/opt"
 	"rsti/internal/rsti"
 	"rsti/internal/sti"
 	"rsti/internal/vm"
@@ -34,9 +37,22 @@ type Compilation struct {
 	Analysis *sti.Analysis
 
 	mu     sync.Mutex // guards the builds map, not the builds themselves
-	builds map[sti.Mechanism]*buildCell
+	builds map[buildKey]*buildCell
+
+	// The optimizer's elidable-variable set is a property of the program,
+	// not of any mechanism; compute it once and share it across every
+	// optimized build.
+	elideOnce sync.Once
+	elide     []bool
 
 	instrumentCalls atomic.Int64
+}
+
+// buildKey identifies one cached build: the mechanism plus whether the
+// PAC elision optimizer processed it.
+type buildKey struct {
+	mech      sti.Mechanism
+	optimized bool
 }
 
 // buildCell is one mechanism's once-initialized build. Instrumentation is
@@ -53,6 +69,67 @@ type Build struct {
 	Mechanism sti.Mechanism
 	Prog      *mir.Program
 	Stats     *rsti.Stats
+
+	// Optimized reports that the PAC elision optimizer processed this
+	// build; OptStats then holds what it removed (nil otherwise).
+	Optimized bool
+	OptStats  *opt.Stats
+
+	// img is the shared predecoded execution image, built once on first
+	// use: every Program.Run caller and engine worker executing this
+	// build dispatches from the same predecode.
+	imgOnce sync.Once
+	img     *vm.Image
+}
+
+// Image returns the build's shared execution image, predecoding on first
+// call. Concurrent callers coalesce on the once-cell, mirroring the
+// build coalescing one level up.
+func (b *Build) Image() *vm.Image {
+	b.imgOnce.Do(func() { b.img = vm.NewImage(b.Prog) })
+	return b.img
+}
+
+// OptimizeMode selects whether a run executes the optimizer-processed
+// build. The zero value defers to DefaultOptimize (the RSTI_OPT
+// environment toggle), so existing callers keep their behaviour and CI
+// can flip whole test binaries.
+type OptimizeMode uint8
+
+const (
+	OptimizeDefault OptimizeMode = iota // follow DefaultOptimize()
+	OptimizeOn
+	OptimizeOff
+)
+
+// Enabled resolves the mode against the process default.
+func (m OptimizeMode) Enabled() bool {
+	switch m {
+	case OptimizeOn:
+		return true
+	case OptimizeOff:
+		return false
+	}
+	return DefaultOptimize()
+}
+
+var (
+	defaultOptOnce sync.Once
+	defaultOpt     bool
+)
+
+// DefaultOptimize reports the process-wide optimizer default, read once
+// from the RSTI_OPT environment variable ("1", "on", "true" or "yes"
+// enable it). Unset or anything else means off — the pinned golden
+// numbers are measured on unoptimized builds.
+func DefaultOptimize() bool {
+	defaultOptOnce.Do(func() {
+		switch strings.ToLower(os.Getenv("RSTI_OPT")) {
+		case "1", "on", "true", "yes":
+			defaultOpt = true
+		}
+	})
+	return defaultOpt
 }
 
 // Compile runs the frontend, lowering and STI analysis. Frontend failures
@@ -73,39 +150,78 @@ func Compile(src string) (*Compilation, error) {
 		File:     f,
 		Prog:     prog,
 		Analysis: sti.Analyze(prog),
-		builds:   make(map[sti.Mechanism]*buildCell),
+		builds:   make(map[buildKey]*buildCell),
 	}, nil
 }
 
-// cell returns the mechanism's once-cell, creating it on first request.
-func (c *Compilation) cell(mech sti.Mechanism) *buildCell {
+// elideSet returns the program's elidable-variable set, computed once.
+func (c *Compilation) elideSet() []bool {
+	c.elideOnce.Do(func() { c.elide = opt.ElidableVars(c.Prog, c.Analysis) })
+	return c.elide
+}
+
+// cell returns the build key's once-cell, creating it on first request.
+func (c *Compilation) cell(k buildKey) *buildCell {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.builds == nil {
-		c.builds = make(map[sti.Mechanism]*buildCell)
+		c.builds = make(map[buildKey]*buildCell)
 	}
-	cl, ok := c.builds[mech]
+	cl, ok := c.builds[k]
 	if !ok {
 		cl = &buildCell{}
-		c.builds[mech] = cl
+		c.builds[k] = cl
 	}
 	return cl
 }
 
-// Build instruments the program under the given mechanism, exactly once
-// per mechanism no matter how many goroutines race here. Concurrent calls
-// for the same mechanism coalesce on its once-cell; calls for different
-// mechanisms never block each other.
+// Build instruments the program under the given mechanism without the
+// optimizer, exactly once per mechanism no matter how many goroutines
+// race here; see BuildMode.
 func (c *Compilation) Build(mech sti.Mechanism) (*Build, error) {
-	cl := c.cell(mech)
+	return c.BuildMode(mech, false)
+}
+
+// BuildMode instruments the program under the given mechanism, exactly
+// once per (mechanism, optimized) pair no matter how many goroutines race
+// here. Concurrent calls for the same key coalesce on its once-cell;
+// calls for different keys never block each other. An optimized build
+// applies the PAC elision set during instrumentation and the
+// redundant-authentication pass after it. The baseline (sti.None) has no
+// PAC traffic, so its optimized build is the unoptimized one.
+func (c *Compilation) BuildMode(mech sti.Mechanism, optimized bool) (*Build, error) {
+	if mech == sti.None {
+		optimized = false
+	}
+	cl := c.cell(buildKey{mech: mech, optimized: optimized})
 	cl.once.Do(func() {
 		c.instrumentCalls.Add(1)
-		prog, stats, err := rsti.Instrument(c.Prog, c.Analysis, mech)
+		opts := rsti.Options{}
+		if optimized {
+			// The base candidate set is mechanism-independent; the coupling
+			// refinement drops candidates whose elision would insert
+			// boundary sign/auth ops under this mechanism's class merging.
+			opts.Elide = opt.RefineElide(c.Prog, c.Analysis, c.elideSet(), mech)
+		}
+		prog, stats, err := rsti.InstrumentWithOptions(c.Prog, c.Analysis, mech, opts)
 		if err != nil {
 			cl.err = err
 			return
 		}
-		cl.b = &Build{Mechanism: mech, Prog: prog, Stats: stats}
+		b := &Build{Mechanism: mech, Prog: prog, Stats: stats, Optimized: optimized}
+		if optimized {
+			b.OptStats = opt.Optimize(prog, mech)
+			for _, e := range opts.Elide {
+				if e {
+					b.OptStats.ElidableVars++
+				}
+			}
+			if err := prog.Verify(); err != nil {
+				cl.err = fmt.Errorf("opt: optimized program fails verification: %w", err)
+				return
+			}
+		}
+		cl.b = b
 	})
 	return cl.b, cl.err
 }
@@ -197,6 +313,10 @@ type RunConfig struct {
 	// Worker, when non-nil, lends the run an engine worker's reusable
 	// machine state (see vm.WorkerState). Engine-internal.
 	Worker *vm.WorkerState
+
+	// Optimize selects whether the run executes the PAC-elision-optimized
+	// build. The zero value follows the process default (RSTI_OPT).
+	Optimize OptimizeMode
 }
 
 // PARTSPACCost is the per-instruction cycle charge for the PARTS
@@ -220,7 +340,7 @@ func (c *Compilation) Run(mech sti.Mechanism, cfg RunConfig) (*RunResult, error)
 // the context's error. Compile/instrumentation failures (not execution
 // outcomes) are returned as RunContext's own error.
 func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg RunConfig) (*RunResult, error) {
-	b, err := c.Build(mech)
+	b, err := c.BuildMode(mech, cfg.Optimize.Enabled())
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +370,7 @@ func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg Ru
 		cfg.Options.Output = sink
 	}
 	cfg.Options.Worker = cfg.Worker
+	cfg.Options.Image = b.Image()
 	m := vm.New(b.Prog, cfg.Options)
 	m.SetContext(ctx)
 	for id, h := range cfg.Hooks {

@@ -20,6 +20,38 @@ type Options struct {
 	// EngineWorkers sizes the engine pool the cross-mechanism runs are
 	// re-executed on. Zero disables the engine cross-check.
 	EngineWorkers int
+	// Optimizer forces the PAC elision optimizer on or off for every
+	// phase (benign, engine, attacks). The zero value inherits the
+	// process default (RSTI_OPT). Independent of this, Check always runs
+	// the dedicated optimizer phase comparing forced-on against
+	// forced-off benign executions.
+	Optimizer OptimizerMode
+}
+
+// OptimizerMode selects the optimizer configuration the oracle's phases
+// run under.
+type OptimizerMode uint8
+
+const (
+	// OptimizerInherit follows the process default (RSTI_OPT).
+	OptimizerInherit OptimizerMode = iota
+	// OptimizerOn forces the optimized build in every phase — the
+	// configuration the optimizer soak uses so the full attack matrix is
+	// exercised against optimized programs.
+	OptimizerOn
+	// OptimizerOff forces unoptimized builds.
+	OptimizerOff
+)
+
+// modeOpts translates the mode into run options (nil for inherit).
+func (o Options) modeOpts() []rsti.RunOption {
+	switch o.Optimizer {
+	case OptimizerOn:
+		return []rsti.RunOption{rsti.WithOptimizer(true)}
+	case OptimizerOff:
+		return []rsti.RunOption{rsti.WithOptimizer(false)}
+	}
+	return nil
 }
 
 // DefaultStepBudget bounds one generated-program run. The largest
@@ -32,7 +64,7 @@ const DefaultStepBudget = 4 << 20
 // pipeline's semantics forbid.
 type Divergence struct {
 	Seed      uint64
-	Phase     string // "compile", "benign", "engine", "attack:<variant>"
+	Phase     string // "compile", "benign", "engine", "optimizer", "attack:<variant>"
 	Mechanism string
 	Detail    string
 }
@@ -113,6 +145,10 @@ var engineMechs = []rsti.Mechanism{rsti.None, rsti.STWC, rsti.STC, rsti.STL}
 // attackMechs are the mechanisms each corruption variant runs under.
 var attackMechs = []rsti.Mechanism{rsti.None, rsti.PARTS, rsti.STWC, rsti.STC, rsti.STL, rsti.Adaptive}
 
+// optimizerMechs are the protected mechanisms whose optimized builds are
+// checked for observation-equivalence against their unoptimized twins.
+var optimizerMechs = []rsti.Mechanism{rsti.STWC, rsti.STC, rsti.STL, rsti.Adaptive}
+
 // Check generates cfg's program and runs the full differential oracle:
 //
 //  1. Benign equivalence — the program must exit cleanly with identical
@@ -120,7 +156,12 @@ var attackMechs = []rsti.Mechanism{rsti.None, rsti.PARTS, rsti.STWC, rsti.STC, r
 //  2. Engine equivalence — re-running each protection mode on the
 //     engine worker pool must reproduce the direct Program.Run outcome
 //     bit-for-bit (exit, output, trap, modelled cycle counts).
-//  3. Attack gradient — each injected corruption must be caught
+//  3. Optimizer equivalence — each protected mechanism's
+//     PAC-elision-optimized build must reproduce the unoptimized build's
+//     benign exit and output exactly, and may only ever execute fewer
+//     PAC ops, instructions and cycles. This phase always runs with both
+//     configurations forced, regardless of Options.Optimizer.
+//  4. Attack gradient — each injected corruption must be caught
 //     according to the mechanisms' guarantees, detection must be
 //     monotone in mechanism strictness (STC ⇒ STWC ⇒ Adaptive ⇒ STL,
 //     PARTS ⇒ STWC), the unprotected baseline must never security-trap,
@@ -146,11 +187,12 @@ func Check(cfg Config, opt Options) (*Report, error) {
 	}
 
 	budget := rsti.WithStepBudget(opt.StepBudget)
+	runOpts := append([]rsti.RunOption{budget}, opt.modeOpts()...)
 
 	// Phase 1: benign cross-mechanism equivalence.
 	direct := make(map[rsti.Mechanism]outcome, len(benignMechs))
 	for _, mech := range benignMechs {
-		res, err := p.Run(mech, budget)
+		res, err := p.Run(mech, runOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("benign %s: %w", mech, err)
 		}
@@ -173,7 +215,7 @@ func Check(cfg Config, opt Options) (*Report, error) {
 	if opt.EngineWorkers > 0 {
 		eng := rsti.NewEngine(p, rsti.EngineConfig{Workers: opt.EngineWorkers})
 		for _, mech := range engineMechs {
-			res, err := eng.Submit(context.Background(), mech, budget)
+			res, err := eng.Submit(context.Background(), mech, runOpts...)
 			if err != nil {
 				eng.Close()
 				return nil, fmt.Errorf("engine %s: %w", mech, err)
@@ -185,7 +227,39 @@ func Check(cfg Config, opt Options) (*Report, error) {
 		eng.Close()
 	}
 
-	// Phase 3: the attack gradient.
+	// Phase 3: optimizer equivalence — forced-on vs forced-off builds of
+	// every protected mechanism must be observation-equivalent on the
+	// benign run, and optimization must never add executed work.
+	for _, mech := range optimizerMechs {
+		off, err := p.Run(mech, budget, rsti.WithOptimizer(false))
+		if err != nil {
+			return nil, fmt.Errorf("optimizer off %s: %w", mech, err)
+		}
+		on, err := p.Run(mech, budget, rsti.WithOptimizer(true))
+		if err != nil {
+			return nil, fmt.Errorf("optimizer on %s: %w", mech, err)
+		}
+		oOff, oOn := outcomeOf(off), outcomeOf(on)
+		if !oOff.Clean || !oOn.Clean {
+			rep.add("optimizer", mech.String(), "benign run trapped: off=%s on=%s",
+				oOff.summary(), oOn.summary())
+			continue
+		}
+		if oOn.Exit != oOff.Exit || oOn.Output != oOff.Output {
+			rep.add("optimizer", mech.String(), "optimized build diverges: on=%s off=%s",
+				oOn.summary(), oOff.summary())
+		}
+		if on.Stats.PACOps() > off.Stats.PACOps() {
+			rep.add("optimizer", mech.String(), "optimizer increased PAC ops: %d > %d",
+				on.Stats.PACOps(), off.Stats.PACOps())
+		}
+		if oOn.Instrs > oOff.Instrs || oOn.Cycles > oOff.Cycles {
+			rep.add("optimizer", mech.String(), "optimizer increased work: instrs %d vs %d, cycles %d vs %d",
+				oOn.Instrs, oOff.Instrs, oOn.Cycles, oOff.Cycles)
+		}
+	}
+
+	// Phase 4: the attack gradient.
 	if opt.Attacks {
 		for _, v := range variants(cfg) {
 			checkAttack(rep, p, v, opt)
@@ -201,7 +275,8 @@ func checkAttack(rep *Report, p *rsti.Program, v attackVariant, opt Options) {
 	det := make(map[string]bool, len(attackMechs))
 	outs := make(map[string]outcome, len(attackMechs))
 	for _, mech := range attackMechs {
-		res, err := p.Run(mech, rsti.WithStepBudget(opt.StepBudget), rsti.WithHook(1, v.Hook))
+		runOpts := append([]rsti.RunOption{rsti.WithStepBudget(opt.StepBudget), rsti.WithHook(1, v.Hook)}, opt.modeOpts()...)
+		res, err := p.Run(mech, runOpts...)
 		if err != nil {
 			rep.add(phase, mech.String(), "infrastructure error: %v", err)
 			return

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// TestPredecodeSharedAcrossRunsAndWorkers pins the shared-image contract:
+// after a build's image is warm, any number of direct Program runs and
+// pooled engine submissions — across optimizer modes — execute without a
+// single additional predecode pass. Run under -race this also exercises
+// the immutability of the shared image from concurrent machines.
+func TestPredecodeSharedAcrossRunsAndWorkers(t *testing.T) {
+	c := compile(t, quickSrc)
+	mechs := []sti.Mechanism{sti.STWC, sti.STL}
+	modes := []core.OptimizeMode{core.OptimizeOff, core.OptimizeOn}
+
+	// Warm-up: one image per (mechanism, optimized) build.
+	for _, mech := range mechs {
+		for _, mode := range modes {
+			if _, err := c.Run(mech, core.RunConfig{Optimize: mode}); err != nil {
+				t.Fatalf("warm-up %s: %v", mech, err)
+			}
+		}
+	}
+
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	base := vm.PredecodeCount()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				mech := mechs[(g+r)%len(mechs)]
+				cfg := core.RunConfig{Optimize: modes[r%len(modes)]}
+				var err error
+				if g%2 == 0 {
+					_, err = c.Run(mech, cfg)
+				} else {
+					_, err = e.Submit(context.Background(), Job{Comp: c, Mech: mech, Cfg: cfg})
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := vm.PredecodeCount(); got != base {
+		t.Errorf("%d extra predecode passes after warm-up; runs must share the build image", got-base)
+	}
+}

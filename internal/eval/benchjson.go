@@ -64,6 +64,16 @@ type BenchRecord struct {
 	Build3SerialNsPerOp     float64 `json:"build3_serial_ns_per_op,omitempty"`
 	Build3ParallelNsPerOp   float64 `json:"build3_parallel_ns_per_op,omitempty"`
 
+	// PAC elision and superinstruction fusion: per-mechanism dynamic
+	// PAC-op reduction (percent) from the safety-preserving elision pass
+	// on the Table 3-sized trajectory program, plus the PAC-dense
+	// microbenchmark's modelled-instruction throughput on the fused
+	// dispatch path and the share of its modelled instructions retired
+	// through fused sign/store · auth/load dispatches.
+	PACOpsElidedPct      map[string]float64 `json:"pac_ops_elided_pct,omitempty"`
+	PACDenseInstrsPerSec float64            `json:"pac_dense_instrs_per_sec,omitempty"`
+	PACDenseFusedShare   float64            `json:"pac_dense_fused_share,omitempty"`
+
 	// Modelled invariants: host optimization must never move these.
 	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
 	GoldenCycles      map[string]int64   `json:"golden_cycles"`
@@ -213,7 +223,9 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 			return nil, err
 		}
 		for _, mech := range []sti.Mechanism{sti.None, sti.STWC, sti.STC, sti.STL} {
-			res, err := c.Run(mech, core.RunConfig{})
+			// Golden cycles are pinned on unoptimized builds; keep the
+			// recorded invariant independent of the RSTI_OPT process default.
+			res, err := c.Run(mech, core.RunConfig{Optimize: core.OptimizeOff})
 			if err != nil {
 				return nil, err
 			}
@@ -224,6 +236,60 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 			if b.Suite == "SPEC2017" && mech == sti.STL {
 				rec.PACCacheHitRate = res.Stats.PACCacheHitRate()
 			}
+		}
+	}
+
+	// PAC elision effectiveness on the Table 3-sized trajectory program:
+	// the dynamic PAC-op reduction per mechanism with the optimizer on
+	// versus off, benign behaviour verified identical as a side condition.
+	rec.PACOpsElidedPct = make(map[string]float64)
+	elisionComp, err := core.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, mech := range []sti.Mechanism{sti.STWC, sti.STC, sti.STL, sti.Adaptive} {
+		off, err := elisionComp.Run(mech, core.RunConfig{Optimize: core.OptimizeOff})
+		if err != nil {
+			return nil, err
+		}
+		on, err := elisionComp.Run(mech, core.RunConfig{Optimize: core.OptimizeOn})
+		if err != nil {
+			return nil, err
+		}
+		if off.Err != nil || on.Err != nil || on.Exit != off.Exit || on.Output != off.Output {
+			return nil, fmt.Errorf("elision measurement under %s: optimized run diverged", mech)
+		}
+		if off.Stats.PACOps() > 0 {
+			rec.PACOpsElidedPct[mech.String()] =
+				100 * (1 - float64(on.Stats.PACOps())/float64(off.Stats.PACOps()))
+		}
+	}
+
+	// PAC-dense fused-dispatch throughput: modelled instructions per host
+	// second on a pointer-chasing kernel under STWC with the optimizer on,
+	// best of three, plus the share of modelled instructions retired
+	// through fused sign/store · auth/load dispatches.
+	dense := workload.PACDense()
+	denseComp, err := core.Compile(dense.Source)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		res, err := denseComp.Run(sti.STWC, core.RunConfig{Optimize: core.OptimizeOn})
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, fmt.Errorf("pac-dense under %s: %w", sti.STWC, res.Err)
+		}
+		perSec := float64(res.Stats.Instrs) / time.Since(start).Seconds()
+		if perSec > rec.PACDenseInstrsPerSec {
+			rec.PACDenseInstrsPerSec = perSec
+		}
+		if r == 0 && res.Stats.Instrs > 0 {
+			fused := res.Stats.FusedAuthLoads + res.Stats.FusedSignStores
+			rec.PACDenseFusedShare = float64(2*fused) / float64(res.Stats.Instrs)
 		}
 	}
 
@@ -308,6 +374,34 @@ func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float
 				st, (now/was-1)*100, prev.Label, was/1e6, now/1e6))
 		}
 	}
+	// Fused-dispatch throughput is a host-side hot path like the pipeline
+	// stages: a drop beyond threshold means the superinstruction fast path
+	// (or the interpreter around it) regressed.
+	if prev.PACDenseInstrsPerSec > 0 && rec.PACDenseInstrsPerSec > 0 &&
+		rec.PACDenseInstrsPerSec < prev.PACDenseInstrsPerSec*(1-threshold) {
+		warns = append(warns, fmt.Sprintf(
+			"pac-dense fused throughput regressed %.0f%% vs %q: %.1f -> %.1f M instrs/s",
+			(1-rec.PACDenseInstrsPerSec/prev.PACDenseInstrsPerSec)*100, prev.Label,
+			prev.PACDenseInstrsPerSec/1e6, rec.PACDenseInstrsPerSec/1e6))
+	}
+	// Elision effectiveness is deterministic per build: a relative drop
+	// means the optimizer lost coverage, not host noise.
+	mechs := make([]string, 0, len(rec.PACOpsElidedPct))
+	for m := range rec.PACOpsElidedPct {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	for _, m := range mechs {
+		was, ok := prev.PACOpsElidedPct[m]
+		if !ok || was <= 0 {
+			continue
+		}
+		if now := rec.PACOpsElidedPct[m]; now < was*(1-threshold) {
+			warns = append(warns, fmt.Sprintf(
+				"PAC elision under %s dropped from %.1f%% to %.1f%% of dynamic PAC ops vs %q",
+				m, was, now, prev.Label))
+		}
+	}
 	return warns
 }
 
@@ -345,7 +439,16 @@ func (r *BenchRecord) Summary() string {
 			r.CompileCacheHitRate*100, r.CompileCacheWarmNsPerOp/1e3,
 			r.Build3SerialNsPerOp/1e6, r.Build3ParallelNsPerOp/1e6)
 	}
-	// compile and eng are appended outside the format string: they are
+	pac := ""
+	if len(r.PACOpsElidedPct) > 0 {
+		pac = fmt.Sprintf(
+			"\n  pac ops elided:       STWC %.1f%%  STC %.1f%%  STL %.1f%%  Adaptive %.1f%%"+
+				"\n  pac-dense fused:      %8.1f M instrs/s (%.0f%% of instrs fused)",
+			r.PACOpsElidedPct[sti.STWC.String()], r.PACOpsElidedPct[sti.STC.String()],
+			r.PACOpsElidedPct[sti.STL.String()], r.PACOpsElidedPct[sti.Adaptive.String()],
+			r.PACDenseInstrsPerSec/1e6, r.PACDenseFusedShare*100)
+	}
+	// compile, eng and pac are appended outside the format string: they are
 	// already-rendered text, and Sprintf must not re-scan them for verbs.
 	return fmt.Sprintf(
 		"bench trajectory datapoint %q (%s, %s/%s, %d cpus)\n"+
@@ -371,5 +474,5 @@ func (r *BenchRecord) Summary() string {
 		r.Figure9WallSeconds,
 		r.Figure9GeomeanPct[sti.STWC.String()],
 		r.Figure9GeomeanPct[sti.STC.String()],
-		r.Figure9GeomeanPct[sti.STL.String()]) + compile + eng
+		r.Figure9GeomeanPct[sti.STL.String()]) + compile + eng + pac
 }

@@ -39,6 +39,9 @@ var goldenCycles = []struct {
 }
 
 func TestGoldenCyclesBitIdentical(t *testing.T) {
+	// The pinned values are measured on unoptimized builds; force the
+	// optimizer off so the test means the same thing under a CI leg that
+	// sets RSTI_OPT=1. TestGoldenCyclesOptimized pins the optimized twin.
 	for _, g := range goldenCycles {
 		b := g.pick()
 		if b.Name != g.name || b.Suite != g.suite {
@@ -50,7 +53,7 @@ func TestGoldenCyclesBitIdentical(t *testing.T) {
 			t.Fatalf("%s: %v", g.name, err)
 		}
 		for _, mech := range []sti.Mechanism{sti.None, sti.STWC, sti.STC, sti.STL} {
-			res, err := c.Run(mech, core.RunConfig{})
+			res, err := c.Run(mech, core.RunConfig{Optimize: core.OptimizeOff})
 			if err != nil {
 				t.Fatalf("%s under %s: %v", g.name, mech, err)
 			}
@@ -60,6 +63,71 @@ func TestGoldenCyclesBitIdentical(t *testing.T) {
 			if res.Stats.Cycles != g.want[mech] {
 				t.Errorf("%s under %s: modelled cycles = %d, golden = %d",
 					g.name, mech, res.Stats.Cycles, g.want[mech])
+			}
+		}
+	}
+}
+
+// goldenCyclesOptimized pins the same workloads' modelled cycles with the
+// PAC elision optimizer forced on. Two invariants ride on these numbers:
+// the optimizer's output is deterministic, and it never executes more
+// cycles than the unoptimized build (the per-case assertions below).
+var goldenCyclesOptimized = []struct {
+	suite, name string
+	pick        func() *workload.Benchmark
+	want        map[sti.Mechanism]int64
+}{
+	{
+		suite: "SPEC2017", name: "500.perlbench_r",
+		pick: func() *workload.Benchmark { return workload.SPEC2017()[0] },
+		want: map[sti.Mechanism]int64{
+			sti.None: 2299402, sti.STWC: 2649694,
+			sti.STC: 2589694, sti.STL: 2779918,
+		},
+	},
+	{
+		suite: "nbench", name: "numeric-sort",
+		pick: func() *workload.Benchmark { return workload.NBench()[0] },
+		want: map[sti.Mechanism]int64{
+			sti.None: 10409068, sti.STWC: 10409068,
+			sti.STC: 10409068, sti.STL: 10409068,
+		},
+	},
+}
+
+func TestGoldenCyclesOptimized(t *testing.T) {
+	for _, g := range goldenCyclesOptimized {
+		b := g.pick()
+		if b.Name != g.name || b.Suite != g.suite {
+			t.Fatalf("workload order changed: got %s/%s, want %s/%s",
+				b.Suite, b.Name, g.suite, g.name)
+		}
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		for _, mech := range []sti.Mechanism{sti.None, sti.STWC, sti.STC, sti.STL} {
+			off, err := c.Run(mech, core.RunConfig{Optimize: core.OptimizeOff})
+			if err != nil {
+				t.Fatalf("%s under %s (off): %v", g.name, mech, err)
+			}
+			on, err := c.Run(mech, core.RunConfig{Optimize: core.OptimizeOn})
+			if err != nil {
+				t.Fatalf("%s under %s (on): %v", g.name, mech, err)
+			}
+			if on.Err != nil {
+				t.Fatalf("%s under %s trapped with optimizer on: %v", g.name, mech, on.Err)
+			}
+			if on.Exit != off.Exit || on.Output != off.Output {
+				t.Errorf("%s under %s: optimizer changed observable behaviour", g.name, mech)
+			}
+			if on.Stats.Cycles > off.Stats.Cycles {
+				t.Errorf("%s under %s: optimizer increased cycles: %d > %d",
+					g.name, mech, on.Stats.Cycles, off.Stats.Cycles)
+			}
+			if on.Stats.Cycles != g.want[mech] {
+				t.Errorf("%s under %s: optimized cycles = %d, golden = %d",
+					g.name, mech, on.Stats.Cycles, g.want[mech])
 			}
 		}
 	}

@@ -58,6 +58,8 @@ type Stats struct {
 	PPTags          int // pp_add_tbi insertions
 	ProtectedLoads  int // pointer loads now carrying a signed value
 	ProtectedStores int // pointer stores now carrying a signed value
+	ElidedSigns     int // pac sites skipped for optimizer-elided slots
+	ElidedAuths     int // aut sites skipped for optimizer-elided slots
 }
 
 // Total returns the total number of inserted PA and pp instructions.
@@ -79,6 +81,8 @@ func (s *Stats) add(o *Stats) {
 	s.PPTags += o.PPTags
 	s.ProtectedLoads += o.ProtectedLoads
 	s.ProtectedStores += o.ProtectedStores
+	s.ElidedSigns += o.ElidedSigns
+	s.ElidedAuths += o.ElidedAuths
 }
 
 // Options tunes the instrumentation pass, mainly for ablation studies.
@@ -94,6 +98,14 @@ type Options struct {
 	// every worker count: functions are rewritten independently (register
 	// numbering is per-function) and stats merge commutatively.
 	Workers int
+	// Elide, indexed by VarInfo position, marks variables whose slots skip
+	// PAC protection entirely (opt.ElidableVars proves the slot can never
+	// hand attacker-corrupted bits to the program). Elided slots hold raw
+	// values: stores authenticate incoming signed values instead of
+	// re-signing, loads produce raw registers, and both caller and callee
+	// parameter sites consult the same set so conventions stay aligned.
+	// Nil (the default) disables elision.
+	Elide []bool
 }
 
 // Instrument clones prog and protects the clone under the given mechanism.
@@ -324,8 +336,18 @@ func (ins *inserter) sigOf(r mir.Reg) signature {
 	return ins.sig[r]
 }
 
+// elided reports whether slot belongs to an optimizer-elided variable
+// (see Options.Elide). Elided slots carry raw values by convention.
+func (ins *inserter) elided(slot mir.Slot) bool {
+	return slot.Kind == mir.SlotVar && slot.Var >= 0 &&
+		slot.Var < len(ins.opts.Elide) && ins.opts.Elide[slot.Var]
+}
+
 // slotSig computes the signature a value stored in the given slot carries.
 func (ins *inserter) slotSig(slot mir.Slot, ty *ctypes.Type, addr mir.Reg) (signature, bool) {
+	if ins.elided(slot) {
+		return rawSig(), false
+	}
 	key := slotKey{kind: slot.Kind, v: slot.Var, strct: slot.Struct, field: slot.Field, ty: ty}
 	sm, hit := ins.slotMods[key]
 	if !hit {
@@ -566,12 +588,20 @@ func (ins *inserter) instr(in *mir.Instr, fo *sti.FuncOrigins) {
 		in.A = outerRaw
 		ins.emit(*in)
 		if in.Ty != nil && in.Ty.IsPointer() {
-			ins.stats.ProtectedLoads++
 			if isPP {
+				ins.stats.ProtectedLoads++
 				fallback := ins.escapedModifier(in.Ty)
 				ins.setSig(in.Dst, signature{kind: sigSignedPP, mod: fallback, outer: outerRaw, loc: mir.NoReg})
-			} else if s, ok := ins.slotSig(in.Slot, in.Ty, outerRaw); ok {
-				ins.setSig(in.Dst, s)
+			} else if ins.elided(in.Slot) {
+				// The slot holds a raw value; the auth a signed load would
+				// have required at the consuming site is gone.
+				ins.stats.ElidedAuths++
+				ins.setSig(in.Dst, rawSig())
+			} else {
+				ins.stats.ProtectedLoads++
+				if s, ok := ins.slotSig(in.Slot, in.Ty, outerRaw); ok {
+					ins.setSig(in.Dst, s)
+				}
 			}
 		} else if in.Dst != mir.NoReg {
 			ins.setSig(in.Dst, rawSig())
@@ -582,8 +612,8 @@ func (ins *inserter) instr(in *mir.Instr, fo *sti.FuncOrigins) {
 		outerRaw := ins.auth(in.A)
 		in.A = outerRaw
 		if in.Ty != nil && in.Ty.IsPointer() {
-			ins.stats.ProtectedStores++
 			if isPP {
+				ins.stats.ProtectedStores++
 				raw := ins.auth(in.B)
 				dst := ins.newReg()
 				imm := int64(0)
@@ -594,9 +624,17 @@ func (ins *inserter) instr(in *mir.Instr, fo *sti.FuncOrigins) {
 				ins.emit(mir.Instr{Op: mir.PPSign, Dst: dst, A: outerRaw, B: raw, Mod: fallback, Key: uint8(pa.KeyDA), Imm: imm})
 				ins.stats.PPSigns++
 				in.B = dst
-			} else if want, ok := ins.slotSig(in.Slot, in.Ty, outerRaw); ok {
-				in.B = ins.maybeTagPP(in.B, fo)
-				in.B = ins.signAs(in.B, want)
+			} else if ins.elided(in.Slot) {
+				// Elided slots hold raw values: authenticate anything
+				// signed instead of (re-)signing it for the slot.
+				ins.stats.ElidedSigns++
+				in.B = ins.auth(in.B)
+			} else {
+				ins.stats.ProtectedStores++
+				if want, ok := ins.slotSig(in.Slot, in.Ty, outerRaw); ok {
+					in.B = ins.maybeTagPP(in.B, fo)
+					in.B = ins.signAs(in.B, want)
+				}
 			}
 		}
 		ins.emit(*in)

@@ -45,6 +45,12 @@ type Stats struct {
 	// modelled cycles or any reported number.
 	PACCacheHits   int64
 	PACCacheMisses int64
+
+	// Superinstruction dispatch counters: executions of fused aut+load /
+	// pac+store pairs. Host-side observability only — fused pairs charge
+	// exactly the per-op counts and cycles of their unfused twins.
+	FusedAuthLoads  int64
+	FusedSignStores int64
 }
 
 // PACOps returns the total number of PA instructions executed.

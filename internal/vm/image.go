@@ -1,0 +1,81 @@
+package vm
+
+import (
+	"sync/atomic"
+
+	"rsti/internal/mir"
+)
+
+// predecodeCount counts Image constructions process-wide. Tests assert
+// image sharing with it: N concurrent runs of one build must add exactly
+// one predecode, mirroring the compile-path coalescing counters.
+var predecodeCount atomic.Int64
+
+// PredecodeCount returns the number of program images built so far.
+func PredecodeCount() int64 { return predecodeCount.Load() }
+
+// Image is the immutable execution image of one (post-optimization)
+// program: predecoded instruction metadata — including superinstruction
+// fusion marks — function entry tokens, and the static data layout.
+// Everything in it is read-only after construction, so one Image is
+// safely shared by every Machine executing the same program: engine
+// workers, Program.Run callers, and eval sweeps stop re-predecoding per
+// run. Pass it via Options.Image; a Machine built without one predecodes
+// privately.
+type Image struct {
+	prog       *mir.Program
+	dec        map[*mir.Func][][]decInstr
+	funcTok    map[string]uint64
+	tokFunc    map[uint64]*mir.Func
+	globalAddr []uint64
+	stringAddr []uint64
+	gsize      int
+	ssize      int
+
+	fusedAuthLoads  int // static aut+load pairs marked for fused dispatch
+	fusedSignStores int // static pac+store pairs marked for fused dispatch
+}
+
+// NewImage predecodes prog into a shareable execution image.
+func NewImage(prog *mir.Program) *Image {
+	predecodeCount.Add(1)
+	img := &Image{
+		prog:    prog,
+		funcTok: make(map[string]uint64, len(prog.Funcs)),
+		tokFunc: make(map[uint64]*mir.Func, len(prog.Funcs)),
+		dec:     make(map[*mir.Func][][]decInstr, len(prog.Funcs)),
+	}
+
+	for _, g := range prog.Globals {
+		a := g.Type.Align()
+		img.gsize = (img.gsize + a - 1) / a * a
+		img.globalAddr = append(img.globalAddr, GlobalsBase+uint64(img.gsize))
+		img.gsize += g.Type.Size()
+	}
+	for _, s := range prog.Strings {
+		img.stringAddr = append(img.stringAddr, StringsBase+uint64(img.ssize))
+		img.ssize += len(s) + 1
+	}
+
+	for i, f := range prog.Funcs {
+		tok := uint64(FuncBase) + uint64(i)*FuncStride
+		img.funcTok[f.Name] = tok
+		img.tokFunc[tok] = f
+		if !f.Extern {
+			d, al, ss := predecode(f)
+			img.dec[f] = d
+			img.fusedAuthLoads += al
+			img.fusedSignStores += ss
+		}
+	}
+	return img
+}
+
+// Prog returns the program the image was built from.
+func (img *Image) Prog() *mir.Program { return img.prog }
+
+// FusedPairs reports the static number of aut+load and pac+store pairs
+// predecode marked for fused dispatch.
+func (img *Image) FusedPairs() (authLoads, signStores int) {
+	return img.fusedAuthLoads, img.fusedSignStores
+}

@@ -36,6 +36,12 @@ type Options struct {
 	// machine must then run on that worker's goroutine. Nil keeps the
 	// machine self-contained.
 	Worker *WorkerState
+
+	// Image, when non-nil and built from the same program, supplies the
+	// shared predecoded execution image so concurrent machines skip
+	// per-run predecoding. Nil (or a mismatched program) predecodes
+	// privately.
+	Image *Image
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -67,11 +73,6 @@ type Machine struct {
 	cost   CostModel
 	cycles [mir.NumOps]int64 // per-opcode charge, flattened from cost
 
-	globalAddr []uint64
-	stringAddr []uint64
-	funcTok    map[string]uint64
-	tokFunc    map[uint64]*mir.Func
-
 	heapNext  uint64
 	heapEnd   uint64
 	stackNext uint64
@@ -89,12 +90,12 @@ type Machine struct {
 	// Hot-path machinery. ws holds the frame pool (recycled call frames,
 	// so steady-state execution allocates nothing per call) and the
 	// arg-marshalling scratch stack — per-machine by default, shared and
-	// persistent when an engine worker supplies its WorkerState; dec
-	// holds the per-function predecoded instruction metadata
-	// (memory-access widths, extension modes, alloca sizes) so the
-	// interpreter loop never re-derives them from ctypes.
+	// persistent when an engine worker supplies its WorkerState; img
+	// holds the immutable execution image (predecoded instruction
+	// metadata incl. fusion marks, function tokens, static data layout),
+	// shared across machines when Options.Image supplies one.
 	ws  *WorkerState
-	dec map[*mir.Func][][]decInstr
+	img *Image
 
 	// ctx, when non-nil, is polled at cancellation checkpoints in the
 	// step loop (every ctxCheckInterval steps).
@@ -141,18 +142,34 @@ const (
 	extF32                 // float32 <-> float64 conversion
 )
 
+// fuseKind marks an instruction that dispatches its successor in the
+// same interpreter switch arm (a superinstruction).
+type fuseKind uint8
+
+const (
+	fuseNone      fuseKind = iota
+	fuseAuthLoad           // PacAuth immediately feeding the next Load's address
+	fuseSignStore          // PacSign immediately feeding the next Store's value
+)
+
 // decInstr is the predecoded per-instruction metadata: everything the
 // interpreter would otherwise recompute from *ctypes.Type on every
 // execution of the instruction.
 type decInstr struct {
-	aux  uint64  // Alloca: 8-byte-aligned slot size
-	size uint8   // Load/Store: access width in bytes
-	ext  extKind // Load: extension mode; Store: extF32 marks a float32 narrow
+	aux  uint64   // Alloca: 8-byte-aligned slot size
+	size uint8    // Load/Store: access width in bytes
+	ext  extKind  // Load: extension mode; Store: extF32 marks a float32 narrow
+	fuse fuseKind // superinstruction mark on the pair's first instruction
 }
 
-// predecode builds the decInstr tables for every block of f.
-func predecode(f *mir.Func) [][]decInstr {
-	blocks := make([][]decInstr, len(f.Blocks))
+// predecode builds the decInstr tables for every block of f and marks
+// aut+load / pac+store superinstruction pairs (fusion never crosses a
+// block boundary: adjacency is within one Instrs slice). It returns the
+// static pair counts alongside the tables. Fusion changes host dispatch
+// only — every modelled number (steps, cycles, per-op counts, trap
+// attribution) is bit-identical to unfused execution.
+func predecode(f *mir.Func) (blocks [][]decInstr, authLoads, signStores int) {
+	blocks = make([][]decInstr, len(f.Blocks))
 	for bi, blk := range f.Blocks {
 		ds := make([]decInstr, len(blk.Instrs))
 		for ii := range blk.Instrs {
@@ -171,9 +188,20 @@ func predecode(f *mir.Func) [][]decInstr {
 				d.aux = uint64((in.Ty.Size() + 7) &^ 7)
 			}
 		}
+		for ii := 0; ii+1 < len(blk.Instrs); ii++ {
+			in, next := &blk.Instrs[ii], &blk.Instrs[ii+1]
+			switch {
+			case in.Op == mir.PacAuth && next.Op == mir.Load && next.A == in.Dst:
+				ds[ii].fuse = fuseAuthLoad
+				authLoads++
+			case in.Op == mir.PacSign && next.Op == mir.Store && next.B == in.Dst:
+				ds[ii].fuse = fuseSignStore
+				signStores++
+			}
+		}
 		blocks[bi] = ds
 	}
-	return blocks
+	return blocks, authLoads, signStores
 }
 
 // decodeExt classifies how a loaded value of type t widens to a register.
@@ -207,39 +235,28 @@ func New(prog *mir.Program, opts Options) *Machine {
 	if ws == nil {
 		ws = NewWorkerState()
 	}
+	img := opts.Image
+	if img == nil || img.prog != prog {
+		img = NewImage(prog)
+	}
 	m := &Machine{
 		Prog:     prog,
 		Unit:     ws.unit(opts.PAConfig, opts.KeySeed),
 		ws:       ws,
+		img:      img,
 		cost:     opts.Cost,
 		out:      opts.Output,
 		hooks:    make(map[int64]Hook),
 		ppMods:   make(map[uint16]ppEntry),
-		funcTok:  make(map[string]uint64),
-		tokFunc:  make(map[uint64]*mir.Func),
 		maxSteps: opts.MaxSteps,
 		maxDepth: opts.MaxDepth,
 	}
 	m.pacHits0, m.pacMisses0 = m.Unit.CacheStats()
 	m.cycles = m.cost.cycleTable()
 
-	// Lay out globals.
-	gsize := 0
-	for _, g := range prog.Globals {
-		a := g.Type.Align()
-		gsize = (gsize + a - 1) / a * a
-		m.globalAddr = append(m.globalAddr, GlobalsBase+uint64(gsize))
-		gsize += g.Type.Size()
-	}
-	// Lay out the string pool.
-	ssize := 0
-	for _, s := range prog.Strings {
-		m.stringAddr = append(m.stringAddr, StringsBase+uint64(ssize))
-		ssize += len(s) + 1
-	}
-	m.Mem = NewMemory(gsize+16, ssize+16, opts.HeapSize, opts.StackSize)
+	m.Mem = NewMemory(img.gsize+16, img.ssize+16, opts.HeapSize, opts.StackSize)
 	for i, s := range prog.Strings {
-		b, err := m.Mem.Bytes(m.stringAddr[i], len(s)+1)
+		b, err := m.Mem.Bytes(img.stringAddr[i], len(s)+1)
 		if err != nil {
 			panic(err)
 		}
@@ -250,17 +267,6 @@ func New(prog *mir.Program, opts Options) *Machine {
 	m.heapEnd = HeapBase + uint64(opts.HeapSize)
 	m.stackNext = StackBase
 	m.stackEnd = StackBase + uint64(opts.StackSize)
-
-	// Function tokens and predecoded bodies.
-	m.dec = make(map[*mir.Func][][]decInstr, len(prog.Funcs))
-	for i, f := range prog.Funcs {
-		tok := uint64(FuncBase) + uint64(i)*FuncStride
-		m.funcTok[f.Name] = tok
-		m.tokFunc[tok] = f
-		if !f.Extern {
-			m.dec[f] = predecode(f)
-		}
-	}
 	return m
 }
 
@@ -307,7 +313,7 @@ func (m *Machine) RegisterHook(id int64, h Hook) { m.hooks[id] = h }
 // FuncToken returns the entry token of a function — what a code pointer
 // to it looks like in memory.
 func (m *Machine) FuncToken(name string) (uint64, bool) {
-	t, ok := m.funcTok[name]
+	t, ok := m.img.funcTok[name]
 	return t, ok
 }
 
@@ -315,7 +321,7 @@ func (m *Machine) FuncToken(name string) (uint64, bool) {
 func (m *Machine) GlobalAddr(name string) (uint64, bool) {
 	for i, g := range m.Prog.Globals {
 		if g.Name == name {
-			return m.globalAddr[i], true
+			return m.img.globalAddr[i], true
 		}
 	}
 	return 0, false
@@ -410,6 +416,29 @@ func (m *Machine) canonical(ptr uint64, f *mir.Func, in *mir.Instr) (uint64, err
 	return m.Unit.Canonical(ptr), nil
 }
 
+// stepGate performs the per-instruction admission bookkeeping: the step
+// counter, the step-budget trap and the cancellation checkpoint. The
+// main loop and the fused superinstruction tails share it so a fused
+// pair's accounting stays bit-identical to separate dispatch.
+func (m *Machine) stepGate(f *mir.Func, in *mir.Instr) error {
+	m.steps++
+	if m.steps > m.maxSteps {
+		return m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
+	}
+	if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
+		if cerr := m.ctx.Err(); cerr != nil {
+			return &Trap{
+				Kind:  TrapCancelled,
+				Fn:    f.Name,
+				Pos:   in.Pos,
+				Msg:   fmt.Sprintf("%v after %d steps", cerr, m.steps),
+				Cause: cerr,
+			}
+		}
+	}
+	return nil
+}
+
 func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 	if f.Extern {
 		return m.builtin(f, args)
@@ -426,7 +455,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 		m.ws.frames = append(m.ws.frames, fr)
 	}()
 
-	decoded := m.dec[f]
+	decoded := m.img.dec[f]
 	blk := f.Blocks[0]
 	dblk := decoded[0]
 	ip := 0
@@ -435,20 +464,8 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 			return 0, m.trap(TrapOutOfBounds, f, nil, "fell off block %s", blk.Name)
 		}
 		in := &blk.Instrs[ip]
-		m.steps++
-		if m.steps > m.maxSteps {
-			return 0, m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
-		}
-		if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
-			if cerr := m.ctx.Err(); cerr != nil {
-				return 0, &Trap{
-					Kind:  TrapCancelled,
-					Fn:    f.Name,
-					Pos:   in.Pos,
-					Msg:   fmt.Sprintf("%v after %d steps", cerr, m.steps),
-					Cause: cerr,
-				}
-			}
+		if err := m.stepGate(f, in); err != nil {
+			return 0, err
 		}
 		m.charge(in.Op)
 		regs := fr.regs
@@ -461,7 +478,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 		case mir.ConstF:
 			regs[in.Dst] = uint64(in.Imm)
 		case mir.StrConst:
-			regs[in.Dst] = m.stringAddr[in.Imm]
+			regs[in.Dst] = m.img.stringAddr[in.Imm]
 		case mir.Alloca:
 			size := dblk[ip].aux
 			if m.stackNext+size > m.stackEnd {
@@ -481,9 +498,9 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				fr.vars = append(fr.vars, varSlot{in.Slot.Var, addr})
 			}
 		case mir.GlobalAddr:
-			regs[in.Dst] = m.globalAddr[in.Imm]
+			regs[in.Dst] = m.img.globalAddr[in.Imm]
 		case mir.FuncAddr:
-			regs[in.Dst] = m.funcTok[in.Callee]
+			regs[in.Dst] = m.img.funcTok[in.Callee]
 
 		case mir.Load:
 			addr, err := m.canonical(regs[in.A], f, in)
@@ -536,7 +553,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				if !m.Unit.IsCanonical(tok) {
 					return 0, m.trap(TrapNonCanonical, f, in, "indirect call through %#x with non-address bits", tok)
 				}
-				callee = m.tokFunc[m.Unit.Canonical(tok)]
+				callee = m.img.tokFunc[m.Unit.Canonical(tok)]
 				if callee == nil {
 					return 0, m.trap(TrapBadCall, f, in, "%#x is not a function entry", tok)
 				}
@@ -581,6 +598,31 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 
 		case mir.PacSign:
 			regs[in.Dst] = m.Unit.Sign(regs[in.A], pa.KeyID(in.Key), m.modifier(in, regs))
+			if dblk[ip].fuse == fuseSignStore {
+				// Fused pac+store superinstruction: dispatch the adjacent
+				// store in the same switch arm. Accounting and trap
+				// attribution are those of two separate instructions (a
+				// memory fault names the store, not the sign).
+				ip++
+				in = &blk.Instrs[ip]
+				if err := m.stepGate(f, in); err != nil {
+					return 0, err
+				}
+				m.charge(mir.Store)
+				m.Stats.FusedSignStores++
+				addr, err := m.canonical(regs[in.A], f, in)
+				if err != nil {
+					return 0, err
+				}
+				d := &dblk[ip]
+				sv := regs[in.B]
+				if d.ext == extF32 {
+					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
+				}
+				if err := m.Mem.Store(addr, sv, int(d.size)); err != nil {
+					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+				}
+			}
 		case mir.PacAuth:
 			mod := m.modifier(in, regs)
 			v, ok := m.Unit.Auth(regs[in.A], pa.KeyID(in.Key), mod)
@@ -588,6 +630,28 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				return 0, m.trap(TrapAuthFailure, f, in, "aut failed on %#x (mod %#x)", regs[in.A], mod)
 			}
 			regs[in.Dst] = v
+			if dblk[ip].fuse == fuseAuthLoad {
+				// Fused aut+load superinstruction. An authentication
+				// failure above traps naming the aut; only a fault on the
+				// memory access itself names the load.
+				ip++
+				in = &blk.Instrs[ip]
+				if err := m.stepGate(f, in); err != nil {
+					return 0, err
+				}
+				m.charge(mir.Load)
+				m.Stats.FusedAuthLoads++
+				addr, err := m.canonical(regs[in.A], f, in)
+				if err != nil {
+					return 0, err
+				}
+				d := &dblk[ip]
+				lv, err := m.Mem.Load(addr, int(d.size))
+				if err != nil {
+					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+				}
+				regs[in.Dst] = extendDec(lv, d.ext)
+			}
 		case mir.PacStrip:
 			regs[in.Dst] = m.Unit.Strip(regs[in.A])
 

@@ -36,6 +36,7 @@ import (
 
 	"rsti/internal/compilecache"
 	"rsti/internal/core"
+	"rsti/internal/opt"
 	"rsti/internal/rsti"
 	"rsti/internal/sti"
 	"rsti/internal/vm"
@@ -184,6 +185,74 @@ func (p *Program) DumpIR(mech Mechanism) (string, error) {
 	return b.Prog.String(), nil
 }
 
+// DumpOptimizedIR renders the intermediate representation after the PAC
+// elision optimizer processed the build: elided slots carry no pac/aut
+// chain and redundant aut instructions are gone.
+func (p *Program) DumpOptimizedIR(mech Mechanism) (string, error) {
+	b, err := p.c.BuildMode(mech, true)
+	if err != nil {
+		return "", err
+	}
+	return b.Prog.String(), nil
+}
+
+// OptimizerStats exposes what the PAC elision optimizer removed from one
+// mechanism's build (static counts).
+type OptimizerStats = opt.Stats
+
+// PACOpStats reports one mechanism's static PAC-op accounting: what
+// instrumentation emitted, what the optimizer elided or deleted, and how
+// many pairs the VM predecoder fused for single-dispatch execution.
+type PACOpStats struct {
+	Mechanism Mechanism
+	Optimized bool
+
+	// Static site counts of the build actually executed in this mode.
+	Signs  int // pac instructions present
+	Auths  int // aut instructions present (post-optimizer when Optimized)
+	Strips int // xpac instructions present
+
+	// Optimizer removals (zero when !Optimized).
+	ElidedSigns    int // pac sites skipped for elided slots
+	ElidedAuths    int // aut sites skipped for elided slots
+	RedundantAuths int // aut instructions deleted by the availability pass
+	ElidableVars   int // variables proven safe to leave unsigned
+
+	// Superinstruction pairs predecode marked for fused dispatch.
+	FusedAuthLoads  int
+	FusedSignStores int
+}
+
+// PACOps returns the static PAC ops present in the build.
+func (s *PACOpStats) PACOps() int { return s.Signs + s.Auths + s.Strips }
+
+// PACOpStats returns the per-mechanism PAC-op accounting for the build in
+// the given optimizer mode (building it on first use).
+func (p *Program) PACOpStats(mech Mechanism, optimized bool) (*PACOpStats, error) {
+	b, err := p.c.BuildMode(mech, optimized)
+	if err != nil {
+		return nil, err
+	}
+	fal, fss := b.Image().FusedPairs()
+	s := &PACOpStats{
+		Mechanism:       mech,
+		Optimized:       b.Optimized,
+		Signs:           b.Stats.Signs,
+		Auths:           b.Stats.Auths,
+		Strips:          b.Stats.Strips,
+		ElidedSigns:     b.Stats.ElidedSigns,
+		ElidedAuths:     b.Stats.ElidedAuths,
+		FusedAuthLoads:  fal,
+		FusedSignStores: fss,
+	}
+	if b.OptStats != nil {
+		s.Auths -= b.OptStats.RedundantAuths
+		s.RedundantAuths = b.OptStats.RedundantAuths
+		s.ElidableVars = b.OptStats.ElidableVars
+	}
+	return s, nil
+}
+
 // Result is one execution's outcome.
 type Result = core.RunResult
 
@@ -251,6 +320,25 @@ func WithStepBudget(n int64) RunOption {
 func WithMaxOutput(n int) RunOption {
 	return func(cfg *core.RunConfig) { cfg.MaxOutputBytes = n }
 }
+
+// WithOptimizer forces the PAC elision optimizer on or off for this run,
+// overriding the process default (see OptimizerDefault). Optimized and
+// unoptimized builds are cached independently, so flipping per run never
+// re-instruments.
+func WithOptimizer(on bool) RunOption {
+	return func(cfg *core.RunConfig) {
+		if on {
+			cfg.Optimize = core.OptimizeOn
+		} else {
+			cfg.Optimize = core.OptimizeOff
+		}
+	}
+}
+
+// OptimizerDefault reports whether runs use the PAC elision optimizer
+// when no WithOptimizer option is given — the RSTI_OPT environment
+// toggle, read once per process.
+func OptimizerDefault() bool { return core.DefaultOptimize() }
 
 // Run executes the program under the given mechanism with a background
 // context; see RunContext.
