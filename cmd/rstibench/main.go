@@ -16,9 +16,9 @@
 //
 // With -benchjson it instead runs the benchmark-trajectory harness: a
 // measurement pass over the host-side hot paths (cipher, PAC unit,
-// compiler stages, interpreter, Figure 9 wall-clock) appended as one
-// labelled datapoint to BENCH_RESULTS.json (see -benchout/-benchlabel),
-// building the repo's performance history:
+// compiler stages, switch interpreter and direct-threaded tier, Figure 9
+// wall-clock) appended as one labelled datapoint to BENCH_RESULTS.json
+// (see -benchout/-benchlabel), building the repo's performance history:
 //
 //	rstibench -benchjson -benchlabel pr1
 package main

@@ -12,13 +12,14 @@
 //	    → {"program": "<sha256>", "cached": bool, "equivalence": {...}}
 //	POST /v1/run      {"program": "<sha256>" | "source": "...",
 //	                   "mechanism": "rsti-stwc", "optimizer": "on"|"off",
+//	                   "tier": "on"|"off",
 //	                   "timeout_ms": 0, "step_budget": 0, "max_output_bytes": 0}
 //	    → {"exit", "cycles", "instrs", "output", "detected", "trap", ...}
 //	POST /v1/attack   {"scenario": "<Table 1 name>", "mechanism": "...",
 //	                   "benign": bool}
 //	    → {"detected", "succeeded", "exit", ...}
 //	GET  /v1/attacks  → the Table 1 scenario catalogue
-//	GET  /metrics     → engine + compile-cache + per-mechanism PAC-op counters (JSON)
+//	GET  /metrics     → engine + compile-cache + tier + per-mechanism PAC-op counters (JSON)
 //	GET  /healthz     → liveness
 //
 // Execution outcomes (traps, budget exhaustion, deadline) are reported
@@ -87,12 +88,16 @@ type server struct {
 // dispatches (fused pairs execute the same modelled ops; the fused
 // counters measure how many dispatches the host saved).
 type pacOpMetrics struct {
-	Runs            int64 `json:"runs"`
-	PacSigns        int64 `json:"pac_signs"`
-	PacAuths        int64 `json:"pac_auths"`
-	PacStrips       int64 `json:"pac_strips"`
-	FusedAuthLoads  int64 `json:"fused_auth_loads"`
-	FusedSignStores int64 `json:"fused_sign_stores"`
+	Runs                int64 `json:"runs"`
+	PacSigns            int64 `json:"pac_signs"`
+	PacAuths            int64 `json:"pac_auths"`
+	PacStrips           int64 `json:"pac_strips"`
+	FusedAuthLoads      int64 `json:"fused_auth_loads"`
+	FusedSignStores     int64 `json:"fused_sign_stores"`
+	FusedAuthStores     int64 `json:"fused_auth_stores"`
+	FusedAuthAddrLoads  int64 `json:"fused_auth_addr_loads"`
+	FusedAuthAddrStores int64 `json:"fused_auth_addr_stores"`
+	FusedInstrs         int64 `json:"fused_instrs"`
 }
 
 // recordPACOps folds one run's executed PAC-op counters into the
@@ -114,6 +119,10 @@ func (s *server) recordPACOps(mech sti.Mechanism, res *core.RunResult) {
 	m.PacStrips += res.Stats.PacStrips
 	m.FusedAuthLoads += res.Stats.FusedAuthLoads
 	m.FusedSignStores += res.Stats.FusedSignStores
+	m.FusedAuthStores += res.Stats.FusedAuthStores
+	m.FusedAuthAddrLoads += res.Stats.FusedAuthAddrLoads
+	m.FusedAuthAddrStores += res.Stats.FusedAuthAddrStores
+	m.FusedInstrs += res.Stats.FusedInstrs
 }
 
 // pacOpsSnapshot copies the accumulators for /metrics.
@@ -269,6 +278,13 @@ type runRequest struct {
 	// process default (RSTI_OPT). Optimized and unoptimized builds are
 	// cached independently, so flipping this per request is cheap.
 	Optimizer string `json:"optimizer,omitempty"`
+	// Tier selects the execution tier: "on" (profile-guided
+	// direct-threaded dispatch), "off" (switch interpreter), or "" for
+	// the process default (RSTI_TIER). The tier changes host dispatch
+	// speed only; every modelled number in the response is identical
+	// either way. Per-tier images are cached independently, so flipping
+	// this per request never perturbs the other tier's profile.
+	Tier string `json:"tier,omitempty"`
 	// NoWait sheds load instead of queueing: a full queue answers 429.
 	NoWait bool `json:"no_wait,omitempty"`
 }
@@ -285,6 +301,20 @@ func parseOptimizer(w http.ResponseWriter, name string) (core.OptimizeMode, bool
 	}
 	httpError(w, http.StatusBadRequest, "unknown optimizer mode %q (want on, off, or empty)", name)
 	return core.OptimizeDefault, false
+}
+
+// parseTier maps the wire field onto an execution-tier mode.
+func parseTier(w http.ResponseWriter, name string) (core.TierMode, bool) {
+	switch name {
+	case "":
+		return core.TierDefault, true
+	case "on":
+		return core.TierOn, true
+	case "off":
+		return core.TierOff, true
+	}
+	httpError(w, http.StatusBadRequest, "unknown tier mode %q (want on, off, or empty)", name)
+	return core.TierDefault, false
 }
 
 // trapJSON is the wire form of a machine trap.
@@ -406,11 +436,16 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tierMode, ok := parseTier(w, req.Tier)
+	if !ok {
+		return
+	}
 	cfg := core.RunConfig{
 		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
 		StepBudget:     req.StepBudget,
 		MaxOutputBytes: req.MaxOutputBytes,
 		Optimize:       optMode,
+		Tier:           tierMode,
 	}
 	s.submit(w, r, key, engine.Job{Comp: c, Mech: mech, Cfg: cfg}, req.NoWait)
 }
@@ -515,13 +550,30 @@ type metricsResponse struct {
 	engine.Stats
 	CompileCache compilecache.Stats      `json:"compile_cache"`
 	PACOps       map[string]pacOpMetrics `json:"pac_ops"`
+	Tier         tierMetrics             `json:"tier"`
+}
+
+// tierMetrics summarizes the direct-threaded execution tier for an
+// operator: how many function bodies this process has promoted to
+// threaded code, and what share of the served modelled instructions ran
+// through them.
+type tierMetrics struct {
+	Promotions     int64   `json:"promotions"`
+	ThreadedInstrs int64   `json:"threaded_instrs"`
+	ThreadedShare  float64 `json:"threaded_share"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	tier := tierMetrics{Promotions: vm.TierPromotions(), ThreadedInstrs: st.ThreadedInstrs}
+	if st.Instrs > 0 {
+		tier.ThreadedShare = float64(st.ThreadedInstrs) / float64(st.Instrs)
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
-		Stats:        s.eng.Stats(),
+		Stats:        st,
 		CompileCache: s.cache.Stats(),
 		PACOps:       s.pacOpsSnapshot(),
+		Tier:         tier,
 	})
 }
 

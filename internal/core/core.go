@@ -75,19 +75,31 @@ type Build struct {
 	Optimized bool
 	OptStats  *opt.Stats
 
-	// img is the shared predecoded execution image, built once on first
-	// use: every Program.Run caller and engine worker executing this
-	// build dispatches from the same predecode.
-	imgOnce sync.Once
-	img     *vm.Image
+	// img is the shared predecoded execution image, built once per
+	// execution tier on first use: every Program.Run caller and engine
+	// worker executing this build at that tier dispatches from the same
+	// predecode (and, for tier 1, the same hot-function profile and
+	// compiled closure bodies). Index 0 is the interpreter-only image,
+	// index 1 the threaded-tier image — separate cells so tier-enabled
+	// runs never leave profiling state on the tier-0 image.
+	imgOnce [2]sync.Once
+	img     [2]*vm.Image
 }
 
-// Image returns the build's shared execution image, predecoding on first
-// call. Concurrent callers coalesce on the once-cell, mirroring the
-// build coalescing one level up.
-func (b *Build) Image() *vm.Image {
-	b.imgOnce.Do(func() { b.img = vm.NewImage(b.Prog) })
-	return b.img
+// Image returns the build's shared interpreter-tier execution image,
+// predecoding on first call. Concurrent callers coalesce on the
+// once-cell, mirroring the build coalescing one level up.
+func (b *Build) Image() *vm.Image { return b.ImageFor(false) }
+
+// ImageFor returns the build's shared execution image for the given tier,
+// predecoding on first call per (mechanism, optimized, tier) cell.
+func (b *Build) ImageFor(tier bool) *vm.Image {
+	i := 0
+	if tier {
+		i = 1
+	}
+	b.imgOnce[i].Do(func() { b.img[i] = vm.NewImage(b.Prog) })
+	return b.img[i]
 }
 
 // OptimizeMode selects whether a run executes the optimizer-processed
@@ -130,6 +142,49 @@ func DefaultOptimize() bool {
 		}
 	})
 	return defaultOpt
+}
+
+// TierMode selects whether a run may use the profile-guided
+// direct-threaded execution tier above the switch interpreter. The zero
+// value defers to DefaultTier (the RSTI_TIER environment toggle). The
+// tier changes host dispatch only: every modelled number is bit-identical
+// either way, so flipping it is always safe.
+type TierMode uint8
+
+const (
+	TierDefault TierMode = iota // follow DefaultTier()
+	TierOn
+	TierOff
+)
+
+// Enabled resolves the mode against the process default.
+func (m TierMode) Enabled() bool {
+	switch m {
+	case TierOn:
+		return true
+	case TierOff:
+		return false
+	}
+	return DefaultTier()
+}
+
+var (
+	defaultTierOnce sync.Once
+	defaultTier     bool
+)
+
+// DefaultTier reports the process-wide execution-tier default, read once
+// from the RSTI_TIER environment variable ("1", "on", "true" or "yes"
+// enable the threaded tier). Unset or anything else means interpreter
+// only.
+func DefaultTier() bool {
+	defaultTierOnce.Do(func() {
+		switch strings.ToLower(os.Getenv("RSTI_TIER")) {
+		case "1", "on", "true", "yes":
+			defaultTier = true
+		}
+	})
+	return defaultTier
 }
 
 // Compile runs the frontend, lowering and STI analysis. Frontend failures
@@ -317,6 +372,11 @@ type RunConfig struct {
 	// Optimize selects whether the run executes the PAC-elision-optimized
 	// build. The zero value follows the process default (RSTI_OPT).
 	Optimize OptimizeMode
+
+	// Tier selects whether the run may promote hot functions to the
+	// direct-threaded execution tier. The zero value follows the process
+	// default (RSTI_TIER).
+	Tier TierMode
 }
 
 // PARTSPACCost is the per-instruction cycle charge for the PARTS
@@ -350,7 +410,9 @@ func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg Ru
 		defer cancel()
 	}
 	if cfg.Options.MaxSteps == 0 {
+		tier, thr := cfg.Options.Tier, cfg.Options.TierThreshold
 		cfg.Options = vm.DefaultOptions()
+		cfg.Options.Tier, cfg.Options.TierThreshold = tier, thr
 	}
 	if cfg.StepBudget > 0 {
 		cfg.Options.MaxSteps = cfg.StepBudget
@@ -370,7 +432,19 @@ func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg Ru
 		cfg.Options.Output = sink
 	}
 	cfg.Options.Worker = cfg.Worker
-	cfg.Options.Image = b.Image()
+	// Resolve the execution tier: an explicit RunConfig.Tier wins, then an
+	// explicit Options.Tier (the vm-level escape hatch), then RSTI_TIER.
+	tierOn := cfg.Options.Tier
+	switch cfg.Tier {
+	case TierOn:
+		tierOn = true
+	case TierOff:
+		tierOn = false
+	default:
+		tierOn = tierOn || DefaultTier()
+	}
+	cfg.Options.Tier = tierOn
+	cfg.Options.Image = b.ImageFor(tierOn)
 	m := vm.New(b.Prog, cfg.Options)
 	m.SetContext(ctx)
 	for id, h := range cfg.Hooks {

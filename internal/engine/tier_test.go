@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// hotSrc executes enough modelled steps that its functions cross a
+// lowered promotion threshold many times over within one run.
+const hotSrc = `
+int g;
+int work(int n) {
+    int s; int i;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) { g = g + i; s = s + g; }
+    return s;
+}
+int main(void) {
+    int s; int i;
+    s = 0;
+    for (i = 0; i < 200; i = i + 1) { s = s + work(300); }
+    return s & 127;
+}
+`
+
+// zeroHostSide strips the host-side observability counters so two stats
+// snapshots can be compared on the modelled numbers only.
+func zeroHostSide(s vm.Stats) vm.Stats {
+	s.PACCacheHits, s.PACCacheMisses = 0, 0
+	s.FusedAuthLoads, s.FusedSignStores, s.FusedAuthStores = 0, 0, 0
+	s.FusedAuthAddrLoads, s.FusedAuthAddrStores, s.FusedInstrs = 0, 0, 0
+	s.ThreadedInstrs = 0
+	return s
+}
+
+// TestTierExactlyOnceAcrossWorkers floods the pool with tier-on jobs for
+// one program: every result — including runs racing the promotion
+// itself — must be bit-identical to the direct tier-off reference, and
+// the build's shared tier image must have compiled each promoted
+// function exactly once however many workers crossed the threshold
+// together. Run under -race in CI.
+func TestTierExactlyOnceAcrossWorkers(t *testing.T) {
+	c := compile(t, hotSrc)
+	ref, err := c.Run(sti.STWC, core.RunConfig{Optimize: core.OptimizeOff, Tier: core.TierOff})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if ref.Err != nil {
+		t.Fatalf("reference run trapped: %v", ref.Err)
+	}
+
+	tierOpts := vm.DefaultOptions()
+	tierOpts.TierThreshold = 256
+	cfg := core.RunConfig{Optimize: core.OptimizeOff, Tier: core.TierOn, Options: tierOpts}
+
+	e := New(Config{Workers: 8})
+	defer e.Close()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				res, err := e.Submit(context.Background(), Job{Comp: c, Mech: sti.STWC, Cfg: cfg})
+				if err != nil {
+					errs <- fmt.Sprintf("worker stream %d run %d: %v", g, r, err)
+					return
+				}
+				if res.Err != nil {
+					errs <- fmt.Sprintf("worker stream %d run %d trapped: %v", g, r, res.Err)
+					continue
+				}
+				if res.Exit != ref.Exit || res.Output != ref.Output {
+					errs <- fmt.Sprintf("worker stream %d run %d: exit/output diverge from reference", g, r)
+				}
+				if zeroHostSide(res.Stats) != zeroHostSide(ref.Stats) {
+					errs <- fmt.Sprintf("worker stream %d run %d: modelled stats diverge:\n tiered %+v\n ref    %+v",
+						g, r, zeroHostSide(res.Stats), zeroHostSide(ref.Stats))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	b, err := c.BuildMode(sti.STWC, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := b.ImageFor(true).TierStats()
+	if ts.Promotions == 0 {
+		t.Error("no function promoted under contention")
+	}
+	if ts.Promotions != ts.CompiledFuncs {
+		t.Errorf("promotions %d != compiled funcs %d: a function compiled more than once",
+			ts.Promotions, ts.CompiledFuncs)
+	}
+	if st := e.Stats(); st.ThreadedInstrs == 0 {
+		t.Error("engine aggregated no threaded instructions from tiered runs")
+	}
+}

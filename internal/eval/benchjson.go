@@ -45,6 +45,15 @@ type BenchRecord struct {
 	PACCacheHitRate         float64            `json:"pac_cache_hit_rate"`
 	Figure9WallSeconds      float64            `json:"figure9_wall_seconds"`
 
+	// Tiered execution: modelled instrs/s on the same interpreter workload
+	// with the profile-guided direct-threaded tier enabled, how many
+	// function promotions the measured run performed, and whether the
+	// tier-on run's modelled statistics matched the tier-off run
+	// bit-identically (host-side observability counters excluded).
+	TieredInstrsPerSec float64 `json:"tiered_instrs_per_sec,omitempty"`
+	TierPromotions     int64   `json:"tier_promotions,omitempty"`
+	TierBitIdentical   bool    `json:"tier_bit_identical,omitempty"`
+
 	// Engine throughput sweep: modelled instrs/s through internal/engine
 	// at each worker count, whether every run stayed bit-identical to the
 	// sequential reference, and the best-over-1-worker scaling factor
@@ -77,6 +86,17 @@ type BenchRecord struct {
 	// Modelled invariants: host optimization must never move these.
 	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
 	GoldenCycles      map[string]int64   `json:"golden_cycles"`
+}
+
+// modelledStats strips the host-side observability counters (cache
+// effectiveness, fusion and tier attribution) from a stats snapshot,
+// leaving exactly the modelled numbers the bit-identity contract covers.
+func modelledStats(s vm.Stats) vm.Stats {
+	s.PACCacheHits, s.PACCacheMisses = 0, 0
+	s.FusedAuthLoads, s.FusedSignStores, s.FusedAuthStores = 0, 0, 0
+	s.FusedAuthAddrLoads, s.FusedAuthAddrStores, s.FusedInstrs = 0, 0, 0
+	s.ThreadedInstrs = 0
+	return s
 }
 
 // timeOp measures fn's best-of-runs time per op in nanoseconds.
@@ -201,6 +221,7 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 		return nil, err
 	}
 	bestPerSec := 0.0
+	var interpStats vm.Stats
 	for r := 0; r < 3; r++ {
 		m := vm.New(pi, vm.DefaultOptions())
 		start := time.Now()
@@ -211,8 +232,33 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 		if perSec > bestPerSec {
 			bestPerSec = perSec
 		}
+		interpStats = m.Stats
 	}
 	rec.InterpreterInstrsPerSec = bestPerSec
+
+	// Tiered throughput on the same workload: one shared image so the
+	// first round pays profiling + promotion and later rounds run the
+	// compiled bodies, exactly like a warmed serving process. The modelled
+	// statistics must match the interpreter's bit-for-bit.
+	tierImg := vm.NewImage(pi)
+	var tierStats vm.Stats
+	for r := 0; r < 3; r++ {
+		opts := vm.DefaultOptions()
+		opts.Image = tierImg
+		opts.Tier = true
+		m := vm.New(pi, opts)
+		start := time.Now()
+		if _, err := m.Run(); err != nil {
+			return nil, err
+		}
+		perSec := float64(m.Stats.Instrs) / time.Since(start).Seconds()
+		if perSec > rec.TieredInstrsPerSec {
+			rec.TieredInstrsPerSec = perSec
+		}
+		tierStats = m.Stats
+	}
+	rec.TierPromotions = tierImg.TierStats().Promotions
+	rec.TierBitIdentical = modelledStats(interpStats) == modelledStats(tierStats)
 
 	// PAC-cache hit rate and golden modelled cycles on the fixed
 	// workloads the golden regression test pins.
@@ -287,9 +333,8 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 		if perSec > rec.PACDenseInstrsPerSec {
 			rec.PACDenseInstrsPerSec = perSec
 		}
-		if r == 0 && res.Stats.Instrs > 0 {
-			fused := res.Stats.FusedAuthLoads + res.Stats.FusedSignStores
-			rec.PACDenseFusedShare = float64(2*fused) / float64(res.Stats.Instrs)
+		if r == 0 {
+			rec.PACDenseFusedShare = res.Stats.FusedShare()
 		}
 	}
 
@@ -384,6 +429,17 @@ func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float
 			(1-rec.PACDenseInstrsPerSec/prev.PACDenseInstrsPerSec)*100, prev.Label,
 			prev.PACDenseInstrsPerSec/1e6, rec.PACDenseInstrsPerSec/1e6))
 	}
+	// Tiered throughput guards the direct-threaded fast path the same way:
+	// tier 1 exists only to be faster, so a drop beyond threshold means the
+	// closure chains, the batched accounting, or the promotion heuristic
+	// regressed.
+	if prev.TieredInstrsPerSec > 0 && rec.TieredInstrsPerSec > 0 &&
+		rec.TieredInstrsPerSec < prev.TieredInstrsPerSec*(1-threshold) {
+		warns = append(warns, fmt.Sprintf(
+			"tiered throughput regressed %.0f%% vs %q: %.1f -> %.1f M instrs/s",
+			(1-rec.TieredInstrsPerSec/prev.TieredInstrsPerSec)*100, prev.Label,
+			prev.TieredInstrsPerSec/1e6, rec.TieredInstrsPerSec/1e6))
+	}
 	// Elision effectiveness is deterministic per build: a relative drop
 	// means the optimizer lost coverage, not host noise.
 	mechs := make([]string, 0, len(rec.PACOpsElidedPct))
@@ -439,6 +495,16 @@ func (r *BenchRecord) Summary() string {
 			r.CompileCacheHitRate*100, r.CompileCacheWarmNsPerOp/1e3,
 			r.Build3SerialNsPerOp/1e6, r.Build3ParallelNsPerOp/1e6)
 	}
+	tier := ""
+	if r.TieredInstrsPerSec > 0 {
+		ratio := 0.0
+		if r.InterpreterInstrsPerSec > 0 {
+			ratio = r.TieredInstrsPerSec / r.InterpreterInstrsPerSec
+		}
+		tier = fmt.Sprintf(
+			"\n  tiered execution:     %8.1f M instrs/s (%.2fx tier 0, %d promotions, bit-identical: %v)",
+			r.TieredInstrsPerSec/1e6, ratio, r.TierPromotions, r.TierBitIdentical)
+	}
 	pac := ""
 	if len(r.PACOpsElidedPct) > 0 {
 		pac = fmt.Sprintf(
@@ -474,5 +540,5 @@ func (r *BenchRecord) Summary() string {
 		r.Figure9WallSeconds,
 		r.Figure9GeomeanPct[sti.STWC.String()],
 		r.Figure9GeomeanPct[sti.STC.String()],
-		r.Figure9GeomeanPct[sti.STL.String()]) + compile + eng + pac
+		r.Figure9GeomeanPct[sti.STL.String()]) + tier + compile + eng + pac
 }

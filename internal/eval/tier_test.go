@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+	"rsti/internal/workload"
+)
+
+// tierRunOptions lowers the promotion threshold so the golden workloads'
+// functions compile to threaded bodies within a single run — the test
+// must exercise promoted code, not an idle tier.
+func tierRunOptions() vm.Options {
+	o := vm.DefaultOptions()
+	o.TierThreshold = 256
+	return o
+}
+
+// TestGoldenCyclesTieredBitIdentical re-runs the golden workloads with
+// the direct-threaded tier forced on and requires the pinned modelled
+// cycles exactly: promotion, superinstruction dispatch, and batched
+// accounting must not move a reported number by even one cycle.
+func TestGoldenCyclesTieredBitIdentical(t *testing.T) {
+	for _, g := range goldenCycles {
+		b := g.pick()
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		for _, mech := range []sti.Mechanism{sti.None, sti.STWC, sti.STC, sti.STL} {
+			cfg := core.RunConfig{
+				Optimize: core.OptimizeOff,
+				Tier:     core.TierOn,
+				Options:  tierRunOptions(),
+			}
+			res, err := c.Run(mech, cfg)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", g.name, mech, err)
+			}
+			if res.Err != nil {
+				t.Fatalf("%s under %s trapped: %v", g.name, mech, res.Err)
+			}
+			if res.Stats.Cycles != g.want[mech] {
+				t.Errorf("%s under %s (tiered): modelled cycles = %d, golden = %d",
+					g.name, mech, res.Stats.Cycles, g.want[mech])
+			}
+			if res.Stats.ThreadedInstrs == 0 {
+				t.Errorf("%s under %s: tier never engaged (0 threaded instrs); the equality is vacuous",
+					g.name, mech)
+			}
+		}
+	}
+}
+
+// TestPACDenseFusedShareFloor pins the superinstruction selector's
+// coverage on the PAC-dense kernel: a meaningful share of its modelled
+// instructions must retire through fused dispatch groups. Before the
+// selector learned the aut→addr→access triples this share was under 1%
+// (the kernel's authenticated accesses all go through field/index
+// address computation), so the floor guards against the selector
+// silently narrowing again.
+func TestPACDenseFusedShareFloor(t *testing.T) {
+	c, err := core.Compile(workload.PACDense().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []core.OptimizeMode{core.OptimizeOff, core.OptimizeOn} {
+		res, err := c.Run(sti.STWC, core.RunConfig{Optimize: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("pac-dense trapped: %v", res.Err)
+		}
+		if share := res.Stats.FusedShare(); share < 0.2 {
+			t.Errorf("optimize=%v: fused share = %.4f of %d instrs, want >= 0.2",
+				mode, share, res.Stats.Instrs)
+		}
+	}
+}

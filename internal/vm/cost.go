@@ -46,11 +46,31 @@ type Stats struct {
 	PACCacheHits   int64
 	PACCacheMisses int64
 
-	// Superinstruction dispatch counters: executions of fused aut+load /
-	// pac+store pairs. Host-side observability only — fused pairs charge
-	// exactly the per-op counts and cycles of their unfused twins.
-	FusedAuthLoads  int64
-	FusedSignStores int64
+	// Superinstruction dispatch counters: executions of fused groups.
+	// Host-side observability only — fused groups charge exactly the
+	// per-op counts and cycles of their unfused twins. FusedInstrs is the
+	// total number of instructions that executed inside some fused group
+	// (2 per pair, 3 per aut+addr+access triple).
+	FusedAuthLoads      int64
+	FusedSignStores     int64
+	FusedAuthStores     int64
+	FusedAuthAddrLoads  int64
+	FusedAuthAddrStores int64
+	FusedInstrs         int64
+
+	// ThreadedInstrs counts instructions executed by the direct-threaded
+	// tier (tier 1) rather than the switch interpreter. Host-side
+	// observability only: the tier charges bit-identical modelled numbers.
+	ThreadedInstrs int64
+}
+
+// FusedShare returns the fraction of executed instructions dispatched
+// inside fused superinstruction groups.
+func (s *Stats) FusedShare() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.FusedInstrs) / float64(s.Instrs)
 }
 
 // PACOps returns the total number of PA instructions executed.
@@ -89,24 +109,50 @@ func (c *CostModel) cycleTable() [mir.NumOps]int64 {
 	return t
 }
 
-func (m *Machine) charge(op mir.Op) {
-	s := &m.Stats
-	s.Instrs++
-	s.Cycles += m.cycles[op]
-	switch op {
-	case mir.Load:
-		s.Loads++
-	case mir.Store:
-		s.Stores++
-	case mir.CallOp:
-		s.Calls++
-	case mir.PacSign:
-		s.PacSigns++
-	case mir.PacAuth:
-		s.PacAuths++
-	case mir.PacStrip:
-		s.PacStrips++
-	case mir.PPAdd, mir.PPSign, mir.PPAuth, mir.PPAddTBI:
-		s.PPOps++
+// Instruction classes: which Stats counter (if any) an opcode bumps.
+// charge() used to resolve this with an 8-way switch on the hot path;
+// flattening it into an index table plus per-machine counter pointers
+// makes accounting three indexed adds with no branches, and gives the
+// threaded tier a way to pre-aggregate a whole segment's class counts.
+const (
+	clNone = iota // ops without a dedicated counter (dumps into a scratch cell)
+	clLoad
+	clStore
+	clCall
+	clSign
+	clAuth
+	clStrip
+	clPP
+	numClasses
+)
+
+// classOf maps each opcode to its counter class.
+var classOf = [mir.NumOps]uint8{
+	mir.Load: clLoad, mir.Store: clStore, mir.CallOp: clCall,
+	mir.PacSign: clSign, mir.PacAuth: clAuth, mir.PacStrip: clStrip,
+	mir.PPAdd: clPP, mir.PPSign: clPP, mir.PPAuth: clPP, mir.PPAddTBI: clPP,
+}
+
+// initClassPtrs wires the per-opcode counter pointers into m.Stats. Ops
+// with no counter share m.scratchCount so charge() stays branch-free.
+func (m *Machine) initClassPtrs() {
+	m.classByIdx = [numClasses]*int64{
+		clNone:  &m.scratchCount,
+		clLoad:  &m.Stats.Loads,
+		clStore: &m.Stats.Stores,
+		clCall:  &m.Stats.Calls,
+		clSign:  &m.Stats.PacSigns,
+		clAuth:  &m.Stats.PacAuths,
+		clStrip: &m.Stats.PacStrips,
+		clPP:    &m.Stats.PPOps,
 	}
+	for op := mir.Op(0); op < mir.NumOps; op++ {
+		m.classPtr[op] = m.classByIdx[classOf[op]]
+	}
+}
+
+func (m *Machine) charge(op mir.Op) {
+	m.Stats.Instrs++
+	m.Stats.Cycles += m.cycles[op]
+	*m.classPtr[op]++
 }

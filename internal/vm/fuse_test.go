@@ -44,9 +44,9 @@ func TestPredecodeFusionMarks(t *testing.T) {
 		{Op: mir.Load, Dst: 9, A: 8, Ty: ctypes.LongType}, // consumes r8 but across the boundary
 	}
 
-	dec, al, ss := predecode(f)
-	if al != 1 || ss != 1 {
-		t.Fatalf("fused pair counts = (%d auth/load, %d sign/store), want (1, 1)", al, ss)
+	dec, fc := predecode(f)
+	if fc.AuthLoads != 1 || fc.SignStores != 1 || fc.Total() != 2 {
+		t.Fatalf("fused counts = %+v, want exactly 1 auth/load and 1 sign/store", fc)
 	}
 	wantFuse := map[int]fuseKind{0: fuseSignStore, 2: fuseAuthLoad}
 	for ii := range b0.Instrs {

@@ -42,6 +42,19 @@ type Options struct {
 	// per-run predecoding. Nil (or a mismatched program) predecodes
 	// privately.
 	Image *Image
+
+	// Tier enables the profile-guided direct-threaded execution tier:
+	// functions whose observed instruction count crosses TierThreshold are
+	// compiled to chained closures (see threaded.go). Every modelled
+	// number stays bit-identical to the interpreter; only host dispatch
+	// gets cheaper. The compiled bodies and profile live on the Image, so
+	// concurrent machines share one promotion.
+	Tier bool
+
+	// TierThreshold overrides the promotion hotness threshold (modelled
+	// instructions observed in a function before its body is compiled).
+	// Zero means DefaultTierThreshold.
+	TierThreshold int64
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -72,6 +85,14 @@ type Machine struct {
 	Stats  Stats
 	cost   CostModel
 	cycles [mir.NumOps]int64 // per-opcode charge, flattened from cost
+
+	// Branch-free per-opcode class counting: classPtr[op] points at the
+	// Stats counter the opcode bumps (or scratchCount when it has none);
+	// classByIdx is the same set indexed by class for the threaded tier's
+	// batched segment accounting.
+	classPtr     [mir.NumOps]*int64
+	classByIdx   [numClasses]*int64
+	scratchCount int64
 
 	heapNext  uint64
 	heapEnd   uint64
@@ -105,6 +126,18 @@ type Machine struct {
 	// construction, so Stats reports per-run deltas even when the unit
 	// is a warm one shared by a WorkerState.
 	pacHits0, pacMisses0 uint64
+
+	// Threaded-tier state (threaded.go). tier is the image's shared
+	// profile/promotion table, nil when the tier is off. tErr/tRet carry a
+	// threaded body's trap or return value out of the closure chain (a
+	// closure signals by storing here and returning nil). segBatched marks
+	// that the currently-running segment pre-charged its whole cost, so a
+	// trapping closure must refund the unexecuted suffix.
+	tier          *tierState
+	tierThreshold int64
+	tErr          error
+	tRet          uint64
+	segBatched    bool
 
 	exitCode *int64
 }
@@ -142,15 +175,54 @@ const (
 	extF32                 // float32 <-> float64 conversion
 )
 
-// fuseKind marks an instruction that dispatches its successor in the
-// same interpreter switch arm (a superinstruction).
+// fuseKind marks an instruction that dispatches its successors in the
+// same interpreter switch arm (a superinstruction group). The mark sits
+// on the group's first instruction; fuseLen gives the group size.
 type fuseKind uint8
 
 const (
-	fuseNone      fuseKind = iota
-	fuseAuthLoad           // PacAuth immediately feeding the next Load's address
-	fuseSignStore          // PacSign immediately feeding the next Store's value
+	fuseNone          fuseKind = iota
+	fuseAuthLoad               // aut ; load through the authenticated pointer
+	fuseSignStore              // pac ; store of the signed value
+	fuseAuthStore              // aut ; store through the authenticated pointer
+	fuseAuthAddrLoad           // aut ; fieldaddr/indexaddr off it ; load
+	fuseAuthAddrStore          // aut ; fieldaddr/indexaddr off it ; store
 )
+
+// fuseLen returns the number of instructions in a fused group (0 for an
+// unfused instruction).
+func fuseLen(k fuseKind) int {
+	switch k {
+	case fuseAuthLoad, fuseSignStore, fuseAuthStore:
+		return 2
+	case fuseAuthAddrLoad, fuseAuthAddrStore:
+		return 3
+	}
+	return 0
+}
+
+// FuseCounts tallies the static fused groups predecode marked in one
+// function (or, summed, one image).
+type FuseCounts struct {
+	AuthLoads      int
+	SignStores     int
+	AuthStores     int
+	AuthAddrLoads  int
+	AuthAddrStores int
+}
+
+func (c *FuseCounts) add(o FuseCounts) {
+	c.AuthLoads += o.AuthLoads
+	c.SignStores += o.SignStores
+	c.AuthStores += o.AuthStores
+	c.AuthAddrLoads += o.AuthAddrLoads
+	c.AuthAddrStores += o.AuthAddrStores
+}
+
+// Total returns the number of marked groups.
+func (c FuseCounts) Total() int {
+	return c.AuthLoads + c.SignStores + c.AuthStores + c.AuthAddrLoads + c.AuthAddrStores
+}
 
 // decInstr is the predecoded per-instruction metadata: everything the
 // interpreter would otherwise recompute from *ctypes.Type on every
@@ -163,12 +235,15 @@ type decInstr struct {
 }
 
 // predecode builds the decInstr tables for every block of f and marks
-// aut+load / pac+store superinstruction pairs (fusion never crosses a
-// block boundary: adjacency is within one Instrs slice). It returns the
-// static pair counts alongside the tables. Fusion changes host dispatch
-// only — every modelled number (steps, cycles, per-op counts, trap
-// attribution) is bit-identical to unfused execution.
-func predecode(f *mir.Func) (blocks [][]decInstr, authLoads, signStores int) {
+// superinstruction groups (fusion never crosses a block boundary:
+// adjacency is within one Instrs slice). Beyond the original aut+load /
+// pac+store pairs it matches the sequences instrumentation actually
+// emits on struct- and array-heavy code — the authenticated pointer is
+// usually offset by a fieldaddr/indexaddr before the access, so the
+// dominant shapes are aut;addr;load and aut;addr;store triples. Fusion
+// changes host dispatch only — every modelled number (steps, cycles,
+// per-op counts, trap attribution) is bit-identical to unfused execution.
+func predecode(f *mir.Func) (blocks [][]decInstr, counts FuseCounts) {
 	blocks = make([][]decInstr, len(f.Blocks))
 	for bi, blk := range f.Blocks {
 		ds := make([]decInstr, len(blk.Instrs))
@@ -193,15 +268,31 @@ func predecode(f *mir.Func) (blocks [][]decInstr, authLoads, signStores int) {
 			switch {
 			case in.Op == mir.PacAuth && next.Op == mir.Load && next.A == in.Dst:
 				ds[ii].fuse = fuseAuthLoad
-				authLoads++
+				counts.AuthLoads++
+			case in.Op == mir.PacAuth && next.Op == mir.Store && next.A == in.Dst:
+				ds[ii].fuse = fuseAuthStore
+				counts.AuthStores++
+			case in.Op == mir.PacAuth && (next.Op == mir.FieldAddr || next.Op == mir.IndexAddr) &&
+				next.A == in.Dst && ii+2 < len(blk.Instrs):
+				third := &blk.Instrs[ii+2]
+				switch {
+				case third.Op == mir.Load && third.A == next.Dst:
+					ds[ii].fuse = fuseAuthAddrLoad
+					counts.AuthAddrLoads++
+					ii++ // the addr instruction is claimed by this group
+				case third.Op == mir.Store && third.A == next.Dst:
+					ds[ii].fuse = fuseAuthAddrStore
+					counts.AuthAddrStores++
+					ii++
+				}
 			case in.Op == mir.PacSign && next.Op == mir.Store && next.B == in.Dst:
 				ds[ii].fuse = fuseSignStore
-				signStores++
+				counts.SignStores++
 			}
 		}
 		blocks[bi] = ds
 	}
-	return blocks, authLoads, signStores
+	return blocks, counts
 }
 
 // decodeExt classifies how a loaded value of type t widens to a register.
@@ -253,6 +344,14 @@ func New(prog *mir.Program, opts Options) *Machine {
 	}
 	m.pacHits0, m.pacMisses0 = m.Unit.CacheStats()
 	m.cycles = m.cost.cycleTable()
+	m.initClassPtrs()
+	if opts.Tier {
+		m.tier = img.tierFor(opts.Cost)
+		m.tierThreshold = opts.TierThreshold
+		if m.tierThreshold <= 0 {
+			m.tierThreshold = DefaultTierThreshold
+		}
+	}
 
 	m.Mem = NewMemory(img.gsize+16, img.ssize+16, opts.HeapSize, opts.StackSize)
 	for i, s := range prog.Strings {
@@ -426,17 +525,26 @@ func (m *Machine) stepGate(f *mir.Func, in *mir.Instr) error {
 		return m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
 	}
 	if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
-		if cerr := m.ctx.Err(); cerr != nil {
-			return &Trap{
-				Kind:  TrapCancelled,
-				Fn:    f.Name,
-				Pos:   in.Pos,
-				Msg:   fmt.Sprintf("%v after %d steps", cerr, m.steps),
-				Cause: cerr,
-			}
-		}
+		return m.cancelled(f, in)
 	}
 	return nil
+}
+
+// cancelled polls the machine's context at a cancellation checkpoint and
+// converts a done context into the TrapCancelled attributed to in. It is
+// the cold half of the step gate, outlined so the hot loop inlines.
+func (m *Machine) cancelled(f *mir.Func, in *mir.Instr) error {
+	cerr := m.ctx.Err()
+	if cerr == nil {
+		return nil
+	}
+	return &Trap{
+		Kind:  TrapCancelled,
+		Fn:    f.Name,
+		Pos:   in.Pos,
+		Msg:   fmt.Sprintf("%v after %d steps", cerr, m.steps),
+		Cause: cerr,
+	}
 }
 
 func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
@@ -445,6 +553,10 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 	}
 	if len(m.frames) >= m.maxDepth {
 		return 0, m.trap(TrapStackOverflow, f, nil, "call depth %d", len(m.frames))
+	}
+	var prof *funcProfile
+	if m.tier != nil {
+		prof = m.tier.prof[f]
 	}
 	fr := m.getFrame(f)
 	copy(fr.regs, args)
@@ -458,17 +570,34 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 	decoded := m.img.dec[f]
 	blk := f.Blocks[0]
 	dblk := decoded[0]
+	if prof != nil {
+		if tf := m.noteBlock(prof, f, blk); tf != nil {
+			return m.runThreaded(tf, fr, 0)
+		}
+	}
+	instrs := blk.Instrs
+	regs := fr.regs
 	ip := 0
 	for {
-		if ip >= len(blk.Instrs) {
+		if ip >= len(instrs) {
 			return 0, m.trap(TrapOutOfBounds, f, nil, "fell off block %s", blk.Name)
 		}
-		in := &blk.Instrs[ip]
-		if err := m.stepGate(f, in); err != nil {
-			return 0, err
+		in := &instrs[ip]
+		// The step gate, inlined: the budget test and the (usually-skipped)
+		// cancellation checkpoint are the whole per-instruction admission
+		// cost; the trap constructors stay in outlined cold paths.
+		m.steps++
+		if m.steps > m.maxSteps {
+			return 0, m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
 		}
-		m.charge(in.Op)
-		regs := fr.regs
+		if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
+			if err := m.cancelled(f, in); err != nil {
+				return 0, err
+			}
+		}
+		m.Stats.Instrs++
+		m.Stats.Cycles += m.cycles[in.Op]
+		*m.classPtr[in.Op]++
 
 		switch in.Op {
 		case mir.Nop:
@@ -584,6 +713,12 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 		case mir.Jmp:
 			blk = f.Blocks[in.Targets[0]]
 			dblk = decoded[blk.Index]
+			if prof != nil {
+				if tf := m.noteBlock(prof, f, blk); tf != nil {
+					return m.runThreaded(tf, fr, blk.Index)
+				}
+			}
+			instrs = blk.Instrs
 			ip = 0
 			continue
 		case mir.Br:
@@ -593,6 +728,12 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				blk = f.Blocks[in.Targets[1]]
 			}
 			dblk = decoded[blk.Index]
+			if prof != nil {
+				if tf := m.noteBlock(prof, f, blk); tf != nil {
+					return m.runThreaded(tf, fr, blk.Index)
+				}
+			}
+			instrs = blk.Instrs
 			ip = 0
 			continue
 
@@ -604,12 +745,13 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				// attribution are those of two separate instructions (a
 				// memory fault names the store, not the sign).
 				ip++
-				in = &blk.Instrs[ip]
+				in = &instrs[ip]
 				if err := m.stepGate(f, in); err != nil {
 					return 0, err
 				}
 				m.charge(mir.Store)
 				m.Stats.FusedSignStores++
+				m.Stats.FusedInstrs += 2
 				addr, err := m.canonical(regs[in.A], f, in)
 				if err != nil {
 					return 0, err
@@ -630,17 +772,21 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				return 0, m.trap(TrapAuthFailure, f, in, "aut failed on %#x (mod %#x)", regs[in.A], mod)
 			}
 			regs[in.Dst] = v
-			if dblk[ip].fuse == fuseAuthLoad {
-				// Fused aut+load superinstruction. An authentication
-				// failure above traps naming the aut; only a fault on the
-				// memory access itself names the load.
+			// Fused superinstruction tails. An authentication failure above
+			// traps naming the aut; each fused follower runs its own step
+			// gate and charge, so accounting and trap attribution stay
+			// bit-identical to separate dispatch (a memory fault names the
+			// load/store, never the aut).
+			switch dblk[ip].fuse {
+			case fuseAuthLoad:
 				ip++
-				in = &blk.Instrs[ip]
+				in = &instrs[ip]
 				if err := m.stepGate(f, in); err != nil {
 					return 0, err
 				}
 				m.charge(mir.Load)
 				m.Stats.FusedAuthLoads++
+				m.Stats.FusedInstrs += 2
 				addr, err := m.canonical(regs[in.A], f, in)
 				if err != nil {
 					return 0, err
@@ -651,6 +797,71 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 				}
 				regs[in.Dst] = extendDec(lv, d.ext)
+			case fuseAuthStore:
+				ip++
+				in = &instrs[ip]
+				if err := m.stepGate(f, in); err != nil {
+					return 0, err
+				}
+				m.charge(mir.Store)
+				m.Stats.FusedAuthStores++
+				m.Stats.FusedInstrs += 2
+				addr, err := m.canonical(regs[in.A], f, in)
+				if err != nil {
+					return 0, err
+				}
+				d := &dblk[ip]
+				sv := regs[in.B]
+				if d.ext == extF32 {
+					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
+				}
+				if err := m.Mem.Store(addr, sv, int(d.size)); err != nil {
+					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+				}
+			case fuseAuthAddrLoad, fuseAuthAddrStore:
+				kind := dblk[ip].fuse
+				// Address computation off the authenticated pointer.
+				ip++
+				in = &instrs[ip]
+				if err := m.stepGate(f, in); err != nil {
+					return 0, err
+				}
+				m.charge(in.Op)
+				if in.Op == mir.FieldAddr {
+					regs[in.Dst] = regs[in.A] + uint64(in.Imm)
+				} else {
+					regs[in.Dst] = regs[in.A] + uint64(int64(regs[in.B])*in.Imm)
+				}
+				// The access itself.
+				ip++
+				in = &instrs[ip]
+				if err := m.stepGate(f, in); err != nil {
+					return 0, err
+				}
+				m.charge(in.Op)
+				m.Stats.FusedInstrs += 3
+				addr, err := m.canonical(regs[in.A], f, in)
+				if err != nil {
+					return 0, err
+				}
+				d := &dblk[ip]
+				if kind == fuseAuthAddrLoad {
+					m.Stats.FusedAuthAddrLoads++
+					lv, err := m.Mem.Load(addr, int(d.size))
+					if err != nil {
+						return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+					}
+					regs[in.Dst] = extendDec(lv, d.ext)
+				} else {
+					m.Stats.FusedAuthAddrStores++
+					sv := regs[in.B]
+					if d.ext == extF32 {
+						sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
+					}
+					if err := m.Mem.Store(addr, sv, int(d.size)); err != nil {
+						return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
+					}
+				}
 			}
 		case mir.PacStrip:
 			regs[in.Dst] = m.Unit.Strip(regs[in.A])

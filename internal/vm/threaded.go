@@ -1,0 +1,884 @@
+package vm
+
+// Tier 1: profile-guided direct-threaded execution.
+//
+// The switch interpreter (exec in machine.go) is tier 0. While it runs
+// with the tier enabled, it bumps a per-function hotness counter at every
+// block entry; once a function has accounted for TierThreshold modelled
+// instructions, its predecoded blocks are compiled — exactly once, no
+// matter how many machines share the image — into chains of Go closures.
+// Each closure does one instruction's work and tail-dispatches the next by
+// returning it, so the central `switch in.Op` disappears from the hot
+// path. Blocks the profile observed as hot additionally get
+// superinstruction closures for the fused groups predecode marked
+// (aut+load, pac+store, aut+store and the aut+addr+access triples), and
+// the pac/aut closures inline the PA unit's memo-cache probe so a cache
+// hit never leaves the closure.
+//
+// Accounting is batched but bit-identical to the interpreter. A block is
+// split into segments at call boundaries; each segment is guarded by a
+// gate closure that pre-charges the whole segment (one add each for
+// steps, instrs, cycles and the per-class counters) when it can prove the
+// interpreter would have admitted every instruction: the step budget is
+// not exhausted inside the segment and no cancellation checkpoint
+// (steps % ctxCheckInterval == 0) falls inside it. Otherwise the gate
+// reruns the segment through an exact per-instruction slow path — the
+// same closures, driven index-wise with the interpreter's own gate —
+// which reproduces budget traps, cancellation traps and their
+// attribution precisely; the slow path is transient, the next segment's
+// gate goes fast again. A closure that traps mid-segment after a fast
+// gate refunds the pre-charged suffix (the instructions that never ran),
+// so trap-time Stats equal the interpreter's, which charges the trapping
+// instruction itself but nothing after it.
+//
+// Promoted code is entered at function entry and, mid-frame, at block
+// boundaries (on-stack replacement from the interpreter's Jmp/Br arms):
+// both tiers share the frame layout, so switching is just jumping into
+// the block's entry closure.
+
+import (
+	"math"
+	"sync/atomic"
+
+	"rsti/internal/mir"
+	"rsti/internal/pa"
+)
+
+// DefaultTierThreshold is the modelled-instruction hotness a function
+// must accumulate before its body is compiled to closures. Low enough
+// that benchmark loops promote within their first iterations, high
+// enough that one-shot startup code never pays for compilation.
+const DefaultTierThreshold = 1 << 14
+
+// fusedBlockFloor is the number of observed executions a block needs
+// before superinstruction closures are selected for it. Profile-driven:
+// cold blocks keep plain per-instruction closures.
+const fusedBlockFloor = 8
+
+// tierPromotions counts threaded-body compilations process-wide, for
+// /metrics and the exactly-once tests.
+var tierPromotions atomic.Int64
+
+// TierPromotions returns the number of functions promoted to the
+// threaded tier process-wide.
+func TierPromotions() int64 { return tierPromotions.Load() }
+
+// funcProfile promotion states.
+const (
+	profCold      int32 = iota // still interpreting and counting
+	profInstalled              // a machine won the CAS; body is (being) installed
+	profDead                   // compilation declined; interpret forever
+)
+
+// funcProfile is one function's shared hotness profile and compiled body.
+type funcProfile struct {
+	hot      atomic.Int64 // modelled instructions observed at block entries
+	state    atomic.Int32
+	body     atomic.Pointer[threadedFunc]
+	blockHot []atomic.Int64 // per-block entry counts, drives fusion selection
+}
+
+// tierState is the per-image shared tier: profiles for every function,
+// pinned to one cost model (segments bake their cycle charges in).
+type tierState struct {
+	cost   CostModel
+	cycles [mir.NumOps]int64
+	prof   map[*mir.Func]*funcProfile
+
+	promotions    atomic.Int64
+	closures      atomic.Int64
+	fusedClosures atomic.Int64
+}
+
+func newTierState(prog *mir.Program, cost CostModel) *tierState {
+	ts := &tierState{
+		cost: cost,
+		prof: make(map[*mir.Func]*funcProfile, len(prog.Funcs)),
+	}
+	ts.cycles = cost.cycleTable()
+	for _, f := range prog.Funcs {
+		if !f.Extern {
+			ts.prof[f] = &funcProfile{blockHot: make([]atomic.Int64, len(f.Blocks))}
+		}
+	}
+	return ts
+}
+
+// tOp is one compiled instruction (or superinstruction, or segment gate):
+// it does its work and returns the next closure to run, or nil to stop —
+// either a return (m.tRet) or a trap (m.tErr).
+type tOp func(m *Machine, fr *frame) tOp
+
+// threadedFunc is a compiled function body: one entry closure per block.
+type threadedFunc struct {
+	fn       *mir.Func
+	entry    []tOp
+	closures int64
+	fused    int64
+}
+
+// noteBlock is the interpreter's per-block profiling hook (called with
+// the function's profile before the block's first instruction executes,
+// so promotion never splits a block's accounting). It returns a compiled
+// body to switch into when one exists — installed by this machine just
+// now, or by any other machine sharing the image.
+func (m *Machine) noteBlock(p *funcProfile, f *mir.Func, blk *mir.Block) *threadedFunc {
+	if tf := p.body.Load(); tf != nil {
+		return tf
+	}
+	if p.state.Load() != profCold {
+		return nil // being compiled right now, or declined: keep interpreting
+	}
+	p.blockHot[blk.Index].Add(1)
+	n := int64(len(blk.Instrs))
+	h := p.hot.Add(n)
+	// Exactly one adder observes the threshold crossing (the atomic adds
+	// partition the counter's range); the CAS in promote backstops it.
+	if h >= m.tierThreshold && h-n < m.tierThreshold {
+		return m.promote(p, f)
+	}
+	return nil
+}
+
+// promote compiles f's threaded body exactly once across all machines
+// sharing the image and installs it. Losers of the race return nil and
+// keep interpreting until the body shows up via noteBlock.
+func (m *Machine) promote(p *funcProfile, f *mir.Func) *threadedFunc {
+	if !p.state.CompareAndSwap(profCold, profInstalled) {
+		return nil
+	}
+	tf := compileThreaded(m.tier, m.img, f, p)
+	if tf == nil {
+		p.state.Store(profDead)
+		return nil
+	}
+	m.tier.promotions.Add(1)
+	m.tier.closures.Add(tf.closures)
+	m.tier.fusedClosures.Add(tf.fused)
+	tierPromotions.Add(1)
+	p.body.Store(tf)
+	return tf
+}
+
+// runThreaded drives a compiled body from block bi's entry until a
+// closure stops the chain, then collects the return value or trap the
+// stopping closure left on the machine. The caller (exec) owns the frame
+// and pops it; both tiers share the frame layout, which is what makes
+// mid-frame OSR from the interpreter's branch arms safe.
+func (m *Machine) runThreaded(tf *threadedFunc, fr *frame, bi int) (uint64, error) {
+	op := tf.entry[bi]
+	for op != nil {
+		op = op(m, fr)
+	}
+	ret, err := m.tRet, m.tErr
+	m.tRet, m.tErr = 0, nil
+	return ret, err
+}
+
+// tSeg is one call-free run of instructions within a block, the unit of
+// batched accounting.
+type tSeg struct {
+	fn     *mir.Func
+	instrs []mir.Instr // aliases the block's Instrs
+	ops    []tOp       // per-instruction closures, driven by the slow path
+	n      int64       // instruction count
+	cycles int64       // summed cycle charge under the tier's cost model
+	adds   []classAdd  // non-zero per-class counter increments
+	head   tOp         // first closure of the fast chain
+}
+
+// classAdd is one batched class-counter increment.
+type classAdd struct {
+	class uint8
+	n     int64
+}
+
+// gateFor builds the segment's admission gate: the fast path charges the
+// whole segment in O(1) and jumps into the closure chain; the exact slow
+// path takes over whenever the budget or a cancellation checkpoint could
+// fire inside the segment.
+func gateFor(seg *tSeg) tOp {
+	return func(m *Machine, fr *frame) tOp {
+		ns := m.steps + seg.n
+		if ns > m.maxSteps || (m.ctx != nil && ns/ctxCheckInterval != m.steps/ctxCheckInterval) {
+			return m.slowSeg(seg, fr)
+		}
+		m.steps = ns
+		m.Stats.Instrs += seg.n
+		m.Stats.Cycles += seg.cycles
+		m.Stats.ThreadedInstrs += seg.n
+		for _, a := range seg.adds {
+			*m.classByIdx[a.class] += a.n
+		}
+		m.segBatched = true
+		return seg.head
+	}
+}
+
+// slowSeg executes a segment with the interpreter's own per-instruction
+// admission (step budget, cancellation checkpoint, charge), reusing the
+// segment's closures for the work itself. The last closure's return value
+// is the continuation (next segment's gate, a branch target's entry, or
+// nil after ret/trap).
+func (m *Machine) slowSeg(seg *tSeg, fr *frame) tOp {
+	m.segBatched = false
+	f := seg.fn
+	var next tOp
+	for i := range seg.ops {
+		in := &seg.instrs[i]
+		m.steps++
+		if m.steps > m.maxSteps {
+			m.tErr = m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
+			return nil
+		}
+		if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
+			if err := m.cancelled(f, in); err != nil {
+				m.tErr = err
+				return nil
+			}
+		}
+		m.Stats.Instrs++
+		m.Stats.Cycles += m.cycles[in.Op]
+		m.Stats.ThreadedInstrs++
+		*m.classPtr[in.Op]++
+		next = seg.ops[i](m, fr)
+		if m.tErr != nil {
+			return nil
+		}
+	}
+	return next
+}
+
+// refundRest undoes the pre-charged accounting for the instructions after
+// a trap site when the segment was admitted by the fast gate: the
+// interpreter charges the trapping instruction itself and nothing beyond
+// it. rest is the segment suffix that never executed.
+func (m *Machine) refundRest(rest []mir.Instr) {
+	if !m.segBatched {
+		return
+	}
+	for i := range rest {
+		op := rest[i].Op
+		m.Stats.Instrs--
+		m.Stats.Cycles -= m.cycles[op]
+		m.Stats.ThreadedInstrs--
+		*m.classPtr[op]--
+	}
+	m.steps -= int64(len(rest))
+}
+
+// tcomp carries the per-function compilation state.
+type tcomp struct {
+	ts  *tierState
+	img *Image
+	f   *mir.Func
+	tf  *threadedFunc
+}
+
+// compileThreaded translates f's predecoded blocks into closure chains.
+// It returns nil if any instruction cannot be compiled (the function then
+// stays on the interpreter forever).
+func compileThreaded(ts *tierState, img *Image, f *mir.Func, p *funcProfile) *threadedFunc {
+	tf := &threadedFunc{fn: f, entry: make([]tOp, len(f.Blocks))}
+	c := &tcomp{ts: ts, img: img, f: f, tf: tf}
+	decoded := img.dec[f]
+	for bi, blk := range f.Blocks {
+		hot := p.blockHot[bi].Load() >= fusedBlockFloor
+		entry := c.compileBlock(blk, decoded[bi], hot)
+		if entry == nil {
+			return nil
+		}
+		tf.entry[bi] = entry
+	}
+	return tf
+}
+
+// compileBlock splits a block into call-bounded segments and compiles
+// them back to front, so each segment's gate can hand the next one as the
+// chain continuation.
+func (c *tcomp) compileBlock(blk *mir.Block, dblk []decInstr, hot bool) tOp {
+	type span struct{ start, end int }
+	var segs []span
+	start := 0
+	for i := range blk.Instrs {
+		if blk.Instrs[i].Op == mir.CallOp {
+			if i > start {
+				segs = append(segs, span{start, i})
+			}
+			segs = append(segs, span{i, i + 1})
+			start = i + 1
+		}
+	}
+	if start < len(blk.Instrs) {
+		segs = append(segs, span{start, len(blk.Instrs)})
+	}
+
+	var cont tOp // continuation after the segment being compiled
+	for si := len(segs) - 1; si >= 0; si-- {
+		s := segs[si]
+		if blk.Instrs[s.start].Op == mir.CallOp {
+			cont = c.compileCall(&blk.Instrs[s.start], cont)
+			c.tf.closures++
+			continue
+		}
+		g := c.compileSeg(blk, dblk, s.start, s.end, cont, hot)
+		if g == nil {
+			return nil
+		}
+		cont = g
+	}
+	return cont
+}
+
+// compileSeg builds one call-free segment: per-instruction closures (the
+// exact slow path), the fused fast chain, the batched accounting totals
+// and the admission gate that fronts it all.
+func (c *tcomp) compileSeg(blk *mir.Block, dblk []decInstr, start, end int, cont tOp, hot bool) tOp {
+	n := end - start
+	seg := &tSeg{
+		fn:     c.f,
+		instrs: blk.Instrs[start:end],
+		ops:    make([]tOp, n),
+	}
+	dec := dblk[start:end]
+	var cls [numClasses]int64
+	// fast[i] is the chain element that represents position i in fast
+	// mode: the position's own closure, or the superinstruction closure
+	// covering the group that starts there. fast[n] is the continuation.
+	fast := make([]tOp, n+1)
+	fast[n] = cont
+	for i := n - 1; i >= 0; i-- {
+		in := &seg.instrs[i]
+		seg.n++
+		seg.cycles += c.ts.cycles[in.Op]
+		cls[classOf[in.Op]]++
+		op := c.compileInstr(in, &dec[i], seg.instrs[i+1:], fast[i+1])
+		if op == nil {
+			return nil
+		}
+		seg.ops[i] = op
+		fast[i] = op
+		c.tf.closures++
+		if hot {
+			if g := fuseLen(dec[i].fuse); g > 0 && i+g <= n {
+				if fop := c.compileFused(seg, dec, i, g, fast[i+g]); fop != nil {
+					fast[i] = fop
+					c.tf.fused++
+				}
+			}
+		}
+	}
+	seg.head = fast[0]
+	for cl, cnt := range cls {
+		if cnt != 0 && cl != clNone {
+			seg.adds = append(seg.adds, classAdd{class: uint8(cl), n: cnt})
+		}
+	}
+	return gateFor(seg)
+}
+
+// compileCall builds the closure for a CallOp. Calls are their own
+// segments and gate themselves per-instruction: the callee moves m.steps
+// by an unknowable amount, so there is nothing to batch, and keeping the
+// admission inline skips a gate dispatch per call.
+func (c *tcomp) compileCall(in *mir.Instr, next tOp) tOp {
+	f := c.f
+	return func(m *Machine, fr *frame) tOp {
+		m.steps++
+		if m.steps > m.maxSteps {
+			m.tErr = m.trap(TrapMaxSteps, f, in, "%d steps", m.steps)
+			return nil
+		}
+		if m.ctx != nil && m.steps%ctxCheckInterval == 0 {
+			if err := m.cancelled(f, in); err != nil {
+				m.tErr = err
+				return nil
+			}
+		}
+		m.Stats.Instrs++
+		m.Stats.Cycles += m.cycles[mir.CallOp]
+		m.Stats.Calls++
+		m.Stats.ThreadedInstrs++
+		regs := fr.regs
+		var callee *mir.Func
+		if in.Callee != "" {
+			callee = m.Prog.ByName[in.Callee]
+		} else {
+			tok := regs[in.A]
+			if !m.Unit.IsCanonical(tok) {
+				m.tErr = m.trap(TrapNonCanonical, f, in, "indirect call through %#x with non-address bits", tok)
+				return nil
+			}
+			callee = m.img.tokFunc[m.Unit.Canonical(tok)]
+			if callee == nil {
+				m.tErr = m.trap(TrapBadCall, f, in, "%#x is not a function entry", tok)
+				return nil
+			}
+		}
+		base := len(m.ws.argScratch)
+		for _, r := range in.Args {
+			m.ws.argScratch = append(m.ws.argScratch, regs[r])
+		}
+		ret, err := m.exec(callee, m.ws.argScratch[base:])
+		m.ws.argScratch = m.ws.argScratch[:base]
+		if err != nil {
+			m.tErr = err
+			return nil
+		}
+		if in.Dst != mir.NoReg {
+			regs[in.Dst] = ret
+		}
+		return next
+	}
+}
+
+// compileInstr builds the closure for one non-call instruction. rest is
+// the segment suffix after it, captured for trap-time refunds; next is
+// the fast-chain successor (ignored by the slow path except for the
+// segment's last instruction, whose return value is the continuation).
+func (c *tcomp) compileInstr(in *mir.Instr, d *decInstr, rest []mir.Instr, next tOp) tOp {
+	f := c.f
+	switch in.Op {
+	case mir.Nop:
+		return func(m *Machine, fr *frame) tOp { return next }
+
+	case mir.Const, mir.ConstF:
+		dst, v := in.Dst, uint64(in.Imm)
+		return func(m *Machine, fr *frame) tOp {
+			fr.regs[dst] = v
+			return next
+		}
+	case mir.StrConst:
+		dst, v := in.Dst, c.img.stringAddr[in.Imm]
+		return func(m *Machine, fr *frame) tOp {
+			fr.regs[dst] = v
+			return next
+		}
+	case mir.GlobalAddr:
+		dst, v := in.Dst, c.img.globalAddr[in.Imm]
+		return func(m *Machine, fr *frame) tOp {
+			fr.regs[dst] = v
+			return next
+		}
+	case mir.FuncAddr:
+		dst, v := in.Dst, c.img.funcTok[in.Callee]
+		return func(m *Machine, fr *frame) tOp {
+			fr.regs[dst] = v
+			return next
+		}
+
+	case mir.Alloca:
+		size := d.aux
+		return func(m *Machine, fr *frame) tOp {
+			if m.stackNext+size > m.stackEnd {
+				m.refundRest(rest)
+				m.tErr = m.trap(TrapStackOverflow, f, in, "stack segment exhausted")
+				return nil
+			}
+			addr := m.stackNext
+			m.stackNext += size
+			if b, err := m.Mem.Bytes(addr, int(size)); err == nil {
+				for i := range b {
+					b[i] = 0
+				}
+			}
+			fr.regs[in.Dst] = addr
+			if in.Slot.Kind == mir.SlotVar {
+				fr.vars = append(fr.vars, varSlot{in.Slot.Var, addr})
+			}
+			return next
+		}
+
+	case mir.Load:
+		a, dst, size, ext := in.A, in.Dst, int(d.size), d.ext
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			addr, err := m.canonical(regs[a], f, in)
+			if err != nil {
+				m.refundRest(rest)
+				m.tErr = err
+				return nil
+			}
+			v, err := m.Mem.Load(addr, size)
+			if err != nil {
+				m.refundRest(rest)
+				m.tErr = m.trap(TrapOutOfBounds, f, in, "%v", err)
+				return nil
+			}
+			regs[dst] = extendDec(v, ext)
+			return next
+		}
+	case mir.Store:
+		a, b, size, ext := in.A, in.B, int(d.size), d.ext
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			addr, err := m.canonical(regs[a], f, in)
+			if err != nil {
+				m.refundRest(rest)
+				m.tErr = err
+				return nil
+			}
+			v := regs[b]
+			if ext == extF32 {
+				v = uint64(math.Float32bits(float32(math.Float64frombits(v))))
+			}
+			if err := m.Mem.Store(addr, v, size); err != nil {
+				m.refundRest(rest)
+				m.tErr = m.trap(TrapOutOfBounds, f, in, "%v", err)
+				return nil
+			}
+			return next
+		}
+
+	case mir.FieldAddr:
+		a, dst, off := in.A, in.Dst, uint64(in.Imm)
+		return func(m *Machine, fr *frame) tOp {
+			fr.regs[dst] = fr.regs[a] + off
+			return next
+		}
+	case mir.IndexAddr:
+		a, b, dst, scale := in.A, in.B, in.Dst, in.Imm
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			regs[dst] = regs[a] + uint64(int64(regs[b])*scale)
+			return next
+		}
+
+	case mir.BinInstr:
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			v, err := m.binop(in, regs[in.A], regs[in.B], f)
+			if err != nil {
+				m.refundRest(rest)
+				m.tErr = err
+				return nil
+			}
+			regs[in.Dst] = v
+			return next
+		}
+	case mir.CmpInstr:
+		a, b, dst, sub, ty := in.A, in.B, in.Dst, in.CmpSub, in.FromTy
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			regs[dst] = cmp(sub, regs[a], regs[b], ty)
+			return next
+		}
+	case mir.CastOp:
+		a, dst, from, to := in.A, in.Dst, in.FromTy, in.Ty
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			regs[dst] = castValue(regs[a], from, to)
+			return next
+		}
+
+	case mir.RetOp:
+		a := in.A
+		return func(m *Machine, fr *frame) tOp {
+			if a == mir.NoReg {
+				m.tRet = 0
+			} else {
+				m.tRet = fr.regs[a]
+			}
+			return nil
+		}
+	case mir.Jmp:
+		entry, tgt := c.tf.entry, in.Targets[0]
+		return func(m *Machine, fr *frame) tOp {
+			return entry[tgt]
+		}
+	case mir.Br:
+		entry, a, t0, t1 := c.tf.entry, in.A, in.Targets[0], in.Targets[1]
+		return func(m *Machine, fr *frame) tOp {
+			if fr.regs[a] != 0 {
+				return entry[t0]
+			}
+			return entry[t1]
+		}
+
+	case mir.PacSign:
+		a, b, dst, key, smod := in.A, in.B, in.Dst, pa.KeyID(in.Key), in.Mod
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod := smod
+			if b != mir.NoReg {
+				mod ^= regs[b]
+			}
+			// Inline PAC-memo fast path: a cache hit stays in the closure.
+			if v, ok := m.Unit.FastSign(regs[a], key, mod); ok {
+				regs[dst] = v
+			} else {
+				regs[dst] = m.Unit.Sign(regs[a], key, mod)
+			}
+			return next
+		}
+	case mir.PacAuth:
+		a, b, dst, key, smod := in.A, in.B, in.Dst, pa.KeyID(in.Key), in.Mod
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod := smod
+			if b != mir.NoReg {
+				mod ^= regs[b]
+			}
+			v, ok, hit := m.Unit.FastAuth(regs[a], key, mod)
+			if !hit {
+				v, ok = m.Unit.Auth(regs[a], key, mod)
+			}
+			if !ok {
+				m.refundRest(rest)
+				m.tErr = m.trap(TrapAuthFailure, f, in, "aut failed on %#x (mod %#x)", regs[a], mod)
+				return nil
+			}
+			regs[dst] = v
+			return next
+		}
+	case mir.PacStrip:
+		a, dst := in.A, in.Dst
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			regs[dst] = m.Unit.Strip(regs[a])
+			return next
+		}
+
+	case mir.PPAdd:
+		entry := ppEntry{mod: in.Mod, inner: uint16(in.Imm)}
+		ce := in.CE
+		return func(m *Machine, fr *frame) tOp {
+			if old, ok := m.ppMods[ce]; ok && old != entry {
+				m.refundRest(rest)
+				m.tErr = m.trap(TrapPPViolation, f, in, "CE %d re-registered with a different FE", ce)
+				return nil
+			}
+			m.ppMods[ce] = entry
+			return next
+		}
+	case mir.PPAddTBI:
+		a, dst, tag := in.A, in.Dst, byte(in.CE)
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			regs[dst] = m.Unit.SetTag(regs[a], tag)
+			return next
+		}
+	case mir.PPSign:
+		b, dst, key := in.B, in.Dst, pa.KeyID(in.Key)
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod, _, err := m.ppResolve(in, regs, f)
+			if err != nil {
+				m.refundRest(rest)
+				m.tErr = err
+				return nil
+			}
+			if v, ok := m.Unit.FastSign(regs[b], key, mod); ok {
+				regs[dst] = v
+			} else {
+				regs[dst] = m.Unit.Sign(regs[b], key, mod)
+			}
+			return next
+		}
+	case mir.PPAuth:
+		b, dst, key := in.B, in.Dst, pa.KeyID(in.Key)
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod, inner, err := m.ppResolve(in, regs, f)
+			if err != nil {
+				m.refundRest(rest)
+				m.tErr = err
+				return nil
+			}
+			v, ok, hit := m.Unit.FastAuth(regs[b], key, mod)
+			if !hit {
+				v, ok = m.Unit.Auth(regs[b], key, mod)
+			}
+			if !ok {
+				m.refundRest(rest)
+				m.tErr = m.trap(TrapAuthFailure, f, in, "pp_auth failed on %#x", regs[b])
+				return nil
+			}
+			if inner != 0 {
+				v = m.Unit.SetTag(v, byte(inner))
+			}
+			regs[dst] = v
+			return next
+		}
+
+	default:
+		// Unknown opcode: decline compilation; the interpreter keeps the
+		// function and reports the error through its own default arm.
+		return nil
+	}
+}
+
+// compileFused builds a superinstruction closure for the fused group of
+// length g starting at position i of seg. The group's instructions keep
+// their individual identities for everything observable — the batch gate
+// already charged each of them, and a trap names (and refunds from) the
+// exact member that faulted — only the host-side dispatch between them
+// disappears.
+func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp {
+	f := c.f
+	kind := dec[i].fuse
+	aut := &seg.instrs[i]
+	switch kind {
+	case fuseSignStore:
+		sIn := &seg.instrs[i+1]
+		sd := &dec[i+1]
+		a, b, dst, key, smod := aut.A, aut.B, aut.Dst, pa.KeyID(aut.Key), aut.Mod
+		sa, sb, ssize, sext := sIn.A, sIn.B, int(sd.size), sd.ext
+		restStore := seg.instrs[i+2:]
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod := smod
+			if b != mir.NoReg {
+				mod ^= regs[b]
+			}
+			if v, ok := m.Unit.FastSign(regs[a], key, mod); ok {
+				regs[dst] = v
+			} else {
+				regs[dst] = m.Unit.Sign(regs[a], key, mod)
+			}
+			m.Stats.FusedSignStores++
+			m.Stats.FusedInstrs += 2
+			addr, err := m.canonical(regs[sa], f, sIn)
+			if err != nil {
+				m.refundRest(restStore)
+				m.tErr = err
+				return nil
+			}
+			v := regs[sb]
+			if sext == extF32 {
+				v = uint64(math.Float32bits(float32(math.Float64frombits(v))))
+			}
+			if err := m.Mem.Store(addr, v, ssize); err != nil {
+				m.refundRest(restStore)
+				m.tErr = m.trap(TrapOutOfBounds, f, sIn, "%v", err)
+				return nil
+			}
+			return next
+		}
+
+	case fuseAuthLoad, fuseAuthStore:
+		accIn := &seg.instrs[i+1]
+		ad := &dec[i+1]
+		a, b, dst, key, smod := aut.A, aut.B, aut.Dst, pa.KeyID(aut.Key), aut.Mod
+		restAut := seg.instrs[i+1:]
+		restAcc := seg.instrs[i+2:]
+		isLoad := kind == fuseAuthLoad
+		aa, ab, adst, asize, aext := accIn.A, accIn.B, accIn.Dst, int(ad.size), ad.ext
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod := smod
+			if b != mir.NoReg {
+				mod ^= regs[b]
+			}
+			v, ok, hit := m.Unit.FastAuth(regs[a], key, mod)
+			if !hit {
+				v, ok = m.Unit.Auth(regs[a], key, mod)
+			}
+			if !ok {
+				m.refundRest(restAut)
+				m.tErr = m.trap(TrapAuthFailure, f, aut, "aut failed on %#x (mod %#x)", regs[a], mod)
+				return nil
+			}
+			regs[dst] = v
+			if isLoad {
+				m.Stats.FusedAuthLoads++
+			} else {
+				m.Stats.FusedAuthStores++
+			}
+			m.Stats.FusedInstrs += 2
+			addr, err := m.canonical(regs[aa], f, accIn)
+			if err != nil {
+				m.refundRest(restAcc)
+				m.tErr = err
+				return nil
+			}
+			if isLoad {
+				lv, err := m.Mem.Load(addr, asize)
+				if err != nil {
+					m.refundRest(restAcc)
+					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
+					return nil
+				}
+				regs[adst] = extendDec(lv, aext)
+			} else {
+				sv := regs[ab]
+				if aext == extF32 {
+					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
+				}
+				if err := m.Mem.Store(addr, sv, asize); err != nil {
+					m.refundRest(restAcc)
+					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
+					return nil
+				}
+			}
+			return next
+		}
+
+	case fuseAuthAddrLoad, fuseAuthAddrStore:
+		addrIn := &seg.instrs[i+1]
+		accIn := &seg.instrs[i+2]
+		ad := &dec[i+2]
+		a, b, dst, key, smod := aut.A, aut.B, aut.Dst, pa.KeyID(aut.Key), aut.Mod
+		restAut := seg.instrs[i+1:]
+		restAcc := seg.instrs[i+3:]
+		isField := addrIn.Op == mir.FieldAddr
+		xa, xb, xdst, xoff := addrIn.A, addrIn.B, addrIn.Dst, addrIn.Imm
+		isLoad := kind == fuseAuthAddrLoad
+		aa, ab, adst, asize, aext := accIn.A, accIn.B, accIn.Dst, int(ad.size), ad.ext
+		return func(m *Machine, fr *frame) tOp {
+			regs := fr.regs
+			mod := smod
+			if b != mir.NoReg {
+				mod ^= regs[b]
+			}
+			v, ok, hit := m.Unit.FastAuth(regs[a], key, mod)
+			if !hit {
+				v, ok = m.Unit.Auth(regs[a], key, mod)
+			}
+			if !ok {
+				m.refundRest(restAut)
+				m.tErr = m.trap(TrapAuthFailure, f, aut, "aut failed on %#x (mod %#x)", regs[a], mod)
+				return nil
+			}
+			regs[dst] = v
+			if isField {
+				regs[xdst] = regs[xa] + uint64(xoff)
+			} else {
+				regs[xdst] = regs[xa] + uint64(int64(regs[xb])*xoff)
+			}
+			if isLoad {
+				m.Stats.FusedAuthAddrLoads++
+			} else {
+				m.Stats.FusedAuthAddrStores++
+			}
+			m.Stats.FusedInstrs += 3
+			addr, err := m.canonical(regs[aa], f, accIn)
+			if err != nil {
+				m.refundRest(restAcc)
+				m.tErr = err
+				return nil
+			}
+			if isLoad {
+				lv, err := m.Mem.Load(addr, asize)
+				if err != nil {
+					m.refundRest(restAcc)
+					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
+					return nil
+				}
+				regs[adst] = extendDec(lv, aext)
+			} else {
+				sv := regs[ab]
+				if aext == extF32 {
+					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
+				}
+				if err := m.Mem.Store(addr, sv, asize); err != nil {
+					m.refundRest(restAcc)
+					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
+					return nil
+				}
+			}
+			return next
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package vm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"rsti/internal/cminor"
+	"rsti/internal/lower"
+	"rsti/internal/mir"
+	"rsti/internal/workload"
+)
+
+// lowerBench compiles src (uninstrumented) down to MIR.
+func lowerBench(t *testing.T, src string) *mir.Program {
+	t.Helper()
+	f, err := cminor.Frontend(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	prog, err := lower.Lower(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+// modelled strips the host-side observability counters from a stats
+// snapshot, leaving the numbers the tiers' bit-identity contract covers.
+func modelled(s Stats) Stats {
+	s.PACCacheHits, s.PACCacheMisses = 0, 0
+	s.FusedAuthLoads, s.FusedSignStores, s.FusedAuthStores = 0, 0, 0
+	s.FusedAuthAddrLoads, s.FusedAuthAddrStores, s.FusedInstrs = 0, 0, 0
+	s.ThreadedInstrs = 0
+	return s
+}
+
+// testTierThreshold is low enough that the test workloads' hot functions
+// promote within a single run.
+const testTierThreshold = 256
+
+// runTier executes prog once on img with the tier on or off.
+func runTier(t *testing.T, prog *mir.Program, img *Image, tier bool) (int64, string, Stats) {
+	t.Helper()
+	var out strings.Builder
+	opts := DefaultOptions()
+	opts.Output = &out
+	opts.Image = img
+	opts.Tier = tier
+	opts.TierThreshold = testTierThreshold
+	m := New(prog, opts)
+	ret, err := m.Run()
+	if err != nil {
+		t.Fatalf("run (tier=%v): %v", tier, err)
+	}
+	return ret, out.String(), m.Stats
+}
+
+// TestThreadedBitIdenticalToInterpreter runs real workloads through both
+// tiers and requires exit value, output, and every modelled counter to
+// match exactly — the tier is a host-speed change and nothing else. Two
+// tier-on rounds share one image, so the second executes the promoted
+// bodies from the first instruction.
+func TestThreadedBitIdenticalToInterpreter(t *testing.T) {
+	for _, b := range []*workload.Benchmark{workload.SPEC2017()[0], workload.NBench()[0]} {
+		prog := lowerBench(t, b.Source)
+		ret0, out0, s0 := runTier(t, prog, NewImage(prog), false)
+
+		img := NewImage(prog)
+		var (
+			ret1 int64
+			out1 string
+			s1   Stats
+		)
+		for r := 0; r < 2; r++ {
+			ret1, out1, s1 = runTier(t, prog, img, true)
+			if ret1 != ret0 || out1 != out0 {
+				t.Errorf("%s round %d: tier changed behaviour: ret %d vs %d", b.Name, r, ret1, ret0)
+			}
+			if modelled(s1) != modelled(s0) {
+				t.Errorf("%s round %d: modelled stats diverge:\ntier0 %+v\ntier1 %+v",
+					b.Name, r, modelled(s0), modelled(s1))
+			}
+		}
+		if s1.ThreadedInstrs == 0 {
+			t.Errorf("%s: tier-on run retired no threaded instructions; the tier never engaged", b.Name)
+		}
+		ts := img.TierStats()
+		if ts.Promotions == 0 {
+			t.Errorf("%s: no function promoted", b.Name)
+		}
+		if ts.Promotions != ts.CompiledFuncs {
+			t.Errorf("%s: promotions %d != compiled funcs %d", b.Name, ts.Promotions, ts.CompiledFuncs)
+		}
+	}
+}
+
+// TestThreadedBudgetExactness sweeps step budgets — including values that
+// land mid-segment and off the 1024-step cancellation checkpoint grid —
+// and requires the tier to trap at exactly the interpreter's step, with
+// the same attribution and the same modelled counters. The image is
+// pre-warmed so the budgeted runs execute threaded code from entry.
+func TestThreadedBudgetExactness(t *testing.T) {
+	prog := lowerBench(t, workload.SPEC2017()[0].Source)
+	img := NewImage(prog)
+	runTier(t, prog, img, true)
+
+	for _, budget := range []int64{1, 7, 513, 1023, 1024, 1025, 4096, 65537, 300000} {
+		runBudget := func(tier bool) (Stats, error) {
+			opts := DefaultOptions()
+			opts.MaxSteps = budget
+			if tier {
+				opts.Image = img
+				opts.Tier = true
+				opts.TierThreshold = testTierThreshold
+			}
+			m := New(prog, opts)
+			_, err := m.Run()
+			return m.Stats, err
+		}
+		s0, err0 := runBudget(false)
+		s1, err1 := runBudget(true)
+		tr0, ok0 := AsTrap(err0)
+		tr1, ok1 := AsTrap(err1)
+		if !ok0 || !ok1 || tr0.Kind != TrapMaxSteps || tr1.Kind != TrapMaxSteps {
+			t.Fatalf("budget %d: want budget traps from both tiers, got %v / %v", budget, err0, err1)
+		}
+		if tr0.Fn != tr1.Fn || tr0.Pos != tr1.Pos || tr0.Msg != tr1.Msg {
+			t.Errorf("budget %d: trap attribution diverges:\ntier0 %v\ntier1 %v", budget, tr0, tr1)
+		}
+		if modelled(s0) != modelled(s1) {
+			t.Errorf("budget %d: modelled stats diverge:\ntier0 %+v\ntier1 %+v",
+				budget, modelled(s0), modelled(s1))
+		}
+	}
+}
+
+// TestThreadedCancellationCheckpointExact runs both tiers under an
+// already-cancelled context: each must stop at the same deterministic
+// 1024-step checkpoint with identical attribution and counters.
+func TestThreadedCancellationCheckpointExact(t *testing.T) {
+	prog := lowerBench(t, workload.SPEC2017()[0].Source)
+	img := NewImage(prog)
+	runTier(t, prog, img, true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runCancelled := func(tier bool) (Stats, *Trap) {
+		opts := DefaultOptions()
+		if tier {
+			opts.Image = img
+			opts.Tier = true
+			opts.TierThreshold = testTierThreshold
+		}
+		m := New(prog, opts)
+		m.SetContext(ctx)
+		_, err := m.Run()
+		tr, ok := AsTrap(err)
+		if !ok || tr.Kind != TrapCancelled {
+			t.Fatalf("tier=%v: err = %v, want cancellation trap", tier, err)
+		}
+		return m.Stats, tr
+	}
+	s0, tr0 := runCancelled(false)
+	s1, tr1 := runCancelled(true)
+	if tr0.Fn != tr1.Fn || tr0.Pos != tr1.Pos {
+		t.Errorf("cancellation attribution diverges:\ntier0 %v\ntier1 %v", tr0, tr1)
+	}
+	if modelled(s0) != modelled(s1) {
+		t.Errorf("modelled stats diverge at the cancellation checkpoint:\ntier0 %+v\ntier1 %+v",
+			modelled(s0), modelled(s1))
+	}
+}
+
+// TestThreadedPromotionRace hammers one shared image from concurrent
+// machines (run under -race in CI): compilation must happen exactly once
+// per function no matter how many machines cross the threshold together,
+// and every run — before, during, and after promotion — must produce the
+// interpreter's exact results.
+func TestThreadedPromotionRace(t *testing.T) {
+	const src = `
+int work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i ^ (s >> 3);
+	return s;
+}
+int main(void) {
+	int s = 0;
+	for (int i = 0; i < 200; i++) s += work(500);
+	return s & 255;
+}`
+	prog := lowerBench(t, src)
+	refRet, _, refStats := runTier(t, prog, NewImage(prog), false)
+
+	img := NewImage(prog)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				opts := DefaultOptions()
+				opts.Image = img
+				opts.Tier = true
+				opts.TierThreshold = testTierThreshold
+				m := New(prog, opts)
+				ret, err := m.Run()
+				if err != nil {
+					errs <- fmt.Sprintf("goroutine %d run %d: %v", g, r, err)
+					return
+				}
+				if ret != refRet {
+					errs <- fmt.Sprintf("goroutine %d run %d: ret %d, want %d", g, r, ret, refRet)
+				}
+				if modelled(m.Stats) != modelled(refStats) {
+					errs <- fmt.Sprintf("goroutine %d run %d: modelled stats diverge from interpreter", g, r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	ts := img.TierStats()
+	if ts.Promotions == 0 {
+		t.Error("no promotion fired under contention")
+	}
+	if ts.Promotions != ts.CompiledFuncs {
+		t.Errorf("promotions %d != compiled funcs %d: a function compiled more than once", ts.Promotions, ts.CompiledFuncs)
+	}
+}
+
+// TestThreadedTrapAttribution reproduces the fuse_test trap scenarios on
+// the threaded tier: mid-block traps must name the same instruction and
+// refund the unexecuted tail of their batched segment.
+func TestThreadedTrapAttribution(t *testing.T) {
+	const src = `
+int main(void) {
+	int a[4];
+	int i = 0;
+	for (i = 0; i < 100000; i++) a[i & 3] = i;
+	return a[(i + 900000) & 1048575];
+}`
+	prog := lowerBench(t, src)
+
+	run := func(tier bool, img *Image) (Stats, *Trap) {
+		opts := DefaultOptions()
+		opts.Image = img
+		opts.Tier = tier
+		opts.TierThreshold = testTierThreshold
+		m := New(prog, opts)
+		_, err := m.Run()
+		tr, ok := AsTrap(err)
+		if !ok {
+			t.Fatalf("tier=%v: err = %v, want a trap", tier, err)
+		}
+		return m.Stats, tr
+	}
+	s0, tr0 := run(false, NewImage(prog))
+	img := NewImage(prog)
+	// First round promotes; second traps inside threaded code.
+	var s1 Stats
+	var tr1 *Trap
+	for r := 0; r < 2; r++ {
+		s1, tr1 = run(true, img)
+	}
+	if tr0.Kind != tr1.Kind || tr0.Fn != tr1.Fn || tr0.Pos != tr1.Pos {
+		t.Errorf("trap attribution diverges:\ntier0 %v\ntier1 %v", tr0, tr1)
+	}
+	if modelled(s0) != modelled(s1) {
+		t.Errorf("modelled stats diverge on the trapping run:\ntier0 %+v\ntier1 %+v",
+			modelled(s0), modelled(s1))
+	}
+}

@@ -218,9 +218,21 @@ type PACOpStats struct {
 	RedundantAuths int // aut instructions deleted by the availability pass
 	ElidableVars   int // variables proven safe to leave unsigned
 
-	// Superinstruction pairs predecode marked for fused dispatch.
-	FusedAuthLoads  int
-	FusedSignStores int
+	// Superinstruction groups predecode marked for fused dispatch: the
+	// original adjacent pairs plus the widened aut+store and
+	// aut+fieldaddr/indexaddr+load/store shapes.
+	FusedAuthLoads      int
+	FusedSignStores     int
+	FusedAuthStores     int
+	FusedAuthAddrLoads  int
+	FusedAuthAddrStores int
+}
+
+// FusedGroups returns the total number of superinstruction groups marked
+// in the build.
+func (s *PACOpStats) FusedGroups() int {
+	return s.FusedAuthLoads + s.FusedSignStores + s.FusedAuthStores +
+		s.FusedAuthAddrLoads + s.FusedAuthAddrStores
 }
 
 // PACOps returns the static PAC ops present in the build.
@@ -233,17 +245,20 @@ func (p *Program) PACOpStats(mech Mechanism, optimized bool) (*PACOpStats, error
 	if err != nil {
 		return nil, err
 	}
-	fal, fss := b.Image().FusedPairs()
+	fg := b.Image().FusedGroups()
 	s := &PACOpStats{
-		Mechanism:       mech,
-		Optimized:       b.Optimized,
-		Signs:           b.Stats.Signs,
-		Auths:           b.Stats.Auths,
-		Strips:          b.Stats.Strips,
-		ElidedSigns:     b.Stats.ElidedSigns,
-		ElidedAuths:     b.Stats.ElidedAuths,
-		FusedAuthLoads:  fal,
-		FusedSignStores: fss,
+		Mechanism:           mech,
+		Optimized:           b.Optimized,
+		Signs:               b.Stats.Signs,
+		Auths:               b.Stats.Auths,
+		Strips:              b.Stats.Strips,
+		ElidedSigns:         b.Stats.ElidedSigns,
+		ElidedAuths:         b.Stats.ElidedAuths,
+		FusedAuthLoads:      fg.AuthLoads,
+		FusedSignStores:     fg.SignStores,
+		FusedAuthStores:     fg.AuthStores,
+		FusedAuthAddrLoads:  fg.AuthAddrLoads,
+		FusedAuthAddrStores: fg.AuthAddrStores,
 	}
 	if b.OptStats != nil {
 		s.Auths -= b.OptStats.RedundantAuths
@@ -339,6 +354,28 @@ func WithOptimizer(on bool) RunOption {
 // when no WithOptimizer option is given — the RSTI_OPT environment
 // toggle, read once per process.
 func OptimizerDefault() bool { return core.DefaultOptimize() }
+
+// WithTier forces the profile-guided direct-threaded execution tier on or
+// off for this run, overriding the process default (see TierDefault).
+// The tier changes host dispatch speed only: modelled cycles, instruction
+// and PAC-op counts, trap kinds/attribution and program output are
+// bit-identical with it on or off. Tier-on and tier-off runs of one
+// Program use separate shared images, so flipping per run never perturbs
+// the other tier's profile.
+func WithTier(on bool) RunOption {
+	return func(cfg *core.RunConfig) {
+		if on {
+			cfg.Tier = core.TierOn
+		} else {
+			cfg.Tier = core.TierOff
+		}
+	}
+}
+
+// TierDefault reports whether runs use the threaded execution tier when
+// no WithTier option is given — the RSTI_TIER environment toggle, read
+// once per process.
+func TierDefault() bool { return core.DefaultTier() }
 
 // Run executes the program under the given mechanism with a background
 // context; see RunContext.
