@@ -1,610 +1,50 @@
 // Command rstid is the RSTI serving daemon: an HTTP front end over the
 // concurrent execution engine, in the paper's compile-once/run-many
-// server shape (§6.6). Programs are compiled (and STI-analyzed) once,
-// cached by source hash, and then served for any number of protected
-// runs and attack experiments by a bounded pool of VM workers.
+// server shape (§6.6). The whole surface lives in internal/service; this
+// binary only parses flags and wires signals.
 //
-//	rstid -addr :8080 -workers 8 -queue 64
+//	rstid -addr :8080 -workers 8 -queue 64 \
+//	      -cache-dir /var/lib/rstid/cache -tenants tenants.json
 //
-// Endpoints:
-//
-//	POST /v1/compile  {"source": "..."}
-//	    → {"program": "<sha256>", "cached": bool, "equivalence": {...}}
-//	POST /v1/run      {"program": "<sha256>" | "source": "...",
-//	                   "mechanism": "rsti-stwc", "optimizer": "on"|"off",
-//	                   "tier": "on"|"off",
-//	                   "timeout_ms": 0, "step_budget": 0, "max_output_bytes": 0}
-//	    → {"exit", "cycles", "instrs", "output", "detected", "trap", ...}
-//	POST /v1/attack   {"scenario": "<Table 1 name>", "mechanism": "...",
-//	                   "benign": bool}
-//	    → {"detected", "succeeded", "exit", ...}
-//	GET  /v1/attacks  → the Table 1 scenario catalogue
-//	GET  /metrics     → engine + compile-cache + tier + per-mechanism PAC-op counters (JSON)
-//	GET  /healthz     → liveness
-//
-// Execution outcomes (traps, budget exhaustion, deadline) are reported
-// inside a 200 response; protocol failures (unknown program, bad
-// mechanism, full queue) use HTTP status codes.
+// See docs/API.md for the /v1 endpoint reference, the error envelope,
+// API-key auth, and streaming runs.
 package main
 
 import (
-	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"net/http"
-	"os"
-	"os/signal"
+	"net"
 	"runtime"
-	"sync"
-	"syscall"
-	"time"
 
-	"rsti/internal/attack"
-	"rsti/internal/compilecache"
-	"rsti/internal/core"
-	"rsti/internal/engine"
-	"rsti/internal/sti"
-	"rsti/internal/vm"
+	"rsti/internal/service"
 )
-
-// maxSourceBytes bounds accepted request bodies; maxPrograms bounds the
-// compiled-program cache (FIFO eviction).
-const (
-	maxSourceBytes = 1 << 20
-	maxPrograms    = 128
-)
-
-// server wires the HTTP surface to one shared engine, the shared
-// compilation cache (content-addressed, singleflight-deduped: a burst of
-// identical /compile requests runs the pipeline once) and a bounded
-// handle table mapping the sha256 program handles we mint back to their
-// compilations.
-type server struct {
-	eng   *engine.Engine
-	cache *compilecache.Cache
-	mux   *http.ServeMux
-
-	mu       sync.Mutex
-	programs map[string]*core.Compilation
-	order    []string // insertion order for FIFO eviction
-
-	scenarios map[string]*attack.Scenario
-
-	// pacMu guards the per-mechanism dynamic PAC-op accumulators served
-	// under /metrics: every completed run adds its executed sign/auth/strip
-	// counts and fused-dispatch counts for its mechanism.
-	pacMu  sync.Mutex
-	pacOps map[string]*pacOpMetrics
-}
-
-// pacOpMetrics accumulates the dynamic PA-instruction counters of every
-// run served under one mechanism, including the superinstruction
-// dispatches (fused pairs execute the same modelled ops; the fused
-// counters measure how many dispatches the host saved).
-type pacOpMetrics struct {
-	Runs                int64 `json:"runs"`
-	PacSigns            int64 `json:"pac_signs"`
-	PacAuths            int64 `json:"pac_auths"`
-	PacStrips           int64 `json:"pac_strips"`
-	FusedAuthLoads      int64 `json:"fused_auth_loads"`
-	FusedSignStores     int64 `json:"fused_sign_stores"`
-	FusedAuthStores     int64 `json:"fused_auth_stores"`
-	FusedAuthAddrLoads  int64 `json:"fused_auth_addr_loads"`
-	FusedAuthAddrStores int64 `json:"fused_auth_addr_stores"`
-	FusedInstrs         int64 `json:"fused_instrs"`
-}
-
-// recordPACOps folds one run's executed PAC-op counters into the
-// mechanism's accumulator.
-func (s *server) recordPACOps(mech sti.Mechanism, res *core.RunResult) {
-	if res == nil {
-		return
-	}
-	s.pacMu.Lock()
-	defer s.pacMu.Unlock()
-	m := s.pacOps[mech.String()]
-	if m == nil {
-		m = &pacOpMetrics{}
-		s.pacOps[mech.String()] = m
-	}
-	m.Runs++
-	m.PacSigns += res.Stats.PacSigns
-	m.PacAuths += res.Stats.PacAuths
-	m.PacStrips += res.Stats.PacStrips
-	m.FusedAuthLoads += res.Stats.FusedAuthLoads
-	m.FusedSignStores += res.Stats.FusedSignStores
-	m.FusedAuthStores += res.Stats.FusedAuthStores
-	m.FusedAuthAddrLoads += res.Stats.FusedAuthAddrLoads
-	m.FusedAuthAddrStores += res.Stats.FusedAuthAddrStores
-	m.FusedInstrs += res.Stats.FusedInstrs
-}
-
-// pacOpsSnapshot copies the accumulators for /metrics.
-func (s *server) pacOpsSnapshot() map[string]pacOpMetrics {
-	s.pacMu.Lock()
-	defer s.pacMu.Unlock()
-	out := make(map[string]pacOpMetrics, len(s.pacOps))
-	for k, v := range s.pacOps {
-		out[k] = *v
-	}
-	return out
-}
-
-func newServer(workers, queue int) *server {
-	s := &server{
-		eng:       engine.New(engine.Config{Workers: workers, QueueDepth: queue}),
-		cache:     compilecache.New(compilecache.Config{MaxEntries: maxPrograms}),
-		mux:       http.NewServeMux(),
-		programs:  make(map[string]*core.Compilation),
-		scenarios: make(map[string]*attack.Scenario),
-		pacOps:    make(map[string]*pacOpMetrics),
-	}
-	for _, sc := range attack.Scenarios() {
-		s.scenarios[sc.Name] = sc
-	}
-	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/attack", s.handleAttack)
-	s.mux.HandleFunc("GET /v1/attacks", s.handleAttackList)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-func (s *server) close() { s.eng.Close() }
-
-// compile returns the cached compilation for src, compiling and caching
-// on first sight. The hash doubles as the program handle.
-func (s *server) compile(src string) (string, *core.Compilation, bool, error) {
-	sum := sha256.Sum256([]byte(src))
-	key := hex.EncodeToString(sum[:])
-	s.mu.Lock()
-	if c, ok := s.programs[key]; ok {
-		s.mu.Unlock()
-		return key, c, true, nil
-	}
-	s.mu.Unlock()
-	// Compile outside the lock, through the shared cache: a burst of
-	// racing duplicates coalesces onto one compile (singleflight) and a
-	// source recently evicted from the handle table is still answered
-	// from cache.
-	c, err := s.cache.Get(src)
-	if err != nil {
-		return "", nil, false, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if have, ok := s.programs[key]; ok {
-		return key, have, true, nil
-	}
-	if len(s.order) >= maxPrograms {
-		delete(s.programs, s.order[0])
-		s.order = s.order[1:]
-	}
-	s.programs[key] = c
-	s.order = append(s.order, key)
-	return key, c, false, nil
-}
-
-func (s *server) lookup(key string) (*core.Compilation, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.programs[key]
-	return c, ok
-}
-
-// writeJSON writes v with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// httpError reports a protocol failure as {"error": ...}.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// decode parses the request body into v, bounding its size.
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	body := http.MaxBytesReader(w, r.Body, maxSourceBytes)
-	if err := json.NewDecoder(body).Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return false
-	}
-	return true
-}
-
-// compileError maps the typed compile errors onto a structured 422.
-func compileError(w http.ResponseWriter, err error) {
-	kind := "compile"
-	switch {
-	case errors.Is(err, core.ErrParse):
-		kind = "parse"
-	case errors.Is(err, core.ErrTypeCheck):
-		kind = "typecheck"
-	}
-	writeJSON(w, http.StatusUnprocessableEntity,
-		map[string]string{"error": err.Error(), "kind": kind})
-}
-
-type compileRequest struct {
-	Source string `json:"source"`
-}
-
-type compileResponse struct {
-	Program     string         `json:"program"`
-	Cached      bool           `json:"cached"`
-	Equivalence sti.EquivStats `json:"equivalence"`
-}
-
-func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	var req compileRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	if req.Source == "" {
-		httpError(w, http.StatusBadRequest, "missing source")
-		return
-	}
-	key, c, cached, err := s.compile(req.Source)
-	if err != nil {
-		compileError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, compileResponse{
-		Program:     key,
-		Cached:      cached,
-		Equivalence: c.Analysis.Equivalence(),
-	})
-}
-
-type runRequest struct {
-	Program        string `json:"program,omitempty"`
-	Source         string `json:"source,omitempty"`
-	Mechanism      string `json:"mechanism"`
-	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
-	StepBudget     int64  `json:"step_budget,omitempty"`
-	MaxOutputBytes int    `json:"max_output_bytes,omitempty"`
-	// Optimizer selects the build flavour: "on", "off", or "" for the
-	// process default (RSTI_OPT). Optimized and unoptimized builds are
-	// cached independently, so flipping this per request is cheap.
-	Optimizer string `json:"optimizer,omitempty"`
-	// Tier selects the execution tier: "on" (profile-guided
-	// direct-threaded dispatch), "off" (switch interpreter), or "" for
-	// the process default (RSTI_TIER). The tier changes host dispatch
-	// speed only; every modelled number in the response is identical
-	// either way. Per-tier images are cached independently, so flipping
-	// this per request never perturbs the other tier's profile.
-	Tier string `json:"tier,omitempty"`
-	// NoWait sheds load instead of queueing: a full queue answers 429.
-	NoWait bool `json:"no_wait,omitempty"`
-}
-
-// parseOptimizer maps the wire field onto a build mode.
-func parseOptimizer(w http.ResponseWriter, name string) (core.OptimizeMode, bool) {
-	switch name {
-	case "":
-		return core.OptimizeDefault, true
-	case "on":
-		return core.OptimizeOn, true
-	case "off":
-		return core.OptimizeOff, true
-	}
-	httpError(w, http.StatusBadRequest, "unknown optimizer mode %q (want on, off, or empty)", name)
-	return core.OptimizeDefault, false
-}
-
-// parseTier maps the wire field onto an execution-tier mode.
-func parseTier(w http.ResponseWriter, name string) (core.TierMode, bool) {
-	switch name {
-	case "":
-		return core.TierDefault, true
-	case "on":
-		return core.TierOn, true
-	case "off":
-		return core.TierOff, true
-	}
-	httpError(w, http.StatusBadRequest, "unknown tier mode %q (want on, off, or empty)", name)
-	return core.TierDefault, false
-}
-
-// trapJSON is the wire form of a machine trap.
-type trapJSON struct {
-	Kind string `json:"kind"`
-	Fn   string `json:"fn,omitempty"`
-	Msg  string `json:"msg,omitempty"`
-}
-
-type runResponse struct {
-	Program         string    `json:"program"`
-	Mechanism       string    `json:"mechanism"`
-	Exit            int64     `json:"exit"`
-	Cycles          int64     `json:"cycles"`
-	Instrs          int64     `json:"instrs"`
-	Output          string    `json:"output,omitempty"`
-	OutputTruncated bool      `json:"output_truncated,omitempty"`
-	Detected        bool      `json:"detected"`
-	Cancelled       bool      `json:"cancelled,omitempty"`
-	Trap            *trapJSON `json:"trap,omitempty"`
-	Error           string    `json:"error,omitempty"`
-}
-
-// resolve turns a run request's program-or-source into a compilation.
-func (s *server) resolve(w http.ResponseWriter, program, source string) (string, *core.Compilation, bool) {
-	switch {
-	case program != "" && source != "":
-		httpError(w, http.StatusBadRequest, "give program or source, not both")
-	case program != "":
-		if c, ok := s.lookup(program); ok {
-			return program, c, true
-		}
-		httpError(w, http.StatusNotFound, "unknown program %q (compile it first)", program)
-	case source != "":
-		key, c, _, err := s.compile(source)
-		if err != nil {
-			compileError(w, err)
-			return "", nil, false
-		}
-		return key, c, true
-	default:
-		httpError(w, http.StatusBadRequest, "missing program or source")
-	}
-	return "", nil, false
-}
-
-// parseMech validates the mechanism name ("" means the None baseline).
-func parseMech(w http.ResponseWriter, name string) (sti.Mechanism, bool) {
-	if name == "" {
-		return sti.None, true
-	}
-	mech, ok := sti.ParseMechanism(name)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown mechanism %q", name)
-	}
-	return mech, ok
-}
-
-// submit drives one job through the engine and renders the outcome.
-// Engine-level admission failures map to HTTP statuses; execution
-// outcomes (traps, cancellation) ride inside a 200.
-func (s *server) submit(w http.ResponseWriter, r *http.Request, key string, job engine.Job, noWait bool) {
-	var (
-		res *core.RunResult
-		err error
-	)
-	if noWait {
-		res, err = s.eng.TrySubmit(r.Context(), job)
-	} else {
-		res, err = s.eng.Submit(r.Context(), job)
-	}
-	switch {
-	case errors.Is(err, engine.ErrQueueFull):
-		httpError(w, http.StatusTooManyRequests, "queue full")
-		return
-	case errors.Is(err, engine.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, "shutting down")
-		return
-	case err != nil:
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	s.recordPACOps(job.Mech, res)
-	out := runResponse{
-		Program:         key,
-		Mechanism:       job.Mech.String(),
-		Exit:            res.Exit,
-		Cycles:          res.Stats.Cycles,
-		Instrs:          res.Stats.Instrs,
-		Output:          res.Output,
-		OutputTruncated: res.OutputTruncated,
-		Detected:        res.Detected(),
-	}
-	if res.Err != nil {
-		out.Error = res.Err.Error()
-		out.Cancelled = errors.Is(res.Err, context.Canceled) ||
-			errors.Is(res.Err, context.DeadlineExceeded)
-	}
-	if res.Trap != nil {
-		out.Trap = &trapJSON{Kind: res.Trap.Kind.String(), Fn: res.Trap.Fn, Msg: res.Trap.Msg}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req runRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	mech, ok := parseMech(w, req.Mechanism)
-	if !ok {
-		return
-	}
-	key, c, ok := s.resolve(w, req.Program, req.Source)
-	if !ok {
-		return
-	}
-	optMode, ok := parseOptimizer(w, req.Optimizer)
-	if !ok {
-		return
-	}
-	tierMode, ok := parseTier(w, req.Tier)
-	if !ok {
-		return
-	}
-	cfg := core.RunConfig{
-		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
-		StepBudget:     req.StepBudget,
-		MaxOutputBytes: req.MaxOutputBytes,
-		Optimize:       optMode,
-		Tier:           tierMode,
-	}
-	s.submit(w, r, key, engine.Job{Comp: c, Mech: mech, Cfg: cfg}, req.NoWait)
-}
-
-type attackRequest struct {
-	Scenario  string `json:"scenario"`
-	Mechanism string `json:"mechanism"`
-	// Benign runs the victim without the corruption (false-positive
-	// check).
-	Benign bool `json:"benign,omitempty"`
-}
-
-type attackResponse struct {
-	Scenario  string `json:"scenario"`
-	Mechanism string `json:"mechanism"`
-	Benign    bool   `json:"benign,omitempty"`
-	// Detected: a security trap fired. Succeeded: the attack reached its
-	// goal exit.
-	Detected  bool      `json:"detected"`
-	Succeeded bool      `json:"succeeded"`
-	Exit      int64     `json:"exit"`
-	Trap      *trapJSON `json:"trap,omitempty"`
-	Error     string    `json:"error,omitempty"`
-}
-
-func (s *server) handleAttack(w http.ResponseWriter, r *http.Request) {
-	var req attackRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	sc, ok := s.scenarios[req.Scenario]
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown scenario %q (GET /v1/attacks lists them)", req.Scenario)
-		return
-	}
-	mech, ok := parseMech(w, req.Mechanism)
-	if !ok {
-		return
-	}
-	_, c, _, err := s.compile(sc.Source)
-	if err != nil {
-		compileError(w, err)
-		return
-	}
-	cfg := core.RunConfig{Externs: sc.Externs}
-	if !req.Benign {
-		cfg.Hooks = map[int64]vm.Hook{1: sc.Corrupt}
-	}
-	res, err := s.eng.Submit(r.Context(), engine.Job{Comp: c, Mech: mech, Cfg: cfg})
-	switch {
-	case errors.Is(err, engine.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, "shutting down")
-		return
-	case err != nil:
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	s.recordPACOps(mech, res)
-	out := attackResponse{
-		Scenario:  sc.Name,
-		Mechanism: mech.String(),
-		Benign:    req.Benign,
-		Detected:  res.Detected(),
-		Succeeded: !req.Benign && res.Err == nil && res.Exit == sc.SuccessExit,
-		Exit:      res.Exit,
-	}
-	if res.Err != nil {
-		out.Error = res.Err.Error()
-	}
-	if res.Trap != nil {
-		out.Trap = &trapJSON{Kind: res.Trap.Kind.String(), Fn: res.Trap.Fn, Msg: res.Trap.Msg}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-type scenarioJSON struct {
-	Name      string `json:"name"`
-	Category  string `json:"category"`
-	RealWorld bool   `json:"real_world"`
-	Corrupted string `json:"corrupted"`
-	Target    string `json:"target"`
-}
-
-func (s *server) handleAttackList(w http.ResponseWriter, _ *http.Request) {
-	var out []scenarioJSON
-	for _, sc := range attack.Scenarios() {
-		out = append(out, scenarioJSON{
-			Name:      sc.Name,
-			Category:  sc.Category,
-			RealWorld: sc.RealWorld,
-			Corrupted: sc.Corrupted,
-			Target:    sc.Target,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// metricsResponse keeps the engine counters at the top level (the
-// long-standing shape) and nests the compile-cache counters under their
-// own key.
-type metricsResponse struct {
-	engine.Stats
-	CompileCache compilecache.Stats      `json:"compile_cache"`
-	PACOps       map[string]pacOpMetrics `json:"pac_ops"`
-	Tier         tierMetrics             `json:"tier"`
-}
-
-// tierMetrics summarizes the direct-threaded execution tier for an
-// operator: how many function bodies this process has promoted to
-// threaded code, and what share of the served modelled instructions ran
-// through them.
-type tierMetrics struct {
-	Promotions     int64   `json:"promotions"`
-	ThreadedInstrs int64   `json:"threaded_instrs"`
-	ThreadedShare  float64 `json:"threaded_share"`
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.eng.Stats()
-	tier := tierMetrics{Promotions: vm.TierPromotions(), ThreadedInstrs: st.ThreadedInstrs}
-	if st.Instrs > 0 {
-		tier.ThreadedShare = float64(st.ThreadedInstrs) / float64(st.Instrs)
-	}
-	writeJSON(w, http.StatusOK, metricsResponse{
-		Stats:        st,
-		CompileCache: s.cache.Stats(),
-		PACOps:       s.pacOpsSnapshot(),
-		Tier:         tier,
-	})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	io.WriteString(w, "ok\n")
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "VM worker count")
 	queue := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+	cacheDir := flag.String("cache-dir", "", "persistent compile-cache directory (empty = memory only)")
+	tenantsFile := flag.String("tenants", "", "tenants JSON file enabling API-key auth (empty = open mode)")
 	flag.Parse()
 
-	s := newServer(*workers, *queue)
-	srv := &http.Server{Addr: *addr, Handler: s}
+	cfg := service.Config{Workers: *workers, Queue: *queue, CacheDir: *cacheDir}
+	if *tenantsFile != "" {
+		ts, err := service.LoadTenants(*tenantsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants = ts
+	}
 
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("rstid: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-		s.close()
-	}()
+	d := &service.Daemon{Server: service.New(cfg)}
+	done := d.HandleSignals()
 
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("rstid: serving on %s (%d workers)", *addr, *workers)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := d.Serve(l); err != nil {
 		log.Fatal(err)
 	}
 	<-done

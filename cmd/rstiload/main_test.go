@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadSmoke is the CI leg of the load harness: a bounded-concurrency
+// drive against a self-hosted daemon that must finish clean — zero
+// errors, zero bit-identity mismatches — under the race detector.
+func TestLoadSmoke(t *testing.T) {
+	cfg := loadConfig{
+		Sessions:    60,
+		Concurrency: 8,
+		Workers:     2,
+		Queue:       8,
+		Programs:    4,
+		StreamShare: 0.25,
+		CacheDir:    t.TempDir(),
+		Mechanisms:  []string{"none", "parts", "rsti-stc"},
+	}
+	rec, err := drive(cfg)
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if rec.Errors != 0 || rec.Mismatches != 0 {
+		t.Fatalf("drive not clean: %d errors, %d mismatches", rec.Errors, rec.Mismatches)
+	}
+	if rec.Requests != 2*cfg.Sessions || rec.RequestsPerSec <= 0 {
+		t.Errorf("throughput accounting: %+v", rec)
+	}
+	if rec.CompileLatency.Count != cfg.Sessions || rec.CompileLatency.P50Ms <= 0 {
+		t.Errorf("compile latency: %+v", rec.CompileLatency)
+	}
+	// Sessions 0..14 of each hundred stream (25%% of 60 = 15), the rest buffer.
+	if rec.StreamLatency == nil || rec.StreamLatency.Count == 0 {
+		t.Error("no streamed sessions recorded")
+	}
+	if rec.RunLatency.Count+rec.StreamLatency.Count != cfg.Sessions {
+		t.Errorf("run accounting: %d buffered + %d streamed != %d sessions",
+			rec.RunLatency.Count, rec.StreamLatency.Count, cfg.Sessions)
+	}
+	// 4 program variants over 60 sessions: the cache must be absorbing
+	// the repeats (56 of 60 lookups hit).
+	if rec.CacheHitRate < 0.5 {
+		t.Errorf("cache hit rate %.2f — coalescing/caching not engaged", rec.CacheHitRate)
+	}
+	if s := rec.Summary(); !strings.Contains(s, "load test:") || !strings.Contains(s, "p99") {
+		t.Errorf("summary rendering: %q", s)
+	}
+}
+
+// TestSourceVariantsDistinct: every variant must be a distinct program
+// (distinct cache key), or the -programs knob silently loses meaning.
+func TestSourceVariantsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		src := sourceVariant(i)
+		if seen[src] {
+			t.Fatalf("variant %d repeats an earlier source", i)
+		}
+		seen[src] = true
+	}
+}

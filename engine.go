@@ -3,7 +3,6 @@ package rsti
 import (
 	"context"
 
-	"rsti/internal/core"
 	"rsti/internal/engine"
 )
 
@@ -86,9 +85,9 @@ func (e *Engine) Stats() EngineStats { return e.e.Stats() }
 func (e *Engine) Close() { e.e.Close() }
 
 func (e *Engine) job(mech Mechanism, opts []RunOption) engine.Job {
-	var cfg core.RunConfig
+	cfg := e.p.defaults
 	for _, o := range opts {
-		o(&cfg)
+		o.applyRun(&cfg)
 	}
 	return engine.Job{Comp: e.p.c, Mech: mech, Cfg: cfg}
 }

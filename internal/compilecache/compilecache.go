@@ -18,6 +18,7 @@ package compilecache
 import (
 	"container/list"
 	"crypto/sha256"
+	"os"
 	"sync"
 	"unsafe"
 
@@ -41,6 +42,18 @@ type Config struct {
 	MaxEntries int
 	// MaxBytes caps the estimated retained size across all entries.
 	MaxBytes int64
+	// Dir, when non-empty, enables the persistent second level: every
+	// successful compile is written there as a content-addressed artifact
+	// (see disk.go for the format), and a miss checks the directory before
+	// compiling. Artifacts survive restarts and may be shared between
+	// processes — the content-addressed name plus atomic rename makes
+	// concurrent writers idempotent.
+	Dir string
+	// Compile overrides how a missing entry is produced (nil means
+	// core.Compile). The service layer uses this to route compiles through
+	// its engine pool so compilation concurrency is bounded alongside run
+	// concurrency; tests use it to count invocations.
+	Compile func(string) (*core.Compilation, error)
 }
 
 func (cfg Config) maxEntries() int {
@@ -72,6 +85,14 @@ type Stats struct {
 	// Entries and Bytes are the current footprint.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// Disk-level counters (all zero when Config.Dir is unset). DiskHits
+	// counts misses answered by reloading an artifact instead of
+	// compiling; DiskWrites counts artifacts persisted; DiskErrors counts
+	// damaged or unwritable artifacts (each such miss fell back to a
+	// compile, so correctness is unaffected).
+	DiskHits   int64 `json:"disk_hits,omitempty"`
+	DiskWrites int64 `json:"disk_writes,omitempty"`
+	DiskErrors int64 `json:"disk_errors,omitempty"`
 }
 
 // HitRate is hits / (hits + misses), 0 when the cache is untouched.
@@ -114,15 +135,28 @@ type Cache struct {
 	compile func(string) (*core.Compilation, error)
 }
 
-// New returns an empty cache bounded by cfg.
+// New returns an empty cache bounded by cfg. When cfg.Dir is set it is
+// created if needed; if creation fails the cache degrades to memory-only
+// (counted under DiskErrors on first use rather than failing startup —
+// the daemon is still fully functional without persistence).
 func New(cfg Config) *Cache {
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
 		entries: make(map[key]*entry),
 		lru:     list.New(),
 		flights: make(map[key]*flight),
 		compile: core.Compile,
 	}
+	if cfg.Compile != nil {
+		c.compile = cfg.Compile
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			c.cfg.Dir = ""
+			c.stats.DiskErrors++
+		}
+	}
+	return c
 }
 
 // Get returns the compilation of src, compiling it on first sight. Any
@@ -150,7 +184,15 @@ func (c *Cache) Get(src string) (*core.Compilation, error) {
 	c.flights[k] = f
 	c.mu.Unlock()
 
-	f.c, f.err = c.compile(src)
+	// Inside the flight — concurrent Gets for the same source dedupe onto
+	// this path whether it is answered from disk or by compiling.
+	fromDisk := false
+	if c.cfg.Dir != "" {
+		f.c, fromDisk = c.loadDisk(k)
+	}
+	if !fromDisk {
+		f.c, f.err = c.compile(src)
+	}
 	close(f.done)
 
 	c.mu.Lock()
@@ -159,6 +201,9 @@ func (c *Cache) Get(src string) (*core.Compilation, error) {
 		c.insert(k, src, f.c)
 	}
 	c.mu.Unlock()
+	if f.err == nil && !fromDisk && c.cfg.Dir != "" {
+		c.storeDisk(k, f.c)
+	}
 	return f.c, f.err
 }
 

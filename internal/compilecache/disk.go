@@ -1,0 +1,121 @@
+// Disk level of the compile cache: content-addressed artifact files that
+// survive daemon restarts. An artifact stores the lowered mir.Program in
+// the versioned codec format; reload skips the whole frontend (parse,
+// typecheck, lower) and reruns only the deterministic STI analysis, so a
+// cold-started daemon serves warm compile hits bit-identically to the
+// process that wrote the artifact — same type-table IDs, same PAC
+// modifiers, same modelled numbers.
+//
+// Artifact layout (all integrity-checked on load):
+//
+//	offset  size  contents
+//	0       8     magic "RSTIART\x01" (format version in the last byte)
+//	8       32    sha256 of the payload
+//	40      —     payload: gob programDTO (mir.EncodeProgram)
+//
+// Files are named <sha256-of-source-hex>.rsti and written via
+// write-to-temp + atomic rename, so a crashed writer can never leave a
+// half-written artifact under the content-addressed name. Any validation
+// failure — bad magic, checksum mismatch, codec version skew, a program
+// that fails Verify — is treated as a miss: the source recompiles and the
+// artifact is rewritten. Corruption can cost a compile, never correctness.
+package compilecache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rsti/internal/core"
+	"rsti/internal/mir"
+)
+
+var artifactMagic = [8]byte{'R', 'S', 'T', 'I', 'A', 'R', 'T', 1}
+
+const artifactExt = ".rsti"
+
+func (c *Cache) artifactPath(k key) string {
+	return filepath.Join(c.cfg.Dir, hex.EncodeToString(k[:])+artifactExt)
+}
+
+// loadDisk tries to reconstitute the compilation for k from its artifact
+// file. It returns (nil, false) for any failure — missing file, damaged
+// artifact, version skew — after counting it appropriately; the caller
+// falls back to compiling.
+func (c *Cache) loadDisk(k key) (*core.Compilation, bool) {
+	raw, err := os.ReadFile(c.artifactPath(k))
+	if err != nil {
+		return nil, false // not on disk: the common cold-cache case, not an error
+	}
+	comp, err := decodeArtifact(raw)
+	c.mu.Lock()
+	if err != nil {
+		c.stats.DiskErrors++
+	} else {
+		c.stats.DiskHits++
+	}
+	c.mu.Unlock()
+	return comp, err == nil
+}
+
+func decodeArtifact(raw []byte) (*core.Compilation, error) {
+	if len(raw) < 40 || [8]byte(raw[:8]) != artifactMagic {
+		return nil, fmt.Errorf("compilecache: bad artifact header")
+	}
+	payload := raw[40:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], raw[8:40]) {
+		return nil, fmt.Errorf("compilecache: artifact checksum mismatch")
+	}
+	prog, err := mir.DecodeProgram(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	return core.FromProgram(prog)
+}
+
+// storeDisk writes the artifact for k. Failures are counted, not
+// returned: persistence is an optimization, and the in-memory entry the
+// caller just inserted already serves this process.
+func (c *Cache) storeDisk(k key, comp *core.Compilation) {
+	var payload bytes.Buffer
+	if err := mir.EncodeProgram(&payload, comp.Prog); err != nil {
+		c.diskError()
+		return
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	buf := make([]byte, 0, 40+payload.Len())
+	buf = append(buf, artifactMagic[:]...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload.Bytes()...)
+
+	final := c.artifactPath(k)
+	tmp, err := os.CreateTemp(c.cfg.Dir, "tmp-*"+artifactExt)
+	if err != nil {
+		c.diskError()
+		return
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.diskError()
+		return
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		c.diskError()
+		return
+	}
+	c.mu.Lock()
+	c.stats.DiskWrites++
+	c.mu.Unlock()
+}
+
+func (c *Cache) diskError() {
+	c.mu.Lock()
+	c.stats.DiskErrors++
+	c.mu.Unlock()
+}

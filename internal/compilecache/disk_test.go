@@ -1,0 +1,188 @@
+package compilecache
+
+import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+)
+
+const diskSrc = `
+struct pair { int a; int b; };
+int sum(struct pair *p) { return p->a + p->b; }
+int main() {
+	struct pair p;
+	p.a = 11; p.b = 31;
+	printf("sum=%d\n", sum(&p));
+	return sum(&p);
+}
+`
+
+// countingCache returns a disk-backed cache whose compile invocations are
+// counted — the observable for "served from disk without recompiling".
+func countingCache(dir string, n *atomic.Int64) *Cache {
+	return New(Config{Dir: dir, Compile: func(src string) (*core.Compilation, error) {
+		n.Add(1)
+		return core.Compile(src)
+	}})
+}
+
+// TestDiskLevelSurvivesRestart is the cold-restart contract: a second
+// cache instance (a restarted daemon) over the same directory serves the
+// program from disk with zero compile invocations, and the reloaded
+// compilation replays bit-identically.
+func TestDiskLevelSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	var compiles1 atomic.Int64
+	c1 := countingCache(dir, &compiles1)
+	orig, err := c1.Get(diskSrc)
+	if err != nil {
+		t.Fatalf("first Get: %v", err)
+	}
+	if got := compiles1.Load(); got != 1 {
+		t.Fatalf("first instance compiled %d times, want 1", got)
+	}
+	if s := c1.Stats(); s.DiskWrites != 1 || s.DiskHits != 0 {
+		t.Fatalf("first instance disk stats: %+v, want 1 write, 0 hits", s)
+	}
+
+	// "Restart": a fresh cache, same directory, empty memory level.
+	var compiles2 atomic.Int64
+	c2 := countingCache(dir, &compiles2)
+	reload, err := c2.Get(diskSrc)
+	if err != nil {
+		t.Fatalf("post-restart Get: %v", err)
+	}
+	if got := compiles2.Load(); got != 0 {
+		t.Fatalf("restarted instance compiled %d times, want 0 (disk hit)", got)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.DiskWrites != 0 || s.Misses != 1 {
+		t.Fatalf("restarted instance stats: %+v, want 1 disk hit, 0 writes, 1 miss", s)
+	}
+
+	// Bit-identical replay across the restart, for every mechanism.
+	for _, mech := range sti.Mechanisms {
+		a, err := orig.Run(mech, core.RunConfig{})
+		if err != nil {
+			t.Fatalf("%v: original run: %v", mech, err)
+		}
+		b, err := reload.Run(mech, core.RunConfig{})
+		if err != nil {
+			t.Fatalf("%v: reloaded run: %v", mech, err)
+		}
+		if a.Exit != b.Exit || a.Output != b.Output || a.Stats != b.Stats {
+			t.Errorf("%v: reloaded run diverged: orig (exit %d, %q, %+v) vs reload (exit %d, %q, %+v)",
+				mech, a.Exit, a.Output, a.Stats, b.Exit, b.Output, b.Stats)
+		}
+	}
+
+	// The second Get on the restarted instance is a plain memory hit.
+	if _, err := c2.Get(diskSrc); err != nil {
+		t.Fatalf("memory-hit Get: %v", err)
+	}
+	if s := c2.Stats(); s.Hits != 1 || s.DiskHits != 1 {
+		t.Fatalf("after memory hit: %+v, want 1 hit, 1 disk hit", s)
+	}
+}
+
+// TestDiskCorruptionFallsBackToCompile damages the artifact in each
+// interesting way and verifies the cache recompiles (counting a
+// DiskError) instead of failing or serving garbage.
+func TestDiskCorruptionFallsBackToCompile(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":     func(b []byte) []byte { return b[:20] },
+		"bad magic":     func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"flipped byte":  func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"version skew":  func(b []byte) []byte { b[7] = 99; return b },
+		"empty payload": func(b []byte) []byte { return b[:0] },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(strings.ReplaceAll(name, " ", "_"), func(t *testing.T) {
+			dir := t.TempDir()
+			var compiles atomic.Int64
+			c1 := countingCache(dir, &compiles)
+			if _, err := c1.Get(diskSrc); err != nil {
+				t.Fatalf("seed Get: %v", err)
+			}
+
+			k := sha256.Sum256([]byte(diskSrc))
+			path := c1.artifactPath(k)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading artifact: %v", err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatalf("corrupting artifact: %v", err)
+			}
+
+			var compiles2 atomic.Int64
+			c2 := countingCache(dir, &compiles2)
+			if _, err := c2.Get(diskSrc); err != nil {
+				t.Fatalf("Get over corrupted artifact: %v", err)
+			}
+			if got := compiles2.Load(); got != 1 {
+				t.Errorf("compiled %d times, want 1 (fallback)", got)
+			}
+			s := c2.Stats()
+			if s.DiskErrors != 1 {
+				t.Errorf("DiskErrors = %d, want 1; stats %+v", s.DiskErrors, s)
+			}
+			// The fallback compile rewrote a good artifact: a third
+			// instance gets a clean disk hit again.
+			var compiles3 atomic.Int64
+			c3 := countingCache(dir, &compiles3)
+			if _, err := c3.Get(diskSrc); err != nil {
+				t.Fatalf("Get after repair: %v", err)
+			}
+			if got := compiles3.Load(); got != 0 {
+				t.Errorf("post-repair instance compiled %d times, want 0", got)
+			}
+		})
+	}
+}
+
+// TestDiskLevelDisabledWithoutDir pins the default: no Dir, no files.
+func TestDiskLevelDisabledWithoutDir(t *testing.T) {
+	var compiles atomic.Int64
+	c := New(Config{Compile: func(src string) (*core.Compilation, error) {
+		compiles.Add(1)
+		return core.Compile(src)
+	}})
+	if _, err := c.Get(diskSrc); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	s := c.Stats()
+	if s.DiskHits != 0 || s.DiskWrites != 0 || s.DiskErrors != 0 {
+		t.Fatalf("memory-only cache touched disk counters: %+v", s)
+	}
+}
+
+// TestDiskArtifactNaming pins the content-addressed layout other tools
+// (cache inspection, CI) rely on: <sha256(source)>.rsti directly in Dir.
+func TestDiskArtifactNaming(t *testing.T) {
+	dir := t.TempDir()
+	var compiles atomic.Int64
+	c := countingCache(dir, &compiles)
+	if _, err := c.Get(diskSrc); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("artifact dir has %d entries, want 1", len(ents))
+	}
+	k := sha256.Sum256([]byte(diskSrc))
+	want := filepath.Base(c.artifactPath(k))
+	if ents[0].Name() != want {
+		t.Fatalf("artifact named %q, want %q", ents[0].Name(), want)
+	}
+}

@@ -209,6 +209,23 @@ func Compile(src string) (*Compilation, error) {
 	}, nil
 }
 
+// FromProgram wraps an already-lowered program — typically one decoded
+// from a disk artifact — as a Compilation: it verifies the IR, reruns the
+// STI analysis (deterministic, so PAC modifiers and scope metadata come
+// out exactly as the original compile produced them), and leaves builds
+// to materialize lazily as usual. The frontend AST is not reconstructed
+// (File is nil); nothing downstream of Compile reads it.
+func FromProgram(prog *mir.Program) (*Compilation, error) {
+	if err := prog.Verify(); err != nil {
+		return nil, fmt.Errorf("reloaded program: %w", err)
+	}
+	return &Compilation{
+		Prog:     prog,
+		Analysis: sti.Analyze(prog),
+		builds:   make(map[buildKey]*buildCell),
+	}, nil
+}
+
 // elideSet returns the program's elidable-variable set, computed once.
 func (c *Compilation) elideSet() []bool {
 	c.elideOnce.Do(func() { c.elide = opt.ElidableVars(c.Prog, c.Analysis) })

@@ -387,6 +387,33 @@ func (tb *Table) ID(t *Type) int {
 // ByID returns the type with the given ID.
 func (tb *Table) ByID(id int) *Type { return tb.ordered[id] }
 
+// StructsByName returns a copy of the struct registry (tag → type), for
+// serializers that must persist nominal identity. The Type pointers are
+// shared with the table.
+func (tb *Table) StructsByName() map[string]*Type {
+	out := make(map[string]*Type, len(tb.structs))
+	for k, v := range tb.structs {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreTable rebuilds a Table from previously captured state: the
+// struct registry and the interned types in their original ID order. The
+// IDs a restored table assigns are exactly the captured ones — essential
+// for deserialized programs, whose PAC modifiers embed type IDs — and
+// types interned after restoration continue the sequence deterministically.
+func RestoreTable(structs map[string]*Type, ordered []*Type) *Table {
+	tb := NewTable()
+	for k, v := range structs {
+		tb.structs[k] = v
+	}
+	for _, t := range ordered {
+		tb.Intern(t)
+	}
+	return tb
+}
+
 // Len returns the number of interned types.
 func (tb *Table) Len() int { return len(tb.ordered) }
 

@@ -83,6 +83,13 @@ type BenchRecord struct {
 	PACDenseInstrsPerSec float64            `json:"pac_dense_instrs_per_sec,omitempty"`
 	PACDenseFusedShare   float64            `json:"pac_dense_fused_share,omitempty"`
 
+	// Service load test: end-to-end latency percentiles and throughput
+	// from cmd/rstiload driving concurrent compile+run sessions through
+	// the /v1 HTTP API. Unlike the sections above this measures the
+	// whole daemon — admission, cache coalescing, engine queueing —
+	// not an isolated component.
+	LoadTest *LoadTestRecord `json:"load_test,omitempty"`
+
 	// Modelled invariants: host optimization must never move these.
 	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
 	GoldenCycles      map[string]int64   `json:"golden_cycles"`
@@ -440,6 +447,20 @@ func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float
 			(1-rec.TieredInstrsPerSec/prev.TieredInstrsPerSec)*100, prev.Label,
 			prev.TieredInstrsPerSec/1e6, rec.TieredInstrsPerSec/1e6))
 	}
+	// Service throughput: only comparable when the drive shape matches
+	// (same sessions/concurrency/workers), since throughput scales with
+	// all three.
+	if prev.LoadTest != nil && rec.LoadTest != nil &&
+		prev.LoadTest.Sessions == rec.LoadTest.Sessions &&
+		prev.LoadTest.Concurrency == rec.LoadTest.Concurrency &&
+		prev.LoadTest.Workers == rec.LoadTest.Workers &&
+		prev.LoadTest.RequestsPerSec > 0 &&
+		rec.LoadTest.RequestsPerSec < prev.LoadTest.RequestsPerSec*(1-threshold) {
+		warns = append(warns, fmt.Sprintf(
+			"service load-test throughput regressed %.0f%% vs %q: %.1f -> %.1f req/s",
+			(1-rec.LoadTest.RequestsPerSec/prev.LoadTest.RequestsPerSec)*100, prev.Label,
+			prev.LoadTest.RequestsPerSec, rec.LoadTest.RequestsPerSec))
+	}
 	// Elision effectiveness is deterministic per build: a relative drop
 	// means the optimizer lost coverage, not host noise.
 	mechs := make([]string, 0, len(rec.PACOpsElidedPct))
@@ -514,6 +535,10 @@ func (r *BenchRecord) Summary() string {
 			r.PACOpsElidedPct[sti.STL.String()], r.PACOpsElidedPct[sti.Adaptive.String()],
 			r.PACDenseInstrsPerSec/1e6, r.PACDenseFusedShare*100)
 	}
+	load := ""
+	if r.LoadTest != nil {
+		load = "\n" + r.LoadTest.Summary()
+	}
 	// compile, eng and pac are appended outside the format string: they are
 	// already-rendered text, and Sprintf must not re-scan them for verbs.
 	return fmt.Sprintf(
@@ -540,5 +565,5 @@ func (r *BenchRecord) Summary() string {
 		r.Figure9WallSeconds,
 		r.Figure9GeomeanPct[sti.STWC.String()],
 		r.Figure9GeomeanPct[sti.STC.String()],
-		r.Figure9GeomeanPct[sti.STL.String()]) + tier + compile + eng + pac
+		r.Figure9GeomeanPct[sti.STL.String()]) + tier + compile + eng + pac + load
 }

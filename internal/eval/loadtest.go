@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencyQuantiles summarizes a latency distribution in milliseconds.
+// rstiload records one per request class (compile, buffered run,
+// streaming run).
+type LatencyQuantiles struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	Count int     `json:"count"`
+}
+
+// Quantiles computes the p50/p95/p99/max summary of a sample set.
+// The zero value is returned for an empty sample.
+func Quantiles(samples []time.Duration) LatencyQuantiles {
+	if len(samples) == 0 {
+		return LatencyQuantiles{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		// Nearest-rank on the sorted sample: index ceil(q*n)-1.
+		idx := int(q*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	return LatencyQuantiles{
+		P50Ms: at(0.50),
+		P95Ms: at(0.95),
+		P99Ms: at(0.99),
+		MaxMs: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+		Count: len(sorted),
+	}
+}
+
+// LoadTestRecord is one rstiload datapoint: many concurrent sessions,
+// each a compile followed by runs (buffered or streamed over SSE),
+// driven through the /v1 HTTP service. It captures service-level
+// latency and throughput the per-component microbenchmarks cannot see:
+// admission, cache coalescing, JSON marshalling, and engine queueing
+// under contention.
+type LoadTestRecord struct {
+	Sessions    int     `json:"sessions"`
+	Concurrency int     `json:"concurrency"`
+	Workers     int     `json:"workers"`
+	Programs    int     `json:"programs"`
+	StreamShare float64 `json:"stream_share"`
+
+	WallSeconds    float64 `json:"wall_seconds"`
+	Requests       int     `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	Errors         int     `json:"errors"`
+	// Mismatches counts runs whose modelled numbers diverged from the
+	// first observation of the same program x mechanism — the
+	// bit-identity contract checked under load.
+	Mismatches int `json:"mismatches"`
+
+	CompileLatency LatencyQuantiles  `json:"compile_latency"`
+	RunLatency     LatencyQuantiles  `json:"run_latency"`
+	StreamLatency  *LatencyQuantiles `json:"stream_latency,omitempty"`
+
+	// CacheHitRate is the fraction of compile requests the service
+	// answered from its program handle table (the response's cached
+	// flag) — repeat compiles that never re-entered the pipeline.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Summary renders the load-test datapoint as a human-readable report.
+func (l *LoadTestRecord) Summary() string {
+	s := fmt.Sprintf(
+		"load test: %d sessions x %d concurrent (%d workers, %d programs, %.0f%% streamed)\n"+
+			"  wall clock:           %8.2f s\n"+
+			"  throughput:           %8.1f req/s (%d requests, %d errors, %d mismatches)\n"+
+			"  compile latency:      p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n"+
+			"  run latency:          p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms",
+		l.Sessions, l.Concurrency, l.Workers, l.Programs, l.StreamShare*100,
+		l.WallSeconds,
+		l.RequestsPerSec, l.Requests, l.Errors, l.Mismatches,
+		l.CompileLatency.P50Ms, l.CompileLatency.P95Ms, l.CompileLatency.P99Ms, l.CompileLatency.MaxMs,
+		l.RunLatency.P50Ms, l.RunLatency.P95Ms, l.RunLatency.P99Ms, l.RunLatency.MaxMs)
+	if l.StreamLatency != nil {
+		s += fmt.Sprintf(
+			"\n  stream latency:       p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms",
+			l.StreamLatency.P50Ms, l.StreamLatency.P95Ms, l.StreamLatency.P99Ms, l.StreamLatency.MaxMs)
+	}
+	s += fmt.Sprintf("\n  cache hit rate:       %8.2f %%", l.CacheHitRate*100)
+	return s
+}

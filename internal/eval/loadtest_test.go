@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantiles(t *testing.T) {
+	// 1..100 ms: nearest-rank percentiles are exact.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	q := Quantiles(samples)
+	if q.P50Ms != 50 || q.P95Ms != 95 || q.P99Ms != 99 || q.MaxMs != 100 || q.Count != 100 {
+		t.Errorf("quantiles over 1..100ms: %+v", q)
+	}
+
+	// Order independence: reversed input gives the same answer.
+	rev := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		rev[len(samples)-1-i] = s
+	}
+	if Quantiles(rev) != q {
+		t.Error("quantiles depend on sample order")
+	}
+	// The input slice must not be reordered in place.
+	if rev[0] != 100*time.Millisecond {
+		t.Error("Quantiles mutated its input")
+	}
+
+	if z := Quantiles(nil); z != (LatencyQuantiles{}) {
+		t.Errorf("empty sample: %+v", z)
+	}
+	one := Quantiles([]time.Duration{7 * time.Millisecond})
+	if one.P50Ms != 7 || one.P99Ms != 7 || one.Count != 1 {
+		t.Errorf("single sample: %+v", one)
+	}
+}
+
+func TestLoadTestTrajectoryWarning(t *testing.T) {
+	mk := func(label string, rps float64) BenchRecord {
+		return BenchRecord{
+			Label: label, GOOS: "linux", GOARCH: "amd64", CPUs: 8,
+			LoadTest: &LoadTestRecord{
+				Sessions: 1000, Concurrency: 64, Workers: 8, RequestsPerSec: rps,
+			},
+		}
+	}
+	prev := mk("pr7", 1000)
+	rec := mk("dev", 500)
+	warns := TrajectoryWarnings([]BenchRecord{prev}, &rec, 0.25)
+	if len(warns) != 1 || !containsAll(warns[0], "load-test throughput", "pr7") {
+		t.Errorf("expected one throughput warning, got %v", warns)
+	}
+
+	// Same shape, no regression: quiet.
+	ok := mk("dev", 990)
+	if w := TrajectoryWarnings([]BenchRecord{prev}, &ok, 0.25); len(w) != 0 {
+		t.Errorf("unexpected warnings: %v", w)
+	}
+
+	// Different drive shape: not comparable, quiet.
+	other := mk("dev", 100)
+	other.LoadTest.Concurrency = 8
+	if w := TrajectoryWarnings([]BenchRecord{prev}, &other, 0.25); len(w) != 0 {
+		t.Errorf("cross-shape comparison should be suppressed: %v", w)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,402 @@
+// Binary serialization of a lowered Program — the on-disk artifact
+// format behind the compile cache's persistent second level. The format
+// flattens the pointer-shaped IR into index-linked tables: every
+// *ctypes.Type reachable from the program becomes one entry in a type
+// table (cycles through self-referential structs terminate because an
+// index is assigned before the entry's children are encoded), and
+// instructions refer to types, functions and blocks by index.
+//
+// Fidelity requirements, in decreasing order of subtlety:
+//
+//   - The ctypes.Table must restore with its original ID order: PAC
+//     modifiers embed interned type IDs, so a permuted table would change
+//     every signed pointer's modifier and break bit-identical replay.
+//   - Struct nominal identity must survive: two mentions of "struct s"
+//     decode to one *Type, via the restored struct registry.
+//   - Field offsets are stored, not recomputed, so layout is exactly what
+//     the encoder saw.
+//
+// The container is gob over flat DTO structs — no interfaces, no
+// pointers, so decoding cannot be driven into unexpected types by a
+// corrupted artifact; structural damage surfaces as a decode error or a
+// Verify failure, which the cache treats as a miss.
+package mir
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"rsti/internal/cminor"
+	"rsti/internal/ctypes"
+)
+
+// CodecVersion identifies the artifact layout. Bump on any change to the
+// DTOs below; decoders reject other versions so a stale artifact can
+// never be misinterpreted.
+const CodecVersion = 1
+
+const noIdx = -1
+
+type typeDTO struct {
+	Kind       uint8
+	Const      bool
+	Elem       int
+	Len        int
+	Name       string
+	Incomplete bool
+	FieldNames []string
+	FieldTypes []int
+	FieldOffs  []int
+	Ret        int
+	Params     []int
+	Variadic   bool
+}
+
+type slotDTO struct {
+	Kind   uint8
+	Var    int
+	Struct int
+	Field  int
+}
+
+type instrDTO struct {
+	Op      uint8
+	Dst     int
+	A, B    int
+	Imm     int64
+	Ty      int
+	FromTy  int
+	BinSub  uint8
+	CmpSub  uint8
+	Slot    slotDTO
+	Callee  string
+	Args    []int
+	Targets [2]int
+	Mod     uint64
+	Key     uint8
+	CE      uint16
+	PosLine int
+	PosCol  int
+}
+
+type blockDTO struct {
+	Index  int
+	Name   string
+	Instrs []instrDTO
+}
+
+type funcDTO struct {
+	Name     string
+	Ret      int
+	Params   []int
+	ParamVar []int
+	Variadic bool
+	Extern   bool
+	Blocks   []blockDTO
+	NumRegs  int
+}
+
+type varDTO struct {
+	Name   string
+	Type   int
+	Global bool
+	Param  bool
+	DeclFn string
+}
+
+type globalDTO struct {
+	Name string
+	Type int
+	Var  int
+}
+
+type programDTO struct {
+	Version     int
+	Types       []typeDTO
+	StructNames []string
+	StructTypes []int
+	Ordered     []int // interned-table contents in ID order
+	Funcs       []funcDTO
+	Globals     []globalDTO
+	Vars        []varDTO
+	Strings     []string
+}
+
+// typeEncoder flattens the reachable type graph without mutating the
+// program's shared ctypes.Table (encoding a live, possibly still-building
+// Compilation must be side-effect free).
+type typeEncoder struct {
+	idx  map[*ctypes.Type]int
+	dtos []typeDTO
+}
+
+func (e *typeEncoder) encode(t *ctypes.Type) int {
+	if t == nil {
+		return noIdx
+	}
+	if i, ok := e.idx[t]; ok {
+		return i
+	}
+	// Reserve the index before descending: self-referential structs
+	// (struct node { struct node *next; }) cycle back here and find it.
+	i := len(e.dtos)
+	e.idx[t] = i
+	e.dtos = append(e.dtos, typeDTO{})
+	d := typeDTO{
+		Kind:       uint8(t.Kind),
+		Const:      t.Const,
+		Len:        t.Len,
+		Name:       t.Name,
+		Incomplete: t.Incomplete,
+		Variadic:   t.Variadic,
+		Elem:       e.encode(t.Elem),
+		Ret:        e.encode(t.Ret),
+	}
+	for _, f := range t.Fields {
+		d.FieldNames = append(d.FieldNames, f.Name)
+		d.FieldTypes = append(d.FieldTypes, e.encode(f.Type))
+		d.FieldOffs = append(d.FieldOffs, f.Offset)
+	}
+	for _, p := range t.Params {
+		d.Params = append(d.Params, e.encode(p))
+	}
+	e.dtos[i] = d
+	return i
+}
+
+// EncodeProgram writes p to w in the versioned artifact format.
+func EncodeProgram(w io.Writer, p *Program) error {
+	enc := &typeEncoder{idx: make(map[*ctypes.Type]int)}
+	dto := programDTO{Version: CodecVersion, Strings: p.Strings}
+
+	// The interned table first, in ID order, so the restored table assigns
+	// identical IDs; then the struct registry, sorted for determinism.
+	if p.Types != nil {
+		for _, t := range p.Types.All() {
+			dto.Ordered = append(dto.Ordered, enc.encode(t))
+		}
+		structs := p.Types.StructsByName()
+		names := make([]string, 0, len(structs))
+		for n := range structs {
+			names = append(names, n)
+		}
+		sortStrings(names)
+		for _, n := range names {
+			dto.StructNames = append(dto.StructNames, n)
+			dto.StructTypes = append(dto.StructTypes, enc.encode(structs[n]))
+		}
+	}
+
+	for _, v := range p.Vars {
+		dto.Vars = append(dto.Vars, varDTO{
+			Name: v.Name, Type: enc.encode(v.Type),
+			Global: v.Global, Param: v.Param, DeclFn: v.DeclFn,
+		})
+	}
+	for _, g := range p.Globals {
+		dto.Globals = append(dto.Globals, globalDTO{
+			Name: g.Name, Type: enc.encode(g.Type), Var: g.Var,
+		})
+	}
+	for _, f := range p.Funcs {
+		fd := funcDTO{
+			Name: f.Name, Ret: enc.encode(f.Ret), Variadic: f.Variadic,
+			Extern: f.Extern, NumRegs: f.NumRegs, ParamVar: f.ParamVar,
+		}
+		for _, pt := range f.Params {
+			fd.Params = append(fd.Params, enc.encode(pt))
+		}
+		for _, b := range f.Blocks {
+			bd := blockDTO{Index: b.Index, Name: b.Name}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				bd.Instrs = append(bd.Instrs, instrDTO{
+					Op: uint8(in.Op), Dst: in.Dst, A: in.A, B: in.B,
+					Imm: in.Imm, Ty: enc.encode(in.Ty), FromTy: enc.encode(in.FromTy),
+					BinSub: uint8(in.BinSub), CmpSub: uint8(in.CmpSub),
+					Slot: slotDTO{
+						Kind: uint8(in.Slot.Kind), Var: in.Slot.Var,
+						Struct: enc.encode(in.Slot.Struct), Field: in.Slot.Field,
+					},
+					Callee: in.Callee, Args: in.Args, Targets: in.Targets,
+					Mod: in.Mod, Key: in.Key, CE: in.CE,
+					PosLine: in.Pos.Line, PosCol: in.Pos.Col,
+				})
+			}
+			fd.Blocks = append(fd.Blocks, bd)
+		}
+		dto.Funcs = append(dto.Funcs, fd)
+	}
+	dto.Types = enc.dtos
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// DecodeProgram reads a Program previously written by EncodeProgram. A
+// version mismatch or structurally damaged payload returns an error; the
+// decoded program additionally passes Verify before being returned.
+func DecodeProgram(r io.Reader) (*Program, error) {
+	var dto programDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("mir: decoding program artifact: %w", err)
+	}
+	if dto.Version != CodecVersion {
+		return nil, fmt.Errorf("mir: artifact version %d, want %d", dto.Version, CodecVersion)
+	}
+
+	// Materialize the type graph: skeletons first, then links, so cycles
+	// resolve without ordering constraints.
+	ts := make([]*ctypes.Type, len(dto.Types))
+	for i := range ts {
+		ts[i] = &ctypes.Type{}
+	}
+	at := func(i int) (*ctypes.Type, error) {
+		if i == noIdx {
+			return nil, nil
+		}
+		if i < 0 || i >= len(ts) {
+			return nil, fmt.Errorf("mir: type index %d out of range", i)
+		}
+		return ts[i], nil
+	}
+	for i, d := range dto.Types {
+		t := ts[i]
+		t.Kind = ctypes.Kind(d.Kind)
+		t.Const = d.Const
+		t.Len = d.Len
+		t.Name = d.Name
+		t.Incomplete = d.Incomplete
+		t.Variadic = d.Variadic
+		var err error
+		if t.Elem, err = at(d.Elem); err != nil {
+			return nil, err
+		}
+		if t.Ret, err = at(d.Ret); err != nil {
+			return nil, err
+		}
+		if len(d.FieldTypes) != len(d.FieldNames) || len(d.FieldOffs) != len(d.FieldNames) {
+			return nil, fmt.Errorf("mir: type %d has ragged field tables", i)
+		}
+		for j := range d.FieldNames {
+			ft, err := at(d.FieldTypes[j])
+			if err != nil {
+				return nil, err
+			}
+			t.Fields = append(t.Fields, ctypes.Field{
+				Name: d.FieldNames[j], Type: ft, Offset: d.FieldOffs[j],
+			})
+		}
+		for _, pi := range d.Params {
+			pt, err := at(pi)
+			if err != nil {
+				return nil, err
+			}
+			t.Params = append(t.Params, pt)
+		}
+	}
+
+	if len(dto.StructNames) != len(dto.StructTypes) {
+		return nil, fmt.Errorf("mir: ragged struct registry")
+	}
+	structs := make(map[string]*ctypes.Type, len(dto.StructNames))
+	for i, n := range dto.StructNames {
+		st, err := at(dto.StructTypes[i])
+		if err != nil || st == nil {
+			return nil, fmt.Errorf("mir: struct %q resolves to no type", n)
+		}
+		structs[n] = st
+	}
+	ordered := make([]*ctypes.Type, 0, len(dto.Ordered))
+	for _, i := range dto.Ordered {
+		t, err := at(i)
+		if err != nil || t == nil {
+			return nil, fmt.Errorf("mir: interned table entry resolves to no type")
+		}
+		ordered = append(ordered, t)
+	}
+
+	p := &Program{
+		ByName:  make(map[string]*Func, len(dto.Funcs)),
+		Strings: dto.Strings,
+		Types:   ctypes.RestoreTable(structs, ordered),
+	}
+	for _, d := range dto.Vars {
+		vt, err := at(d.Type)
+		if err != nil {
+			return nil, err
+		}
+		p.Vars = append(p.Vars, &VarInfo{
+			Name: d.Name, Type: vt, Global: d.Global, Param: d.Param, DeclFn: d.DeclFn,
+		})
+	}
+	for _, d := range dto.Globals {
+		gt, err := at(d.Type)
+		if err != nil {
+			return nil, err
+		}
+		p.Globals = append(p.Globals, &Global{Name: d.Name, Type: gt, Var: d.Var})
+	}
+	for _, fd := range dto.Funcs {
+		ret, err := at(fd.Ret)
+		if err != nil {
+			return nil, err
+		}
+		f := &Func{
+			Name: fd.Name, Ret: ret, ParamVar: fd.ParamVar,
+			Variadic: fd.Variadic, Extern: fd.Extern, NumRegs: fd.NumRegs,
+		}
+		for _, pi := range fd.Params {
+			pt, err := at(pi)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, pt)
+		}
+		for _, bd := range fd.Blocks {
+			b := &Block{Index: bd.Index, Name: bd.Name}
+			for _, id := range bd.Instrs {
+				ty, err := at(id.Ty)
+				if err != nil {
+					return nil, err
+				}
+				fty, err := at(id.FromTy)
+				if err != nil {
+					return nil, err
+				}
+				sty, err := at(id.Slot.Struct)
+				if err != nil {
+					return nil, err
+				}
+				b.Instrs = append(b.Instrs, Instr{
+					Op: Op(id.Op), Dst: id.Dst, A: id.A, B: id.B,
+					Imm: id.Imm, Ty: ty, FromTy: fty,
+					BinSub: BinSub(id.BinSub), CmpSub: CmpSub(id.CmpSub),
+					Slot: Slot{
+						Kind: SlotKind(id.Slot.Kind), Var: id.Slot.Var,
+						Struct: sty, Field: id.Slot.Field,
+					},
+					Callee: id.Callee, Args: id.Args, Targets: id.Targets,
+					Mod: id.Mod, Key: id.Key, CE: id.CE,
+					Pos: cminor.Pos{Line: id.PosLine, Col: id.PosCol},
+				})
+			}
+			f.Blocks = append(f.Blocks, b)
+		}
+		p.Funcs = append(p.Funcs, f)
+		p.ByName[f.Name] = f
+	}
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("mir: decoded program fails verification: %w", err)
+	}
+	return p, nil
+}
+
+// sortStrings is sort.Strings without dragging package sort into the hot
+// import graph for this one call.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rsti/internal/vm"
+)
+
+// TestTenantAuth covers the multi-tenant admission path: keys gate the
+// costly endpoints, unknown keys are refused, rate quotas answer 429
+// before the engine sees the request, and step-budget quotas clamp what
+// any one run may spend.
+func TestTenantAuth(t *testing.T) {
+	tenants := []Tenant{
+		{Key: "alpha-key", Name: "alpha", RatePerSec: 1, Burst: 2},
+		{Key: "beta-key", Name: "beta", MaxStepBudget: 50},
+	}
+	ts, s := startServerCfg(t, Config{Workers: 2, Queue: 8, Tenants: tenants})
+
+	// Clock injection: rate-limit tests must not sleep.
+	now := time.Now()
+	s.auth.now = func() time.Time { return now }
+
+	t.Run("missing-key", func(t *testing.T) {
+		var we wireError
+		if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: victimSrc}, &we); code != 401 {
+			t.Fatalf("status %d, want 401", code)
+		}
+		if we.Error.Kind != KindUnauthorized {
+			t.Errorf("kind = %q", we.Error.Kind)
+		}
+	})
+
+	t.Run("unknown-key", func(t *testing.T) {
+		var we wireError
+		code := postHeaders(t, ts.URL+"/v1/compile",
+			map[string]string{"Authorization": "Bearer wrong"}, compileRequest{Source: victimSrc}, &we)
+		if code != 403 || we.Error.Kind != KindForbidden {
+			t.Errorf("status %d kind %q, want 403 forbidden", code, we.Error.Kind)
+		}
+	})
+
+	t.Run("open-endpoints-stay-open", func(t *testing.T) {
+		for _, path := range []string{"/v1/healthz", "/v1/metrics", "/v1/attacks"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("%s: status %d without a key, want 200", path, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("bearer-and-x-api-key", func(t *testing.T) {
+		for _, h := range []map[string]string{
+			{"Authorization": "Bearer beta-key"},
+			{"X-API-Key": "beta-key"},
+		} {
+			var comp compileResponse
+			if code := postHeaders(t, ts.URL+"/v1/compile", h, compileRequest{Source: victimSrc}, &comp); code != 200 {
+				t.Errorf("headers %v: status %d", h, code)
+			}
+		}
+	})
+
+	t.Run("rate-limit", func(t *testing.T) {
+		hdr := map[string]string{"Authorization": "Bearer alpha-key"}
+		// Burst of 2 admits two, refuses the third.
+		for i := 0; i < 2; i++ {
+			if code := postHeaders(t, ts.URL+"/v1/compile", hdr, compileRequest{Source: victimSrc}, nil); code != 200 {
+				t.Fatalf("burst request %d: status %d", i, code)
+			}
+		}
+		var we wireError
+		if code := postHeaders(t, ts.URL+"/v1/compile", hdr, compileRequest{Source: victimSrc}, &we); code != 429 {
+			t.Fatalf("over-rate request: status %d, want 429", code)
+		}
+		if we.Error.Kind != KindRateLimited {
+			t.Errorf("kind = %q", we.Error.Kind)
+		}
+		// A second of refill admits exactly one more.
+		now = now.Add(time.Second)
+		if code := postHeaders(t, ts.URL+"/v1/compile", hdr, compileRequest{Source: victimSrc}, nil); code != 200 {
+			t.Errorf("post-refill request: status %d", code)
+		}
+		if code := postHeaders(t, ts.URL+"/v1/compile", hdr, compileRequest{Source: victimSrc}, nil); code != 429 {
+			t.Errorf("second post-refill request: status %d, want 429", code)
+		}
+		// Rate limiting is per tenant: beta is unaffected.
+		if code := postHeaders(t, ts.URL+"/v1/compile",
+			map[string]string{"Authorization": "Bearer beta-key"}, compileRequest{Source: victimSrc}, nil); code != 200 {
+			t.Errorf("other tenant caught by alpha's limit: status %d", code)
+		}
+	})
+
+	t.Run("step-budget-clamp", func(t *testing.T) {
+		hdr := map[string]string{"Authorization": "Bearer beta-key"}
+		// The victim needs thousands of steps; beta's quota of 50 must trap
+		// it even though the request asked for unlimited.
+		var run runResponse
+		if code := postHeaders(t, ts.URL+"/v1/run", hdr, runRequest{Source: victimSrc}, &run); code != 200 {
+			t.Fatalf("run: status %d", code)
+		}
+		if run.Trap == nil || run.Trap.Kind != vm.TrapMaxSteps.String() {
+			t.Errorf("unbudgeted run under quota tenant: %+v, want %s trap", run, vm.TrapMaxSteps)
+		}
+		// Asking for more than the quota clamps down, not up.
+		run = runResponse{}
+		postHeaders(t, ts.URL+"/v1/run", hdr, runRequest{Source: victimSrc, StepBudget: 1_000_000}, &run)
+		if run.Trap == nil || run.Trap.Kind != vm.TrapMaxSteps.String() {
+			t.Errorf("over-quota budget not clamped: %+v", run)
+		}
+		// A request within quota keeps its own tighter budget semantics.
+		run = runResponse{}
+		postHeaders(t, ts.URL+"/v1/run", hdr, runRequest{Source: victimSrc, StepBudget: 10}, &run)
+		if run.Trap == nil {
+			t.Errorf("tight in-quota budget ignored: %+v", run)
+		}
+	})
+}
+
+// TestLoadTenants pins the tenants-file format and its validation.
+func TestLoadTenants(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "tenants.json")
+	os.WriteFile(good, []byte(`[
+		{"key": "k1", "name": "one", "rate_per_sec": 10, "burst": 20, "max_step_budget": 1000},
+		{"key": "k2-long-key-name"}
+	]`), 0o644)
+	ts, err := LoadTenants(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Name != "one" || ts[0].RatePerSec != 10 {
+		t.Fatalf("tenants: %+v", ts)
+	}
+	if ts[1].Name != "k2-long-" {
+		t.Errorf("default name = %q, want key prefix", ts[1].Name)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	for name, content := range map[string]string{
+		"no-key":    `[{"name": "x"}]`,
+		"duplicate": `[{"key": "k"}, {"key": "k"}]`,
+		"not-json":  `{`,
+	} {
+		os.WriteFile(bad, []byte(content), 0o644)
+		if _, err := LoadTenants(bad); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestOpenMode pins the zero-config contract: no tenants → no auth, no
+// quotas, everything works without keys.
+func TestOpenMode(t *testing.T) {
+	ts, _ := startServer(t)
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: victimSrc}, nil); code != 200 {
+		t.Fatalf("open-mode compile: status %d", code)
+	}
+}

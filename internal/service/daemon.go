@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long shutdown waits for in-flight
+// requests before cutting them off.
+const DefaultDrainTimeout = 10 * time.Second
+
+// Daemon runs a Server on a listener with graceful shutdown: a stop
+// signal first drains in-flight HTTP requests (http.Server.Shutdown — a
+// run that is executing when SIGTERM lands still returns its complete
+// response) and only then closes the engine. cmd/rstid and the
+// integration tests share this path so the test exercises exactly what
+// the binary does.
+type Daemon struct {
+	Server *Server
+	// DrainTimeout bounds graceful drain (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// Logf receives lifecycle messages (nil = log.Printf).
+	Logf func(format string, args ...any)
+
+	once    sync.Once
+	httpSrv *http.Server
+}
+
+// srv lazily builds the embedded http.Server exactly once — Serve and
+// Stop may race from different goroutines (signal handler vs accept
+// loop).
+func (d *Daemon) srv() *http.Server {
+	d.once.Do(func() { d.httpSrv = &http.Server{Handler: d.Server} })
+	return d.httpSrv
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Serve accepts connections on l until Stop (or a signal wired via
+// HandleSignals) shuts it down. It returns nil on graceful shutdown.
+func (d *Daemon) Serve(l net.Listener) error {
+	err := d.srv().Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Stop drains in-flight requests, then closes the engine. In-flight runs
+// complete (up to the drain timeout) before workers go away, so clients
+// get complete responses rather than connection resets.
+func (d *Daemon) Stop() {
+	to := d.DrainTimeout
+	if to <= 0 {
+		to = DefaultDrainTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), to)
+	defer cancel()
+	d.srv().Shutdown(ctx)
+	d.Server.Close()
+}
+
+// HandleSignals arranges for SIGINT/SIGTERM to trigger Stop; the
+// returned channel closes once shutdown has completed.
+func (d *Daemon) HandleSignals() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		d.logf("rstid: shutting down")
+		d.Stop()
+	}()
+	return done
+}

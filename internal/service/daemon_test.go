@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon runs a Daemon on a real TCP listener — the same serve/stop
+// path cmd/rstid wires to SIGTERM — and returns its base URL.
+func startDaemon(t *testing.T, cfg Config) (*Daemon, string) {
+	t.Helper()
+	// Generous drain timeout: the race detector slows modelled runs by an
+	// order of magnitude, and a drain cut-off would turn a drained run
+	// into a cancellation and fail the graceful-shutdown assertion.
+	d := &Daemon{Server: New(cfg), Logf: t.Logf, DrainTimeout: time.Minute}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(l) }()
+	t.Cleanup(func() {
+		d.Stop() // idempotent; frees the engine if the test didn't stop it
+		if err := <-done; err != nil {
+			t.Errorf("daemon serve: %v", err)
+		}
+	})
+	return d, "http://" + l.Addr().String()
+}
+
+// TestGracefulShutdownMidRun: a stop signal arriving while a run is
+// executing drains it — the client gets a complete 200 response with the
+// run's numbers, not a connection reset — because http.Server.Shutdown
+// runs before Engine.Close.
+func TestGracefulShutdownMidRun(t *testing.T) {
+	d, url := startDaemon(t, Config{Workers: 2, Queue: 8})
+
+	// A run long enough (tens of ms native, seconds under -race) that
+	// Stop lands mid-flight.
+	src := `int main(void){ int i; int a; a = 0;
+for (i = 0; i < 4000000; i = i + 1) { a = a + i; }
+return a & 1; }`
+
+	var (
+		wg   sync.WaitGroup
+		code int
+		run  runResponse
+		rerr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		data, _ := json.Marshal(runRequest{Source: src, Mechanism: "none"})
+		resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(data))
+		if err != nil {
+			rerr = err
+			return
+		}
+		defer resp.Body.Close()
+		code = resp.StatusCode
+		rerr = json.NewDecoder(resp.Body).Decode(&run)
+	}()
+
+	// Give the request time to reach a worker, then stop the daemon the
+	// way the SIGTERM handler does.
+	time.Sleep(20 * time.Millisecond)
+	d.Stop()
+	wg.Wait()
+
+	if rerr != nil {
+		t.Fatalf("mid-shutdown run failed at the transport level (connection reset?): %v", rerr)
+	}
+	if code != 200 {
+		t.Fatalf("mid-shutdown run: status %d, want 200", code)
+	}
+	if run.Error != "" || run.Cancelled || run.Cycles == 0 {
+		t.Errorf("mid-shutdown run was not drained to completion: %+v", run)
+	}
+
+	// After shutdown the engine refuses new work.
+	d2 := New(Config{Workers: 1, Queue: 1})
+	d2.Close()
+	if _, err := d2.cache.Get("int main(void) { return 0; }"); err == nil {
+		t.Error("closed server still compiles")
+	}
+}
+
+// TestColdRestartServesFromDisk is the tentpole's end-to-end contract,
+// exercised through real daemons: compile through daemon A with a cache
+// directory, stop A, start daemon B on the same directory, and B serves
+// the same program from disk — zero compiles — with bit-identical run
+// output and modelled numbers.
+func TestColdRestartServesFromDisk(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	runReq := runRequest{Source: victimSrc, Mechanism: "rsti-stc"}
+
+	// Daemon A: cold cache — compiles, runs, persists the artifact.
+	dA, urlA := startDaemon(t, Config{Workers: 2, Queue: 8, CacheDir: cacheDir})
+	var compA compileResponse
+	if code := post(t, urlA+"/v1/compile", compileRequest{Source: victimSrc}, &compA); code != 200 {
+		t.Fatalf("A compile: status %d", code)
+	}
+	var runA runResponse
+	if code := post(t, urlA+"/v1/run", runReq, &runA); code != 200 {
+		t.Fatalf("A run: status %d", code)
+	}
+	sA := dA.Server.CacheStats()
+	if sA.Misses != 1 || sA.DiskWrites != 1 || sA.DiskHits != 0 {
+		t.Fatalf("A cache stats: %+v, want 1 miss, 1 disk write", sA)
+	}
+	dA.Stop()
+
+	// Daemon B: fresh process state, same cache directory.
+	dB, urlB := startDaemon(t, Config{Workers: 2, Queue: 8, CacheDir: cacheDir})
+	var compB compileResponse
+	if code := post(t, urlB+"/v1/compile", compileRequest{Source: victimSrc}, &compB); code != 200 {
+		t.Fatalf("B compile: status %d", code)
+	}
+	if compB.Program != compA.Program {
+		t.Fatalf("program handle changed across restart: %q vs %q", compB.Program, compA.Program)
+	}
+	sB := dB.Server.CacheStats()
+	if sB.DiskHits != 1 || sB.DiskWrites != 0 || sB.DiskErrors != 0 {
+		t.Fatalf("B cache stats: %+v, want exactly 1 disk hit and no writes (no recompile)", sB)
+	}
+
+	var runB runResponse
+	if code := post(t, urlB+"/v1/run", runReq, &runB); code != 200 {
+		t.Fatalf("B run: status %d", code)
+	}
+	if runA.Exit != runB.Exit || runA.Output != runB.Output ||
+		runA.Cycles != runB.Cycles || runA.Instrs != runB.Instrs ||
+		runA.Detected != runB.Detected {
+		t.Errorf("restarted daemon's output is not bit-identical:\nA %+v\nB %+v", runA, runB)
+	}
+
+	// The reloaded program serves the full mechanism × optimizer matrix
+	// identically, not just the one probe.
+	for _, mech := range []string{"none", "parts", "rsti-stwc", "rsti-stl"} {
+		req := runRequest{Program: compA.Program, Mechanism: mech}
+		var a, b runResponse
+		// Daemon A is stopped; replay its side from a third daemon on a
+		// fresh (memory-only) cache, which must agree with B's disk path.
+		dC, urlC := startDaemon(t, Config{Workers: 1, Queue: 4})
+		if code := post(t, urlC+"/v1/run", runRequest{Source: victimSrc, Mechanism: mech}, &a); code != 200 {
+			t.Fatalf("C run %s: status %d", mech, code)
+		}
+		if code := post(t, urlB+"/v1/run", req, &b); code != 200 {
+			t.Fatalf("B run %s: status %d", mech, code)
+		}
+		dC.Stop()
+		if a.Exit != b.Exit || a.Output != b.Output || a.Cycles != b.Cycles || a.Instrs != b.Instrs {
+			t.Errorf("%s: fresh-compile vs disk-reload diverge:\nfresh %+v\ndisk  %+v", mech, a, b)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rsti/internal/vm"
+)
+
+// TestErrorTaxonomyOverHTTP drives the library's typed error taxonomy
+// through the daemon's wire classification in one table: compile
+// sentinels become 422s with a machine-readable kind, protocol mistakes
+// become 4xx statuses, and execution outcomes (traps, budget, deadline)
+// ride inside a 200 with a structured trap — never a bare message to
+// regex.
+func TestErrorTaxonomyOverHTTP(t *testing.T) {
+	ts, _ := startServer(t)
+
+	t.Run("compile-classification", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			source string
+			status int
+			kind   string // the envelope's error.kind
+		}{
+			{"parse", "int main(void) { return 0 }", 422, KindParse},
+			{"typecheck", "int main(void) { return nosuch; }", 422, KindTypecheck},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				var we wireError
+				code := post(t, ts.URL+"/v1/compile", compileRequest{Source: tc.source}, &we)
+				if code != tc.status {
+					t.Fatalf("status %d, want %d", code, tc.status)
+				}
+				if we.Error.Kind != tc.kind {
+					t.Errorf("kind = %q, want %q", we.Error.Kind, tc.kind)
+				}
+				if we.Error.Message == "" {
+					t.Error("422 envelope carries no message")
+				}
+			})
+		}
+	})
+
+	t.Run("protocol-classification", func(t *testing.T) {
+		cases := []struct {
+			name   string
+			req    runRequest
+			status int
+			kind   string
+		}{
+			{"unknown-program", runRequest{Program: "feedbead", Mechanism: "rsti-stl"}, 404, KindNotFound},
+			{"unknown-mechanism", runRequest{Source: victimSrc, Mechanism: "rop"}, 400, KindBadRequest},
+			{"program-and-source", runRequest{Program: "x", Source: victimSrc}, 400, KindBadRequest},
+			{"neither", runRequest{Mechanism: "rsti-stwc"}, 400, KindBadRequest},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				var we wireError
+				if code := post(t, ts.URL+"/v1/run", tc.req, &we); code != tc.status {
+					t.Errorf("status %d, want %d", code, tc.status)
+				}
+				if we.Error.Kind != tc.kind {
+					t.Errorf("kind = %q, want %q", we.Error.Kind, tc.kind)
+				}
+			})
+		}
+	})
+
+	// Execution outcomes: the trap taxonomy must survive the JSON
+	// round-trip with its kind intact.
+	t.Run("outcome-classification", func(t *testing.T) {
+		cases := []struct {
+			name      string
+			req       runRequest
+			trapKind  string
+			cancelled bool
+			detected  bool
+		}{
+			{
+				name:     "step-budget",
+				req:      runRequest{Source: victimSrc, StepBudget: 50},
+				trapKind: vm.TrapMaxSteps.String(),
+			},
+			{
+				name:      "deadline",
+				req:       runRequest{Source: spinSrc, TimeoutMS: 20},
+				trapKind:  vm.TrapCancelled.String(),
+				cancelled: true,
+			},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				var run runResponse
+				if code := post(t, ts.URL+"/v1/run", tc.req, &run); code != 200 {
+					t.Fatalf("status %d, want 200 (outcomes ride inside success)", code)
+				}
+				if run.Trap == nil {
+					t.Fatalf("no trap in response: %+v", run)
+				}
+				if run.Trap.Kind != tc.trapKind {
+					t.Errorf("trap kind = %q, want %q", run.Trap.Kind, tc.trapKind)
+				}
+				if run.Cancelled != tc.cancelled {
+					t.Errorf("cancelled = %v, want %v", run.Cancelled, tc.cancelled)
+				}
+				if run.Detected != tc.detected {
+					t.Errorf("detected = %v, want %v", run.Detected, tc.detected)
+				}
+				if run.Error == "" {
+					t.Error("trapped run carries no error text")
+				}
+			})
+		}
+	})
+
+	// A closed engine's sentinel maps to 503, the shutting-down status.
+	t.Run("engine-closed", func(t *testing.T) {
+		srv := New(Config{Workers: 1, Queue: 1})
+		hts := httptest.NewServer(srv)
+		defer hts.Close()
+		srv.Close()
+		var we wireError
+		if code := post(t, hts.URL+"/v1/run", runRequest{Source: victimSrc}, &we); code != 503 {
+			t.Errorf("run on closed engine: status %d, want 503", code)
+		}
+		if we.Error.Kind != KindShutdown {
+			t.Errorf("closed-engine kind = %q, want %q", we.Error.Kind, KindShutdown)
+		}
+	})
+}
+
+// TestEnvelopeParity proves, endpoint by endpoint, that a /v1 route and
+// its deprecated unversioned alias classify the same failure identically
+// — same status, same kind, same message — differing only in shape: /v1
+// nests {"error": {"kind", "message"}}, legacy keeps the historical flat
+// {"error": msg} (plus top-level "kind" for compile failures). Legacy
+// responses must also carry the Deprecation header and a successor Link.
+func TestEnvelopeParity(t *testing.T) {
+	ts, _ := startServer(t)
+
+	type probe struct {
+		name     string
+		method   string
+		v1       string // versioned path
+		legacy   string // deprecated alias
+		body     any
+		status   int
+		kind     string
+		flatKind bool // legacy body carries top-level "kind" (compile taxonomy)
+	}
+	probes := []probe{
+		{
+			name: "compile-parse", method: "POST", v1: "/v1/compile", legacy: "/compile",
+			body:   compileRequest{Source: "int main(void) { return 0 }"},
+			status: 422, kind: KindParse, flatKind: true,
+		},
+		{
+			name: "compile-typecheck", method: "POST", v1: "/v1/compile", legacy: "/compile",
+			body:   compileRequest{Source: "int main(void) { return nosuch; }"},
+			status: 422, kind: KindTypecheck, flatKind: true,
+		},
+		{
+			name: "compile-missing-source", method: "POST", v1: "/v1/compile", legacy: "/compile",
+			body:   compileRequest{},
+			status: 400, kind: KindBadRequest,
+		},
+		{
+			name: "run-unknown-program", method: "POST", v1: "/v1/run", legacy: "/run",
+			body:   runRequest{Program: "feedbead"},
+			status: 404, kind: KindNotFound,
+		},
+		{
+			name: "run-unknown-mechanism", method: "POST", v1: "/v1/run", legacy: "/run",
+			body:   runRequest{Source: victimSrc, Mechanism: "rop"},
+			status: 400, kind: KindBadRequest,
+		},
+		{
+			name: "run-bad-optimizer", method: "POST", v1: "/v1/run", legacy: "/run",
+			body:   runRequest{Source: victimSrc, Optimizer: "fast"},
+			status: 400, kind: KindBadRequest,
+		},
+		{
+			name: "run-bad-tier", method: "POST", v1: "/v1/run", legacy: "/run",
+			body:   runRequest{Source: victimSrc, Tier: "warp"},
+			status: 400, kind: KindBadRequest,
+		},
+		{
+			name: "attack-unknown-scenario", method: "POST", v1: "/v1/attack", legacy: "/attack",
+			body:   attackRequest{Scenario: "nope"},
+			status: 404, kind: KindNotFound,
+		},
+	}
+
+	fire := func(t *testing.T, path string, p probe) (*http.Response, map[string]json.RawMessage) {
+		t.Helper()
+		data, _ := json.Marshal(p.body)
+		req, err := http.NewRequest(p.method, ts.URL+path, strings.NewReader(string(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: decoding body: %v", path, err)
+		}
+		return resp, body
+	}
+
+	for _, p := range probes {
+		t.Run(p.name, func(t *testing.T) {
+			v1Resp, v1Body := fire(t, p.v1, p)
+			legResp, legBody := fire(t, p.legacy, p)
+
+			if v1Resp.StatusCode != p.status || legResp.StatusCode != p.status {
+				t.Fatalf("status: v1 %d, legacy %d, want %d",
+					v1Resp.StatusCode, legResp.StatusCode, p.status)
+			}
+
+			// /v1: nested envelope with kind + message.
+			var env apiError
+			if err := json.Unmarshal(v1Body["error"], &env); err != nil {
+				t.Fatalf("v1 error is not an envelope object: %s", v1Body["error"])
+			}
+			if env.Kind != p.kind || env.Message == "" {
+				t.Errorf("v1 envelope = %+v, want kind %q", env, p.kind)
+			}
+
+			// Legacy: flat string error, same message text.
+			var flatMsg string
+			if err := json.Unmarshal(legBody["error"], &flatMsg); err != nil {
+				t.Fatalf("legacy error is not a flat string: %s", legBody["error"])
+			}
+			if flatMsg != env.Message {
+				t.Errorf("message parity: v1 %q vs legacy %q", env.Message, flatMsg)
+			}
+			if p.flatKind {
+				var k string
+				if err := json.Unmarshal(legBody["kind"], &k); err != nil || k != p.kind {
+					t.Errorf("legacy top-level kind = %s, want %q", legBody["kind"], p.kind)
+				}
+			} else if _, present := legBody["kind"]; present {
+				t.Errorf("legacy body unexpectedly carries kind: %v", legBody)
+			}
+
+			// Deprecation marking on the legacy generation only.
+			if legResp.Header.Get("Deprecation") != "true" {
+				t.Error("legacy response missing Deprecation header")
+			}
+			if link := legResp.Header.Get("Link"); !strings.Contains(link, p.v1) {
+				t.Errorf("legacy Link header %q does not point at %s", link, p.v1)
+			}
+			if v1Resp.Header.Get("Deprecation") != "" {
+				t.Error("v1 response carries a Deprecation header")
+			}
+		})
+	}
+}
+
+// TestLegacySuccessParity: the deprecated aliases serve identical success
+// payloads (same program handles, same run numbers) — deprecation changes
+// headers and error shape only.
+func TestLegacySuccessParity(t *testing.T) {
+	ts, _ := startServer(t)
+
+	var v1 compileResponse
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: victimSrc}, &v1); code != 200 {
+		t.Fatalf("v1 compile: status %d", code)
+	}
+	var leg compileResponse
+	if code := post(t, ts.URL+"/compile", compileRequest{Source: victimSrc}, &leg); code != 200 {
+		t.Fatalf("legacy compile: status %d", code)
+	}
+	if leg.Program != v1.Program || !leg.Cached {
+		t.Errorf("legacy compile diverged: %+v vs %+v", leg, v1)
+	}
+
+	var a, b runResponse
+	post(t, ts.URL+"/v1/run", runRequest{Program: v1.Program, Mechanism: "rsti-stc"}, &a)
+	post(t, ts.URL+"/run", runRequest{Program: v1.Program, Mechanism: "rsti-stc"}, &b)
+	if a.Exit != b.Exit || a.Cycles != b.Cycles || a.Instrs != b.Instrs {
+		t.Errorf("legacy run diverged: %+v vs %+v", b, a)
+	}
+}

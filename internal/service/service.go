@@ -1,0 +1,717 @@
+// Package service is the rstid daemon's HTTP layer: a versioned /v1 API
+// over the concurrent execution engine, in the paper's
+// compile-once/run-many server shape (§6.6). Programs are compiled (and
+// STI-analyzed) once, cached by source hash — in memory and, when
+// configured, in a disk-backed artifact store that survives restarts —
+// and then served for any number of protected runs, streamed runs, and
+// attack experiments by a bounded pool of VM workers.
+//
+// The surface (see docs/API.md for the full reference):
+//
+//	POST /v1/compile     {"source": "..."}
+//	POST /v1/run         {"program" | "source", "mechanism", ...}
+//	POST /v1/run/stream  same body; SSE response (output/result events)
+//	POST /v1/attack      {"scenario", "mechanism", "benign"?}
+//	GET  /v1/attacks     Table 1 scenario catalogue
+//	GET  /v1/metrics     engine + cache + tier + PAC-op counters
+//	GET  /v1/healthz     liveness
+//
+// Every /v1 error response uses one envelope: {"error": {"kind",
+// "message", "trap"?}}. The pre-versioning routes (/compile, /run,
+// /attack, /attacks, /metrics, /healthz) remain as deprecated aliases —
+// flat error shape, Deprecation header — so old clients keep working.
+//
+// Execution outcomes (traps, budget exhaustion, deadline) are reported
+// inside a 200 response; protocol failures (unknown program, bad
+// mechanism, full queue, auth) use HTTP status codes.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"rsti/internal/attack"
+	"rsti/internal/compilecache"
+	"rsti/internal/core"
+	"rsti/internal/engine"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// maxSourceBytes bounds accepted request bodies; DefaultMaxPrograms
+// bounds the compiled-program handle table (FIFO eviction).
+const (
+	maxSourceBytes     = 1 << 20
+	DefaultMaxPrograms = 128
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the VM worker pool size (0 = GOMAXPROCS).
+	Workers int
+	// Queue is the job queue depth (0 = 4×workers).
+	Queue int
+	// CacheDir, when non-empty, enables the persistent compile-cache
+	// level: compiled artifacts are written there and a restarted server
+	// pointed at the same directory serves warm compile hits without
+	// recompiling, bit-identically.
+	CacheDir string
+	// Tenants, when non-empty, switches the costly endpoints (compile,
+	// run, run/stream, attack) to API-key auth with per-tenant rate and
+	// step-budget quotas. Empty means open mode: no keys, no quotas.
+	Tenants []Tenant
+	// MaxPrograms bounds the program handle table (0 = DefaultMaxPrograms).
+	MaxPrograms int
+}
+
+// Server wires the HTTP surface to one shared engine, the shared
+// compilation cache (content-addressed, singleflight-deduped, optionally
+// disk-backed) and a bounded handle table mapping the sha256 program
+// handles we mint back to their compilations. Compiles are routed through
+// the engine pool too, so compilation concurrency is bounded alongside
+// run concurrency and a burst of distinct sources cannot starve the host.
+type Server struct {
+	eng   *engine.Engine
+	cache *compilecache.Cache
+	auth  *auth
+	mux   *http.ServeMux
+
+	maxPrograms int
+
+	mu       sync.Mutex
+	programs map[string]*core.Compilation
+	order    []string // insertion order for FIFO eviction
+
+	scenarios map[string]*attack.Scenario
+
+	// pacMu guards the per-mechanism dynamic PAC-op accumulators served
+	// under /v1/metrics: every completed run adds its executed
+	// sign/auth/strip counts and fused-dispatch counts for its mechanism.
+	pacMu  sync.Mutex
+	pacOps map[string]*pacOpMetrics
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxPrograms <= 0 {
+		cfg.MaxPrograms = DefaultMaxPrograms
+	}
+	s := &Server{
+		eng:         engine.New(engine.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue}),
+		auth:        newAuth(cfg.Tenants),
+		mux:         http.NewServeMux(),
+		maxPrograms: cfg.MaxPrograms,
+		programs:    make(map[string]*core.Compilation),
+		scenarios:   make(map[string]*attack.Scenario),
+		pacOps:      make(map[string]*pacOpMetrics),
+	}
+	// Compiles run inside the engine pool: identical sources still
+	// coalesce onto one flight in the cache, and that one flight occupies
+	// one bounded worker slot instead of an unbounded goroutine. The
+	// background context is deliberate — a singleflight result is shared
+	// by every waiter, so no single requester's disconnect may abort it.
+	s.cache = compilecache.New(compilecache.Config{
+		MaxEntries: cfg.MaxPrograms,
+		Dir:        cfg.CacheDir,
+		Compile: func(src string) (*core.Compilation, error) {
+			var c *core.Compilation
+			var cerr error
+			if err := s.eng.SubmitFunc(context.Background(), func(context.Context) error {
+				c, cerr = core.Compile(src)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			return c, cerr
+		},
+	})
+	for _, sc := range attack.Scenarios() {
+		s.scenarios[sc.Name] = sc
+	}
+	s.routes()
+	return s
+}
+
+// routes mounts the /v1 surface and its deprecated unversioned aliases.
+func (s *Server) routes() {
+	v1 := []struct {
+		pattern string
+		h       http.HandlerFunc
+		guarded bool // costly endpoints sit behind tenant auth
+	}{
+		{"POST /v1/compile", s.handleCompile, true},
+		{"POST /v1/run", s.handleRun, true},
+		{"POST /v1/run/stream", s.handleRunStream, true},
+		{"POST /v1/attack", s.handleAttack, true},
+		{"GET /v1/attacks", s.handleAttackList, false},
+		{"GET /v1/metrics", s.handleMetrics, false},
+		{"GET /v1/healthz", s.handleHealthz, false},
+	}
+	for _, rt := range v1 {
+		h := rt.h
+		if rt.guarded {
+			h = s.guarded(h)
+		}
+		s.mux.HandleFunc(rt.pattern, h)
+	}
+	// Deprecated aliases: same handlers, legacy error shape, Deprecation
+	// header pointing at the successor. (run/stream never existed
+	// unversioned, so it has no alias.)
+	legacy := []struct {
+		pattern   string
+		successor string
+		h         http.HandlerFunc
+		guarded   bool
+	}{
+		{"POST /compile", "/v1/compile", s.handleCompile, true},
+		{"POST /run", "/v1/run", s.handleRun, true},
+		{"POST /attack", "/v1/attack", s.handleAttack, true},
+		{"GET /attacks", "/v1/attacks", s.handleAttackList, false},
+		{"GET /metrics", "/v1/metrics", s.handleMetrics, false},
+		{"GET /healthz", "/v1/healthz", s.handleHealthz, false},
+	}
+	for _, rt := range legacy {
+		h := rt.h
+		if rt.guarded {
+			h = s.guarded(h)
+		}
+		s.mux.HandleFunc(rt.pattern, s.deprecated(rt.successor, h))
+	}
+}
+
+// deprecated wraps a handler as a legacy alias: responses carry the
+// Deprecation header (RFC 8594 style) and a Link to the successor route,
+// and errors render in the historical flat shape.
+func (s *Server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r.WithContext(context.WithValue(r.Context(), legacyKey, true)))
+	}
+}
+
+// tenantKey carries the admitted tenant (nil in open mode) to handlers.
+type tenantKeyType struct{}
+
+var tenantKey tenantKeyType
+
+func requestTenant(r *http.Request) *tenantState {
+	t, _ := r.Context().Value(tenantKey).(*tenantState)
+	return t
+}
+
+// guarded wraps a handler with tenant admission: API-key auth and rate
+// limiting, enforced before any body decoding or engine contact.
+func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.auth.admit(w, r)
+		if !ok {
+			return
+		}
+		if t != nil {
+			r = r.WithContext(context.WithValue(r.Context(), tenantKey, t))
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts the engine down: in-flight runs are cancelled at their next
+// interpreter checkpoint. Call http.Server.Shutdown first to drain
+// in-flight requests gracefully (see cmd/rstid).
+func (s *Server) Close() { s.eng.Close() }
+
+// Engine exposes the underlying engine (load harness and tests).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// CacheStats snapshots the compile cache (integration tests assert disk
+// hits across restarts).
+func (s *Server) CacheStats() compilecache.Stats { return s.cache.Stats() }
+
+// pacOpMetrics accumulates the dynamic PA-instruction counters of every
+// run served under one mechanism, including the superinstruction
+// dispatches (fused pairs execute the same modelled ops; the fused
+// counters measure how many dispatches the host saved).
+type pacOpMetrics struct {
+	Runs                int64 `json:"runs"`
+	PacSigns            int64 `json:"pac_signs"`
+	PacAuths            int64 `json:"pac_auths"`
+	PacStrips           int64 `json:"pac_strips"`
+	FusedAuthLoads      int64 `json:"fused_auth_loads"`
+	FusedSignStores     int64 `json:"fused_sign_stores"`
+	FusedAuthStores     int64 `json:"fused_auth_stores"`
+	FusedAuthAddrLoads  int64 `json:"fused_auth_addr_loads"`
+	FusedAuthAddrStores int64 `json:"fused_auth_addr_stores"`
+	FusedInstrs         int64 `json:"fused_instrs"`
+}
+
+// recordPACOps folds one run's executed PAC-op counters into the
+// mechanism's accumulator.
+func (s *Server) recordPACOps(mech sti.Mechanism, res *core.RunResult) {
+	if res == nil {
+		return
+	}
+	s.pacMu.Lock()
+	defer s.pacMu.Unlock()
+	m := s.pacOps[mech.String()]
+	if m == nil {
+		m = &pacOpMetrics{}
+		s.pacOps[mech.String()] = m
+	}
+	m.Runs++
+	m.PacSigns += res.Stats.PacSigns
+	m.PacAuths += res.Stats.PacAuths
+	m.PacStrips += res.Stats.PacStrips
+	m.FusedAuthLoads += res.Stats.FusedAuthLoads
+	m.FusedSignStores += res.Stats.FusedSignStores
+	m.FusedAuthStores += res.Stats.FusedAuthStores
+	m.FusedAuthAddrLoads += res.Stats.FusedAuthAddrLoads
+	m.FusedAuthAddrStores += res.Stats.FusedAuthAddrStores
+	m.FusedInstrs += res.Stats.FusedInstrs
+}
+
+// pacOpsSnapshot copies the accumulators for the metrics endpoints.
+func (s *Server) pacOpsSnapshot() map[string]pacOpMetrics {
+	s.pacMu.Lock()
+	defer s.pacMu.Unlock()
+	out := make(map[string]pacOpMetrics, len(s.pacOps))
+	for k, v := range s.pacOps {
+		out[k] = *v
+	}
+	return out
+}
+
+// compile returns the cached compilation for src, compiling and caching
+// on first sight. The hash doubles as the program handle. Cached reports
+// whether the handle table already knew the program.
+func (s *Server) compile(src string) (string, *core.Compilation, bool, error) {
+	sum := sha256.Sum256([]byte(src))
+	key := hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	if c, ok := s.programs[key]; ok {
+		s.mu.Unlock()
+		return key, c, true, nil
+	}
+	s.mu.Unlock()
+	// Compile outside the lock, through the shared cache: a burst of
+	// racing duplicates coalesces onto one compile (singleflight), a
+	// source recently evicted from the handle table is still answered
+	// from memory, and a source compiled by an earlier daemon run is
+	// answered from the disk level.
+	c, err := s.cache.Get(src)
+	if err != nil {
+		return "", nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if have, ok := s.programs[key]; ok {
+		return key, have, true, nil
+	}
+	if len(s.order) >= s.maxPrograms {
+		delete(s.programs, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.programs[key] = c
+	s.order = append(s.order, key)
+	return key, c, false, nil
+}
+
+func (s *Server) lookup(key string) (*core.Compilation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.programs[key]
+	return c, ok
+}
+
+// decode parses the request body into v, bounding its size.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxSourceBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeError(w, r, http.StatusBadRequest, KindBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+type compileRequest struct {
+	Source string `json:"source"`
+}
+
+type compileResponse struct {
+	Program     string         `json:"program"`
+	Cached      bool           `json:"cached"`
+	Equivalence sti.EquivStats `json:"equivalence"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, r, http.StatusBadRequest, KindBadRequest, "missing source")
+		return
+	}
+	key, c, cached, err := s.compile(req.Source)
+	if err != nil {
+		writeCompileFailure(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{
+		Program:     key,
+		Cached:      cached,
+		Equivalence: c.Analysis.Equivalence(),
+	})
+}
+
+type runRequest struct {
+	Program        string `json:"program,omitempty"`
+	Source         string `json:"source,omitempty"`
+	Mechanism      string `json:"mechanism"`
+	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
+	StepBudget     int64  `json:"step_budget,omitempty"`
+	MaxOutputBytes int    `json:"max_output_bytes,omitempty"`
+	// Optimizer selects the build flavour: "on", "off", or "" for the
+	// process default (RSTI_OPT). Optimized and unoptimized builds are
+	// cached independently, so flipping this per request is cheap.
+	Optimizer string `json:"optimizer,omitempty"`
+	// Tier selects the execution tier: "on" (profile-guided
+	// direct-threaded dispatch), "off" (switch interpreter), or "" for
+	// the process default (RSTI_TIER). The tier changes host dispatch
+	// speed only; every modelled number in the response is identical
+	// either way.
+	Tier string `json:"tier,omitempty"`
+	// NoWait sheds load instead of queueing: a full queue answers 429.
+	NoWait bool `json:"no_wait,omitempty"`
+}
+
+// parseOptimizer maps the wire field onto a build mode.
+func parseOptimizer(w http.ResponseWriter, r *http.Request, name string) (core.OptimizeMode, bool) {
+	switch name {
+	case "":
+		return core.OptimizeDefault, true
+	case "on":
+		return core.OptimizeOn, true
+	case "off":
+		return core.OptimizeOff, true
+	}
+	writeError(w, r, http.StatusBadRequest, KindBadRequest,
+		"unknown optimizer mode %q (want on, off, or empty)", name)
+	return core.OptimizeDefault, false
+}
+
+// parseTier maps the wire field onto an execution-tier mode.
+func parseTier(w http.ResponseWriter, r *http.Request, name string) (core.TierMode, bool) {
+	switch name {
+	case "":
+		return core.TierDefault, true
+	case "on":
+		return core.TierOn, true
+	case "off":
+		return core.TierOff, true
+	}
+	writeError(w, r, http.StatusBadRequest, KindBadRequest,
+		"unknown tier mode %q (want on, off, or empty)", name)
+	return core.TierDefault, false
+}
+
+// trapJSON is the wire form of a machine trap.
+type trapJSON struct {
+	Kind string `json:"kind"`
+	Fn   string `json:"fn,omitempty"`
+	Msg  string `json:"msg,omitempty"`
+}
+
+func trapWire(t *vm.Trap) *trapJSON {
+	if t == nil {
+		return nil
+	}
+	return &trapJSON{Kind: t.Kind.String(), Fn: t.Fn, Msg: t.Msg}
+}
+
+type runResponse struct {
+	Program         string    `json:"program"`
+	Mechanism       string    `json:"mechanism"`
+	Exit            int64     `json:"exit"`
+	Cycles          int64     `json:"cycles"`
+	Instrs          int64     `json:"instrs"`
+	Output          string    `json:"output,omitempty"`
+	OutputTruncated bool      `json:"output_truncated,omitempty"`
+	Detected        bool      `json:"detected"`
+	Cancelled       bool      `json:"cancelled,omitempty"`
+	Trap            *trapJSON `json:"trap,omitempty"`
+	Error           string    `json:"error,omitempty"`
+}
+
+// resolve turns a run request's program-or-source into a compilation.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, program, source string) (string, *core.Compilation, bool) {
+	switch {
+	case program != "" && source != "":
+		writeError(w, r, http.StatusBadRequest, KindBadRequest, "give program or source, not both")
+	case program != "":
+		if c, ok := s.lookup(program); ok {
+			return program, c, true
+		}
+		writeError(w, r, http.StatusNotFound, KindNotFound,
+			"unknown program %q (compile it first)", program)
+	case source != "":
+		key, c, _, err := s.compile(source)
+		if err != nil {
+			writeCompileFailure(w, r, err)
+			return "", nil, false
+		}
+		return key, c, true
+	default:
+		writeError(w, r, http.StatusBadRequest, KindBadRequest, "missing program or source")
+	}
+	return "", nil, false
+}
+
+// parseMech validates the mechanism name ("" means the None baseline).
+func parseMech(w http.ResponseWriter, r *http.Request, name string) (sti.Mechanism, bool) {
+	if name == "" {
+		return sti.None, true
+	}
+	mech, ok := sti.ParseMechanism(name)
+	if !ok {
+		writeError(w, r, http.StatusBadRequest, KindBadRequest, "unknown mechanism %q", name)
+	}
+	return mech, ok
+}
+
+// runConfig assembles the RunConfig for a validated run request,
+// applying the tenant's step-budget quota. ok=false means the response
+// has been written.
+func (s *Server) runConfig(w http.ResponseWriter, r *http.Request, req *runRequest) (core.RunConfig, bool) {
+	optMode, ok := parseOptimizer(w, r, req.Optimizer)
+	if !ok {
+		return core.RunConfig{}, false
+	}
+	tierMode, ok := parseTier(w, r, req.Tier)
+	if !ok {
+		return core.RunConfig{}, false
+	}
+	return core.RunConfig{
+		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
+		StepBudget:     requestTenant(r).clampStepBudget(req.StepBudget),
+		MaxOutputBytes: req.MaxOutputBytes,
+		Optimize:       optMode,
+		Tier:           tierMode,
+	}, true
+}
+
+// writeCompileFailure renders a failed compile. Engine admission
+// sentinels surface when the pool refused the compile job (shutdown,
+// saturation) — those are service conditions, not source defects, and
+// keep their admission statuses.
+func writeCompileFailure(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, engine.ErrClosed) || errors.Is(err, engine.ErrQueueFull) {
+		writeAdmissionError(w, r, err)
+		return
+	}
+	writeCompileError(w, r, err)
+}
+
+// writeAdmissionError maps an engine admission failure onto the wire;
+// reports whether err was one.
+func writeAdmissionError(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, engine.ErrQueueFull):
+		writeError(w, r, http.StatusTooManyRequests, KindQueueFull, "queue full")
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, r, http.StatusServiceUnavailable, KindShutdown, "shutting down")
+	default:
+		writeError(w, r, http.StatusInternalServerError, KindInternal, "%v", err)
+	}
+	return true
+}
+
+// submit drives one job through the engine and renders the outcome.
+// Engine-level admission failures map to HTTP statuses; execution
+// outcomes (traps, cancellation) ride inside a 200.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, key string, job engine.Job, noWait bool) {
+	var (
+		res *core.RunResult
+		err error
+	)
+	if noWait {
+		res, err = s.eng.TrySubmit(r.Context(), job)
+	} else {
+		res, err = s.eng.Submit(r.Context(), job)
+	}
+	if writeAdmissionError(w, r, err) {
+		return
+	}
+	s.recordPACOps(job.Mech, res)
+	out := runResponse{
+		Program:         key,
+		Mechanism:       job.Mech.String(),
+		Exit:            res.Exit,
+		Cycles:          res.Stats.Cycles,
+		Instrs:          res.Stats.Instrs,
+		Output:          res.Output,
+		OutputTruncated: res.OutputTruncated,
+		Detected:        res.Detected(),
+		Trap:            trapWire(res.Trap),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		out.Cancelled = runCancelled(res.Err)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	mech, ok := parseMech(w, r, req.Mechanism)
+	if !ok {
+		return
+	}
+	key, c, ok := s.resolve(w, r, req.Program, req.Source)
+	if !ok {
+		return
+	}
+	cfg, ok := s.runConfig(w, r, &req)
+	if !ok {
+		return
+	}
+	s.submit(w, r, key, engine.Job{Comp: c, Mech: mech, Cfg: cfg}, req.NoWait)
+}
+
+type attackRequest struct {
+	Scenario  string `json:"scenario"`
+	Mechanism string `json:"mechanism"`
+	// Benign runs the victim without the corruption (false-positive
+	// check).
+	Benign bool `json:"benign,omitempty"`
+}
+
+type attackResponse struct {
+	Scenario  string `json:"scenario"`
+	Mechanism string `json:"mechanism"`
+	Benign    bool   `json:"benign,omitempty"`
+	// Detected: a security trap fired. Succeeded: the attack reached its
+	// goal exit.
+	Detected  bool      `json:"detected"`
+	Succeeded bool      `json:"succeeded"`
+	Exit      int64     `json:"exit"`
+	Trap      *trapJSON `json:"trap,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	var req attackRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sc, ok := s.scenarios[req.Scenario]
+	if !ok {
+		writeError(w, r, http.StatusNotFound, KindNotFound,
+			"unknown scenario %q (GET /v1/attacks lists them)", req.Scenario)
+		return
+	}
+	mech, ok := parseMech(w, r, req.Mechanism)
+	if !ok {
+		return
+	}
+	_, c, _, err := s.compile(sc.Source)
+	if err != nil {
+		writeCompileFailure(w, r, err)
+		return
+	}
+	cfg := core.RunConfig{Externs: sc.Externs}
+	if !req.Benign {
+		cfg.Hooks = map[int64]vm.Hook{1: sc.Corrupt}
+	}
+	res, err := s.eng.Submit(r.Context(), engine.Job{Comp: c, Mech: mech, Cfg: cfg})
+	if writeAdmissionError(w, r, err) {
+		return
+	}
+	s.recordPACOps(mech, res)
+	out := attackResponse{
+		Scenario:  sc.Name,
+		Mechanism: mech.String(),
+		Benign:    req.Benign,
+		Detected:  res.Detected(),
+		Succeeded: !req.Benign && res.Err == nil && res.Exit == sc.SuccessExit,
+		Exit:      res.Exit,
+		Trap:      trapWire(res.Trap),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type scenarioJSON struct {
+	Name      string `json:"name"`
+	Category  string `json:"category"`
+	RealWorld bool   `json:"real_world"`
+	Corrupted string `json:"corrupted"`
+	Target    string `json:"target"`
+}
+
+func (s *Server) handleAttackList(w http.ResponseWriter, _ *http.Request) {
+	var out []scenarioJSON
+	for _, sc := range attack.Scenarios() {
+		out = append(out, scenarioJSON{
+			Name:      sc.Name,
+			Category:  sc.Category,
+			RealWorld: sc.RealWorld,
+			Corrupted: sc.Corrupted,
+			Target:    sc.Target,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// metricsResponse keeps the engine counters at the top level (the
+// long-standing shape) and nests the compile-cache counters under their
+// own key.
+type metricsResponse struct {
+	engine.Stats
+	CompileCache compilecache.Stats      `json:"compile_cache"`
+	PACOps       map[string]pacOpMetrics `json:"pac_ops"`
+	Tier         tierMetrics             `json:"tier"`
+}
+
+// tierMetrics summarizes the direct-threaded execution tier for an
+// operator: how many function bodies this process has promoted to
+// threaded code, and what share of the served modelled instructions ran
+// through them.
+type tierMetrics struct {
+	Promotions     int64   `json:"promotions"`
+	ThreadedInstrs int64   `json:"threaded_instrs"`
+	ThreadedShare  float64 `json:"threaded_share"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	tier := tierMetrics{Promotions: vm.TierPromotions(), ThreadedInstrs: st.ThreadedInstrs}
+	if st.Instrs > 0 {
+		tier.ThreadedShare = float64(st.ThreadedInstrs) / float64(st.Instrs)
+	}
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Stats:        st,
+		CompileCache: s.cache.Stats(),
+		PACOps:       s.pacOpsSnapshot(),
+		Tier:         tier,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok\n")
+}

@@ -1,4 +1,4 @@
-package main
+package service
 
 import (
 	"bytes"
@@ -24,13 +24,20 @@ int main(void) {
 }
 `
 
-func startServer(t *testing.T) (*httptest.Server, *server) {
+const spinSrc = `int main(void){ int i; int a; a = 0; for (i = 0; i < 100000000; i = i + 1) { a = a + i; } return a & 1; }`
+
+func startServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
-	s := newServer(2, 8)
+	return startServerCfg(t, Config{Workers: 2, Queue: 8})
+}
+
+func startServerCfg(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	s := New(cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
-		s.close()
+		s.Close()
 	})
 	return ts, s
 }
@@ -38,11 +45,24 @@ func startServer(t *testing.T) (*httptest.Server, *server) {
 // post sends a JSON body and decodes the JSON reply into out.
 func post(t *testing.T, url string, body, out any) int {
 	t.Helper()
+	return postHeaders(t, url, nil, body, out)
+}
+
+func postHeaders(t *testing.T, url string, headers map[string]string, body, out any) int {
+	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,6 +73,11 @@ func post(t *testing.T, url string, body, out any) int {
 		}
 	}
 	return resp.StatusCode
+}
+
+// wireError decodes the /v1 envelope.
+type wireError struct {
+	Error apiError `json:"error"`
 }
 
 func TestCompileRunRoundTrip(t *testing.T) {
@@ -93,21 +118,30 @@ func TestCompileRunRoundTrip(t *testing.T) {
 func TestRunProtocolErrors(t *testing.T) {
 	ts, _ := startServer(t)
 
-	if code := post(t, ts.URL+"/v1/run", runRequest{Program: "nope", Mechanism: "rsti-stl"}, nil); code != 404 {
+	var we wireError
+	if code := post(t, ts.URL+"/v1/run", runRequest{Program: "nope", Mechanism: "rsti-stl"}, &we); code != 404 {
 		t.Errorf("unknown program: status %d, want 404", code)
 	}
-	if code := post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc, Mechanism: "rop"}, nil); code != 400 {
+	if we.Error.Kind != KindNotFound || we.Error.Message == "" {
+		t.Errorf("unknown program envelope: %+v", we)
+	}
+	we = wireError{}
+	if code := post(t, ts.URL+"/v1/run", runRequest{Source: victimSrc, Mechanism: "rop"}, &we); code != 400 {
 		t.Errorf("unknown mechanism: status %d, want 400", code)
 	}
-	var ce map[string]string
-	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: "int main(void) { return 0 }"}, &ce); code != 422 {
+	if we.Error.Kind != KindBadRequest {
+		t.Errorf("unknown mechanism envelope: %+v", we)
+	}
+	we = wireError{}
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: "int main(void) { return 0 }"}, &we); code != 422 {
 		t.Errorf("parse error: status %d, want 422", code)
 	}
-	if ce["kind"] != "parse" {
-		t.Errorf("parse error kind = %q", ce["kind"])
+	if we.Error.Kind != KindParse {
+		t.Errorf("parse error kind = %q", we.Error.Kind)
 	}
-	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: "int main(void) { return nosuch; }"}, &ce); code != 422 || ce["kind"] != "typecheck" {
-		t.Errorf("typecheck error: status %d kind %q", code, ce["kind"])
+	we = wireError{}
+	if code := post(t, ts.URL+"/v1/compile", compileRequest{Source: "int main(void) { return nosuch; }"}, &we); code != 422 || we.Error.Kind != KindTypecheck {
+		t.Errorf("typecheck error: status %d kind %q", code, we.Error.Kind)
 	}
 }
 
@@ -120,9 +154,8 @@ func TestRunBudgetsAndDeadlines(t *testing.T) {
 		t.Fatalf("step-budget run: %+v", budget)
 	}
 
-	spin := `int main(void){ int i; int a; a = 0; for (i = 0; i < 100000000; i = i + 1) { a = a + i; } return a & 1; }`
 	var dl runResponse
-	post(t, ts.URL+"/v1/run", runRequest{Source: spin, Mechanism: "none", TimeoutMS: 20}, &dl)
+	post(t, ts.URL+"/v1/run", runRequest{Source: spinSrc, Mechanism: "none", TimeoutMS: 20}, &dl)
 	if !dl.Cancelled || dl.Trap == nil {
 		t.Fatalf("deadline run: %+v", dl)
 	}
@@ -160,8 +193,12 @@ func TestAttackEndpoints(t *testing.T) {
 	if benign.Detected {
 		t.Errorf("benign run flagged: %+v", benign)
 	}
-	if code := post(t, ts.URL+"/v1/attack", attackRequest{Scenario: "nope", Mechanism: "none"}, nil); code != 404 {
+	var we wireError
+	if code := post(t, ts.URL+"/v1/attack", attackRequest{Scenario: "nope", Mechanism: "none"}, &we); code != 404 {
 		t.Errorf("unknown scenario: status %d, want 404", code)
+	}
+	if we.Error.Kind != KindNotFound {
+		t.Errorf("unknown scenario envelope: %+v", we)
 	}
 }
 
@@ -184,7 +221,7 @@ func TestMetricsAndHealth(t *testing.T) {
 		runRequest{Source: victimSrc, Mechanism: "rsti-stc", Optimizer: "fast"}, nil); code != 400 {
 		t.Errorf("bad optimizer mode: status %d, want 400", code)
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +261,7 @@ func TestMetricsAndHealth(t *testing.T) {
 		t.Errorf("no fused dispatches recorded: %v", stc)
 	}
 
-	h, err := http.Get(ts.URL + "/healthz")
+	h, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,10 +271,11 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 }
 
-// TestCompileBurstDeduped fires concurrent /compile requests for one
+// TestCompileBurstDeduped fires concurrent /v1/compile requests for one
 // fresh source and proves the pipeline ran once: the compile cache's
-// singleflight coalesces the burst, so misses stays 1 no matter how the
-// requests interleave.
+// singleflight coalesces the burst — and the one flight runs inside the
+// bounded engine pool — so misses stays 1 no matter how the requests
+// interleave.
 func TestCompileBurstDeduped(t *testing.T) {
 	ts, s := startServer(t)
 
@@ -269,9 +307,9 @@ func TestCompileBurstDeduped(t *testing.T) {
 }
 
 func TestProgramCacheEviction(t *testing.T) {
-	s := newServer(1, 4)
-	defer s.close()
-	for i := 0; i < maxPrograms+10; i++ {
+	s := New(Config{Workers: 1, Queue: 4})
+	defer s.Close()
+	for i := 0; i < DefaultMaxPrograms+10; i++ {
 		src := fmt.Sprintf("int main(void) { return %d; }", i)
 		if _, _, _, err := s.compile(src); err != nil {
 			t.Fatal(err)
@@ -280,7 +318,7 @@ func TestProgramCacheEviction(t *testing.T) {
 	s.mu.Lock()
 	n, order := len(s.programs), len(s.order)
 	s.mu.Unlock()
-	if n != maxPrograms || order != maxPrograms {
-		t.Errorf("cache holds %d programs (%d in order), cap is %d", n, order, maxPrograms)
+	if n != DefaultMaxPrograms || order != DefaultMaxPrograms {
+		t.Errorf("cache holds %d programs (%d in order), cap is %d", n, order, DefaultMaxPrograms)
 	}
 }

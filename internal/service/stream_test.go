@@ -1,0 +1,262 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sse is one parsed server-sent event.
+type sse struct {
+	event string
+	data  string
+}
+
+// sseReader incrementally parses an SSE body.
+type sseReader struct {
+	sc *bufio.Scanner
+}
+
+func newSSEReader(body *bufio.Scanner) *sseReader { return &sseReader{sc: body} }
+
+// next returns the next event, or ok=false at stream end.
+func (r *sseReader) next(t *testing.T) (sse, bool) {
+	t.Helper()
+	var ev sse
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		switch {
+		case line == "":
+			if ev.event != "" {
+				return ev, true
+			}
+		case strings.HasPrefix(line, "event: "):
+			ev.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = line[len("data: "):]
+		}
+	}
+	return sse{}, false
+}
+
+// streamRequest opens a streaming run and returns the live response.
+func streamRequest(t *testing.T, url string, req runRequest) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run/stream", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestStreamDeliversIncrementally: output arrives while the run is still
+// executing — the first printf is on the wire before the program's long
+// middle section finishes — and the terminal result event carries the
+// same modelled numbers as the buffered endpoint (bit-identical across
+// transports).
+func TestStreamDeliversIncrementally(t *testing.T) {
+	ts, srv := startServer(t)
+
+	src := `int main(void){ int i; int a; a = 0;
+printf("tick\n");
+for (i = 0; i < 3000000; i = i + 1) { a = a + i; }
+printf("done\n");
+return 41; }`
+
+	resp := streamRequest(t, ts.URL, runRequest{Source: src, Mechanism: "rsti-stc"})
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	rd := newSSEReader(bufio.NewScanner(resp.Body))
+	ev, ok := rd.next(t)
+	if !ok || ev.event != "output" {
+		t.Fatalf("first event = %+v, want output", ev)
+	}
+	var chunk string
+	if err := json.Unmarshal([]byte(ev.data), &chunk); err != nil {
+		t.Fatalf("output data: %v", err)
+	}
+	if !strings.Contains(chunk, "tick") {
+		t.Fatalf("first chunk %q does not contain tick", chunk)
+	}
+	// The first chunk arrived while the run is still inside its loop: the
+	// engine has an active run and zero completions for this job. (The
+	// compile ran through the pool too, so completed counts that one
+	// SubmitFunc job; the run itself must still be in flight.)
+	if st := srv.Engine().Stats(); st.Running == 0 {
+		t.Errorf("first chunk arrived after the run finished (stats %+v) — not incremental", st)
+	}
+
+	var all strings.Builder
+	all.WriteString(chunk)
+	var result runResponse
+	for {
+		ev, ok := rd.next(t)
+		if !ok {
+			t.Fatal("stream ended without a result event")
+		}
+		if ev.event == "output" {
+			var c string
+			if err := json.Unmarshal([]byte(ev.data), &c); err != nil {
+				t.Fatal(err)
+			}
+			all.WriteString(c)
+			continue
+		}
+		if ev.event != "result" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		if err := json.Unmarshal([]byte(ev.data), &result); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if got := all.String(); got != "tick\ndone\n" {
+		t.Errorf("streamed output = %q, want tick/done", got)
+	}
+	if result.Exit != 41 || result.Error != "" || result.Output != "" {
+		t.Errorf("result event: %+v", result)
+	}
+
+	// Bit-identical contract across transports: the buffered endpoint
+	// reports the same modelled numbers for the same job.
+	var buffered runResponse
+	if code := post(t, ts.URL+"/v1/run", runRequest{Source: src, Mechanism: "rsti-stc"}, &buffered); code != 200 {
+		t.Fatalf("buffered run: status %d", code)
+	}
+	if buffered.Cycles != result.Cycles || buffered.Instrs != result.Instrs {
+		t.Errorf("modelled numbers diverge across transports: stream (%d cycles, %d instrs) vs buffered (%d, %d)",
+			result.Cycles, result.Instrs, buffered.Cycles, buffered.Instrs)
+	}
+	if buffered.Output != "tick\ndone\n" {
+		t.Errorf("buffered output = %q", buffered.Output)
+	}
+}
+
+// TestStreamDisconnectCancelsRun: closing the client connection mid-run
+// cancels the run at the interpreter's next cancellation checkpoint —
+// observable as the engine's cancelled counter ticking — instead of the
+// worker spinning to completion.
+func TestStreamDisconnectCancelsRun(t *testing.T) {
+	ts, srv := startServer(t)
+
+	// Prints once so the client knows the run started, then spins long
+	// enough (~seconds) that only cancellation can end it promptly.
+	src := `int main(void){ int i; int a; a = 0;
+printf("started\n");
+for (i = 0; i < 1000000000; i = i + 1) { a = a + i; }
+return a & 1; }`
+
+	resp := streamRequest(t, ts.URL, runRequest{Source: src, Mechanism: "none"})
+	rd := newSSEReader(bufio.NewScanner(resp.Body))
+	if ev, ok := rd.next(t); !ok || ev.event != "output" {
+		t.Fatalf("first event = %+v, want output", ev)
+	}
+	start := time.Now()
+	resp.Body.Close() // client walks away
+
+	// The run must observe cancellation within one checkpoint interval —
+	// far sooner than the ~seconds the loop would need. Poll the engine.
+	deadline := time.After(5 * time.Second)
+	for {
+		if st := srv.Engine().Stats(); st.Cancelled >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("run not cancelled %v after disconnect: %+v", time.Since(start), srv.Engine().Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("cancellation took %v — longer than a checkpoint interval", waited)
+	}
+}
+
+// TestStreamTruncation: the output byte cap applies to streamed runs and
+// is surfaced on the terminal result event, mirroring Result.OutputTruncated.
+func TestStreamTruncation(t *testing.T) {
+	ts, _ := startServer(t)
+
+	src := `int main(void){ int i;
+for (i = 0; i < 100; i = i + 1) { printf("0123456789\n"); }
+return 0; }`
+
+	resp := streamRequest(t, ts.URL, runRequest{Source: src, Mechanism: "none", MaxOutputBytes: 64})
+	defer resp.Body.Close()
+	rd := newSSEReader(bufio.NewScanner(resp.Body))
+
+	total := 0
+	var result *runResponse
+	for {
+		ev, ok := rd.next(t)
+		if !ok {
+			break
+		}
+		switch ev.event {
+		case "output":
+			var c string
+			if err := json.Unmarshal([]byte(ev.data), &c); err != nil {
+				t.Fatal(err)
+			}
+			total += len(c)
+		case "result":
+			var rr runResponse
+			if err := json.Unmarshal([]byte(ev.data), &rr); err != nil {
+				t.Fatal(err)
+			}
+			result = &rr
+		}
+		if result != nil {
+			break
+		}
+	}
+	if result == nil {
+		t.Fatal("no result event")
+	}
+	if total > 64 {
+		t.Errorf("streamed %d output bytes past the 64-byte cap", total)
+	}
+	if !result.OutputTruncated {
+		t.Errorf("truncation not surfaced on result event: %+v", result)
+	}
+	if result.Exit != 0 || result.Error != "" {
+		t.Errorf("truncated run should still complete cleanly: %+v", result)
+	}
+}
+
+// TestStreamValidationErrors: before the stream commits, failures use the
+// ordinary /v1 envelope and status codes, exactly like /v1/run.
+func TestStreamValidationErrors(t *testing.T) {
+	ts, _ := startServer(t)
+
+	data, _ := json.Marshal(runRequest{Source: victimSrc, Mechanism: "rop"})
+	resp, err := http.Post(ts.URL+"/v1/run/stream", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad mechanism: status %d, want 400", resp.StatusCode)
+	}
+	var we wireError
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Error.Kind != KindBadRequest {
+		t.Errorf("kind = %q", we.Error.Kind)
+	}
+}

@@ -74,6 +74,11 @@ var RSTIMechanisms = sti.RSTIMechanisms
 // run under any mechanism.
 type Program struct {
 	c *core.Compilation
+	// defaults is the base RunConfig every execution starts from,
+	// accumulated from the ProgramOptions given to Compile. It holds only
+	// scalar fields (see programOption), so the per-run struct copy in
+	// RunContext is a complete deep copy.
+	defaults core.RunConfig
 }
 
 // CacheConfig bounds a compilation Cache: MaxEntries caps stored
@@ -104,11 +109,61 @@ func NewCache(cfg CacheConfig) *Cache {
 // Stats returns the cache's effectiveness counters.
 func (c *Cache) Stats() CacheStats { return c.c.Stats() }
 
-// CompileOption configures Compile.
-type CompileOption func(*compileConfig)
+// The functional options are partitioned into three clearly-typed sets,
+// so misusing one is a compile-time type error, not a silent no-op:
+//
+//   - CompileOption configures compilation only (WithCache). Passing one
+//     to Run does not compile.
+//   - RunOption configures a single execution only (WithHook, WithExtern,
+//     WithOutput, WithOptions). Passing one to Compile does not compile.
+//   - ProgramOption is valid in both positions (WithTimeout,
+//     WithStepBudget, WithMaxOutput, WithOptimizer, WithTier): given to
+//     Compile it sets a default the Program applies to every run; given
+//     to Run/RunContext/Engine.Submit it overrides that default for one
+//     execution.
+//
+// Every pre-existing call site keeps compiling: the WithX constructors
+// kept their names and argument lists, and a ProgramOption satisfies the
+// RunOption interface wherever one was previously accepted.
+
+// CompileOption configures Compile. Options that also implement
+// RunOption (see ProgramOption) set per-Program run defaults.
+type CompileOption interface{ applyCompile(*compileConfig) }
+
+// RunOption configures a single execution.
+type RunOption interface{ applyRun(*core.RunConfig) }
+
+// ProgramOption is accepted by both Compile (as a program-wide default)
+// and Run (as a per-execution override).
+type ProgramOption interface {
+	CompileOption
+	RunOption
+}
+
+// compileOption adapts a function into a compile-only option.
+type compileOption func(*compileConfig)
+
+func (f compileOption) applyCompile(cfg *compileConfig) { f(cfg) }
+
+// runOption adapts a function into a run-only option.
+type runOption func(*core.RunConfig)
+
+func (f runOption) applyRun(cfg *core.RunConfig) { f(cfg) }
+
+// programOption adapts a RunConfig mutation into a dual-use option: at
+// compile time it edits the Program's default RunConfig, at run time the
+// execution's. Only scalar RunConfig fields may be set through it, so
+// copying the defaults struct per run is a complete deep copy.
+type programOption func(*core.RunConfig)
+
+func (f programOption) applyRun(cfg *core.RunConfig)    { f(cfg) }
+func (f programOption) applyCompile(cfg *compileConfig) { f(&cfg.defaults) }
 
 type compileConfig struct {
 	cache *Cache
+	// defaults accumulates ProgramOptions: the run configuration every
+	// execution of the resulting Program starts from.
+	defaults core.RunConfig
 }
 
 // WithCache makes Compile consult (and populate) the given cache: a
@@ -118,15 +173,18 @@ type compileConfig struct {
 // its per-mechanism builds are built exactly once regardless of how many
 // holders race.
 func WithCache(c *Cache) CompileOption {
-	return func(cfg *compileConfig) { cfg.cache = c }
+	return compileOption(func(cfg *compileConfig) { cfg.cache = c })
 }
 
 // Compile parses, checks, lowers, and analyzes a program written in the
 // supported C subset (see package internal/cminor for the exact grammar).
+// ProgramOptions passed here become the Program's run defaults: a service
+// can compile once with WithTier(true) and WithStepBudget(n) and serve
+// every request with those settings, overriding per run as needed.
 func Compile(src string, opts ...CompileOption) (*Program, error) {
 	var cfg compileConfig
 	for _, o := range opts {
-		o(&cfg)
+		o.applyCompile(&cfg)
 	}
 	var (
 		c   *core.Compilation
@@ -140,7 +198,7 @@ func Compile(src string, opts ...CompileOption) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{c: c}, nil
+	return &Program{c: c, defaults: cfg.defaults}, nil
 }
 
 // Prewarm instruments the program under every given mechanism (all of
@@ -271,33 +329,30 @@ func (p *Program) PACOpStats(mech Mechanism, optimized bool) (*PACOpStats, error
 // Result is one execution's outcome.
 type Result = core.RunResult
 
-// RunOption configures an execution.
-type RunOption func(*core.RunConfig)
-
 // WithHook registers an attack callback for the __hook(id) sites in the
 // program.
 func WithHook(id int64, h vm.Hook) RunOption {
-	return func(cfg *core.RunConfig) {
+	return runOption(func(cfg *core.RunConfig) {
 		if cfg.Hooks == nil {
 			cfg.Hooks = make(map[int64]vm.Hook)
 		}
 		cfg.Hooks[id] = h
-	}
+	})
 }
 
 // WithExtern supplies a Go implementation for an extern function.
 func WithExtern(name string, fn func(*vm.Machine, []uint64) (uint64, error)) RunOption {
-	return func(cfg *core.RunConfig) {
+	return runOption(func(cfg *core.RunConfig) {
 		if cfg.Externs == nil {
 			cfg.Externs = make(map[string]func(*vm.Machine, []uint64) (uint64, error))
 		}
 		cfg.Externs[name] = fn
-	}
+	})
 }
 
 // WithOutput directs the program's printf/puts output to w.
 func WithOutput(w io.Writer) RunOption {
-	return func(cfg *core.RunConfig) { cfg.Output = w }
+	return runOption(func(cfg *core.RunConfig) { cfg.Output = w })
 }
 
 // WithOptions overrides the whole VM configuration (memory sizes, step
@@ -307,7 +362,7 @@ func WithOutput(w io.Writer) RunOption {
 // bounds wall-clock time through the run's context, not modelled steps).
 // If WithOptions is not given, vm.DefaultOptions() is the base.
 func WithOptions(opts vm.Options) RunOption {
-	return func(cfg *core.RunConfig) { cfg.Options = opts }
+	return runOption(func(cfg *core.RunConfig) { cfg.Options = opts })
 }
 
 // WithTimeout bounds the run's wall-clock time. When it expires the
@@ -315,39 +370,42 @@ func WithOptions(opts vm.Options) RunOption {
 // Err is a *TrapError of kind vm.TrapCancelled satisfying
 // errors.Is(err, context.DeadlineExceeded). The deadline composes with
 // any deadline already on the RunContext context (whichever is sooner
-// wins).
-func WithTimeout(d time.Duration) RunOption {
-	return func(cfg *core.RunConfig) { cfg.Timeout = d }
+// wins). As a ProgramOption it may also be given to Compile, bounding
+// every run of the Program by default.
+func WithTimeout(d time.Duration) ProgramOption {
+	return programOption(func(cfg *core.RunConfig) { cfg.Timeout = d })
 }
 
 // WithStepBudget bounds the run to n modelled interpreter steps; an
 // exhausted budget surfaces as a *TrapError satisfying
 // errors.Is(err, ErrStepBudget). It overrides the MaxSteps of any
-// WithOptions configuration regardless of option order.
-func WithStepBudget(n int64) RunOption {
-	return func(cfg *core.RunConfig) { cfg.StepBudget = n }
+// WithOptions configuration regardless of option order. As a
+// ProgramOption it may also be given to Compile as the Program-wide
+// default budget.
+func WithStepBudget(n int64) ProgramOption {
+	return programOption(func(cfg *core.RunConfig) { cfg.StepBudget = n })
 }
 
 // WithMaxOutput caps the internally captured program output at n bytes
 // (see Result.OutputTruncated). It has no effect when WithOutput routes
 // output to a caller-supplied writer. Negative n removes the default
-// 1 MiB cap.
-func WithMaxOutput(n int) RunOption {
-	return func(cfg *core.RunConfig) { cfg.MaxOutputBytes = n }
+// 1 MiB cap. Dual-use: see ProgramOption.
+func WithMaxOutput(n int) ProgramOption {
+	return programOption(func(cfg *core.RunConfig) { cfg.MaxOutputBytes = n })
 }
 
 // WithOptimizer forces the PAC elision optimizer on or off for this run,
 // overriding the process default (see OptimizerDefault). Optimized and
 // unoptimized builds are cached independently, so flipping per run never
-// re-instruments.
-func WithOptimizer(on bool) RunOption {
-	return func(cfg *core.RunConfig) {
+// re-instruments. Dual-use: see ProgramOption.
+func WithOptimizer(on bool) ProgramOption {
+	return programOption(func(cfg *core.RunConfig) {
 		if on {
 			cfg.Optimize = core.OptimizeOn
 		} else {
 			cfg.Optimize = core.OptimizeOff
 		}
-	}
+	})
 }
 
 // OptimizerDefault reports whether runs use the PAC elision optimizer
@@ -361,15 +419,15 @@ func OptimizerDefault() bool { return core.DefaultOptimize() }
 // and PAC-op counts, trap kinds/attribution and program output are
 // bit-identical with it on or off. Tier-on and tier-off runs of one
 // Program use separate shared images, so flipping per run never perturbs
-// the other tier's profile.
-func WithTier(on bool) RunOption {
-	return func(cfg *core.RunConfig) {
+// the other tier's profile. Dual-use: see ProgramOption.
+func WithTier(on bool) ProgramOption {
+	return programOption(func(cfg *core.RunConfig) {
 		if on {
 			cfg.Tier = core.TierOn
 		} else {
 			cfg.Tier = core.TierOff
 		}
-	}
+	})
 }
 
 // TierDefault reports whether runs use the threaded execution tier when
@@ -393,9 +451,9 @@ func (p *Program) Run(mech Mechanism, opts ...RunOption) (*Result, error) {
 // failures (instrumentation bugs); execution outcomes, including traps
 // and cancellation, are reported in the Result.
 func (p *Program) RunContext(ctx context.Context, mech Mechanism, opts ...RunOption) (*Result, error) {
-	var cfg core.RunConfig
+	cfg := p.defaults
 	for _, o := range opts {
-		o(&cfg)
+		o.applyRun(&cfg)
 	}
 	return p.c.RunContext(ctx, mech, cfg)
 }

@@ -1,6 +1,7 @@
 package rsti_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -192,5 +193,43 @@ func TestPublicAPIPrewarm(t *testing.T) {
 		if err != nil || res.Err != nil {
 			t.Fatalf("%s after Prewarm: %v %v", mech, err, res.Err)
 		}
+	}
+}
+
+// TestProgramOptionsAtCompile exercises the dual-use ProgramOption set:
+// options given to Compile become per-Program run defaults, and the same
+// option given to Run overrides the default for that execution only.
+func TestProgramOptionsAtCompile(t *testing.T) {
+	spin := `int main(void){ int i; int a; a = 0; for (i = 0; i < 1000000; i = i + 1) { a = a + i; } return a & 1; }`
+
+	// A step budget set at compile time bounds every run by default.
+	p, err := rsti.Compile(spin, rsti.WithStepBudget(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(rsti.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || !errors.Is(res.Err, rsti.ErrStepBudget) {
+		t.Fatalf("default step budget not applied: err = %v", res.Err)
+	}
+
+	// A per-run override lifts the compile-time default for that run.
+	res, err = p.Run(rsti.None, rsti.WithStepBudget(100_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("per-run override did not win: %v", res.Err)
+	}
+
+	// The override must not have leaked into the Program's defaults.
+	res, err = p.Run(rsti.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || !errors.Is(res.Err, rsti.ErrStepBudget) {
+		t.Fatalf("defaults mutated by a per-run option: err = %v", res.Err)
 	}
 }
