@@ -21,6 +21,19 @@
 // (see -benchout/-benchlabel), building the repo's performance history:
 //
 //	rstibench -benchjson -benchlabel pr1
+//
+// With -secjson it runs the security-effectiveness harness instead:
+// equivalence-class partition statistics per workload × mechanism, the
+// attack synthesizer (derived tampers executed through the VM against
+// their predicted detect/miss outcomes), and the Table 3 cross-check,
+// appended as one datapoint to SECURITY_RESULTS.json with the markdown
+// dashboard rendered to SECURITY.md. The exit status is the CI gate: it
+// is non-zero when the record violates the structural invariants or when
+// a mechanism's largest class or replay surface grew against the
+// previous datapoint without a "security-waiver:" note in the change log
+// (-changes):
+//
+//	rstibench -secjson -seclabel pr8
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"os"
 
 	"rsti/internal/eval"
+	"rsti/internal/report"
 	"rsti/internal/sti"
 )
 
@@ -44,6 +58,11 @@ func main() {
 	benchjson := flag.Bool("benchjson", false, "run the benchmark-trajectory harness and append a datapoint")
 	benchout := flag.String("benchout", "BENCH_RESULTS.json", "trajectory file for -benchjson")
 	benchlabel := flag.String("benchlabel", "dev", "datapoint label for -benchjson")
+	secjson := flag.Bool("secjson", false, "run the security-effectiveness harness and append a datapoint")
+	secout := flag.String("secout", "SECURITY_RESULTS.json", "trajectory file for -secjson")
+	secmd := flag.String("secmd", "SECURITY.md", "markdown dashboard for -secjson (empty to skip)")
+	seclabel := flag.String("seclabel", "dev", "datapoint label for -secjson")
+	changes := flag.String("changes", "CHANGES.md", "change log scanned for security-waiver notes")
 	flag.Parse()
 
 	all := !*fig9 && !*fig10 && !*table1 && !*table3 && !*pp && !*parts && !*ablations && !*replay
@@ -73,6 +92,53 @@ func main() {
 			fmt.Printf("WARNING: %s\n", warn)
 		}
 		fmt.Printf("appended to %s\n", *benchout)
+		return
+	}
+
+	if *secjson {
+		rec, err := eval.MeasureSecurity(*seclabel)
+		if err != nil {
+			fail(err)
+		}
+		violations := eval.SecurityViolations(rec)
+		// The trajectory guard compares against history BEFORE appending;
+		// unlike the wall-clock bench guard this one is exact (the record
+		// is deterministic) and gates CI rather than warning.
+		prev, err := report.ReadSecurityRecords(*secout)
+		if err != nil {
+			fail(err)
+		}
+		regressions := report.SecurityRegressions(prev, rec)
+		if err := report.AppendSecurityRecord(*secout, rec); err != nil {
+			fail(err)
+		}
+		if *secmd != "" {
+			if err := os.WriteFile(*secmd, []byte(rec.Markdown()), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println(rec.Summary())
+		fmt.Printf("appended to %s\n", *secout)
+		bad := false
+		for _, v := range violations {
+			fmt.Printf("VIOLATION: %s\n", v)
+			bad = true
+		}
+		if len(regressions) > 0 && !report.HasSecurityWaiver(*changes) {
+			for _, r := range regressions {
+				fmt.Printf("REGRESSION: %s\n", r)
+			}
+			fmt.Printf("security surface grew without a %q note in %s\n",
+				report.SecurityWaiverToken, *changes)
+			bad = true
+		} else if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Printf("WAIVED: %s\n", r)
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
 		return
 	}
 

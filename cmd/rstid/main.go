@@ -25,9 +25,14 @@ func main() {
 	queue := flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
 	cacheDir := flag.String("cache-dir", "", "persistent compile-cache directory (empty = memory only)")
 	tenantsFile := flag.String("tenants", "", "tenants JSON file enabling API-key auth (empty = open mode)")
+	securityResults := flag.String("security-results", "",
+		"SECURITY_RESULTS.json trajectory surfaced in /v1/metrics (empty = omit)")
 	flag.Parse()
 
-	cfg := service.Config{Workers: *workers, Queue: *queue, CacheDir: *cacheDir}
+	cfg := service.Config{
+		Workers: *workers, Queue: *queue, CacheDir: *cacheDir,
+		SecurityResults: *securityResults,
+	}
 	if *tenantsFile != "" {
 		ts, err := service.LoadTenants(*tenantsFile)
 		if err != nil {

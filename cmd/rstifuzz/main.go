@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rstifuzz [-seed 1] [-n 500] [-attacks] [-workers 2] \
+//	rstifuzz [-seed 1] [-n 500] [-attacks] [-synth] [-workers 2] \
 //	         [-corpus testdata/difftest] [-minimize] [-budget N] \
 //	         [-optimizer inherit|on|off] [-tier inherit|on|off] [-v]
 //	rstifuzz -replay [-corpus testdata/difftest]
@@ -13,7 +13,7 @@
 // Seeds seed..seed+n-1 each expand into one generated program checked
 // under every mechanism through both the direct and the engine path
 // (see internal/difftest). Any divergence is minimized and written to
-// <corpus>/failures/seed-<N>.{c,txt}; the exit status is non-zero.
+// <corpus>/failures/seed-<N>.{c,txt,json}; the exit status is non-zero.
 // -replay re-checks the committed regression seeds in
 // <corpus>/seeds.txt instead of a fresh range. A CI failure replays
 // deterministically with `rstifuzz -seed <N> -n 1`.
@@ -39,6 +39,7 @@ func run(args []string) int {
 		seed     = fs.Uint64("seed", 1, "first seed of the soak range")
 		n        = fs.Int("n", 100, "number of seeds to check")
 		attacks  = fs.Bool("attacks", true, "inject the corruption variants")
+		synth    = fs.Bool("synth", false, "synthesize tampers from each compiled program and check predictions")
 		workers  = fs.Int("workers", 2, "engine workers for the pooled cross-check (0 disables)")
 		corpus   = fs.String("corpus", filepath.Join("testdata", "difftest"), "corpus directory")
 		minimize = fs.Bool("minimize", true, "minimize diverging configs before saving")
@@ -52,7 +53,7 @@ func run(args []string) int {
 		return 2
 	}
 
-	opt := difftest.Options{Attacks: *attacks, EngineWorkers: *workers, StepBudget: *budget}
+	opt := difftest.Options{Attacks: *attacks, Synthesis: *synth, EngineWorkers: *workers, StepBudget: *budget}
 	switch *optmode {
 	case "inherit":
 	case "on":

@@ -1,0 +1,543 @@
+// Attack synthesis: the generalization of the hand-written corruption
+// variants. Instead of asserting a fixed list of tampers, the synthesizer
+// derives candidate minimal tampers from the compiled program itself —
+// same-class substitution, same-type cross-scope replay, raw-pointer
+// overwrite, and corruption of an elidable local — predicts each one's
+// detect/miss outcome per mechanism from the STI analysis (modifier
+// equality plus location binding), and then *executes* every tamper
+// through the VM to confirm the prediction. Every mechanism's blind spots
+// are thereby machine-enumerated: a same-class replay is confirmed missed
+// by everything below STL, a cross-scope replay confirmed missed by the
+// type-only baseline, and the elidable-local corruption confirmed missed
+// by all mechanisms because the freshly-stored rule the elision optimizer
+// relies on overwrites the corruption before it can be read back.
+package attack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rsti/internal/core"
+	"rsti/internal/mir"
+	"rsti/internal/opt"
+	"rsti/internal/sti"
+	"rsti/internal/vm"
+)
+
+// SynthOptions configures one synthesis pass.
+type SynthOptions struct {
+	// MaxPerFamily caps the tampers executed per family (the candidate
+	// space is quadratic in globals). Zero means 3.
+	MaxPerFamily int
+	// MaxLiveProbes caps the STL liveness probes used to establish which
+	// globals are authenticated after the hook site. Zero means 12.
+	MaxLiveProbes int
+	// StepBudget bounds each run's modelled steps (zero: VM default).
+	StepBudget int64
+	// Optimize selects the build the replay/raw tampers execute against.
+	// The zero value inherits the process default (RSTI_OPT). The
+	// elided-local family always runs both forced modes: its miss
+	// guarantee is precisely an optimizer-safety claim.
+	Optimize core.OptimizeMode
+}
+
+// synthMechs is the execution matrix; the five signing mechanisms after
+// None are the ones predictions and coverage counters are keyed by.
+var synthMechs = []sti.Mechanism{sti.None, sti.PARTS, sti.STWC, sti.STC, sti.Adaptive, sti.STL}
+
+// SigningMechs lists the mechanisms that sign pointers — the keys of a
+// SynthReport's coverage counters.
+var SigningMechs = []sti.Mechanism{sti.PARTS, sti.STWC, sti.STC, sti.Adaptive, sti.STL}
+
+// SynthTamper is one derived minimal corruption.
+type SynthTamper struct {
+	// Family is "replay-same-class", "replay-cross-scope",
+	// "raw-overwrite" or "elided-local".
+	Family string `json:"family"`
+	// Src/Dst name the globals involved (Src empty for raw overwrites).
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// Var names the corrupted local for the elided-local family.
+	Var string `json:"var,omitempty"`
+	// Predicted maps mechanism name to the analysis-derived expectation:
+	// true = the mechanism must trap this corruption, false = it provably
+	// cannot distinguish it.
+	Predicted map[string]bool `json:"predicted"`
+}
+
+func (t SynthTamper) String() string {
+	switch t.Family {
+	case "raw-overwrite":
+		return fmt.Sprintf("%s(%s)", t.Family, t.Dst)
+	case "elided-local":
+		return fmt.Sprintf("%s(%s)", t.Family, t.Var)
+	default:
+		return fmt.Sprintf("%s(%s->%s)", t.Family, t.Src, t.Dst)
+	}
+}
+
+// SynthResult is one executed tamper with its observed outcomes.
+type SynthResult struct {
+	Tamper SynthTamper `json:"tamper"`
+	// Detected maps mechanism name to the observed security-trap outcome.
+	Detected map[string]bool `json:"detected"`
+	// Confirmed reports that every mechanism behaved exactly as
+	// predicted, detection was monotone along the lattice, and undetected
+	// runs stayed clean and baseline-equivalent.
+	Confirmed bool `json:"confirmed"`
+	// Problems lists every violated expectation (empty when Confirmed).
+	Problems []string `json:"problems,omitempty"`
+}
+
+// SynthReport is the full outcome of one synthesis pass.
+type SynthReport struct {
+	Tampers []SynthResult `json:"tampers"`
+	// ConfirmedDetect / ConfirmedMiss count, per signing mechanism, the
+	// executed-and-confirmed tampers the mechanism caught / provably
+	// missed — the machine-enumerated coverage and blind-spot surface.
+	ConfirmedDetect map[string]int `json:"confirmed_detect"`
+	ConfirmedMiss   map[string]int `json:"confirmed_miss"`
+	// Problems aggregates every tamper's violations plus pass-level
+	// failures (e.g. no authenticated post-hook global to attack).
+	Problems []string `json:"problems,omitempty"`
+}
+
+// Confirmed counts the fully confirmed tampers.
+func (r *SynthReport) Confirmed() int {
+	n := 0
+	for _, t := range r.Tampers {
+		if t.Confirmed {
+			n++
+		}
+	}
+	return n
+}
+
+// synthOutcome is the behavioral fingerprint compared across runs.
+type synthOutcome struct {
+	Detected bool
+	Clean    bool
+	TrapKind string
+	Exit     int64
+	Output   string
+}
+
+func (o synthOutcome) String() string {
+	status := "clean"
+	if !o.Clean {
+		status = "trap:" + o.TrapKind
+	}
+	return fmt.Sprintf("exit=%d %s", o.Exit, status)
+}
+
+// globalCandidate is one global pointer slot the synthesizer may involve
+// in a tamper.
+type globalCandidate struct {
+	Var  int // VarInfo index
+	Name string
+	RT   int // RSTI-type ID
+}
+
+// Synthesize derives, predicts and executes the tamper set for a compiled
+// program. The returned error reports infrastructure failures only;
+// violated predictions are Problems in the report.
+func Synthesize(c *core.Compilation, o SynthOptions) (*SynthReport, error) {
+	if o.MaxPerFamily <= 0 {
+		o.MaxPerFamily = 3
+	}
+	if o.MaxLiveProbes <= 0 {
+		o.MaxLiveProbes = 12
+	}
+	rep := &SynthReport{
+		ConfirmedDetect: make(map[string]int),
+		ConfirmedMiss:   make(map[string]int),
+	}
+	an := c.Analysis
+
+	hookFn := findHookFn(c.Prog)
+	if hookFn == "" {
+		return nil, fmt.Errorf("attack: program has no __hook site to synthesize at")
+	}
+
+	// Candidate globals: every global pointer slot with an interned
+	// RSTI-type, in declaration order for determinism.
+	var cands []globalCandidate
+	for i, v := range c.Prog.Vars {
+		if v.Global && v.Type.IsPointer() && an.VarRT[i] >= 0 {
+			cands = append(cands, globalCandidate{Var: i, Name: v.Name, RT: an.VarRT[i]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Var < cands[j].Var })
+
+	run := func(mech sti.Mechanism, hook vm.Hook, mode core.OptimizeMode) (synthOutcome, error) {
+		cfg := core.RunConfig{StepBudget: o.StepBudget, Optimize: mode}
+		if hook != nil {
+			cfg.Hooks = map[int64]vm.Hook{1: hook}
+		}
+		res, err := c.Run(mech, cfg)
+		if err != nil {
+			return synthOutcome{}, err
+		}
+		out := synthOutcome{
+			Detected: res.Detected(),
+			Clean:    res.Err == nil,
+			Exit:     res.Exit,
+			Output:   res.Output,
+		}
+		if res.Trap != nil {
+			out.TrapKind = res.Trap.Kind.String()
+		}
+		return out, nil
+	}
+
+	// Probe pass: record each candidate slot's value at the hook site on
+	// the unprotected baseline. A non-zero canonical value means the slot
+	// was stored (signed, under a signing mechanism) before the hook — a
+	// usable replay source and a meaningful overwrite target.
+	armed := make(map[string]bool)
+	probe := func(m *vm.Machine) error {
+		for _, g := range cands {
+			addr, ok := m.GlobalAddr(g.Name)
+			if !ok {
+				continue
+			}
+			v, err := m.Mem.Peek(addr, 8)
+			if err != nil {
+				return err
+			}
+			if m.Unit.Canonical(v) != 0 {
+				armed[g.Name] = true
+			}
+		}
+		return nil
+	}
+	if _, err := run(sti.None, probe, o.Optimize); err != nil {
+		return nil, fmt.Errorf("attack: synthesis probe: %w", err)
+	}
+
+	// Liveness pass: a tamper is only predictable when the victim slot is
+	// authenticated after the hook on the execution path actually taken.
+	// A raw overwrite under STL is the direct experiment: detection iff
+	// some post-hook load authenticates the slot.
+	live := make(map[string]bool)
+	probes := 0
+	for _, g := range cands {
+		if !armed[g.Name] || probes >= o.MaxLiveProbes {
+			continue
+		}
+		probes++
+		out, err := run(sti.STL, rawOverwriteHook(g.Name), o.Optimize)
+		if err != nil {
+			return nil, fmt.Errorf("attack: liveness probe %s: %w", g.Name, err)
+		}
+		live[g.Name] = out.Detected
+	}
+
+	// Derive the tamper set.
+	var tampers []tamperPlan
+	tampers = append(tampers, rawTampers(cands, live, o.MaxPerFamily)...)
+	tampers = append(tampers, replayTampers(c, cands, armed, live, o.MaxPerFamily)...)
+	tampers = append(tampers, elidedTampers(c, hookFn, o.MaxPerFamily)...)
+	if len(tampers) == 0 {
+		rep.Problems = append(rep.Problems, "no executable tamper derived: no authenticated post-hook pointer slot")
+		return rep, nil
+	}
+
+	// Benign references per (mechanism, optimize mode), computed lazily.
+	type benignKey struct {
+		mech sti.Mechanism
+		mode core.OptimizeMode
+	}
+	benigns := make(map[benignKey]synthOutcome)
+	benign := func(mech sti.Mechanism, mode core.OptimizeMode) (synthOutcome, error) {
+		k := benignKey{mech, mode}
+		if out, ok := benigns[k]; ok {
+			return out, nil
+		}
+		out, err := run(mech, nil, mode)
+		if err == nil {
+			benigns[k] = out
+		}
+		return out, err
+	}
+
+	// Execute. The elided-local family runs both forced optimizer modes;
+	// the others run the configured mode.
+	for _, plan := range tampers {
+		modes := []core.OptimizeMode{o.Optimize}
+		if plan.BothOptModes {
+			modes = []core.OptimizeMode{core.OptimizeOff, core.OptimizeOn}
+		}
+		result := SynthResult{
+			Tamper:   plan.Tamper,
+			Detected: make(map[string]bool),
+		}
+		for _, mode := range modes {
+			outs := make(map[string]synthOutcome, len(synthMechs))
+			for _, mech := range synthMechs {
+				out, err := run(mech, plan.Hook, mode)
+				if err != nil {
+					return nil, fmt.Errorf("attack: %s under %s: %w", plan.Tamper, mech, err)
+				}
+				outs[mech.String()] = out
+				result.Detected[mech.String()] = result.Detected[mech.String()] || out.Detected
+			}
+			checkTamper(&result, plan, outs, func(mech sti.Mechanism) (synthOutcome, error) {
+				return benign(mech, mode)
+			})
+		}
+		result.Confirmed = len(result.Problems) == 0
+		if result.Confirmed {
+			for _, mech := range SigningMechs {
+				name := mech.String()
+				if plan.Tamper.Predicted[name] {
+					rep.ConfirmedDetect[name]++
+				} else {
+					rep.ConfirmedMiss[name]++
+				}
+			}
+		}
+		rep.Tampers = append(rep.Tampers, result)
+		for _, p := range result.Problems {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: %s", plan.Tamper, p))
+		}
+	}
+	return rep, nil
+}
+
+// tamperPlan couples a tamper with its executable hook.
+type tamperPlan struct {
+	Tamper SynthTamper
+	Hook   vm.Hook
+	// BenignEquivalent: undetected runs must reproduce the *benign*
+	// outcome (the corruption is provably neutralized), not merely the
+	// baseline's attacked outcome.
+	BenignEquivalent bool
+	// BothOptModes forces execution under optimizer off and on.
+	BothOptModes bool
+}
+
+// checkTamper validates one mode's outcome matrix against the prediction,
+// the detection-monotonicity lattice, and the clean-miss requirements.
+func checkTamper(result *SynthResult, plan tamperPlan, outs map[string]synthOutcome, benign func(sti.Mechanism) (synthOutcome, error)) {
+	addProblem := func(format string, args ...interface{}) {
+		result.Problems = append(result.Problems, fmt.Sprintf(format, args...))
+	}
+
+	// Prediction: every signing mechanism must match; the baseline must
+	// never security-trap.
+	if outs["none"].Detected {
+		addProblem("unprotected baseline security-trapped: %s", outs["none"])
+	}
+	for _, mech := range SigningMechs {
+		name := mech.String()
+		want := plan.Tamper.Predicted[name]
+		if got := outs[name].Detected; got != want {
+			addProblem("%s: predicted detect=%v, observed detect=%v (%s)", name, want, got, outs[name])
+		}
+	}
+
+	// Monotone detection along STC => STWC => Adaptive => STL (and the
+	// PARTS => STWC baseline edge).
+	for _, ord := range [][2]string{
+		{"rsti-stc", "rsti-stwc"},
+		{"parts", "rsti-stwc"},
+		{"rsti-stwc", "rsti-adaptive"},
+		{"rsti-adaptive", "rsti-stl"},
+	} {
+		if outs[ord[0]].Detected && !outs[ord[1]].Detected {
+			addProblem("detection not monotone: %s detected but %s did not", ord[0], ord[1])
+		}
+	}
+
+	// An undetected corruption must not crash some other way, and must be
+	// observationally equal to the reference: the baseline's attacked run
+	// in general, the benign run when the tamper is provably neutralized.
+	base := outs["none"]
+	for _, mech := range synthMechs {
+		name := mech.String()
+		out := outs[name]
+		if out.Detected {
+			continue
+		}
+		if !out.Clean {
+			addProblem("%s: non-security trap on undetected corruption: %s", name, out)
+			continue
+		}
+		ref := base
+		if plan.BenignEquivalent {
+			b, err := benign(mech)
+			if err != nil {
+				addProblem("%s: benign reference failed: %v", name, err)
+				continue
+			}
+			ref = b
+		}
+		if out.Exit != ref.Exit || out.Output != ref.Output {
+			addProblem("%s: undetected corruption diverges from reference: %s vs %s", name, out, ref)
+		}
+	}
+}
+
+// findHookFn returns the name of the function containing a __hook call.
+func findHookFn(p *mir.Program) string {
+	for _, f := range p.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op == mir.CallOp && in.Callee == "__hook" {
+					return f.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// rawTampers derives the raw-overwrite family: each live slot's signed
+// value is replaced by its canonical (signature-stripped) address — the
+// write an arbitrary-write attacker without the signing key can forge.
+// Every signing mechanism must trap the next authentication.
+func rawTampers(cands []globalCandidate, live map[string]bool, max int) []tamperPlan {
+	var plans []tamperPlan
+	for _, g := range cands {
+		if !live[g.Name] || len(plans) >= max {
+			continue
+		}
+		predicted := map[string]bool{"none": false}
+		for _, mech := range SigningMechs {
+			predicted[mech.String()] = true
+		}
+		plans = append(plans, tamperPlan{
+			Tamper: SynthTamper{Family: "raw-overwrite", Dst: g.Name, Predicted: predicted},
+			Hook:   rawOverwriteHook(g.Name),
+		})
+	}
+	return plans
+}
+
+// replayTampers derives both replay families over the armed-source ×
+// live-destination pairs. The prediction is uniform and purely static: a
+// replayed signed value authenticates in the destination exactly when the
+// two slots share a static modifier and neither binds its location.
+func replayTampers(c *core.Compilation, cands []globalCandidate, armed, live map[string]bool, max int) []tamperPlan {
+	an := c.Analysis
+	nSame, nCross := 0, 0
+	var plans []tamperPlan
+	for _, src := range cands {
+		for _, dst := range cands {
+			if src.Var == dst.Var || !armed[src.Name] || !live[dst.Name] {
+				continue
+			}
+			sameRT := src.RT == dst.RT
+			sameTy := an.Types[src.RT].Type.Unqualified().Key() == an.Types[dst.RT].Type.Unqualified().Key()
+			family := ""
+			switch {
+			case sameRT && nSame < max:
+				family = "replay-same-class"
+				nSame++
+			case !sameRT && sameTy && nCross < max:
+				family = "replay-cross-scope"
+				nCross++
+			default:
+				continue
+			}
+			predicted := map[string]bool{"none": false}
+			for _, mech := range SigningMechs {
+				predicted[mech.String()] =
+					an.Modifier(src.RT, mech) != an.Modifier(dst.RT, mech) ||
+						an.UsesLocation(src.RT, mech) ||
+						an.UsesLocation(dst.RT, mech)
+			}
+			plans = append(plans, tamperPlan{
+				Tamper: SynthTamper{Family: family, Src: src.Name, Dst: dst.Name, Predicted: predicted},
+				Hook:   replayValue(global(src.Name), global(dst.Name)),
+			})
+		}
+	}
+	return plans
+}
+
+// elidedTampers derives the elided-local family: corrupt a local pointer
+// the PAC-elision optimizer certifies as freshly-stored. The freshness
+// rule — every load preceded by a store after the most recent call, and
+// corruption hooks only run inside calls — means the corrupted slot value
+// is overwritten before the program can read it back, so the tamper is
+// provably neutralized: every mechanism misses it AND the run reproduces
+// the benign outcome bit-for-bit, under both optimizer modes. A weakened
+// elision rule would surface here as an undetected divergence.
+func elidedTampers(c *core.Compilation, hookFn string, max int) []tamperPlan {
+	elidable := opt.ElidableVars(c.Prog, c.Analysis)
+	predicted := map[string]bool{"none": false}
+	for _, mech := range SigningMechs {
+		predicted[mech.String()] = false
+	}
+	var plans []tamperPlan
+	for i, v := range c.Prog.Vars {
+		if len(plans) >= max {
+			break
+		}
+		if v.DeclFn != hookFn || !elidable[i] || !v.Type.IsPointer() {
+			continue
+		}
+		plans = append(plans, tamperPlan{
+			Tamper:           SynthTamper{Family: "elided-local", Var: v.Name, Predicted: predicted},
+			Hook:             elidedLocalHook(hookFn, v.Name),
+			BenignEquivalent: true,
+			BothOptModes:     true,
+		})
+	}
+	return plans
+}
+
+// rawOverwriteHook strips the signature off a global slot's value.
+func rawOverwriteHook(name string) vm.Hook {
+	return func(m *vm.Machine) error {
+		addr, ok := m.GlobalAddr(name)
+		if !ok {
+			return fmt.Errorf("attack: no global %q", name)
+		}
+		v, err := m.Mem.Peek(addr, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(addr, m.Unit.Canonical(v), 8)
+	}
+}
+
+// elidedLocalHook corrupts a stack local's slot with a forged raw
+// pointer (the current value's canonical address, skewed).
+func elidedLocalHook(fn, name string) vm.Hook {
+	return func(m *vm.Machine) error {
+		addr, ok := m.VarAddr(fn, name)
+		if !ok {
+			return fmt.Errorf("attack: no live local %s.%s", fn, name)
+		}
+		v, err := m.Mem.Peek(addr, 8)
+		if err != nil {
+			return err
+		}
+		return m.Mem.Poke(addr, m.Unit.Canonical(v)+0x40, 8)
+	}
+}
+
+// Families lists the tamper families a report covered (sorted).
+func (r *SynthReport) Families() []string {
+	seen := make(map[string]bool)
+	for _, t := range r.Tampers {
+		seen[t.Tamper.Family] = true
+	}
+	fams := make([]string, 0, len(seen))
+	for f := range seen {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+// Summary renders a one-line digest.
+func (r *SynthReport) Summary() string {
+	return fmt.Sprintf("%d tampers (%s), %d confirmed, %d problems",
+		len(r.Tampers), strings.Join(r.Families(), ", "), r.Confirmed(), len(r.Problems))
+}

@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"testing"
+
+	"rsti/internal/core"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// TestSynthesizeSecuritySuite is the synthesizer's end-to-end contract on
+// the workloads the dashboard measures: every derived tamper must execute
+// to its predicted detect/miss outcome under every mechanism (Confirmed),
+// all four tamper families must be represented, and every signing
+// mechanism must show at least one confirmed detection AND one confirmed
+// miss — the machine-enumerated blind-spot coverage the acceptance bar
+// demands. STL's misses can only come from the elided-local family (its
+// location binding defeats every replay), which is exactly why that
+// family exists.
+func TestSynthesizeSecuritySuite(t *testing.T) {
+	for _, b := range workload.SecuritySuite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			c, err := core.Compile(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Synthesize(c, SynthOptions{Optimize: core.OptimizeOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Problems) > 0 {
+				t.Fatalf("synthesis problems:\n%v", rep.Problems)
+			}
+			if len(rep.Tampers) == 0 {
+				t.Fatal("no tampers derived")
+			}
+			if got := rep.Confirmed(); got != len(rep.Tampers) {
+				t.Errorf("only %d/%d tampers confirmed", got, len(rep.Tampers))
+			}
+			if fams := rep.Families(); len(fams) != 4 {
+				t.Errorf("families = %v, want all 4", fams)
+			}
+			for _, mech := range SigningMechs {
+				if rep.ConfirmedDetect[mech.String()] == 0 {
+					t.Errorf("%s: no confirmed detection", mech)
+				}
+				if rep.ConfirmedMiss[mech.String()] == 0 {
+					t.Errorf("%s: no confirmed miss", mech)
+				}
+			}
+		})
+	}
+}
+
+// TestSynthesizeAdaptiveGradient pins the Adaptive mechanism's behavioral
+// flip the suite was sized to expose: on sec-small (popular pool below
+// the ECV threshold) Adaptive shares STWC's same-class replay blind spot;
+// on sec-popular (above the threshold) it binds location and must detect
+// the same family.
+func TestSynthesizeAdaptiveGradient(t *testing.T) {
+	sameClassMisses := make(map[string]int)
+	for _, b := range workload.SecuritySuite() {
+		if b.Name != "sec-small" && b.Name != "sec-popular" {
+			continue
+		}
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Synthesize(c, SynthOptions{Optimize: core.OptimizeOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range rep.Tampers {
+			if res.Tamper.Family != "replay-same-class" || !res.Confirmed {
+				continue
+			}
+			if !res.Detected[sti.Adaptive.String()] {
+				sameClassMisses[b.Name]++
+			}
+		}
+	}
+	if sameClassMisses["sec-small"] == 0 {
+		t.Error("sec-small: Adaptive below the threshold should miss same-class replays like STWC")
+	}
+	if sameClassMisses["sec-popular"] != 0 {
+		t.Errorf("sec-popular: Adaptive above the threshold missed %d same-class replays",
+			sameClassMisses["sec-popular"])
+	}
+}
+
+// TestSynthesizeRequiresHook documents the contract: synthesis needs a
+// planted __hook(1) corruption site.
+func TestSynthesizeRequiresHook(t *testing.T) {
+	c, err := core.Compile("int main(void) { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(c, SynthOptions{}); err == nil {
+		t.Fatal("synthesis on a hook-less program should error")
+	}
+}

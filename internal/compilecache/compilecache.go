@@ -136,9 +136,10 @@ type Cache struct {
 }
 
 // New returns an empty cache bounded by cfg. When cfg.Dir is set it is
-// created if needed; if creation fails the cache degrades to memory-only
-// (counted under DiskErrors on first use rather than failing startup —
-// the daemon is still fully functional without persistence).
+// created if needed and swept of leftover temp files from crashed
+// writers; if creation fails the cache degrades to memory-only (counted
+// under DiskErrors rather than failing startup — the daemon is still
+// fully functional without persistence).
 func New(cfg Config) *Cache {
 	c := &Cache{
 		cfg:     cfg,
@@ -154,6 +155,8 @@ func New(cfg Config) *Cache {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			c.cfg.Dir = ""
 			c.stats.DiskErrors++
+		} else {
+			c.sweepTemps()
 		}
 	}
 	return c

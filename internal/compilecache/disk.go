@@ -41,6 +41,26 @@ func (c *Cache) artifactPath(k key) string {
 	return filepath.Join(c.cfg.Dir, hex.EncodeToString(k[:])+artifactExt)
 }
 
+// sweepTemps removes leftover tmp-*.rsti files from a previous writer that
+// crashed between CreateTemp and the atomic rename. Each leftover is a
+// half-written artifact that will never be completed, so it is deleted and
+// counted as a DiskError. Called from New before the cache is shared, so
+// the stats field is written without the lock. If another live process is
+// mid-write, sweeping its temp file merely fails that writer's rename —
+// which it already counts and survives — so the sweep can cost a compile,
+// never correctness.
+func (c *Cache) sweepTemps() {
+	leftovers, err := filepath.Glob(filepath.Join(c.cfg.Dir, "tmp-*"+artifactExt))
+	if err != nil {
+		return // only a malformed pattern can fail; ours is fixed
+	}
+	for _, p := range leftovers {
+		if os.Remove(p) == nil {
+			c.stats.DiskErrors++
+		}
+	}
+}
+
 // loadDisk tries to reconstitute the compilation for k from its artifact
 // file. It returns (nil, false) for any failure — missing file, damaged
 // artifact, version skew — after counting it appropriately; the caller

@@ -148,6 +148,129 @@ func TestDiskCorruptionFallsBackToCompile(t *testing.T) {
 	}
 }
 
+// TestDiskRepairPaths is the table of disk-level self-repair scenarios:
+// each case damages the persistent level in one specific way, then
+// verifies a fresh cache instance counts the damage under DiskErrors,
+// still answers the Get correctly, and — where repair is possible —
+// leaves the directory healthy enough that a third instance gets a clean
+// disk hit with zero compiles. The unwritable-directory case runs as
+// root, where permission bits are ignored, so it provokes the failure by
+// pointing Dir at an existing regular file instead.
+func TestDiskRepairPaths(t *testing.T) {
+	type want struct {
+		compiles, diskErrors, diskHits, diskWrites int64
+	}
+	cases := []struct {
+		name string
+		// breakFS damages the seeded directory (dir holds one good
+		// artifact at path) and returns the Dir for the second instance.
+		breakFS func(t *testing.T, dir, artifact string) string
+		want    want
+		// repairCompiles is what a third instance over the same Dir must
+		// compile: 0 when the second instance repaired the disk level, 1
+		// when the Dir stays unusable.
+		repairCompiles int64
+	}{
+		{
+			name: "truncated_header",
+			breakFS: func(t *testing.T, dir, artifact string) string {
+				raw, err := os.ReadFile(artifact)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(artifact, raw[:8], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return dir
+			},
+			want:           want{compiles: 1, diskErrors: 1, diskHits: 0, diskWrites: 1},
+			repairCompiles: 0,
+		},
+		{
+			name: "checksum_mismatch",
+			breakFS: func(t *testing.T, dir, artifact string) string {
+				raw, err := os.ReadFile(artifact)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[45] ^= 0xff // inside the payload: header intact, sha256 now wrong
+				if err := os.WriteFile(artifact, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return dir
+			},
+			want:           want{compiles: 1, diskErrors: 1, diskHits: 0, diskWrites: 1},
+			repairCompiles: 0,
+		},
+		{
+			name: "leftover_temp_file",
+			breakFS: func(t *testing.T, dir, artifact string) string {
+				// A crashed writer's half-written temp; the good artifact
+				// stays intact, so the Get itself is a disk hit.
+				p := filepath.Join(dir, "tmp-orphan.rsti")
+				if err := os.WriteFile(p, []byte("half-written artifact"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return dir
+			},
+			want:           want{compiles: 0, diskErrors: 1, diskHits: 1, diskWrites: 0},
+			repairCompiles: 0,
+		},
+		{
+			name: "unwritable_dir",
+			breakFS: func(t *testing.T, dir, artifact string) string {
+				p := filepath.Join(t.TempDir(), "not-a-dir")
+				if err := os.WriteFile(p, []byte("occupied"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return p // MkdirAll over a regular file fails on any uid
+			},
+			want:           want{compiles: 1, diskErrors: 1, diskHits: 0, diskWrites: 0},
+			repairCompiles: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var seed atomic.Int64
+			c1 := countingCache(dir, &seed)
+			if _, err := c1.Get(diskSrc); err != nil {
+				t.Fatalf("seed Get: %v", err)
+			}
+			k := sha256.Sum256([]byte(diskSrc))
+			dir2 := tc.breakFS(t, dir, c1.artifactPath(k))
+
+			var compiles atomic.Int64
+			c2 := countingCache(dir2, &compiles)
+			if _, err := c2.Get(diskSrc); err != nil {
+				t.Fatalf("Get over damaged disk level: %v", err)
+			}
+			s := c2.Stats()
+			got := want{compiles: compiles.Load(), diskErrors: s.DiskErrors, diskHits: s.DiskHits, diskWrites: s.DiskWrites}
+			if got != tc.want {
+				t.Errorf("after damage: %+v, want %+v", got, tc.want)
+			}
+
+			// No temp files may survive an instance's lifetime, whatever
+			// the damage was.
+			if dir2 == dir {
+				if temps, _ := filepath.Glob(filepath.Join(dir, "tmp-*.rsti")); len(temps) != 0 {
+					t.Errorf("temp files left behind: %v", temps)
+				}
+			}
+
+			var repair atomic.Int64
+			c3 := countingCache(dir2, &repair)
+			if _, err := c3.Get(diskSrc); err != nil {
+				t.Fatalf("Get after repair: %v", err)
+			}
+			if got := repair.Load(); got != tc.repairCompiles {
+				t.Errorf("post-repair instance compiled %d times, want %d", got, tc.repairCompiles)
+			}
+		})
+	}
+}
+
 // TestDiskLevelDisabledWithoutDir pins the default: no Dir, no files.
 func TestDiskLevelDisabledWithoutDir(t *testing.T) {
 	var compiles atomic.Int64

@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,9 +16,13 @@ import (
 //	                 line ('#' comments allowed); replayed by
 //	                 TestCorpusRegressions and `rstifuzz -replay`.
 //	failures/        divergence reproductions written by soak runs:
-//	                 seed-<N>.c (the minimized source) and seed-<N>.txt
-//	                 (config, divergences, replay command). Never
-//	                 committed while the pipeline is healthy.
+//	                 seed-<N>.c (the minimized source), seed-<N>.txt
+//	                 (config, divergences, replay command) and
+//	                 seed-<N>.json (the machine-readable minimized
+//	                 Config TestPersistedFailures replays under plain
+//	                 `go test`). Never committed while the pipeline is
+//	                 healthy; a committed failure keeps failing the test
+//	                 suite until the divergence is fixed.
 
 // ReadSeeds parses a seeds.txt-style corpus file.
 func ReadSeeds(path string) ([]uint64, error) {
@@ -42,9 +47,21 @@ func ReadSeeds(path string) ([]uint64, error) {
 	return seeds, sc.Err()
 }
 
+// FailureRecord is the machine-readable seed-<N>.json sidecar of a
+// persisted failure: the exact (minimized) Config the oracle diverged on
+// plus the divergence lines observed when it was saved. The Config — not
+// the source — is the reproduction: Generate is deterministic, so
+// replaying the Config regenerates the byte-identical program.
+type FailureRecord struct {
+	Config      Config   `json:"config"`
+	Divergences []string `json:"divergences"`
+}
+
 // SaveFailure persists a diverging report under dir/failures: the
-// (minimized) source as seed-<N>.c and a replay description as
-// seed-<N>.txt. It returns the written paths.
+// (minimized) source as seed-<N>.c, a replay description as seed-<N>.txt
+// and the machine-readable FailureRecord as seed-<N>.json — the file
+// TestPersistedFailures replays under plain `go test`. It returns the
+// written paths.
 func SaveFailure(dir string, rep *Report) ([]string, error) {
 	fdir := filepath.Join(dir, "failures")
 	if err := os.MkdirAll(fdir, 0o755); err != nil {
@@ -52,6 +69,7 @@ func SaveFailure(dir string, rep *Report) ([]string, error) {
 	}
 	cPath := filepath.Join(fdir, fmt.Sprintf("seed-%d.c", rep.Cfg.Seed))
 	tPath := filepath.Join(fdir, fmt.Sprintf("seed-%d.txt", rep.Cfg.Seed))
+	jPath := filepath.Join(fdir, fmt.Sprintf("seed-%d.json", rep.Cfg.Seed))
 	if err := os.WriteFile(cPath, []byte(rep.Source), 0o644); err != nil {
 		return nil, err
 	}
@@ -65,7 +83,42 @@ func SaveFailure(dir string, rep *Report) ([]string, error) {
 	if err := os.WriteFile(tPath, []byte(b.String()), 0o644); err != nil {
 		return nil, err
 	}
-	return []string{cPath, tPath}, nil
+	fr := FailureRecord{Config: rep.Cfg}
+	for _, d := range rep.Divergences {
+		fr.Divergences = append(fr.Divergences, d.String())
+	}
+	data, err := json.MarshalIndent(fr, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(jPath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return []string{cPath, tPath, jPath}, nil
+}
+
+// LoadFailures reads every seed-<N>.json sidecar under dir/failures. A
+// missing failures directory is an empty (healthy) corpus; a sidecar
+// that fails to parse is an error — a reproduction that cannot replay
+// must be loud.
+func LoadFailures(dir string) ([]FailureRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "failures", "seed-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []FailureRecord
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var fr FailureRecord
+		if err := json.Unmarshal(data, &fr); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, fr)
+	}
+	return out, nil
 }
 
 // Minimize greedily shrinks a diverging Config while the oracle still

@@ -47,8 +47,8 @@ func TestSaveFailureAndMinimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) != 2 {
-		t.Fatalf("SaveFailure wrote %d files, want 2", len(paths))
+	if len(paths) != 3 {
+		t.Fatalf("SaveFailure wrote %d files, want 3 (.c, .txt, .json)", len(paths))
 	}
 	src, err := os.ReadFile(paths[0])
 	if err != nil {
@@ -67,6 +67,22 @@ func TestSaveFailureAndMinimize(t *testing.T) {
 		}
 	}
 
+	// The JSON sidecar must round-trip the exact Config, so a persisted
+	// failure regenerates the byte-identical program under `go test`.
+	records, err := LoadFailures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("LoadFailures found %d records, want 1", len(records))
+	}
+	if records[0].Config != cfg {
+		t.Errorf("sidecar config %+v, want %+v", records[0].Config, cfg)
+	}
+	if len(records[0].Divergences) != 1 || !strings.Contains(records[0].Divergences[0], "synthetic divergence") {
+		t.Errorf("sidecar divergences: %v", records[0].Divergences)
+	}
+
 	// Minimize on a healthy config is the identity (no divergence to
 	// preserve) and must not loop or error.
 	min, minRep, err := Minimize(cfg, Options{EngineWorkers: 0}, 8)
@@ -78,6 +94,36 @@ func TestSaveFailureAndMinimize(t *testing.T) {
 	}
 	if min != cfg.normalize() {
 		t.Errorf("healthy config was mutated by Minimize: %+v -> %+v", cfg.normalize(), min)
+	}
+}
+
+// TestPersistedFailures replays every committed failure reproduction in
+// testdata/difftest/failures/*.json through the full oracle under plain
+// `go test` — no rstifuzz invocation needed. A healthy corpus has none
+// (soak failures are only committed while a divergence is being fixed,
+// and this test keeps failing until it is); a corrupt sidecar fails
+// loudly rather than silently skipping the reproduction.
+func TestPersistedFailures(t *testing.T) {
+	records, err := LoadFailures(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Skip("no persisted failures (healthy corpus)")
+	}
+	opt := Options{Attacks: true, Synthesis: true, EngineWorkers: 1}
+	for _, fr := range records {
+		rep, err := Check(fr.Config, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", fr.Config.Seed, err)
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("%s", d)
+		}
+		if t.Failed() {
+			t.Fatalf("persisted failure seed %d still diverges (originally: %v)",
+				fr.Config.Seed, fr.Divergences)
+		}
 	}
 }
 

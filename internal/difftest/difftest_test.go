@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -39,6 +40,45 @@ func TestGeneratorEmitsAttackSurface(t *testing.T) {
 				t.Fatalf("seed %d: generated program lacks %q", seed, want)
 			}
 		}
+	}
+}
+
+// TestOracleSynthesisSoak: the attack-synthesis soak — 500 seeds (25
+// under -short) through the oracle with the hand-written attack variants
+// AND the machine-derived tamper set enabled, demanding zero
+// divergences. Every seed's program gets its own synthesized same-class
+// substitutions, cross-scope replays and raw overwrites, each executed
+// under every mechanism against its analysis-derived prediction, so this
+// soak is the standing proof that the detect/miss predictions stay sound
+// across the generator's whole configuration space. Seeds are sharded
+// into parallel subtests so multi-core hosts split the wall-clock.
+func TestOracleSynthesisSoak(t *testing.T) {
+	seeds := uint64(500)
+	if testing.Short() {
+		seeds = 25
+	}
+	const shard = 50
+	opt := Options{Attacks: true, Synthesis: true}
+	for lo := uint64(1); lo <= seeds; lo += shard {
+		lo, hi := lo, lo+shard-1
+		if hi > seeds {
+			hi = seeds
+		}
+		t.Run(fmt.Sprintf("seeds-%d-%d", lo, hi), func(t *testing.T) {
+			t.Parallel()
+			for seed := lo; seed <= hi; seed++ {
+				rep, err := Check(ConfigForSeed(seed), opt)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, d := range rep.Divergences {
+					t.Errorf("%s", d)
+				}
+				if t.Failed() {
+					t.Fatalf("seed %d diverged; source:\n%s", seed, rep.Source)
+				}
+			}
+		})
 	}
 }
 

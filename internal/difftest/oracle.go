@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"rsti"
+	"rsti/internal/attack"
+	"rsti/internal/core"
 	"rsti/internal/vm"
 )
 
@@ -34,6 +36,13 @@ type Options struct {
 	// Check always runs the dedicated tier phase comparing forced-on
 	// against forced-off executions.
 	Tier TierMode
+	// Synthesis enables the attack-synthesis phase: instead of (only) the
+	// generator's hand-written corruption variants, tampers are derived
+	// from the compiled program itself by attack.Synthesize — same-class
+	// substitutions, cross-scope replays, raw overwrites — executed under
+	// every mechanism, and every violated detect/miss prediction or
+	// lattice break becomes a divergence.
+	Synthesis bool
 }
 
 // OptimizerMode selects the optimizer configuration the oracle's phases
@@ -108,7 +117,7 @@ const DefaultStepBudget = 4 << 20
 // pipeline's semantics forbid.
 type Divergence struct {
 	Seed      uint64
-	Phase     string // "compile", "benign", "engine", "optimizer", "tier", "attack:<variant>"
+	Phase     string // "compile", "benign", "engine", "optimizer", "tier", "attack:<variant>", "synth:<family>"
 	Mechanism string
 	Detail    string
 }
@@ -222,6 +231,11 @@ var tierMechs = []rsti.Mechanism{rsti.None, rsti.STWC, rsti.STC, rsti.STL}
 //     PARTS ⇒ STWC), the unprotected baseline must never security-trap,
 //     and a mechanism that does NOT detect must behave exactly like the
 //     baseline's attacked run.
+//  6. Attack synthesis (Options.Synthesis) — tampers derived from the
+//     compiled program by attack.Synthesize run under every mechanism
+//     against their analysis-predicted detect/miss outcomes; any
+//     misprediction, monotonicity break or unclean miss is a
+//     divergence.
 //
 // The returned error reports infrastructure failures only; semantic
 // violations are Divergences in the Report.
@@ -337,6 +351,44 @@ func Check(cfg Config, opt Options) (*Report, error) {
 	if opt.Attacks {
 		for _, v := range variants(cfg) {
 			checkAttack(rep, p, v, opt)
+		}
+	}
+
+	// Phase 6: attack synthesis — the machine-derived tamper set replaces
+	// trust in the hand-written variant list. Every generated program
+	// carries a __hook(1) site, so synthesis always has a corruption
+	// point; its internal confirmation already enforces prediction match,
+	// detection monotonicity and baseline-equivalence of undetected runs,
+	// so any problem it reports is a semantic divergence here.
+	if opt.Synthesis {
+		c, err := core.Compile(rep.Source)
+		if err != nil {
+			return nil, fmt.Errorf("synthesis compile: %w", err)
+		}
+		mode := core.OptimizeDefault
+		switch opt.Optimizer {
+		case OptimizerOn:
+			mode = core.OptimizeOn
+		case OptimizerOff:
+			mode = core.OptimizeOff
+		}
+		synth, err := attack.Synthesize(c, attack.SynthOptions{
+			StepBudget: opt.StepBudget,
+			Optimize:   mode,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("synthesis: %w", err)
+		}
+		for _, res := range synth.Tampers {
+			for _, problem := range res.Problems {
+				rep.add("synth:"+res.Tamper.Family, "-", "%s: %s", res.Tamper, problem)
+			}
+		}
+		if len(synth.Tampers) == 0 {
+			// Pass-level problems (e.g. no authenticated slot to attack).
+			for _, problem := range synth.Problems {
+				rep.add("synth", "-", "%s", problem)
+			}
 		}
 	}
 	return rep, nil

@@ -47,33 +47,9 @@ func replayRowFor(name string, an *sti.Analysis) ReplayRow {
 		LargestClass: make(map[sti.Mechanism]int),
 	}
 	for _, mech := range replayMechs {
-		classes := make(map[interface{}]int)
-		for _, rt := range an.Types {
-			n := len(rt.Vars) + len(rt.Fields)
-			if n == 0 {
-				continue
-			}
-			switch {
-			case an.UsesLocation(rt.ID, mech):
-				// Location-bound members are each their own class.
-				continue
-			case mech == sti.PARTS:
-				// PARTS classes are keyed by the basic type only.
-				classes[sti.PARTSModifier(rt.Type)] += n
-			default:
-				classes[an.ClassOf(rt.ID, mech)] += n
-			}
-		}
-		var pairs int64
-		largest := 0
-		for _, n := range classes {
-			pairs += int64(n) * int64(n-1) / 2
-			if n > largest {
-				largest = n
-			}
-		}
-		row.Pairs[mech] = pairs
-		row.LargestClass[mech] = largest
+		p := an.Partition(mech)
+		row.Pairs[mech] = p.ReplayPairs()
+		row.LargestClass[mech] = p.Largest()
 	}
 	return row
 }

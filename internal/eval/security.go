@@ -1,0 +1,175 @@
+package eval
+
+// Security-trajectory measurement: the driver behind `rstibench -secjson`
+// and the SECURITY_RESULTS.json dashboard. For every workload in the
+// security suite it computes the PAC equivalence-class partition per
+// mechanism (class count, size distribution, largest class, replay
+// surface) and runs the attack synthesizer — deriving minimal tampers
+// from the compiled program and executing each through the VM to confirm
+// the predicted detect/miss outcome. A static-corpus cross-check pins the
+// partition against the independently computed Table 3 equivalence
+// statistics. Everything here is a deterministic function of the
+// sources, so the CI guard over the resulting record is exact.
+
+import (
+	"fmt"
+	"time"
+
+	"rsti/internal/attack"
+	"rsti/internal/core"
+	"rsti/internal/report"
+	"rsti/internal/sti"
+	"rsti/internal/workload"
+)
+
+// securityMechs maps the dashboard's mechanism order onto sti values.
+var securityMechs = []sti.Mechanism{sti.PARTS, sti.STWC, sti.STC, sti.Adaptive, sti.STL}
+
+// MeasureSecurity runs the full security measurement pass over the
+// security suite and the static-corpus cross-check. Synthesis runs with
+// the optimizer forced off so the datapoint is independent of the
+// RSTI_OPT process default; the elided-local tamper family internally
+// re-executes under both optimizer modes regardless, because its
+// miss guarantee is an optimizer-safety claim.
+func MeasureSecurity(label string) (*report.SecurityRecord, error) {
+	rec := &report.SecurityRecord{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, b := range workload.SecuritySuite() {
+		c, err := core.Compile(b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		ws := WorkloadSecurityFor(b.Name, c)
+		synth, err := attack.Synthesize(c, attack.SynthOptions{Optimize: core.OptimizeOff})
+		if err != nil {
+			return nil, fmt.Errorf("%s: synthesis: %w", b.Name, err)
+		}
+		ws.SynthTampers = len(synth.Tampers)
+		ws.SynthConfirmed = synth.Confirmed()
+		ws.SynthFamilies = synth.Families()
+		ws.ConfirmedDetect = synth.ConfirmedDetect
+		ws.ConfirmedMiss = synth.ConfirmedMiss
+		ws.SynthProblems = synth.Problems
+		rec.Workloads = append(rec.Workloads, *ws)
+	}
+
+	// Table 3 cross-check: the modifier-keyed partition must reproduce
+	// the independently computed equivalence statistics on the static
+	// corpus (two different traversals of the same analysis).
+	for _, b := range workload.SPEC2006Static() {
+		c, err := compileCached(b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		eq := c.Analysis.Equivalence()
+		t3 := report.Table3Check{
+			Name:          b.Name,
+			PartitionSTWC: c.Analysis.Partition(sti.STWC).Classes(),
+			EquivSTWC:     eq.RTSTWC,
+			PartitionSTC:  c.Analysis.Partition(sti.STC).Classes(),
+			EquivSTC:      eq.RTSTC,
+		}
+		t3.OK = t3.PartitionSTWC == t3.EquivSTWC && t3.PartitionSTC == t3.EquivSTC
+		rec.Table3 = append(rec.Table3, t3)
+	}
+	rec.Finalize()
+	return rec, nil
+}
+
+// WorkloadSecurityFor computes the partition side of one workload's row
+// (the synthesis counters are filled by the caller).
+func WorkloadSecurityFor(name string, c *core.Compilation) *report.WorkloadSecurity {
+	ws := &report.WorkloadSecurity{
+		Name:  name,
+		Mechs: make(map[string]report.MechSecurity),
+	}
+	for _, mech := range securityMechs {
+		p := c.Analysis.Partition(mech)
+		ws.Mechs[mech.String()] = report.MechSecurity{
+			Classes:      p.Classes(),
+			Members:      p.Members,
+			LargestClass: p.Largest(),
+			ReplayPairs:  p.ReplayPairs(),
+			SizeDist:     report.Summarize(p.SizesFloat()),
+		}
+	}
+	return ws
+}
+
+// SecurityViolations checks a record against the structural invariants
+// the acceptance bar demands — independent of any prior datapoint, so
+// CI can fail a PR whose fresh measurement is internally inconsistent
+// even on an empty trajectory. Checked per workload:
+//
+//   - class-count lattice: STL ≥ Adaptive ≥ STWC ≥ STC and STWC ≥ PARTS
+//     (coarsening cannot split; this implies the STL ≥ STC ordering).
+//   - replay surface anti-monotone along the same lattice, with STL
+//     exactly zero and every member a singleton.
+//   - every mechanism protects the same population.
+//   - attack synthesis: every tamper confirmed, zero problems, and at
+//     least one confirmed detect AND one confirmed miss per signing
+//     mechanism — the machine-checked blind-spot enumeration.
+//   - every Table 3 cross-check row OK.
+func SecurityViolations(rec *report.SecurityRecord) []string {
+	var v []string
+	bad := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+	for _, w := range rec.Workloads {
+		get := func(m sti.Mechanism) report.MechSecurity { return w.Mechs[m.String()] }
+		parts, stwc := get(sti.PARTS), get(sti.STWC)
+		stc, adaptive, stl := get(sti.STC), get(sti.Adaptive), get(sti.STL)
+
+		for _, mech := range securityMechs {
+			if ms := get(mech); ms.Members != stwc.Members {
+				bad("%s: %s protects %d members, STWC %d", w.Name, mech, ms.Members, stwc.Members)
+			}
+		}
+		if !(stl.Classes >= adaptive.Classes && adaptive.Classes >= stwc.Classes && stwc.Classes >= stc.Classes) {
+			bad("%s: class-count lattice violated: STL %d, Adaptive %d, STWC %d, STC %d",
+				w.Name, stl.Classes, adaptive.Classes, stwc.Classes, stc.Classes)
+		}
+		if stwc.Classes < parts.Classes {
+			bad("%s: PARTS has more classes (%d) than STWC (%d)", w.Name, parts.Classes, stwc.Classes)
+		}
+		if !(stc.ReplayPairs >= stwc.ReplayPairs && stwc.ReplayPairs >= adaptive.ReplayPairs &&
+			adaptive.ReplayPairs >= stl.ReplayPairs) {
+			bad("%s: replay-surface ordering violated: STC %d, STWC %d, Adaptive %d, STL %d",
+				w.Name, stc.ReplayPairs, stwc.ReplayPairs, adaptive.ReplayPairs, stl.ReplayPairs)
+		}
+		if parts.ReplayPairs < stwc.ReplayPairs {
+			bad("%s: PARTS replay surface (%d) below STWC (%d)", w.Name, parts.ReplayPairs, stwc.ReplayPairs)
+		}
+		if stl.ReplayPairs != 0 || stl.LargestClass > 1 || stl.Classes != stl.Members {
+			bad("%s: STL not fully singleton: %d classes / %d members, largest %d, %d pairs",
+				w.Name, stl.Classes, stl.Members, stl.LargestClass, stl.ReplayPairs)
+		}
+
+		if w.SynthTampers == 0 {
+			bad("%s: attack synthesis produced no tampers", w.Name)
+		}
+		if w.SynthConfirmed != w.SynthTampers {
+			bad("%s: only %d/%d synthesized tampers confirmed", w.Name, w.SynthConfirmed, w.SynthTampers)
+		}
+		for _, p := range w.SynthProblems {
+			bad("%s: synthesis problem: %s", w.Name, p)
+		}
+		for _, mech := range securityMechs {
+			if w.ConfirmedDetect[mech.String()] == 0 {
+				bad("%s: no confirmed detected tamper under %s", w.Name, mech)
+			}
+			if w.ConfirmedMiss[mech.String()] == 0 {
+				bad("%s: no confirmed missed tamper under %s", w.Name, mech)
+			}
+		}
+	}
+	for _, t := range rec.Table3 {
+		if !t.OK {
+			bad("table3 cross-check %s: partition STWC %d vs equiv %d, STC %d vs %d",
+				t.Name, t.PartitionSTWC, t.EquivSTWC, t.PartitionSTC, t.EquivSTC)
+		}
+	}
+	return v
+}

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"rsti/internal/report"
+	"rsti/internal/sti"
+)
+
+// TestMeasureSecurity runs the full security measurement pass — partition
+// statistics, attack synthesis and the Table 3 cross-check — and demands
+// a violation-free record. This is the dashboard's own end-to-end gate:
+// every synthesized tamper must execute to its predicted detect/miss
+// outcome on every workload.
+func TestMeasureSecurity(t *testing.T) {
+	rec, err := MeasureSecurity("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := SecurityViolations(rec); len(v) > 0 {
+		t.Fatalf("security violations:\n  %s", strings.Join(v, "\n  "))
+	}
+	if len(rec.Workloads) != 3 {
+		t.Fatalf("got %d workloads, want the 3 security configurations", len(rec.Workloads))
+	}
+
+	byName := make(map[string]report.WorkloadSecurity)
+	for _, w := range rec.Workloads {
+		byName[w.Name] = w
+	}
+
+	// The Adaptive gradient: sec-popular's pool crosses the ECV threshold,
+	// so Adaptive must bind location there and split the big STWC class,
+	// while on sec-small (below threshold) it coincides with STWC.
+	pop := byName["sec-popular"]
+	if a, s := pop.Mechs[sti.Adaptive.String()], pop.Mechs[sti.STWC.String()]; a.LargestClass >= s.LargestClass {
+		t.Errorf("sec-popular: Adaptive largest class (%d) not below STWC (%d)", a.LargestClass, s.LargestClass)
+	}
+	small := byName["sec-small"]
+	if a, s := small.Mechs[sti.Adaptive.String()], small.Mechs[sti.STWC.String()]; a.ReplayPairs != s.ReplayPairs {
+		t.Errorf("sec-small: Adaptive replay surface (%d) differs from STWC (%d) below the threshold",
+			a.ReplayPairs, s.ReplayPairs)
+	}
+
+	// The cast gradient: sec-cast's bridges must widen STC's surface
+	// strictly beyond STWC's.
+	cast := byName["sec-cast"]
+	if c, s := cast.Mechs[sti.STC.String()], cast.Mechs[sti.STWC.String()]; c.ReplayPairs <= s.ReplayPairs {
+		t.Errorf("sec-cast: STC replay surface (%d) not beyond STWC (%d)", c.ReplayPairs, s.ReplayPairs)
+	}
+
+	// Every workload exercises all four tamper families.
+	for _, w := range rec.Workloads {
+		if len(w.SynthFamilies) != 4 {
+			t.Errorf("%s: synthesized families %v, want all 4", w.Name, w.SynthFamilies)
+		}
+	}
+
+	// The cross-check covers the full static corpus.
+	if len(rec.Table3) == 0 {
+		t.Error("no Table 3 cross-check rows")
+	}
+
+	// The rendered dashboard carries every workload and mechanism row.
+	md := rec.Markdown()
+	for _, w := range rec.Workloads {
+		if !strings.Contains(md, "| "+w.Name+" | rsti-stl |") {
+			t.Errorf("dashboard missing the %s STL row", w.Name)
+		}
+	}
+}
+
+// TestSecurityViolationsCatchesTampering mutates a healthy record the
+// ways a broken mechanism would and checks each is flagged — the
+// dashboard is only worth its CI gate if weakening a mechanism's key
+// derivation (collapsing classes) cannot pass silently.
+func TestSecurityViolationsCatchesTampering(t *testing.T) {
+	healthy := func() *report.SecurityRecord {
+		ws := report.WorkloadSecurity{
+			Name: "w",
+			Mechs: map[string]report.MechSecurity{
+				"parts":         {Classes: 4, Members: 20, LargestClass: 8, ReplayPairs: 40},
+				"rsti-stwc":     {Classes: 6, Members: 20, LargestClass: 6, ReplayPairs: 25},
+				"rsti-stc":      {Classes: 5, Members: 20, LargestClass: 8, ReplayPairs: 35},
+				"rsti-adaptive": {Classes: 10, Members: 20, LargestClass: 4, ReplayPairs: 10},
+				"rsti-stl":      {Classes: 20, Members: 20, LargestClass: 1, ReplayPairs: 0},
+			},
+			SynthTampers:   8,
+			SynthConfirmed: 8,
+			ConfirmedDetect: map[string]int{
+				"parts": 5, "rsti-stwc": 6, "rsti-stc": 5, "rsti-adaptive": 6, "rsti-stl": 7,
+			},
+			ConfirmedMiss: map[string]int{
+				"parts": 3, "rsti-stwc": 2, "rsti-stc": 3, "rsti-adaptive": 2, "rsti-stl": 1,
+			},
+		}
+		return &report.SecurityRecord{Label: "t", Workloads: []report.WorkloadSecurity{ws}}
+	}
+	if v := SecurityViolations(healthy()); len(v) > 0 {
+		t.Fatalf("healthy record flagged: %v", v)
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(*report.SecurityRecord)
+		want string
+	}{
+		{"class-collapse", func(r *report.SecurityRecord) {
+			// A weakened STL key derivation collapses singletons back into
+			// shared classes — the mutation drill in docs/TESTING.md.
+			r.Workloads[0].Mechs["rsti-stl"] = report.MechSecurity{
+				Classes: 6, Members: 20, LargestClass: 6, ReplayPairs: 25}
+		}, "STL not fully singleton"},
+		{"lattice-break", func(r *report.SecurityRecord) {
+			m := r.Workloads[0].Mechs["rsti-adaptive"]
+			m.Classes = 3
+			r.Workloads[0].Mechs["rsti-adaptive"] = m
+		}, "class-count lattice violated"},
+		{"population-drift", func(r *report.SecurityRecord) {
+			m := r.Workloads[0].Mechs["rsti-stc"]
+			m.Members = 18
+			r.Workloads[0].Mechs["rsti-stc"] = m
+		}, "protects 18 members"},
+		{"unconfirmed-tamper", func(r *report.SecurityRecord) {
+			r.Workloads[0].SynthConfirmed = 7
+		}, "7/8 synthesized tampers"},
+		{"lost-miss-coverage", func(r *report.SecurityRecord) {
+			delete(r.Workloads[0].ConfirmedMiss, "rsti-stwc")
+		}, "no confirmed missed tamper under rsti-stwc"},
+		{"synth-problem", func(r *report.SecurityRecord) {
+			r.Workloads[0].SynthProblems = []string{"prediction mismatch"}
+		}, "prediction mismatch"},
+		{"table3-mismatch", func(r *report.SecurityRecord) {
+			r.Table3 = []report.Table3Check{{Name: "p", PartitionSTWC: 4, EquivSTWC: 5}}
+		}, "table3 cross-check p"},
+	}
+	for _, m := range mutations {
+		rec := healthy()
+		m.mut(rec)
+		v := SecurityViolations(rec)
+		found := false
+		for _, line := range v {
+			if strings.Contains(line, m.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v do not flag %q", m.name, v, m.want)
+		}
+	}
+}

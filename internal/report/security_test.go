@@ -1,0 +1,158 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleRecord(label string, largest int, pairs int64) *SecurityRecord {
+	rec := &SecurityRecord{
+		Label:     label,
+		Timestamp: "2026-01-01T00:00:00Z",
+		Workloads: []WorkloadSecurity{{
+			Name: "sec-small",
+			Mechs: map[string]MechSecurity{
+				"rsti-stwc": {Classes: 10, Members: 30, LargestClass: largest, ReplayPairs: pairs,
+					SizeDist: Summarize([]float64{1, 2, float64(largest)})},
+				"rsti-stl": {Classes: 30, Members: 30, LargestClass: 1, ReplayPairs: 0,
+					SizeDist: Summarize([]float64{1})},
+			},
+			SynthTampers:    5,
+			SynthConfirmed:  5,
+			SynthFamilies:   []string{"replay-same-class", "raw-overwrite"},
+			ConfirmedDetect: map[string]int{"rsti-stwc": 3, "rsti-stl": 5},
+			ConfirmedMiss:   map[string]int{"rsti-stwc": 2},
+		}},
+		Table3: []Table3Check{{Name: "p1", PartitionSTWC: 4, EquivSTWC: 4, PartitionSTC: 3, EquivSTC: 3, OK: true}},
+	}
+	rec.Finalize()
+	return rec
+}
+
+func TestSecurityRecordFinalize(t *testing.T) {
+	rec := sampleRecord("a", 8, 40)
+	if rec.MaxLargestClass["rsti-stwc"] != 8 {
+		t.Errorf("MaxLargestClass[rsti-stwc] = %d, want 8", rec.MaxLargestClass["rsti-stwc"])
+	}
+	if rec.MaxLargestClass["rsti-stl"] != 1 {
+		t.Errorf("MaxLargestClass[rsti-stl] = %d, want 1", rec.MaxLargestClass["rsti-stl"])
+	}
+	if rec.TotalReplayPairs["rsti-stwc"] != 40 {
+		t.Errorf("TotalReplayPairs[rsti-stwc] = %d, want 40", rec.TotalReplayPairs["rsti-stwc"])
+	}
+}
+
+func TestSecurityRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "SECURITY_RESULTS.json")
+
+	records, err := ReadSecurityRecords(path)
+	if err != nil || records != nil {
+		t.Fatalf("missing trajectory: got %v, %v; want nil, nil", records, err)
+	}
+
+	for _, label := range []string{"first", "second"} {
+		if err := AppendSecurityRecord(path, sampleRecord(label, 8, 40)); err != nil {
+			t.Fatalf("append %s: %v", label, err)
+		}
+	}
+	records, err = ReadSecurityRecords(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(records) != 2 || records[0].Label != "first" || records[1].Label != "second" {
+		t.Fatalf("round trip lost records: %+v", records)
+	}
+	if records[1].Workloads[0].Mechs["rsti-stwc"].ReplayPairs != 40 {
+		t.Errorf("replay pairs lost in round trip")
+	}
+
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSecurityRecords(path); err == nil {
+		t.Error("corrupt trajectory file read without error")
+	}
+}
+
+// TestSecurityRegressions exercises the exact zero-tolerance guard: equal
+// or shrinking aggregates pass, any growth of largest class or replay
+// surface is flagged per mechanism.
+func TestSecurityRegressions(t *testing.T) {
+	base := sampleRecord("base", 8, 40)
+	history := []SecurityRecord{*base}
+
+	if regs := SecurityRegressions(nil, base); regs != nil {
+		t.Errorf("no history should mean no regressions, got %v", regs)
+	}
+	if regs := SecurityRegressions(history, sampleRecord("same", 8, 40)); regs != nil {
+		t.Errorf("identical aggregates flagged: %v", regs)
+	}
+	if regs := SecurityRegressions(history, sampleRecord("better", 6, 20)); regs != nil {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+
+	regs := SecurityRegressions(history, sampleRecord("worse", 9, 41))
+	if len(regs) != 2 {
+		t.Fatalf("largest-class and replay-surface growth should both flag, got %v", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "rsti-stwc") {
+			t.Errorf("regression line does not name the mechanism: %q", r)
+		}
+	}
+
+	// Growth in only one aggregate still flags.
+	regs = SecurityRegressions(history, sampleRecord("pairs-only", 8, 41))
+	if len(regs) != 1 || !strings.Contains(regs[0], "replay surface") {
+		t.Errorf("pairs-only growth: got %v", regs)
+	}
+}
+
+func TestHasSecurityWaiver(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "CHANGES.md")
+
+	if HasSecurityWaiver(path) {
+		t.Error("missing change log reported a waiver")
+	}
+	os.WriteFile(path, []byte("- PR 9: routine change\n"), 0o644)
+	if HasSecurityWaiver(path) {
+		t.Error("waiver found in log without one")
+	}
+	os.WriteFile(path, []byte("- PR 9: new workload (security-waiver: suite grew on purpose)\n"), 0o644)
+	if !HasSecurityWaiver(path) {
+		t.Error("waiver note not found")
+	}
+}
+
+func TestSecurityMarkdownAndSummary(t *testing.T) {
+	rec := sampleRecord("pr-test", 8, 40)
+	md := rec.Markdown()
+	for _, want := range []string{
+		"# Security dashboard — pr-test",
+		"| sec-small | rsti-stwc | 10 | 30 | 8 | 40 |",
+		"| sec-small | rsti-stl | 30 | 30 | 1 | 0 |",
+		"3 det / 2 miss",
+		"1/1 static-corpus programs",
+		"security-waiver:",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("dashboard missing %q\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "PROBLEM") {
+		t.Errorf("clean record rendered a problem block:\n%s", md)
+	}
+
+	rec.Workloads[0].SynthProblems = []string{"prediction mismatch on tamper X"}
+	if md := rec.Markdown(); !strings.Contains(md, "**PROBLEM** (sec-small): prediction mismatch") {
+		t.Errorf("problem block not rendered:\n%s", md)
+	}
+
+	sum := rec.Summary()
+	if !strings.Contains(sum, "rsti-stl") || !strings.Contains(sum, "pr-test") {
+		t.Errorf("summary missing content:\n%s", sum)
+	}
+}

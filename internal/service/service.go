@@ -13,7 +13,7 @@
 //	POST /v1/run/stream  same body; SSE response (output/result events)
 //	POST /v1/attack      {"scenario", "mechanism", "benign"?}
 //	GET  /v1/attacks     Table 1 scenario catalogue
-//	GET  /v1/metrics     engine + cache + tier + PAC-op counters
+//	GET  /v1/metrics     engine + cache + tier + PAC-op + security counters
 //	GET  /v1/healthz     liveness
 //
 // Every /v1 error response uses one envelope: {"error": {"kind",
@@ -41,6 +41,7 @@ import (
 	"rsti/internal/compilecache"
 	"rsti/internal/core"
 	"rsti/internal/engine"
+	"rsti/internal/report"
 	"rsti/internal/sti"
 	"rsti/internal/vm"
 )
@@ -69,6 +70,11 @@ type Config struct {
 	Tenants []Tenant
 	// MaxPrograms bounds the program handle table (0 = DefaultMaxPrograms).
 	MaxPrograms int
+	// SecurityResults, when non-empty, points at the SECURITY_RESULTS.json
+	// trajectory written by `rstibench -secjson`; /v1/metrics then carries
+	// the latest datapoint's security summary so an operator sees the
+	// served build's replay surface next to its runtime counters.
+	SecurityResults string
 }
 
 // Server wires the HTTP surface to one shared engine, the shared
@@ -83,7 +89,8 @@ type Server struct {
 	auth  *auth
 	mux   *http.ServeMux
 
-	maxPrograms int
+	maxPrograms     int
+	securityResults string
 
 	mu       sync.Mutex
 	programs map[string]*core.Compilation
@@ -104,13 +111,14 @@ func New(cfg Config) *Server {
 		cfg.MaxPrograms = DefaultMaxPrograms
 	}
 	s := &Server{
-		eng:         engine.New(engine.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue}),
-		auth:        newAuth(cfg.Tenants),
-		mux:         http.NewServeMux(),
-		maxPrograms: cfg.MaxPrograms,
-		programs:    make(map[string]*core.Compilation),
-		scenarios:   make(map[string]*attack.Scenario),
-		pacOps:      make(map[string]*pacOpMetrics),
+		eng:             engine.New(engine.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue}),
+		auth:            newAuth(cfg.Tenants),
+		mux:             http.NewServeMux(),
+		maxPrograms:     cfg.MaxPrograms,
+		securityResults: cfg.SecurityResults,
+		programs:        make(map[string]*core.Compilation),
+		scenarios:       make(map[string]*attack.Scenario),
+		pacOps:          make(map[string]*pacOpMetrics),
 	}
 	// Compiles run inside the engine pool: identical sources still
 	// coalesce onto one flight in the cache, and that one flight occupies
@@ -686,6 +694,48 @@ type metricsResponse struct {
 	CompileCache compilecache.Stats      `json:"compile_cache"`
 	PACOps       map[string]pacOpMetrics `json:"pac_ops"`
 	Tier         tierMetrics             `json:"tier"`
+	Security     *securityMetrics        `json:"security,omitempty"`
+}
+
+// securityMetrics is the latest security-trajectory datapoint condensed
+// for an operator: which measurement the served build carries, its
+// per-mechanism worst-case equivalence class and total replay surface,
+// and whether attack synthesis confirmed every derived tamper.
+type securityMetrics struct {
+	Label            string           `json:"label"`
+	Timestamp        string           `json:"timestamp"`
+	Workloads        int              `json:"workloads"`
+	MaxLargestClass  map[string]int   `json:"max_largest_class"`
+	TotalReplayPairs map[string]int64 `json:"total_replay_pairs"`
+	SynthTampers     int              `json:"synth_tampers"`
+	SynthConfirmed   int              `json:"synth_confirmed"`
+}
+
+// securitySnapshot loads the most recent datapoint from the configured
+// trajectory file. Nil (never an error) when unconfigured, missing or
+// unreadable: the security block is advisory and must not take the
+// metrics endpoint down with it.
+func (s *Server) securitySnapshot() *securityMetrics {
+	if s.securityResults == "" {
+		return nil
+	}
+	records, err := report.ReadSecurityRecords(s.securityResults)
+	if err != nil || len(records) == 0 {
+		return nil
+	}
+	rec := &records[len(records)-1]
+	m := &securityMetrics{
+		Label:            rec.Label,
+		Timestamp:        rec.Timestamp,
+		Workloads:        len(rec.Workloads),
+		MaxLargestClass:  rec.MaxLargestClass,
+		TotalReplayPairs: rec.TotalReplayPairs,
+	}
+	for _, w := range rec.Workloads {
+		m.SynthTampers += w.SynthTampers
+		m.SynthConfirmed += w.SynthConfirmed
+	}
+	return m
 }
 
 // tierMetrics summarizes the direct-threaded execution tier for an
@@ -709,6 +759,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CompileCache: s.cache.Stats(),
 		PACOps:       s.pacOpsSnapshot(),
 		Tier:         tier,
+		Security:     s.securitySnapshot(),
 	})
 }
 

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
+
+	"rsti/internal/report"
 )
 
 const victimSrc = `
@@ -268,6 +271,73 @@ func TestMetricsAndHealth(t *testing.T) {
 	h.Body.Close()
 	if h.StatusCode != 200 {
 		t.Errorf("healthz: %d", h.StatusCode)
+	}
+}
+
+// TestMetricsSecurityBlock checks /v1/metrics surfaces the latest
+// security-trajectory datapoint when the server is pointed at a
+// SECURITY_RESULTS.json, and omits the block (rather than failing) when
+// it is not, or when the file is missing.
+func TestMetricsSecurityBlock(t *testing.T) {
+	getMetrics := func(t *testing.T, url string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	path := filepath.Join(t.TempDir(), "SECURITY_RESULTS.json")
+	for _, label := range []string{"older", "latest"} {
+		rec := &report.SecurityRecord{
+			Label:     label,
+			Timestamp: "2026-01-01T00:00:00Z",
+			Workloads: []report.WorkloadSecurity{{
+				Name: "sec-small",
+				Mechs: map[string]report.MechSecurity{
+					"rsti-stwc": {Classes: 10, Members: 30, LargestClass: 8, ReplayPairs: 40},
+				},
+				SynthTampers:   10,
+				SynthConfirmed: 10,
+			}},
+		}
+		rec.Finalize()
+		if err := report.AppendSecurityRecord(path, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts, _ := startServerCfg(t, Config{Workers: 1, SecurityResults: path})
+	sec, ok := getMetrics(t, ts.URL)["security"].(map[string]any)
+	if !ok {
+		t.Fatal("metrics missing the security block")
+	}
+	if sec["label"] != "latest" {
+		t.Errorf("security block label = %v, want the most recent datapoint", sec["label"])
+	}
+	if sec["synth_confirmed"].(float64) != 10 || sec["workloads"].(float64) != 1 {
+		t.Errorf("security block: %v", sec)
+	}
+	mlc, ok := sec["max_largest_class"].(map[string]any)
+	if !ok || mlc["rsti-stwc"].(float64) != 8 {
+		t.Errorf("security block aggregates: %v", sec)
+	}
+
+	tsOff, _ := startServerCfg(t, Config{Workers: 1})
+	if _, present := getMetrics(t, tsOff.URL)["security"]; present {
+		t.Error("security block present without a configured trajectory")
+	}
+
+	tsGone, _ := startServerCfg(t, Config{Workers: 1,
+		SecurityResults: filepath.Join(t.TempDir(), "nope.json")})
+	if _, present := getMetrics(t, tsGone.URL)["security"]; present {
+		t.Error("security block present for a missing trajectory file")
 	}
 }
 

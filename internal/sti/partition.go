@@ -1,0 +1,90 @@
+package sti
+
+import "sort"
+
+// Partition is the PAC equivalence-class partition of a program's
+// protected pointers under one mechanism: the security-side view of the
+// instrumentation. Two slots fall into the same class exactly when a
+// validly signed value from one authenticates in the other — equal static
+// modifiers and no location binding — so the partition's shape *is* the
+// mechanism's replay exposure: class count, largest class, and the number
+// of interchangeable signed-pointer pairs.
+type Partition struct {
+	Mechanism Mechanism
+	// Members is the total protected population (named pointer variables
+	// plus composite pointer fields — Table 3's NV).
+	Members int
+	// Sizes holds every class size, descending. Location-bound members
+	// (STL always; Adaptive above the ECV threshold) are singletons: the
+	// &p XOR makes each slot its own enforcement class.
+	Sizes []int
+}
+
+// Classes is the number of enforcement classes.
+func (p *Partition) Classes() int { return len(p.Sizes) }
+
+// Largest is the biggest class (0 for an empty program).
+func (p *Partition) Largest() int {
+	if len(p.Sizes) == 0 {
+		return 0
+	}
+	return p.Sizes[0]
+}
+
+// ReplayPairs is the replay surface: the number of unordered slot pairs
+// an attacker can substitute between, Σ over classes of n·(n−1)/2.
+// Location binding leaves zero by construction.
+func (p *Partition) ReplayPairs() int64 {
+	var pairs int64
+	for _, n := range p.Sizes {
+		pairs += int64(n) * int64(n-1) / 2
+	}
+	return pairs
+}
+
+// SizesFloat returns the class sizes as float64s (for distribution
+// summaries).
+func (p *Partition) SizesFloat() []float64 {
+	out := make([]float64, len(p.Sizes))
+	for i, n := range p.Sizes {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+// Partition computes the equivalence-class partition under mech. Classes
+// are keyed by the modifier value itself — the extraction the PAC
+// hardware enforces — so the partition agrees with Equivalence() by
+// construction: under STWC each populated RSTI-type is one class, under
+// STC the cast-merged union-find roots are, under PARTS the stripped
+// basic types are. Safe for concurrent use after Analyze.
+func (a *Analysis) Partition(mech Mechanism) *Partition {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := &Partition{Mechanism: mech}
+	classes := make(map[uint64]int)
+	singletons := 0
+	for _, rt := range a.Types {
+		n := len(rt.Vars) + len(rt.Fields)
+		if n == 0 {
+			// Escaped types interned only for anonymous storage protect no
+			// named slot: enforcement classes, but not partition members.
+			continue
+		}
+		p.Members += n
+		if a.usesLocation(rt.ID, mech) {
+			singletons += n
+			continue
+		}
+		classes[a.modifier(rt.ID, mech)] += n
+	}
+	p.Sizes = make([]int, 0, len(classes)+singletons)
+	for _, n := range classes {
+		p.Sizes = append(p.Sizes, n)
+	}
+	for i := 0; i < singletons; i++ {
+		p.Sizes = append(p.Sizes, 1)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(p.Sizes)))
+	return p
+}

@@ -1,0 +1,125 @@
+package sti
+
+import "testing"
+
+// partitionSrc has a deliberate class structure: three same-typed globals
+// read from one function (one STWC class of 3), a cast bridge merging two
+// struct-pointer classes under STC, and a lone char* local.
+const partitionSrc = `
+struct A { int x; };
+struct B { int y; };
+char *g0;
+char *g1;
+char *g2;
+long reader(void) {
+	long s = 0;
+	g0 = "a"; g1 = "b"; g2 = "c";
+	if (g0 != NULL) s += 1;
+	if (g1 != NULL) s += 1;
+	if (g2 != NULL) s += 1;
+	return s;
+}
+long bridge(void) {
+	struct A *pa = NULL;
+	struct B *pb = NULL;
+	void *v = (void*) pa;
+	v = (void*) pb;
+	if (v == NULL) return 1;
+	return 0;
+}
+int main(void) {
+	char *lone = "z";
+	long s = reader() + bridge();
+	if (lone != NULL) s += 1;
+	return (int) s;
+}
+`
+
+// TestPartitionAgreesWithEquivalence cross-checks the modifier-keyed
+// partition against the independently computed Table 3 statistics: the
+// partition and Equivalence must see the same class counts and largest
+// classes under STWC and STC, and the same member population.
+func TestPartitionAgreesWithEquivalence(t *testing.T) {
+	a, _ := analyze(t, partitionSrc)
+	eq := a.Equivalence()
+
+	stwc := a.Partition(STWC)
+	if stwc.Classes() != eq.RTSTWC {
+		t.Errorf("STWC partition classes = %d, Equivalence RTSTWC = %d", stwc.Classes(), eq.RTSTWC)
+	}
+	if stwc.Largest() != eq.LargestECVSTWC {
+		t.Errorf("STWC largest = %d, Equivalence = %d", stwc.Largest(), eq.LargestECVSTWC)
+	}
+	if stwc.Members != eq.NV {
+		t.Errorf("STWC members = %d, NV = %d", stwc.Members, eq.NV)
+	}
+
+	stc := a.Partition(STC)
+	if stc.Classes() != eq.RTSTC {
+		t.Errorf("STC partition classes = %d, Equivalence RTSTC = %d", stc.Classes(), eq.RTSTC)
+	}
+	if stc.Largest() != eq.LargestECVSTC {
+		t.Errorf("STC largest = %d, Equivalence = %d", stc.Largest(), eq.LargestECVSTC)
+	}
+}
+
+// TestPartitionLattice pins the coarsening order the mechanisms form.
+// STC and PARTS coarsen STWC (cast merging, scope stripping), Adaptive
+// refines it (big classes split to singletons), STL refines everything
+// (every member its own class). Class counts and replay surfaces must
+// order accordingly.
+func TestPartitionLattice(t *testing.T) {
+	a, _ := analyze(t, partitionSrc)
+	parts := a.Partition(PARTS)
+	stwc := a.Partition(STWC)
+	stc := a.Partition(STC)
+	adaptive := a.Partition(Adaptive)
+	stl := a.Partition(STL)
+
+	// Every mechanism protects the same population.
+	for _, p := range []*Partition{parts, stc, adaptive, stl} {
+		if p.Members != stwc.Members {
+			t.Errorf("%v members = %d, STWC = %d", p.Mechanism, p.Members, stwc.Members)
+		}
+	}
+
+	// Class counts: STL >= Adaptive >= STWC >= STC, STWC >= PARTS.
+	if stl.Classes() != stl.Members {
+		t.Errorf("STL classes = %d, want every member a singleton (%d)", stl.Classes(), stl.Members)
+	}
+	if stl.Largest() > 1 {
+		t.Errorf("STL largest class = %d, want 1", stl.Largest())
+	}
+	if adaptive.Classes() < stwc.Classes() {
+		t.Errorf("Adaptive classes (%d) below STWC (%d)", adaptive.Classes(), stwc.Classes())
+	}
+	if stwc.Classes() < stc.Classes() {
+		t.Errorf("STWC classes (%d) below STC (%d): combining cannot split", stwc.Classes(), stc.Classes())
+	}
+	if stwc.Classes() < parts.Classes() {
+		t.Errorf("STWC classes (%d) below PARTS (%d): dropping scope cannot split", stwc.Classes(), parts.Classes())
+	}
+
+	// Replay surface: PARTS >= STWC, STC >= STWC >= Adaptive >= STL = 0.
+	if stl.ReplayPairs() != 0 {
+		t.Errorf("STL replay pairs = %d, want 0", stl.ReplayPairs())
+	}
+	if parts.ReplayPairs() < stwc.ReplayPairs() {
+		t.Errorf("PARTS pairs (%d) below STWC (%d)", parts.ReplayPairs(), stwc.ReplayPairs())
+	}
+	if stc.ReplayPairs() < stwc.ReplayPairs() {
+		t.Errorf("STC pairs (%d) below STWC (%d)", stc.ReplayPairs(), stwc.ReplayPairs())
+	}
+	if adaptive.ReplayPairs() > stwc.ReplayPairs() {
+		t.Errorf("Adaptive pairs (%d) above STWC (%d)", adaptive.ReplayPairs(), stwc.ReplayPairs())
+	}
+
+	// The known structure: g0/g1/g2 share one STWC class.
+	if stwc.Largest() < 3 {
+		t.Errorf("STWC largest = %d, want >= 3 (the g0..g2 pool)", stwc.Largest())
+	}
+	// The cast bridge merges the two struct classes under STC.
+	if stc.Classes() >= stwc.Classes() {
+		t.Errorf("cast bridge did not merge: STC %d classes vs STWC %d", stc.Classes(), stwc.Classes())
+	}
+}

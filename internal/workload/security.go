@@ -1,0 +1,46 @@
+package workload
+
+// SecuritySuite returns the hook-enabled workloads the security dashboard
+// measures and the attack synthesizer attacks. Each plants a __hook(1)
+// corruption site between the pointer population's signing stores and a
+// post_check() that authenticates them, so synthesized tampers face real
+// post-hook authentication; the three configurations straddle the
+// Adaptive mechanism's ECV threshold and STC's cast-merging so every
+// mechanism's blind spot is represented:
+//
+//   - sec-small:   popular pool below the Adaptive threshold — Adaptive
+//     behaves like STWC and shares its same-class replay blind spot.
+//   - sec-popular: popular pool above the threshold (the paper's
+//     xalancbmk shape) — Adaptive binds location and closes it.
+//   - sec-cast:    cast-heavy population — STC's merged classes widen
+//     the replay surface relative to STWC.
+//
+// The suite is execution-sized (tiny iteration counts): every datapoint
+// in SECURITY_RESULTS.json is recomputed by running these programs.
+func SecuritySuite() []*Benchmark {
+	base := Config{
+		Suite: "security",
+		Iters: 20, ChainLen: 6,
+		DerefOps: 2, CallOps: 1, ArithOps: 1,
+		HookMain: true,
+	}
+	small := base
+	small.Name = "sec-small"
+	small.Structs, small.PtrVars, small.ColdFns = 4, 24, 4
+	small.Popular, small.IsoPool, small.SharedCasts = 8, 4, 4
+	small.CastRate, small.Seed = 20, hashName(small.Name)
+
+	popular := base
+	popular.Name = "sec-popular"
+	popular.Structs, popular.PtrVars, popular.ColdFns = 4, 24, 4
+	popular.Popular, popular.IsoPool, popular.SharedCasts = 24, 4, 4
+	popular.CastRate, popular.Seed = 20, hashName(popular.Name)
+
+	cast := base
+	cast.Name = "sec-cast"
+	cast.Structs, cast.PtrVars, cast.ColdFns = 6, 36, 6
+	cast.Popular, cast.IsoPool, cast.SharedCasts = 8, 6, 10
+	cast.CastRate, cast.Seed = 60, hashName(cast.Name)
+
+	return []*Benchmark{Generate(small), Generate(popular), Generate(cast)}
+}

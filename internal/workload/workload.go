@@ -85,6 +85,23 @@ type Config struct {
 	FloatOps int // float ops per iteration (numeric benchmarks)
 	CastOps  int // hot-path void* casts per iteration
 
+	// Security-suite shaping (attack synthesis; zero for the performance
+	// suites, whose generated source must stay byte-identical).
+	//
+	// HookMain plants a __hook(1) corruption site in main after the cold
+	// population signs its pointers, followed by a post_check() that
+	// authenticates the popular pool, the iso pool and the roots — the
+	// post-hook loads a synthesized tamper must survive. It also declares
+	// a freshly-stored local pointer in main (re-stored after the hook),
+	// the elidable-local shape whose corruption every mechanism provably
+	// misses.
+	HookMain bool
+	// IsoPool emits char* globals each read from its own function:
+	// same basic type as the popular pool but disjoint scopes, so every
+	// iso global is its own RSTI-type — the same-type cross-scope replay
+	// population (PARTS misses it, STWC catches it).
+	IsoPool int
+
 	Seed uint64
 }
 
@@ -180,6 +197,14 @@ func Generate(cfg Config) *Benchmark {
 			fmt.Fprintf(&b, "\tif (pop%d != NULL) sum += 1;\n", i)
 		}
 		b.WriteString("\treturn sum;\n}\n")
+	}
+	// Iso pool: one reader function per global, so each global's scope
+	// set is distinct and each interns its own RSTI-type despite the
+	// shared basic type.
+	for i := 0; i < cfg.IsoPool; i++ {
+		fmt.Fprintf(&b, "char *iso%d;\n", i)
+		fmt.Fprintf(&b, "long iso_reader_%d(void) {\n\tiso%d = \"i%d\";\n\tif (iso%d != NULL) return 1;\n\treturn 0;\n}\n",
+			i, i, i%10, i)
 	}
 	// Shared-cast pool: cold struct pointers all cast into one void*
 	// global; STC merges them into one class, whose size becomes the
@@ -320,6 +345,23 @@ func Generate(cfg Config) *Benchmark {
 	}
 	b.WriteString("\treturn s;\n}\n")
 
+	// --- Post-hook authentication section: every load below runs after
+	// the __hook(1) corruption site, so a tamper on any of these slots
+	// faces the mechanism's authentication.
+	if cfg.HookMain {
+		b.WriteString("long post_check(void) {\n\tlong sum = 0;\n")
+		for i := 0; i < cfg.Popular; i++ {
+			fmt.Fprintf(&b, "\tif (pop%d != NULL) sum += 1;\n", i)
+		}
+		for i := 0; i < cfg.IsoPool; i++ {
+			fmt.Fprintf(&b, "\tif (iso%d != NULL) sum += 1;\n", i)
+		}
+		for i := 0; i < cfg.Structs; i++ {
+			fmt.Fprintf(&b, "\tif (root%d->val > 0) sum += 1;\n", i)
+		}
+		b.WriteString("\treturn sum;\n}\n")
+	}
+
 	// --- Main: setup, cold population, hot loop.
 	b.WriteString("int main(void) {\n")
 	b.WriteString("\tsetup();\n")
@@ -335,6 +377,23 @@ func Generate(cfg Config) *Benchmark {
 	}
 	for f := 0; f < coldCount; f++ {
 		fmt.Fprintf(&b, "\tacc += cold_%d();\n", f)
+	}
+	for i := 0; i < cfg.IsoPool; i++ {
+		fmt.Fprintf(&b, "\tacc += iso_reader_%d();\n", i)
+	}
+	if cfg.HookMain {
+		// fresh is the elidable-local shape: a never-address-taken local
+		// pointer whose every load follows a store after the most recent
+		// call. The re-store after __hook(1) means a corruption of its
+		// slot is overwritten before it can be read back — the property
+		// the elision optimizer's safety argument rests on, which the
+		// attack synthesizer confirms by executing the corruption.
+		b.WriteString("\tstruct T0 *fresh = root0;\n")
+		b.WriteString("\tif (fresh != NULL) acc += 1;\n")
+		b.WriteString("\t__hook(1);\n")
+		b.WriteString("\tfresh = root0;\n")
+		b.WriteString("\tif (fresh != NULL) acc += 1;\n")
+		b.WriteString("\tacc += post_check();\n")
 	}
 	fmt.Fprintf(&b, "\tfor (int it = 0; it < %d; it++) {\n", cfg.Iters)
 	b.WriteString("\t\tacc = work(root0, acc);\n")
