@@ -6,6 +6,14 @@
 //	rstid -addr :8080 -workers 8 -queue 64 \
 //	      -cache-dir /var/lib/rstid/cache -tenants tenants.json
 //
+// Cluster mode — every node gets the same -peers list plus its own
+// advertised URL, and the fleet shares compile work over a
+// consistent-hash ring (see docs/API.md, "Cluster"):
+//
+//	rstid -addr :8080 -self http://10.0.0.1:8080 \
+//	      -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	      -peer-secret $RSTID_PEER_SECRET -cache-dir /var/lib/rstid/cache
+//
 // See docs/API.md for the /v1 endpoint reference, the error envelope,
 // API-key auth, and streaming runs.
 package main
@@ -15,6 +23,7 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"strings"
 
 	"rsti/internal/service"
 )
@@ -27,11 +36,28 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "tenants JSON file enabling API-key auth (empty = open mode)")
 	securityResults := flag.String("security-results", "",
 		"SECURITY_RESULTS.json trajectory surfaced in /v1/metrics (empty = omit)")
+	self := flag.String("self", "", "this node's advertised base URL (enables cluster mode with -peers)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (may include -self)")
+	peerSecret := flag.String("peer-secret", "", "shared secret for peer endpoints (X-RSTI-Peer-Key)")
+	heartbeat := flag.Duration("heartbeat", 0, "peer health probe interval (0 = 2s)")
 	flag.Parse()
 
 	cfg := service.Config{
 		Workers: *workers, Queue: *queue, CacheDir: *cacheDir,
-		SecurityResults: *securityResults,
+		SecurityResults:   *securityResults,
+		Self:              *self,
+		PeerSecret:        *peerSecret,
+		HeartbeatInterval: *heartbeat,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	if (*self == "") != (len(cfg.Peers) == 0) {
+		log.Fatal("rstid: -self and -peers must be given together")
 	}
 	if *tenantsFile != "" {
 		ts, err := service.LoadTenants(*tenantsFile)

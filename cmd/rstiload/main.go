@@ -65,8 +65,11 @@ type compileResp struct {
 }
 
 type runReq struct {
-	Program   string `json:"program"`
+	Program   string `json:"program,omitempty"`
+	Source    string `json:"source,omitempty"`
 	Mechanism string `json:"mechanism"`
+	Optimizer string `json:"optimizer,omitempty"`
+	Tier      string `json:"tier,omitempty"`
 }
 
 type runResp struct {
@@ -129,6 +132,28 @@ func (c *loadClient) post(path string, body, out any) (int, error) {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s: decoding response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// get issues a GET and decodes the JSON response into out.
+func (c *loadClient) get(path string, out any) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
 	if c.key != "" {
 		req.Header.Set("Authorization", "Bearer "+c.key)
 	}
@@ -380,6 +405,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "disk compile-cache directory for the self-hosted daemon")
 	apiKey := flag.String("api-key", "", "API key sent as a Bearer token on every request")
 	mechs := flag.String("mechanisms", "none,parts,rsti-stwc,rsti-stc,rsti-stl", "comma-separated mechanism rotation")
+	clusterN := flag.Int("cluster", 0,
+		"boot an N-peer in-process rstid fleet and measure cluster compile sharing + cold restart (0 = single-daemon drive)")
 	benchjson := flag.Bool("benchjson", false, "append the datapoint to the bench trajectory")
 	benchout := flag.String("benchout", "BENCH_RESULTS.json", "trajectory file for -benchjson")
 	benchlabel := flag.String("benchlabel", "dev", "datapoint label for -benchjson")
@@ -388,6 +415,51 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "rstiload:", err)
 		os.Exit(1)
+	}
+
+	if *clusterN > 0 {
+		if *url != "" {
+			fail(fmt.Errorf("-cluster boots its own fleet; it cannot be combined with -url"))
+		}
+		rec, err := driveCluster(clusterConfig{
+			Peers:       *clusterN,
+			Sessions:    *sessions,
+			Concurrency: *concurrency,
+			Workers:     *workers,
+			Programs:    *programs,
+			Mechanisms:  strings.Split(*mechs, ","),
+			CacheRoot:   *cacheDir,
+		})
+		if rec != nil {
+			fmt.Println(rec.Summary())
+		}
+		if err != nil {
+			fail(err)
+		}
+		if *benchjson {
+			prior, err := eval.ReadBenchRecords(*benchout)
+			if err != nil {
+				fail(err)
+			}
+			br := &eval.BenchRecord{
+				Label:       *benchlabel,
+				Timestamp:   time.Now().UTC().Format(time.RFC3339),
+				GoVersion:   runtime.Version(),
+				GOOS:        runtime.GOOS,
+				GOARCH:      runtime.GOARCH,
+				CPUs:        runtime.NumCPU(),
+				ClusterLoad: rec,
+			}
+			if err := eval.AppendBenchRecord(*benchout, br); err != nil {
+				fail(err)
+			}
+			fmt.Printf("appended cluster datapoint %q to %s (%d prior records)\n",
+				*benchlabel, *benchout, len(prior))
+			for _, w := range eval.TrajectoryWarnings(prior, br, 0.25) {
+				fmt.Println("WARNING:", w)
+			}
+		}
+		return
 	}
 
 	cfg := loadConfig{

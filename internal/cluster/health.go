@@ -1,0 +1,80 @@
+package cluster
+
+import "time"
+
+// PeerState is a peer's position in the health state machine. A peer is
+// Alive until a heartbeat probe fails, Suspect while failures accumulate,
+// and Down after DownAfter consecutive failures. Suspect peers stay in
+// the ring — a single dropped probe must not remap 1/N of the key space —
+// while Down peers leave it until a probe succeeds again.
+type PeerState int
+
+const (
+	Alive PeerState = iota
+	Suspect
+	Down
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return "unknown"
+}
+
+// DefaultDownAfter is the consecutive-failure threshold that moves a
+// Suspect peer to Down. Three failures at the default heartbeat interval
+// tolerates one GC pause or dropped packet without churning the ring,
+// while a genuinely dead peer leaves within a few seconds.
+const DefaultDownAfter = 3
+
+// peerHealth is the router's per-peer record; guarded by Router.mu.
+type peerHealth struct {
+	url      string
+	state    PeerState
+	fails    int       // consecutive probe failures
+	lastSeen time.Time // last successful probe (zero until the first)
+	probes   int64     // total probes sent
+}
+
+// observe folds one probe outcome into the state machine and reports
+// whether ring membership changed (an Alive/Suspect peer went Down, or a
+// Down peer recovered).
+func (p *peerHealth) observe(ok bool, now time.Time, downAfter int) (membershipChanged bool) {
+	p.probes++
+	if ok {
+		recovered := p.state == Down
+		p.state = Alive
+		p.fails = 0
+		p.lastSeen = now
+		return recovered
+	}
+	p.fails++
+	switch {
+	case p.fails >= downAfter:
+		wasUp := p.state != Down
+		p.state = Down
+		return wasUp
+	default:
+		if p.state == Alive {
+			p.state = Suspect
+		}
+		return false
+	}
+}
+
+// PeerInfo is the externally visible health row for one peer, surfaced
+// through the daemon's /v1/metrics peer table and /v1/healthz summary.
+type PeerInfo struct {
+	URL      string    `json:"url"`
+	State    string    `json:"state"`
+	Fails    int       `json:"consecutive_failures,omitempty"`
+	Probes   int64     `json:"probes,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+	InRing   bool      `json:"in_ring"`
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n deterministic source digests (hashing a counter, so
+// the keys are uniform on the circle the same way real source hashes
+// are).
+func testKeys(n int) [][32]byte {
+	keys := make([][32]byte, n)
+	for i := range keys {
+		keys[i] = sha256.Sum256([]byte(fmt.Sprintf("source-%d", i)))
+	}
+	return keys
+}
+
+func peerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingBalance: with DefaultReplicas virtual nodes, ownership across
+// 2..16 peers stays balanced — the busiest peer owns at most 2x the keys
+// of the least busy one, and nobody owns zero.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(20000)
+	for n := 2; n <= 16; n++ {
+		ring := NewRing(0, peerNames(n)...)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d peers: only %d received keys", n, len(counts))
+		}
+		min, max := len(keys), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("%d peers: a peer owns zero keys", n)
+		}
+		if ratio := float64(max) / float64(min); ratio > 2.0 {
+			t.Fatalf("%d peers: max/min ownership ratio %.2f exceeds 2.0 (min=%d max=%d)",
+				n, ratio, min, max)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin: adding one peer to an N-peer ring moves
+// roughly 1/(N+1) of the keys — and never more than twice that — and
+// every moved key lands on the new peer. Keys that stay put keep their
+// exact owner, which is what preserves warm artifacts across scale-out.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	keys := testKeys(20000)
+	for n := 2; n <= 12; n++ {
+		peers := peerNames(n + 1)
+		before := NewRing(0, peers[:n]...)
+		after := NewRing(0, peers...)
+		newcomer := peers[n]
+		moved := 0
+		for _, k := range keys {
+			a, b := before.Owner(k), after.Owner(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != newcomer {
+				t.Fatalf("%d->%d peers: key moved %s -> %s, not to the newcomer", n, n+1, a, b)
+			}
+		}
+		expected := float64(len(keys)) / float64(n+1)
+		if float64(moved) > 2*expected {
+			t.Fatalf("%d->%d peers: %d keys moved, want <= %.0f (2x the fair share %.0f)",
+				n, n+1, moved, 2*expected, expected)
+		}
+		if moved == 0 {
+			t.Fatalf("%d->%d peers: newcomer received nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnLeave: removing a peer remaps exactly the keys
+// it owned; every other key keeps its owner. This is the graceful-
+// degradation half of the ownership contract — a peer going Down must
+// not shuffle artifacts between surviving peers.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	keys := testKeys(20000)
+	peers := peerNames(5)
+	full := NewRing(0, peers...)
+	leaver := peers[2]
+	without := NewRing(0, peers[0], peers[1], peers[3], peers[4])
+	for _, k := range keys {
+		a, b := full.Owner(k), without.Owner(k)
+		if a == leaver {
+			if b == leaver {
+				t.Fatalf("removed peer still owns a key")
+			}
+			continue // orphaned keys may land anywhere among survivors
+		}
+		if a != b {
+			t.Fatalf("key not owned by the leaver moved: %s -> %s", a, b)
+		}
+	}
+}
+
+// TestRingAgreementAcrossConstructionOrder: rings built from the same
+// member set in different orders assign every key identically —
+// independent peers converge on owners without coordination.
+func TestRingAgreementAcrossConstructionOrder(t *testing.T) {
+	keys := testKeys(5000)
+	peers := peerNames(7)
+	forward := NewRing(0, peers...)
+	reversed := make([]string, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	backward := NewRing(0, reversed...)
+	for _, k := range keys {
+		if forward.Owner(k) != backward.Owner(k) {
+			t.Fatalf("construction order changed ownership")
+		}
+	}
+}
+
+// TestRingDegenerateCases: empty and single-member rings behave.
+func TestRingDegenerateCases(t *testing.T) {
+	empty := NewRing(0)
+	if got := empty.Owner(sha256.Sum256([]byte("x"))); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	solo := NewRing(0, "http://only:1", "http://only:1", "")
+	if solo.Size() != 1 {
+		t.Fatalf("duplicate/empty members not collapsed: size %d", solo.Size())
+	}
+	if got := solo.Owner(sha256.Sum256([]byte("x"))); got != "http://only:1" {
+		t.Fatalf("single-member ring owner = %q", got)
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakePeer is an httptest peer serving the two peer endpoints: health
+// (flippable) and artifact (returns its name + the requested source, so
+// tests can see exactly who served what).
+type fakePeer struct {
+	name    string
+	srv     *httptest.Server
+	healthy atomic.Bool
+	hits    atomic.Int64
+	lastKey atomic.Value // string: last PeerKeyHeader seen
+}
+
+func newFakePeer(t *testing.T, name string) *fakePeer {
+	t.Helper()
+	p := &fakePeer{name: name}
+	p.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc(PeerHealthPath, func(w http.ResponseWriter, r *http.Request) {
+		if !p.healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc(PeerArtifactPath, func(w http.ResponseWriter, r *http.Request) {
+		if !p.healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		p.lastKey.Store(r.Header.Get(PeerKeyHeader))
+		var req struct {
+			Source string `json:"source"`
+		}
+		body, _ := io.ReadAll(r.Body)
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		p.hits.Add(1)
+		fmt.Fprintf(w, "artifact:%s:%s", p.name, req.Source)
+	})
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// clusterOf builds one router ("self") plus n fake peers.
+func clusterOf(t *testing.T, n int, secret string) (*Router, []*fakePeer) {
+	t.Helper()
+	peers := make([]*fakePeer, n)
+	urls := make([]string, n)
+	for i := range peers {
+		peers[i] = newFakePeer(t, fmt.Sprintf("peer%d", i))
+		urls[i] = peers[i].srv.URL
+	}
+	r, err := New(Config{Self: "http://self.invalid:0", Peers: urls, Secret: secret})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(r.Stop)
+	return r, peers
+}
+
+// TestRouterFetchRoutesToOwner: every fetch lands on the ring owner, the
+// shared secret travels with it, and the returned bytes are the owner's
+// artifact.
+func TestRouterFetchRoutesToOwner(t *testing.T) {
+	r, peers := clusterOf(t, 3, "s3cret")
+	byURL := map[string]*fakePeer{}
+	for _, p := range peers {
+		byURL[p.srv.URL] = p
+	}
+	served := 0
+	for i := 0; i < 40; i++ {
+		src := fmt.Sprintf("int main() { return %d; }", i)
+		owner := r.Owner(src)
+		raw, err := r.FetchArtifact(src)
+		if owner == "http://self.invalid:0" {
+			if raw != nil || err != nil {
+				t.Fatalf("self-owned source returned (%v, %v), want (nil, nil)", raw, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("fetch from %s: %v", owner, err)
+		}
+		want := fmt.Sprintf("artifact:%s:%s", byURL[owner].name, src)
+		if string(raw) != want {
+			t.Fatalf("fetched %q, want %q", raw, want)
+		}
+		if got := byURL[owner].lastKey.Load(); got != "s3cret" {
+			t.Fatalf("peer saw secret %q, want s3cret", got)
+		}
+		served++
+	}
+	if served == 0 {
+		t.Fatal("no source hashed to a remote owner across 40 sources")
+	}
+	s := r.Stats()
+	if s.ForwardHits != int64(served) || s.ForwardErrors != 0 {
+		t.Fatalf("stats %+v, want %d hits, 0 errors", s, served)
+	}
+	if s.ForwardP50Ms <= 0 || s.ForwardP99Ms < s.ForwardP50Ms {
+		t.Fatalf("latency quantiles not recorded: %+v", s)
+	}
+}
+
+// TestRouterOwnerFailureFallsBack: a dead owner yields (nil, err) — the
+// cache's local-compile fallback — and after DownAfter consecutive
+// failures the peer leaves the ring, so later lookups for its keys remap
+// to surviving members and stop erroring.
+func TestRouterOwnerFailureFallsBack(t *testing.T) {
+	r, peers := clusterOf(t, 2, "")
+	// Find a source owned by peer 0.
+	victim := peers[0]
+	var src string
+	for i := 0; ; i++ {
+		s := fmt.Sprintf("int main() { return %d; }", i)
+		if r.Owner(s) == victim.srv.URL {
+			src = s
+			break
+		}
+	}
+	victim.healthy.Store(false)
+
+	sawError := false
+	for i := 0; i < DefaultDownAfter; i++ {
+		if _, err := r.FetchArtifact(src); err != nil {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Fatal("no fetch against the dead owner returned an error")
+	}
+	// The victim is now Down and out of the ring; its keys remapped.
+	if owner := r.Owner(src); owner == victim.srv.URL {
+		t.Fatalf("dead peer still owns keys after %d failures", DefaultDownAfter)
+	}
+	s := r.Stats()
+	if len(s.Peers) != 2 {
+		t.Fatalf("peer table has %d rows, want 2", len(s.Peers))
+	}
+	for _, pi := range s.Peers {
+		if pi.URL == victim.srv.URL {
+			if pi.State != "down" || pi.InRing {
+				t.Fatalf("victim row %+v, want state=down, out of ring", pi)
+			}
+		}
+	}
+
+	// Recovery: a successful probe returns the peer to the ring.
+	victim.healthy.Store(true)
+	r.ProbeNow()
+	if owner := r.Owner(src); owner != victim.srv.URL {
+		t.Fatalf("recovered peer did not regain its keys (owner %s)", owner)
+	}
+	if raw, err := r.FetchArtifact(src); err != nil || len(raw) == 0 {
+		t.Fatalf("fetch after recovery: (%q, %v)", raw, err)
+	}
+}
+
+// TestRouterHeartbeatStateMachine: probe outcomes walk a peer through
+// alive -> suspect -> down and back, with membership changing only at
+// the down boundary.
+func TestRouterHeartbeatStateMachine(t *testing.T) {
+	r, peers := clusterOf(t, 3, "")
+	target := peers[1]
+	ringBefore := r.Ring().Size()
+	if ringBefore != 4 { // self + 3
+		t.Fatalf("initial ring size %d, want 4", ringBefore)
+	}
+
+	target.healthy.Store(false)
+	r.ProbeNow() // one failure: suspect, still in the ring
+	s := r.Stats()
+	var row PeerInfo
+	for _, pi := range s.Peers {
+		if pi.URL == target.srv.URL {
+			row = pi
+		}
+	}
+	if row.State != "suspect" || !row.InRing {
+		t.Fatalf("after 1 failure: %+v, want suspect + in ring", row)
+	}
+	if r.Ring().Size() != 4 {
+		t.Fatalf("suspect peer left the ring")
+	}
+
+	for i := 1; i < DefaultDownAfter; i++ {
+		r.ProbeNow()
+	}
+	if r.Ring().Size() != 3 {
+		t.Fatalf("ring size %d after %d failures, want 3", r.Ring().Size(), DefaultDownAfter)
+	}
+
+	target.healthy.Store(true)
+	r.ProbeNow()
+	if r.Ring().Size() != 4 {
+		t.Fatalf("recovered peer not re-admitted (ring size %d)", r.Ring().Size())
+	}
+}
+
+// TestRouterSelfFilteredFromPeers: passing the full fleet list (self
+// included) to every node is the intended deployment shape; self must
+// not be probed or forwarded to.
+func TestRouterSelfFilteredFromPeers(t *testing.T) {
+	r, err := New(Config{Self: "http://a:1", Peers: []string{"http://a:1", "http://b:2", "http://b:2"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer r.Stop()
+	if n := r.Ring().Size(); n != 2 {
+		t.Fatalf("ring size %d, want 2 (self + b, deduped)", n)
+	}
+	s := r.Stats()
+	if len(s.Peers) != 1 || s.Peers[0].URL != "http://b:2" {
+		t.Fatalf("peer table %+v, want just b", s.Peers)
+	}
+}

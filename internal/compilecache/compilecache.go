@@ -54,6 +54,17 @@ type Config struct {
 	// its engine pool so compilation concurrency is bounded alongside run
 	// concurrency; tests use it to count invocations.
 	Compile func(string) (*core.Compilation, error)
+	// Fetch, when non-nil, is consulted on a miss after the disk level and
+	// before compiling: the cluster router uses it to pull the encoded
+	// artifact from the consistent-hash owner of the source. The contract:
+	// (bytes, nil) is a peer artifact (checksum-verified here, then
+	// adopted into the memory and disk levels); (nil, nil) means no fetch
+	// applies — this node owns the source, or no cluster is configured —
+	// and is not counted; (nil, err) means a fetch was attempted and
+	// failed (counted under PeerErrors) and the miss falls back to a local
+	// compile, so an unreachable owner degrades to single-node behaviour,
+	// never to an error.
+	Fetch func(src string) ([]byte, error)
 }
 
 func (cfg Config) maxEntries() int {
@@ -85,14 +96,49 @@ type Stats struct {
 	// Entries and Bytes are the current footprint.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// Compiles counts misses that actually ran a local compile — misses
+	// answered by the disk level or a peer fetch are excluded. Across a
+	// cluster, the sum of every peer's Compiles for one source is exactly
+	// 1: that is the cross-node singleflight contract.
+	Compiles int64 `json:"compiles,omitempty"`
 	// Disk-level counters (all zero when Config.Dir is unset). DiskHits
 	// counts misses answered by reloading an artifact instead of
 	// compiling; DiskWrites counts artifacts persisted; DiskErrors counts
 	// damaged or unwritable artifacts (each such miss fell back to a
-	// compile, so correctness is unaffected).
-	DiskHits   int64 `json:"disk_hits,omitempty"`
-	DiskWrites int64 `json:"disk_writes,omitempty"`
-	DiskErrors int64 `json:"disk_errors,omitempty"`
+	// compile, so correctness is unaffected). DiskAdoptions counts the
+	// subset of DiskHits whose artifact this instance never wrote — work
+	// inherited from another process sharing the directory.
+	DiskHits      int64 `json:"disk_hits,omitempty"`
+	DiskWrites    int64 `json:"disk_writes,omitempty"`
+	DiskErrors    int64 `json:"disk_errors,omitempty"`
+	DiskAdoptions int64 `json:"disk_adoptions,omitempty"`
+	// Peer-level counters (all zero when Config.Fetch is unset). PeerHits
+	// counts misses answered by an artifact fetched from the cluster
+	// owner; PeerErrors counts attempted fetches that failed or returned
+	// a damaged artifact (each fell back to a local compile).
+	PeerHits   int64 `json:"peer_hits,omitempty"`
+	PeerErrors int64 `json:"peer_errors,omitempty"`
+}
+
+// NoteHit records a lookup answered by a cache layered above this one
+// (the service's program-handle table). Counting those hits here keeps
+// Hits+Misses equal to the total compile lookups the process served, so
+// metrics-derived share rates describe request traffic, not just the
+// fraction that fell through to this level.
+func (c *Cache) NoteHit() {
+	c.mu.Lock()
+	c.stats.Hits++
+	c.mu.Unlock()
+}
+
+// ClusterShareRate is the fraction of storage misses the logical cluster
+// cache answered without a local compile — via the persistent disk level
+// or a peer fetch. 0 when the cache never missed.
+func (s Stats) ClusterShareRate() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.DiskHits+s.PeerHits) / float64(s.Misses)
 }
 
 // HitRate is hits / (hits + misses), 0 when the cache is untouched.
@@ -130,6 +176,11 @@ type Cache struct {
 	bytes   int64
 	stats   Stats
 
+	// written records which artifact files this instance has produced, so
+	// a disk hit on a file some *other* process wrote is distinguishable
+	// (DiskAdoptions) from reloading our own work after eviction.
+	written map[key]bool
+
 	// compile is core.Compile, injectable so tests can count invocations
 	// and stall flights.
 	compile func(string) (*core.Compilation, error)
@@ -146,6 +197,7 @@ func New(cfg Config) *Cache {
 		entries: make(map[key]*entry),
 		lru:     list.New(),
 		flights: make(map[key]*flight),
+		written: make(map[key]bool),
 		compile: core.Compile,
 	}
 	if cfg.Compile != nil {
@@ -166,7 +218,24 @@ func New(cfg Config) *Cache {
 // number of concurrent Gets for the same source run exactly one compile;
 // the rest block until it finishes and share the result. A compile error
 // is returned to every waiter but not cached, so a later Get retries.
+// When Config.Fetch is set, a miss that the disk level cannot answer may
+// be filled by a peer artifact instead of a local compile.
 func (c *Cache) Get(src string) (*core.Compilation, error) {
+	return c.get(src, true)
+}
+
+// GetLocal is Get without the peer-fetch hook: a storage miss goes
+// straight from the disk level to a local compile. The cluster's
+// peer-artifact endpoint serves requests through this path, so two peers
+// with momentarily divergent ring views can never forward a source back
+// and forth — the forwarded request terminates at one hop. A GetLocal
+// that joins an in-flight Get (or vice versa) shares that flight's
+// result; the first arrival decides whether the flight may fetch.
+func (c *Cache) GetLocal(src string) (*core.Compilation, error) {
+	return c.get(src, false)
+}
+
+func (c *Cache) get(src string, allowFetch bool) (*core.Compilation, error) {
 	k := key(sha256.Sum256([]byte(src)))
 
 	c.mu.Lock()
@@ -188,12 +257,19 @@ func (c *Cache) Get(src string) (*core.Compilation, error) {
 	c.mu.Unlock()
 
 	// Inside the flight — concurrent Gets for the same source dedupe onto
-	// this path whether it is answered from disk or by compiling.
-	fromDisk := false
+	// this path whether it is answered from disk, from a peer, or by
+	// compiling.
+	fromDisk, fromPeer := false, false
 	if c.cfg.Dir != "" {
 		f.c, fromDisk = c.loadDisk(k)
 	}
-	if !fromDisk {
+	if !fromDisk && allowFetch && c.cfg.Fetch != nil {
+		f.c, fromPeer = c.fetchPeer(k, src)
+	}
+	if !fromDisk && !fromPeer {
+		c.mu.Lock()
+		c.stats.Compiles++
+		c.mu.Unlock()
 		f.c, f.err = c.compile(src)
 	}
 	close(f.done)
@@ -204,10 +280,58 @@ func (c *Cache) Get(src string) (*core.Compilation, error) {
 		c.insert(k, src, f.c)
 	}
 	c.mu.Unlock()
-	if f.err == nil && !fromDisk && c.cfg.Dir != "" {
+	if f.err == nil && !fromDisk && !fromPeer && c.cfg.Dir != "" {
 		c.storeDisk(k, f.c)
 	}
 	return f.c, f.err
+}
+
+// fetchPeer asks the configured Fetch hook for a peer artifact and, on
+// success, adopts it: the decoded compilation fills this flight, and the
+// verified bytes land in the local disk level so warm instrumented images
+// propagate through the ring — the next restart (or a sibling process)
+// reloads them without contacting anyone.
+func (c *Cache) fetchPeer(k key, src string) (*core.Compilation, bool) {
+	raw, err := c.cfg.Fetch(src)
+	if err == nil && raw == nil {
+		return nil, false // no fetch applies (local owner); not counted
+	}
+	if err == nil {
+		var comp *core.Compilation
+		if comp, err = decodeArtifact(raw); err == nil {
+			c.mu.Lock()
+			c.stats.PeerHits++
+			c.mu.Unlock()
+			if c.cfg.Dir != "" {
+				c.writeArtifact(k, raw)
+			}
+			return comp, true
+		}
+	}
+	c.mu.Lock()
+	c.stats.PeerErrors++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Artifact returns the encoded artifact bytes for src, compiling (and
+// persisting, when the disk level is enabled) on first sight — the owner
+// side of a peer transfer. The fast path reuses the artifact file the
+// compile just wrote; a memory-only cache encodes on demand. Peer-fetch
+// is never consulted: the artifact endpoint must terminate forwarding.
+func (c *Cache) Artifact(src string) ([]byte, error) {
+	comp, err := c.GetLocal(src)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Dir != "" {
+		k := key(sha256.Sum256([]byte(src)))
+		if raw, err := os.ReadFile(c.artifactPath(k)); err == nil &&
+			len(raw) >= 40 && [8]byte(raw[:8]) == artifactMagic {
+			return raw, nil
+		}
+	}
+	return EncodeArtifact(comp)
 }
 
 // insert stores a freshly compiled entry at the LRU front and evicts from

@@ -1,39 +1,34 @@
 // Disk level of the compile cache: content-addressed artifact files that
-// survive daemon restarts. An artifact stores the lowered mir.Program in
-// the versioned codec format; reload skips the whole frontend (parse,
-// typecheck, lower) and reruns only the deterministic STI analysis, so a
-// cold-started daemon serves warm compile hits bit-identically to the
-// process that wrote the artifact — same type-table IDs, same PAC
-// modifiers, same modelled numbers.
-//
-// Artifact layout (all integrity-checked on load):
-//
-//	offset  size  contents
-//	0       8     magic "RSTIART\x01" (format version in the last byte)
-//	8       32    sha256 of the payload
-//	40      —     payload: gob programDTO (mir.EncodeProgram)
+// survive daemon restarts and travel between cluster peers. An artifact
+// stores the lowered base program plus one instrumented-program section
+// per standard build flavor (see artifact.go for the format); reload
+// skips the whole frontend (parse, typecheck, lower), every
+// instrumentation pass, and every predecode, so a cold-started daemon
+// serves its first run bit-identically to the process that wrote the
+// artifact — same type-table IDs, same PAC modifiers, same modelled
+// numbers — with zero instrumentation latency.
 //
 // Files are named <sha256-of-source-hex>.rsti and written via
 // write-to-temp + atomic rename, so a crashed writer can never leave a
-// half-written artifact under the content-addressed name. Any validation
-// failure — bad magic, checksum mismatch, codec version skew, a program
-// that fails Verify — is treated as a miss: the source recompiles and the
-// artifact is rewritten. Corruption can cost a compile, never correctness.
+// half-written artifact under the content-addressed name, and two
+// processes sharing one directory (two daemons, or a daemon restarting
+// over a live sibling) converge on identical bytes without coordination:
+// whoever renames last wins, and both renames carry the same
+// content-addressed payload. Any validation failure — bad magic,
+// checksum mismatch, codec version skew, a program that fails Verify —
+// is treated as a miss: the source recompiles and the artifact is
+// rewritten. Corruption can cost a compile, never correctness.
 package compilecache
 
 import (
-	"bytes"
-	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"os"
 	"path/filepath"
 
 	"rsti/internal/core"
-	"rsti/internal/mir"
 )
 
-var artifactMagic = [8]byte{'R', 'S', 'T', 'I', 'A', 'R', 'T', 1}
+var artifactMagic = [8]byte{'R', 'S', 'T', 'I', 'A', 'R', 'T', 2}
 
 const artifactExt = ".rsti"
 
@@ -64,7 +59,11 @@ func (c *Cache) sweepTemps() {
 // loadDisk tries to reconstitute the compilation for k from its artifact
 // file. It returns (nil, false) for any failure — missing file, damaged
 // artifact, version skew — after counting it appropriately; the caller
-// falls back to compiling.
+// falls back to compiling. A successful load of an artifact this instance
+// never wrote is additionally counted as a DiskAdoption: the artifact was
+// produced by another process (an earlier daemon, a sibling sharing the
+// directory, or a peer fetch persisted before a restart) and this
+// instance is inheriting its instrumentation work.
 func (c *Cache) loadDisk(k key) (*core.Compilation, bool) {
 	raw, err := os.ReadFile(c.artifactPath(k))
 	if err != nil {
@@ -76,41 +75,35 @@ func (c *Cache) loadDisk(k key) (*core.Compilation, bool) {
 		c.stats.DiskErrors++
 	} else {
 		c.stats.DiskHits++
+		if !c.written[k] {
+			c.stats.DiskAdoptions++
+		}
 	}
 	c.mu.Unlock()
 	return comp, err == nil
 }
 
-func decodeArtifact(raw []byte) (*core.Compilation, error) {
-	if len(raw) < 40 || [8]byte(raw[:8]) != artifactMagic {
-		return nil, fmt.Errorf("compilecache: bad artifact header")
-	}
-	payload := raw[40:]
-	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], raw[8:40]) {
-		return nil, fmt.Errorf("compilecache: artifact checksum mismatch")
-	}
-	prog, err := mir.DecodeProgram(bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
-	}
-	return core.FromProgram(prog)
-}
-
-// storeDisk writes the artifact for k. Failures are counted, not
-// returned: persistence is an optimization, and the in-memory entry the
-// caller just inserted already serves this process.
+// storeDisk encodes comp (building any not-yet-built flavor sections) and
+// writes its artifact. Failures are counted, not returned: persistence is
+// an optimization, and the in-memory entry the caller just inserted
+// already serves this process.
 func (c *Cache) storeDisk(k key, comp *core.Compilation) {
-	var payload bytes.Buffer
-	if err := mir.EncodeProgram(&payload, comp.Prog); err != nil {
+	buf, err := EncodeArtifact(comp)
+	if err != nil {
 		c.diskError()
 		return
 	}
-	sum := sha256.Sum256(payload.Bytes())
-	buf := make([]byte, 0, 40+payload.Len())
-	buf = append(buf, artifactMagic[:]...)
-	buf = append(buf, sum[:]...)
-	buf = append(buf, payload.Bytes()...)
+	c.writeArtifact(k, buf)
+}
 
+// writeArtifact lands pre-encoded artifact bytes (a fresh local encode or
+// a checksum-verified peer transfer) under k's content-addressed name via
+// write-to-temp + atomic rename. Concurrent writers — racing goroutines,
+// or separate processes sharing the directory — are idempotent: every
+// writer renames a complete file holding the same deterministic content,
+// so a reader never observes a torn artifact and the last rename simply
+// replaces equal bytes.
+func (c *Cache) writeArtifact(k key, buf []byte) {
 	final := c.artifactPath(k)
 	tmp, err := os.CreateTemp(c.cfg.Dir, "tmp-*"+artifactExt)
 	if err != nil {
@@ -131,6 +124,7 @@ func (c *Cache) storeDisk(k key, comp *core.Compilation) {
 	}
 	c.mu.Lock()
 	c.stats.DiskWrites++
+	c.written[k] = true
 	c.mu.Unlock()
 }
 

@@ -298,6 +298,54 @@ func (c *Compilation) BuildMode(mech sti.Mechanism, optimized bool) (*Build, err
 	return cl.b, cl.err
 }
 
+// BuildFlavor names one entry of the standard build matrix: a mechanism
+// plus whether the PAC elision optimizer processes it. Disk artifacts
+// persist one instrumented-program section per flavor, so a cold restart
+// can serve any (mechanism, optimizer) request without instrumenting.
+type BuildFlavor struct {
+	Mech      sti.Mechanism
+	Optimized bool
+}
+
+// StandardFlavors is the build matrix the persistent artifact format
+// covers: every mechanism in both optimizer modes, except the
+// uninstrumented baseline whose optimized build is its unoptimized one
+// (BuildMode folds them). The execution tier is not a flavor — tier 0 and
+// tier 1 share one instrumented program and differ only in which shared
+// image cell dispatches it.
+func StandardFlavors() []BuildFlavor {
+	mechs := []sti.Mechanism{sti.None, sti.PARTS, sti.STWC, sti.STC, sti.STL, sti.Adaptive}
+	out := make([]BuildFlavor, 0, 2*len(mechs)-1)
+	for _, m := range mechs {
+		out = append(out, BuildFlavor{Mech: m})
+		if m != sti.None {
+			out = append(out, BuildFlavor{Mech: m, Optimized: true})
+		}
+	}
+	return out
+}
+
+// SeedBuild installs a pre-instrumented build — typically decoded from a
+// disk artifact's flavor section — into the compilation's once-cell for
+// (mech, optimized). It reports whether the seed took: false means the
+// cell was already populated (a racing Build got there first), and the
+// existing build wins so every caller keeps seeing one shared image.
+// Seeded cells satisfy later Build/BuildMode calls without running
+// instrumentation, which is the cluster cold-start contract: a restarted
+// daemon's first run must cost zero instrument passes.
+func (c *Compilation) SeedBuild(mech sti.Mechanism, optimized bool, b *Build) bool {
+	if mech == sti.None {
+		optimized = false
+	}
+	cl := c.cell(buildKey{mech: mech, optimized: optimized})
+	seeded := false
+	cl.once.Do(func() {
+		cl.b = b
+		seeded = true
+	})
+	return seeded
+}
+
 // BuildAll instruments the program under every requested mechanism
 // concurrently, returning builds in mechanism order. The first failure
 // (by request order) is returned.

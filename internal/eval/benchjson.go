@@ -37,13 +37,17 @@ type BenchRecord struct {
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
 
-	// Host-side throughput.
-	QarmaEncryptNsPerOp     float64            `json:"qarma_encrypt_ns_per_op"`
-	PACSignWarmNsPerOp      float64            `json:"pac_sign_warm_ns_per_op"`
-	PipelineStageNsPerOp    map[string]float64 `json:"pipeline_stage_ns_per_op"`
-	InterpreterInstrsPerSec float64            `json:"interpreter_instrs_per_sec"`
-	PACCacheHitRate         float64            `json:"pac_cache_hit_rate"`
-	Figure9WallSeconds      float64            `json:"figure9_wall_seconds"`
+	// Host-side throughput. All micro-benchmark fields are omitempty:
+	// records written by load- or security-only passes (rstiload,
+	// rstibench -secjson) legitimately never measure them, and a zero in
+	// the trajectory must read as "not measured", not "infinitely fast" —
+	// the regression guard walks back past such records per metric.
+	QarmaEncryptNsPerOp     float64            `json:"qarma_encrypt_ns_per_op,omitempty"`
+	PACSignWarmNsPerOp      float64            `json:"pac_sign_warm_ns_per_op,omitempty"`
+	PipelineStageNsPerOp    map[string]float64 `json:"pipeline_stage_ns_per_op,omitempty"`
+	InterpreterInstrsPerSec float64            `json:"interpreter_instrs_per_sec,omitempty"`
+	PACCacheHitRate         float64            `json:"pac_cache_hit_rate,omitempty"`
+	Figure9WallSeconds      float64            `json:"figure9_wall_seconds,omitempty"`
 
 	// Tiered execution: modelled instrs/s on the same interpreter workload
 	// with the profile-guided direct-threaded tier enabled, how many
@@ -90,9 +94,15 @@ type BenchRecord struct {
 	// not an isolated component.
 	LoadTest *LoadTestRecord `json:"load_test,omitempty"`
 
+	// Cluster load test: cmd/rstiload -cluster driving an N-peer fleet —
+	// cross-node cache sharing, forwarded-compile latency, and the
+	// cold-restart contract (first run from persisted artifacts with zero
+	// instrumentation, bit-identical modelled numbers).
+	ClusterLoad *ClusterLoadRecord `json:"cluster_load,omitempty"`
+
 	// Modelled invariants: host optimization must never move these.
-	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct"`
-	GoldenCycles      map[string]int64   `json:"golden_cycles"`
+	Figure9GeomeanPct map[string]float64 `json:"figure9_overall_geomean_pct,omitempty"`
+	GoldenCycles      map[string]int64   `json:"golden_cycles,omitempty"`
 }
 
 // modelledStats strips the host-side observability counters (cache
@@ -390,46 +400,60 @@ func ReadBenchRecords(path string) ([]BenchRecord, error) {
 	return records, nil
 }
 
-// TrajectoryWarnings compares a fresh record's pipeline-stage times
-// against the most recent prior record from the same host shape
-// (goos/goarch/cpu count — wall-clock comparisons across different hosts
-// are noise) and returns one warning line per stage that slowed down by
-// more than threshold (a fraction: 0.25 warns beyond +25%). Nil means
-// nothing regressed or there is no comparable prior record.
-func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float64) []string {
-	var prev *BenchRecord
+// lastWith walks the trajectory backwards for the most recent record
+// matching rec's host shape (goos/goarch/cpu count — wall-clock
+// comparisons across different hosts are noise) that also satisfies has:
+// "this record actually measured the metric in question". Records from
+// load- or security-only passes carry only their own section, so each
+// metric must find its own predecessor instead of comparing against a
+// neighbour's unset zeroes.
+func lastWith(records []BenchRecord, rec *BenchRecord, has func(*BenchRecord) bool) *BenchRecord {
 	for i := len(records) - 1; i >= 0; i-- {
 		r := &records[i]
-		if r.GOOS == rec.GOOS && r.GOARCH == rec.GOARCH && r.CPUs == rec.CPUs {
-			prev = r
-			break
+		if r.GOOS == rec.GOOS && r.GOARCH == rec.GOARCH && r.CPUs == rec.CPUs && has(r) {
+			return r
 		}
 	}
-	if prev == nil {
-		return nil
-	}
-	stages := make([]string, 0, len(rec.PipelineStageNsPerOp))
-	for st := range rec.PipelineStageNsPerOp {
-		stages = append(stages, st)
-	}
-	sort.Strings(stages)
+	return nil
+}
+
+// TrajectoryWarnings compares a fresh record's host-side measurements
+// against the most recent comparable prior datapoints and returns one
+// warning line per metric that regressed by more than threshold (a
+// fraction: 0.25 warns beyond +25%). Each metric walks back to the last
+// same-host record that actually measured it, so interleaved partial
+// records (a load-only rstiload datapoint, a security-only pass) neither
+// mask regressions nor fabricate them from unset zero fields. Nil means
+// nothing regressed or no metric had a comparable prior record.
+func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float64) []string {
 	var warns []string
-	for _, st := range stages {
-		now := rec.PipelineStageNsPerOp[st]
-		was, ok := prev.PipelineStageNsPerOp[st]
-		if !ok || was <= 0 {
-			continue
+	if prev := lastWith(records, rec, func(r *BenchRecord) bool {
+		return len(r.PipelineStageNsPerOp) > 0
+	}); prev != nil {
+		stages := make([]string, 0, len(rec.PipelineStageNsPerOp))
+		for st := range rec.PipelineStageNsPerOp {
+			stages = append(stages, st)
 		}
-		if now > was*(1+threshold) {
-			warns = append(warns, fmt.Sprintf(
-				"pipeline stage %q regressed %.0f%% vs %q: %.2f ms -> %.2f ms",
-				st, (now/was-1)*100, prev.Label, was/1e6, now/1e6))
+		sort.Strings(stages)
+		for _, st := range stages {
+			now := rec.PipelineStageNsPerOp[st]
+			was, ok := prev.PipelineStageNsPerOp[st]
+			if !ok || was <= 0 {
+				continue
+			}
+			if now > was*(1+threshold) {
+				warns = append(warns, fmt.Sprintf(
+					"pipeline stage %q regressed %.0f%% vs %q: %.2f ms -> %.2f ms",
+					st, (now/was-1)*100, prev.Label, was/1e6, now/1e6))
+			}
 		}
 	}
 	// Fused-dispatch throughput is a host-side hot path like the pipeline
 	// stages: a drop beyond threshold means the superinstruction fast path
 	// (or the interpreter around it) regressed.
-	if prev.PACDenseInstrsPerSec > 0 && rec.PACDenseInstrsPerSec > 0 &&
+	if prev := lastWith(records, rec, func(r *BenchRecord) bool {
+		return r.PACDenseInstrsPerSec > 0
+	}); prev != nil && rec.PACDenseInstrsPerSec > 0 &&
 		rec.PACDenseInstrsPerSec < prev.PACDenseInstrsPerSec*(1-threshold) {
 		warns = append(warns, fmt.Sprintf(
 			"pac-dense fused throughput regressed %.0f%% vs %q: %.1f -> %.1f M instrs/s",
@@ -440,7 +464,9 @@ func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float
 	// tier 1 exists only to be faster, so a drop beyond threshold means the
 	// closure chains, the batched accounting, or the promotion heuristic
 	// regressed.
-	if prev.TieredInstrsPerSec > 0 && rec.TieredInstrsPerSec > 0 &&
+	if prev := lastWith(records, rec, func(r *BenchRecord) bool {
+		return r.TieredInstrsPerSec > 0
+	}); prev != nil && rec.TieredInstrsPerSec > 0 &&
 		rec.TieredInstrsPerSec < prev.TieredInstrsPerSec*(1-threshold) {
 		warns = append(warns, fmt.Sprintf(
 			"tiered throughput regressed %.0f%% vs %q: %.1f -> %.1f M instrs/s",
@@ -450,33 +476,59 @@ func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float
 	// Service throughput: only comparable when the drive shape matches
 	// (same sessions/concurrency/workers), since throughput scales with
 	// all three.
-	if prev.LoadTest != nil && rec.LoadTest != nil &&
-		prev.LoadTest.Sessions == rec.LoadTest.Sessions &&
-		prev.LoadTest.Concurrency == rec.LoadTest.Concurrency &&
-		prev.LoadTest.Workers == rec.LoadTest.Workers &&
-		prev.LoadTest.RequestsPerSec > 0 &&
-		rec.LoadTest.RequestsPerSec < prev.LoadTest.RequestsPerSec*(1-threshold) {
-		warns = append(warns, fmt.Sprintf(
-			"service load-test throughput regressed %.0f%% vs %q: %.1f -> %.1f req/s",
-			(1-rec.LoadTest.RequestsPerSec/prev.LoadTest.RequestsPerSec)*100, prev.Label,
-			prev.LoadTest.RequestsPerSec, rec.LoadTest.RequestsPerSec))
+	if rec.LoadTest != nil {
+		prev := lastWith(records, rec, func(r *BenchRecord) bool {
+			return r.LoadTest != nil &&
+				r.LoadTest.Sessions == rec.LoadTest.Sessions &&
+				r.LoadTest.Concurrency == rec.LoadTest.Concurrency &&
+				r.LoadTest.Workers == rec.LoadTest.Workers &&
+				r.LoadTest.RequestsPerSec > 0
+		})
+		if prev != nil &&
+			rec.LoadTest.RequestsPerSec < prev.LoadTest.RequestsPerSec*(1-threshold) {
+			warns = append(warns, fmt.Sprintf(
+				"service load-test throughput regressed %.0f%% vs %q: %.1f -> %.1f req/s",
+				(1-rec.LoadTest.RequestsPerSec/prev.LoadTest.RequestsPerSec)*100, prev.Label,
+				prev.LoadTest.RequestsPerSec, rec.LoadTest.RequestsPerSec))
+		}
 	}
 	// Elision effectiveness is deterministic per build: a relative drop
 	// means the optimizer lost coverage, not host noise.
-	mechs := make([]string, 0, len(rec.PACOpsElidedPct))
-	for m := range rec.PACOpsElidedPct {
-		mechs = append(mechs, m)
-	}
-	sort.Strings(mechs)
-	for _, m := range mechs {
-		was, ok := prev.PACOpsElidedPct[m]
-		if !ok || was <= 0 {
-			continue
+	if prev := lastWith(records, rec, func(r *BenchRecord) bool {
+		return len(r.PACOpsElidedPct) > 0
+	}); prev != nil {
+		mechs := make([]string, 0, len(rec.PACOpsElidedPct))
+		for m := range rec.PACOpsElidedPct {
+			mechs = append(mechs, m)
 		}
-		if now := rec.PACOpsElidedPct[m]; now < was*(1-threshold) {
+		sort.Strings(mechs)
+		for _, m := range mechs {
+			was, ok := prev.PACOpsElidedPct[m]
+			if !ok || was <= 0 {
+				continue
+			}
+			if now := rec.PACOpsElidedPct[m]; now < was*(1-threshold) {
+				warns = append(warns, fmt.Sprintf(
+					"PAC elision under %s dropped from %.1f%% to %.1f%% of dynamic PAC ops vs %q",
+					m, was, now, prev.Label))
+			}
+		}
+	}
+	// Cluster cache sharing is deterministic for a fixed drive shape: a
+	// drop means the ring, the peer fetch path, or artifact adoption broke.
+	if rec.ClusterLoad != nil {
+		prev := lastWith(records, rec, func(r *BenchRecord) bool {
+			return r.ClusterLoad != nil &&
+				r.ClusterLoad.Peers == rec.ClusterLoad.Peers &&
+				r.ClusterLoad.Sessions == rec.ClusterLoad.Sessions &&
+				r.ClusterLoad.Programs == rec.ClusterLoad.Programs &&
+				r.ClusterLoad.CacheShareRate > 0
+		})
+		if prev != nil &&
+			rec.ClusterLoad.CacheShareRate < prev.ClusterLoad.CacheShareRate*(1-threshold) {
 			warns = append(warns, fmt.Sprintf(
-				"PAC elision under %s dropped from %.1f%% to %.1f%% of dynamic PAC ops vs %q",
-				m, was, now, prev.Label))
+				"cluster cache-share rate dropped from %.1f%% to %.1f%% vs %q",
+				prev.ClusterLoad.CacheShareRate*100, rec.ClusterLoad.CacheShareRate*100, prev.Label))
 		}
 	}
 	return warns

@@ -49,6 +49,69 @@ func TestTrajectoryWarningsFlagRegressions(t *testing.T) {
 	}
 }
 
+// TestTrajectoryWarningsWalkPastPartialRecords: records written by load-
+// or cluster-only passes carry no micro-benchmark fields; the guard must
+// compare each metric against the last record that measured it — a
+// partial record in between must neither mask a real regression (by
+// becoming the "previous" record with zero fields) nor fabricate one.
+func TestTrajectoryWarningsWalkPastPartialRecords(t *testing.T) {
+	full := stageRecord("full", "linux", 1, map[string]float64{"instrument": 500e3})
+	full.PACDenseInstrsPerSec = 100e6
+
+	loadOnly := BenchRecord{
+		Label: "load-only", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		LoadTest: &LoadTestRecord{Sessions: 10, Concurrency: 2, Workers: 2, RequestsPerSec: 50},
+	}
+	clusterOnly := BenchRecord{
+		Label: "cluster-only", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		ClusterLoad: &ClusterLoadRecord{Peers: 3, Sessions: 100, Programs: 8, CacheShareRate: 0.99},
+	}
+	history := []BenchRecord{full, loadOnly, clusterOnly}
+
+	// A regressed micro pass must be caught against "full", two records
+	// back, not silently compared against the partial records' zeroes.
+	regressed := stageRecord("now", "linux", 1, map[string]float64{"instrument": 700e3})
+	regressed.PACDenseInstrsPerSec = 60e6
+	warns := TrajectoryWarnings(history, &regressed, 0.25)
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want instrument + pac-dense vs %q", warns, "full")
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, `"full"`) {
+			t.Errorf("warning %q should compare against the full record", w)
+		}
+	}
+
+	// A fresh load-only record has every micro field unset: it must not
+	// warn about "regressing" from full's real numbers to zero.
+	freshLoad := BenchRecord{
+		Label: "load-2", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		LoadTest: &LoadTestRecord{Sessions: 10, Concurrency: 2, Workers: 2, RequestsPerSec: 49},
+	}
+	if warns := TrajectoryWarnings(history, &freshLoad, 0.25); len(warns) != 0 {
+		t.Errorf("partial record fabricated warnings: %v", warns)
+	}
+
+	// The load-test metric itself still compares across the gap, against
+	// the matching-shape load-only record.
+	slowLoad := freshLoad
+	slowLoad.LoadTest = &LoadTestRecord{Sessions: 10, Concurrency: 2, Workers: 2, RequestsPerSec: 10}
+	warns = TrajectoryWarnings(history, &slowLoad, 0.25)
+	if len(warns) != 1 || !strings.Contains(warns[0], `"load-only"`) {
+		t.Fatalf("load regression warnings = %v, want one vs %q", warns, "load-only")
+	}
+
+	// Same for the cluster cache-share rate.
+	brokenShare := BenchRecord{
+		Label: "cluster-2", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		ClusterLoad: &ClusterLoadRecord{Peers: 3, Sessions: 100, Programs: 8, CacheShareRate: 0.40},
+	}
+	warns = TrajectoryWarnings(history, &brokenShare, 0.25)
+	if len(warns) != 1 || !strings.Contains(warns[0], "cache-share") {
+		t.Fatalf("cluster regression warnings = %v, want one cache-share line", warns)
+	}
+}
+
 func TestReadAppendBenchRecordsRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 

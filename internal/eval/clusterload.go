@@ -1,0 +1,72 @@
+package eval
+
+import "fmt"
+
+// ClusterLoadRecord is the datapoint cmd/rstiload -cluster appends to
+// the benchmark trajectory: one mixed workload driven round-robin across
+// an N-peer rstid fleet, followed by a cold-restart pass over one peer's
+// persisted artifact directory. It captures the three cluster claims —
+// the fleet compiles each program once (cache-share rate), forwarding to
+// the ring owner is cheap (forward latency quantiles), and a restarted
+// peer serves its first runs from persisted predecoded artifacts with
+// zero instrumentation, bit-identically (cold-restart block).
+type ClusterLoadRecord struct {
+	// Drive shape.
+	Peers       int `json:"peers"`
+	Sessions    int `json:"sessions"`
+	Concurrency int `json:"concurrency"`
+	Programs    int `json:"programs"`
+
+	WallSeconds    float64 `json:"wall_seconds"`
+	Requests       int     `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	Errors         int     `json:"errors"`
+
+	// Fleet-wide compile accounting, summed over every peer's
+	// /v1/metrics. CacheShareRate = 1 - ClusterCompiles/ClusterLookups:
+	// the share of compile lookups the fleet served without running a
+	// compile (memory hits, disk hits, peer adoptions). RingServedShare
+	// narrows to cold lookups only: of the misses, how many were served
+	// by the disk level or a peer artifact instead of a compile.
+	ClusterLookups  int64   `json:"cluster_lookups"`
+	ClusterCompiles int64   `json:"cluster_compiles"`
+	CacheShareRate  float64 `json:"cache_share_rate"`
+	RingServedShare float64 `json:"ring_served_share"`
+
+	// Forwarded artifact fetches (non-owners adopting the owner's work)
+	// and their latency, from the routers' sample reservoirs.
+	ForwardedFetches int64   `json:"forwarded_fetches"`
+	ForwardErrors    int64   `json:"forward_errors,omitempty"`
+	ForwardP50Ms     float64 `json:"forward_p50_ms"`
+	ForwardP99Ms     float64 `json:"forward_p99_ms"`
+
+	// Cold restart: a fresh daemon over one peer's artifact directory,
+	// first-run latency over the warm working set, instrumentation passes
+	// the restarted process ran while serving the full
+	// {mechanism} x {optimizer} x {tier} matrix (the contract is zero),
+	// and whether every modelled number matched an independently compiled
+	// in-process reference bit-for-bit.
+	ColdRestartFirstRunMs       float64 `json:"cold_restart_first_run_ms"`
+	ColdRestartMatrixRuns       int     `json:"cold_restart_matrix_runs"`
+	ColdRestartInstrumentations int64   `json:"cold_restart_instrumentations"`
+	ColdRestartBitIdentical     bool    `json:"cold_restart_bit_identical"`
+}
+
+// Summary renders the record as a human-readable report.
+func (r *ClusterLoadRecord) Summary() string {
+	return fmt.Sprintf(
+		"cluster load test: %d peers, %d sessions x %d programs, concurrency %d\n"+
+			"  throughput:           %8.1f req/s (%d requests, %d errors, %.1f s)\n"+
+			"  cache-share rate:     %8.2f %% (%d compiles / %d lookups fleet-wide)\n"+
+			"  ring-served misses:   %8.2f %% (disk + peer artifacts)\n"+
+			"  forwarded fetches:    %8d (p50 %.2f ms, p99 %.2f ms, %d errors)\n"+
+			"  cold restart:         first run %.2f ms, %d matrix runs, "+
+			"%d instrumentations, bit-identical: %v",
+		r.Peers, r.Sessions, r.Programs, r.Concurrency,
+		r.RequestsPerSec, r.Requests, r.Errors, r.WallSeconds,
+		r.CacheShareRate*100, r.ClusterCompiles, r.ClusterLookups,
+		r.RingServedShare*100,
+		r.ForwardedFetches, r.ForwardP50Ms, r.ForwardP99Ms, r.ForwardErrors,
+		r.ColdRestartFirstRunMs, r.ColdRestartMatrixRuns,
+		r.ColdRestartInstrumentations, r.ColdRestartBitIdentical)
+}

@@ -45,6 +45,18 @@ import (
 	"rsti/internal/sti"
 )
 
+// instrumentCount counts real instrumentation passes process-wide (the
+// sti.None clone shortcut is excluded: it inserts nothing). It mirrors
+// vm.PredecodeCount one pipeline stage earlier: cold-restart tests pin it
+// flat to prove a daemon reloading persisted artifact sections never
+// re-instruments, and the service surfaces it under /v1/metrics so the
+// zero-instrumentation contract is observable over the wire.
+var instrumentCount atomic.Int64
+
+// InstrumentCount returns the number of instrumentation passes run so far
+// in this process.
+func InstrumentCount() int64 { return instrumentCount.Load() }
+
 // Stats counts the instrumentation the pass inserted (static site counts,
 // not dynamic executions — the VM's Stats counts executions).
 type Stats struct {
@@ -126,6 +138,7 @@ func InstrumentWithOptions(prog *mir.Program, an *sti.Analysis, mech sti.Mechani
 	if mech == sti.None {
 		return prog.Clone(), stats, nil
 	}
+	instrumentCount.Add(1)
 	// The pass re-emits every instruction into fresh arenas, so the
 	// protected program starts as a skeleton: cloning the source
 	// instruction arrays only to discard them would double the copy cost.

@@ -32,16 +32,19 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sync"
 	"time"
 
 	"rsti/internal/attack"
+	"rsti/internal/cluster"
 	"rsti/internal/compilecache"
 	"rsti/internal/core"
 	"rsti/internal/engine"
 	"rsti/internal/report"
+	"rsti/internal/rsti"
 	"rsti/internal/sti"
 	"rsti/internal/vm"
 )
@@ -75,6 +78,23 @@ type Config struct {
 	// the latest datapoint's security summary so an operator sees the
 	// served build's replay surface next to its runtime counters.
 	SecurityResults string
+
+	// Self, when non-empty alongside Peers, enables cluster mode: this
+	// node joins a consistent-hash ring with its peers, compiles only the
+	// sources it owns, and adopts peer artifacts for the rest (see
+	// internal/cluster). Self is this node's advertised base URL as peers
+	// reach it, e.g. "http://10.0.0.1:8080".
+	Self string
+	// Peers are the fleet's base URLs. Self may be included (every node
+	// can share one flag value); it is filtered out.
+	Peers []string
+	// PeerSecret, when non-empty, is required (via the X-RSTI-Peer-Key
+	// header) on the peer endpoints and attached to outgoing peer
+	// requests. Leave empty only on trusted networks.
+	PeerSecret string
+	// HeartbeatInterval is the peer-health probe period; 0 means 2s.
+	// Negative disables the background loop (tests drive ProbeNow).
+	HeartbeatInterval time.Duration
 }
 
 // Server wires the HTTP surface to one shared engine, the shared
@@ -84,10 +104,13 @@ type Config struct {
 // the engine pool too, so compilation concurrency is bounded alongside
 // run concurrency and a burst of distinct sources cannot starve the host.
 type Server struct {
-	eng   *engine.Engine
-	cache *compilecache.Cache
-	auth  *auth
-	mux   *http.ServeMux
+	eng    *engine.Engine
+	cache  *compilecache.Cache
+	auth   *auth
+	mux    *http.ServeMux
+	router *cluster.Router // nil outside cluster mode
+
+	peerSecret string
 
 	maxPrograms     int
 	securityResults string
@@ -114,18 +137,34 @@ func New(cfg Config) *Server {
 		eng:             engine.New(engine.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue}),
 		auth:            newAuth(cfg.Tenants),
 		mux:             http.NewServeMux(),
+		peerSecret:      cfg.PeerSecret,
 		maxPrograms:     cfg.MaxPrograms,
 		securityResults: cfg.SecurityResults,
 		programs:        make(map[string]*core.Compilation),
 		scenarios:       make(map[string]*attack.Scenario),
 		pacOps:          make(map[string]*pacOpMetrics),
 	}
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		interval := cfg.HeartbeatInterval
+		if interval == 0 {
+			interval = 2 * time.Second
+		} else if interval < 0 {
+			interval = 0 // tests drive health with ProbeNow
+		}
+		// Config.Self is non-empty, so cluster.New cannot fail.
+		s.router, _ = cluster.New(cluster.Config{
+			Self:              cfg.Self,
+			Peers:             cfg.Peers,
+			Secret:            cfg.PeerSecret,
+			HeartbeatInterval: interval,
+		})
+	}
 	// Compiles run inside the engine pool: identical sources still
 	// coalesce onto one flight in the cache, and that one flight occupies
 	// one bounded worker slot instead of an unbounded goroutine. The
 	// background context is deliberate — a singleflight result is shared
 	// by every waiter, so no single requester's disconnect may abort it.
-	s.cache = compilecache.New(compilecache.Config{
+	cacheCfg := compilecache.Config{
 		MaxEntries: cfg.MaxPrograms,
 		Dir:        cfg.CacheDir,
 		Compile: func(src string) (*core.Compilation, error) {
@@ -139,7 +178,15 @@ func New(cfg Config) *Server {
 			}
 			return c, cerr
 		},
-	})
+	}
+	if s.router != nil {
+		// In cluster mode a miss first asks the ring owner for its
+		// finished artifact; only self-owned sources (or owner failures)
+		// compile here. This is what makes the fleet pay each program's
+		// instrumentation once.
+		cacheCfg.Fetch = s.router.FetchArtifact
+	}
+	s.cache = compilecache.New(cacheCfg)
 	for _, sc := range attack.Scenarios() {
 		s.scenarios[sc.Name] = sc
 	}
@@ -161,6 +208,13 @@ func (s *Server) routes() {
 		{"GET /v1/attacks", s.handleAttackList, false},
 		{"GET /v1/metrics", s.handleMetrics, false},
 		{"GET /v1/healthz", s.handleHealthz, false},
+	}
+	// The peer surface mounts only in cluster mode, guarded by the shared
+	// secret rather than tenant auth: peers are infrastructure, not
+	// tenants, and the artifact endpoint must work when tenant auth is on.
+	if s.router != nil {
+		s.mux.HandleFunc("POST "+cluster.PeerArtifactPath, s.peerGuard(s.handlePeerArtifact))
+		s.mux.HandleFunc("GET "+cluster.PeerHealthPath, s.peerGuard(s.handlePeerHealth))
 	}
 	for _, rt := range v1 {
 		h := rt.h
@@ -235,7 +289,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close shuts the engine down: in-flight runs are cancelled at their next
 // interpreter checkpoint. Call http.Server.Shutdown first to drain
 // in-flight requests gracefully (see cmd/rstid).
-func (s *Server) Close() { s.eng.Close() }
+func (s *Server) Close() {
+	if s.router != nil {
+		s.router.Stop()
+	}
+	s.eng.Close()
+}
+
+// Router exposes the cluster router (nil outside cluster mode) for the
+// load harness and integration tests.
+func (s *Server) Router() *cluster.Router { return s.router }
 
 // Engine exposes the underlying engine (load harness and tests).
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -306,6 +369,9 @@ func (s *Server) compile(src string) (string, *core.Compilation, bool, error) {
 	s.mu.Lock()
 	if c, ok := s.programs[key]; ok {
 		s.mu.Unlock()
+		// The handle table is a cache level above the compile cache; count
+		// the hit there so metrics lookups reflect request traffic.
+		s.cache.NoteHit()
 		return key, c, true, nil
 	}
 	s.mu.Unlock()
@@ -695,6 +761,15 @@ type metricsResponse struct {
 	PACOps       map[string]pacOpMetrics `json:"pac_ops"`
 	Tier         tierMetrics             `json:"tier"`
 	Security     *securityMetrics        `json:"security,omitempty"`
+	// Cluster carries the ring/forwarding/peer-health snapshot; present
+	// only in cluster mode.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Instrumentations counts the instrumentation passes this process has
+	// run (excluding the uninstrumented baseline). A daemon cold-started
+	// over persisted version-2 artifacts serves its whole warm working set
+	// with this counter unchanged — the observable for the zero-
+	// instrumentation cold-start contract.
+	Instrumentations int64 `json:"instrumentations"`
 }
 
 // securityMetrics is the latest security-trajectory datapoint condensed
@@ -754,15 +829,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if st.Instrs > 0 {
 		tier.ThreadedShare = float64(st.ThreadedInstrs) / float64(st.Instrs)
 	}
-	writeJSON(w, http.StatusOK, metricsResponse{
-		Stats:        st,
-		CompileCache: s.cache.Stats(),
-		PACOps:       s.pacOpsSnapshot(),
-		Tier:         tier,
-		Security:     s.securitySnapshot(),
-	})
+	resp := metricsResponse{
+		Stats:            st,
+		CompileCache:     s.cache.Stats(),
+		PACOps:           s.pacOpsSnapshot(),
+		Tier:             tier,
+		Security:         s.securitySnapshot(),
+		Instrumentations: rsti.InstrumentCount(),
+	}
+	if s.router != nil {
+		cs := s.router.Stats()
+		resp.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	io.WriteString(w, "ok\n")
+	if s.router == nil {
+		io.WriteString(w, "ok\n")
+		return
+	}
+	// Cluster mode: the liveness line also summarizes ring membership, so
+	// `curl /v1/healthz` on any node shows fleet health at a glance.
+	cs := s.router.Stats()
+	down := 0
+	for _, p := range cs.Peers {
+		if p.State == "down" {
+			down++
+		}
+	}
+	fmt.Fprintf(w, "ok ring=%d peers=%d down=%d\n", cs.RingSize, len(cs.Peers), down)
 }
