@@ -22,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"runtime"
 	"strings"
 
@@ -40,6 +41,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer base URLs (may include -self)")
 	peerSecret := flag.String("peer-secret", "", "shared secret for peer endpoints (X-RSTI-Peer-Key)")
 	heartbeat := flag.Duration("heartbeat", 0, "peer health probe interval (0 = 2s)")
+	pprofAddr := flag.String("pprof", "",
+		"opt-in net/http/pprof listen address, e.g. localhost:6060 (empty = disabled; keep it loopback-only)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -69,6 +72,22 @@ func main() {
 
 	d := &service.Daemon{Server: service.New(cfg)}
 	done := d.HandleSignals()
+
+	// The profiler rides its own listener, never the tenant-facing port:
+	// heap and goroutine profiles expose daemon internals, so exposure is
+	// an explicit operator decision per address.
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rstid: pprof on %s", pl.Addr())
+		go func() {
+			if err := http.Serve(pl, service.PprofHandler()); err != nil {
+				log.Printf("rstid: pprof listener stopped: %v", err)
+			}
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -494,6 +494,9 @@ func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg Ru
 			limit = DefaultMaxOutputBytes
 		}
 		sink = &outputCapture{limit: limit}
+		if cfg.Worker != nil {
+			sink.buf = cfg.Worker.OutputBuffer()
+		}
 		cfg.Options.Output = sink
 	}
 	cfg.Options.Worker = cfg.Worker
@@ -510,7 +513,15 @@ func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg Ru
 	}
 	cfg.Options.Tier = tierOn
 	cfg.Options.Image = b.ImageFor(tierOn)
-	m := vm.New(b.Prog, cfg.Options)
+	// An engine worker's run reuses the worker's resident machine when the
+	// (image, config) shape matches — a Reset instead of a rebuild, so
+	// steady-state serving constructs nothing per run.
+	var m *vm.Machine
+	if cfg.Worker != nil {
+		m = cfg.Worker.MachineFor(b.Prog, cfg.Options)
+	} else {
+		m = vm.New(b.Prog, cfg.Options)
+	}
 	m.SetContext(ctx)
 	for id, h := range cfg.Hooks {
 		m.RegisterHook(id, h)
@@ -530,6 +541,9 @@ func (c *Compilation) RunContext(ctx context.Context, mech sti.Mechanism, cfg Ru
 	if sink != nil {
 		res.Output = sink.String()
 		res.OutputTruncated = sink.truncated
+		if cfg.Worker != nil {
+			cfg.Worker.StowOutputBuffer(sink.buf)
+		}
 	}
 	return res, nil
 }

@@ -94,6 +94,12 @@ type BenchRecord struct {
 	// not an isolated component.
 	LoadTest *LoadTestRecord `json:"load_test,omitempty"`
 
+	// Memory behaviour of the steady-state run path: allocations and
+	// bytes per Reset+Run (pinned at zero by the execution-core contract),
+	// the tier's budget, and GC activity. A pointer, not omitempty values:
+	// zero IS the healthy measurement, so absence must mean "not measured".
+	Mem *MemBenchRecord `json:"mem,omitempty"`
+
 	// Cluster load test: cmd/rstiload -cluster driving an N-peer fleet —
 	// cross-node cache sharing, forwarded-compile latency, and the
 	// cold-restart contract (first run from persisted artifacts with zero
@@ -366,6 +372,11 @@ func MeasureBenchTrajectory(label string) (*BenchRecord, error) {
 		rec.Figure9GeomeanPct[mech.String()] = g * 100
 	}
 
+	// Steady-state memory behaviour (allocations, bytes, GC pauses).
+	if rec.Mem, err = MeasureMemBench(); err != nil {
+		return nil, err
+	}
+
 	// Engine throughput sweep over worker counts, with per-run
 	// bit-identical verification against the sequential reference.
 	points, err := MeasureEngineThroughput([]int{1, 2, 4, 8})
@@ -514,6 +525,41 @@ func TrajectoryWarnings(records []BenchRecord, rec *BenchRecord, threshold float
 			}
 		}
 	}
+	// Steady-state memory behaviour: allocs/bytes per run are pinned at
+	// zero by the execution-core contract, so the walk-back is strict —
+	// against a zero baseline ANY reintroduced allocation warns (the
+	// threshold-scaled band around zero is zero), and against a nonzero
+	// baseline the usual +threshold band applies. GC pause only compares
+	// when the baseline actually saw collections; a first pause against a
+	// pause-free baseline is already caught by the alloc/bytes guards.
+	if rec.Mem != nil {
+		if prev := lastWith(records, rec, func(r *BenchRecord) bool {
+			return r.Mem != nil
+		}); prev != nil {
+			if rec.Mem.AllocsPerRun > prev.Mem.AllocsPerRun*(1+threshold) {
+				warns = append(warns, fmt.Sprintf(
+					"steady-state allocs/run regressed vs %q: %.2f -> %.2f",
+					prev.Label, prev.Mem.AllocsPerRun, rec.Mem.AllocsPerRun))
+			}
+			if rec.Mem.TierAllocsPerRun > prev.Mem.TierAllocsPerRun*(1+threshold) {
+				warns = append(warns, fmt.Sprintf(
+					"steady-state tier allocs/run regressed vs %q: %.2f -> %.2f",
+					prev.Label, prev.Mem.TierAllocsPerRun, rec.Mem.TierAllocsPerRun))
+			}
+			if rec.Mem.BytesPerRun > prev.Mem.BytesPerRun*(1+threshold) {
+				warns = append(warns, fmt.Sprintf(
+					"steady-state bytes/run regressed vs %q: %.1f -> %.1f",
+					prev.Label, prev.Mem.BytesPerRun, rec.Mem.BytesPerRun))
+			}
+			if prev.Mem.GCPauseP99Ns > 0 &&
+				rec.Mem.GCPauseP99Ns > prev.Mem.GCPauseP99Ns*(1+threshold) {
+				warns = append(warns, fmt.Sprintf(
+					"GC pause p99 regressed %.0f%% vs %q: %.0f µs -> %.0f µs",
+					(rec.Mem.GCPauseP99Ns/prev.Mem.GCPauseP99Ns-1)*100, prev.Label,
+					prev.Mem.GCPauseP99Ns/1e3, rec.Mem.GCPauseP99Ns/1e3))
+			}
+		}
+	}
 	// Cluster cache sharing is deterministic for a fixed drive shape: a
 	// drop means the ring, the peer fetch path, or artifact adoption broke.
 	if rec.ClusterLoad != nil {
@@ -587,6 +633,10 @@ func (r *BenchRecord) Summary() string {
 			r.PACOpsElidedPct[sti.STL.String()], r.PACOpsElidedPct[sti.Adaptive.String()],
 			r.PACDenseInstrsPerSec/1e6, r.PACDenseFusedShare*100)
 	}
+	mem := ""
+	if r.Mem != nil {
+		mem = "\n" + r.Mem.Summary()
+	}
 	load := ""
 	if r.LoadTest != nil {
 		load = "\n" + r.LoadTest.Summary()
@@ -617,5 +667,5 @@ func (r *BenchRecord) Summary() string {
 		r.Figure9WallSeconds,
 		r.Figure9GeomeanPct[sti.STWC.String()],
 		r.Figure9GeomeanPct[sti.STC.String()],
-		r.Figure9GeomeanPct[sti.STL.String()]) + tier + compile + eng + pac + load
+		r.Figure9GeomeanPct[sti.STL.String()]) + tier + compile + eng + pac + mem + load
 }

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureMemBenchZeroSteadyState runs the real measurement pass and
+// pins the execution-core contract where the trajectory records it: the
+// steady-state run path allocates nothing on either tier.
+func TestMeasureMemBenchZeroSteadyState(t *testing.T) {
+	rec, err := MeasureMemBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.AllocsPerRun != 0 {
+		t.Errorf("interpreter allocs/run = %.2f, want 0", rec.AllocsPerRun)
+	}
+	if rec.TierAllocsPerRun != 0 {
+		t.Errorf("tier allocs/run = %.2f, want 0", rec.TierAllocsPerRun)
+	}
+	if rec.Runs <= 0 {
+		t.Errorf("Runs = %d, want positive", rec.Runs)
+	}
+	if s := rec.Summary(); !strings.Contains(s, "steady-state allocs") {
+		t.Errorf("Summary() = %q, want the allocs line", s)
+	}
+}
+
+func memRecord(label string, allocs, tierAllocs, bytes, pause float64, gcs uint32) BenchRecord {
+	return BenchRecord{
+		Label: label, GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		Mem: &MemBenchRecord{
+			AllocsPerRun:     allocs,
+			TierAllocsPerRun: tierAllocs,
+			BytesPerRun:      bytes,
+			GCPauseP99Ns:     pause,
+			NumGC:            gcs,
+			Runs:             30,
+		},
+	}
+}
+
+// TestTrajectoryWarningsGuardMemFields: the mem section gets the same
+// walk-back guard as throughput — and because the healthy baseline is
+// exactly zero, ANY reintroduced steady-state allocation must warn.
+func TestTrajectoryWarningsGuardMemFields(t *testing.T) {
+	history := []BenchRecord{memRecord("zero", 0, 0, 0, 0, 0)}
+
+	// Bit-for-bit clean successor: quiet.
+	clean := memRecord("clean", 0, 0, 0, 0, 0)
+	if warns := TrajectoryWarnings(history, &clean, 0.25); len(warns) != 0 {
+		t.Errorf("clean mem record warned: %v", warns)
+	}
+
+	// One reintroduced allocation per run against a zero baseline warns,
+	// on both tiers, with the bytes it dragged in.
+	dirty := memRecord("dirty", 1, 2, 64, 0, 0)
+	warns := TrajectoryWarnings(history, &dirty, 0.25)
+	if len(warns) != 3 {
+		t.Fatalf("warnings = %v, want allocs + tier allocs + bytes", warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, `"zero"`) {
+			t.Errorf("warning %q should name the zero baseline", w)
+		}
+	}
+
+	// Against a nonzero baseline the usual threshold band applies.
+	history = []BenchRecord{memRecord("nonzero", 4, 2, 1000, 100e3, 3)}
+	within := memRecord("within", 4.5, 2.2, 1100, 110e3, 3)
+	if warns := TrajectoryWarnings(history, &within, 0.25); len(warns) != 0 {
+		t.Errorf("within-threshold mem record warned: %v", warns)
+	}
+	beyond := memRecord("beyond", 6, 3, 2000, 200e3, 9)
+	warns = TrajectoryWarnings(history, &beyond, 0.25)
+	if len(warns) != 4 {
+		t.Fatalf("warnings = %v, want allocs + tier + bytes + pause", warns)
+	}
+
+	// A mem-less record (load-only pass) neither warns nor masks: the next
+	// mem-carrying record still compares against the last one that
+	// measured.
+	history = append(history, BenchRecord{Label: "load-only", GOOS: "linux", GOARCH: "amd64", CPUs: 1})
+	warns = TrajectoryWarnings(history, &beyond, 0.25)
+	if len(warns) != 4 || !strings.Contains(warns[0], `"nonzero"`) {
+		t.Fatalf("walk-back past mem-less record failed: %v", warns)
+	}
+	noMem := BenchRecord{Label: "load-2", GOOS: "linux", GOARCH: "amd64", CPUs: 1}
+	if warns := TrajectoryWarnings(history, &noMem, 0.25); len(warns) != 0 {
+		t.Errorf("mem-less record fabricated warnings: %v", warns)
+	}
+}

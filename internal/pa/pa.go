@@ -92,12 +92,37 @@ func DefaultConfig() Config {
 // 32 bytes each → 128 KiB). Direct-mapped: a colliding (key, pointer,
 // modifier) triple simply evicts the previous resident, so the cache can
 // never change a result, only skip recomputing it.
-const pacCacheBits = 12
+//
+// The table is physically laid out as 2^pacShardBits cache-line-padded
+// shards of 2^pacEntryBits entries each. Units are single-goroutine
+// objects, but an engine pool runs many units — one per worker — and a
+// flat table made adjacent workers' hot entries and hit/miss counters
+// share cache lines across allocations; padding each shard (and its
+// counters) to a 64-byte multiple kills that false sharing. The index
+// split is a bijection on the same 12 hash bits the flat table used —
+// shard = idx>>pacEntryBits, entry = idx&(2^pacEntryBits-1) — so every
+// probe lands on the same logical slot as before and hit/miss totals are
+// bit-identical to the unsharded layout by construction.
+const (
+	pacCacheBits = 12
+	pacShardBits = 3
+	pacEntryBits = pacCacheBits - pacShardBits
+)
 
 type pacCacheEntry struct {
 	ptr, mod, pac uint64
 	key           uint8
 	used          bool
+}
+
+// pacShard is one padded slice of the memo table: 2^pacEntryBits 32-byte
+// entries plus this shard's own hit/miss counters, padded so the struct
+// is a multiple of 64 bytes and no two shards (or two units' counters)
+// ever share a line.
+type pacShard struct {
+	entries      [1 << pacEntryBits]pacCacheEntry
+	hits, misses uint64
+	_            [48]byte
 }
 
 // Unit is the PA "hardware": the key registers plus the PAC algorithm.
@@ -114,8 +139,7 @@ type Unit struct {
 	pacMask uint64 // the bits the PAC occupies
 	tagMask uint64 // TBI byte (0 when TBI is off)
 
-	cache        []pacCacheEntry
-	hits, misses uint64
+	shards *[1 << pacShardBits]pacShard
 }
 
 // NewUnit builds a PA unit with the given keys. Keys are generated and
@@ -139,7 +163,7 @@ func NewUnit(cfg Config, keys [NumKeys]Key) *Unit {
 	} else {
 		u.pacMask = ^u.vaMask
 	}
-	u.cache = make([]pacCacheEntry, 1<<pacCacheBits)
+	u.shards = new([1 << pacShardBits]pacShard)
 	return u
 }
 
@@ -165,10 +189,11 @@ func (u *Unit) pacFor(canonical uint64, k KeyID, modifier uint64) uint64 {
 	if pac, ok := u.probe(canonical, k, modifier); ok {
 		return pac
 	}
-	u.misses++
-	h := pacHash(canonical, k, modifier)
+	idx := pacHash(canonical, k, modifier) & (1<<pacCacheBits - 1)
+	sh := &u.shards[idx>>pacEntryBits]
+	sh.misses++
 	pac := u.ciphers[k].Encrypt(canonical, modifier) & u.pacMask
-	u.cache[h&(1<<pacCacheBits-1)] = pacCacheEntry{ptr: canonical, mod: modifier, pac: pac, key: uint8(k), used: true}
+	sh.entries[idx&(1<<pacEntryBits-1)] = pacCacheEntry{ptr: canonical, mod: modifier, pac: pac, key: uint8(k), used: true}
 	return pac
 }
 
@@ -184,17 +209,27 @@ func pacHash(canonical uint64, k KeyID, modifier uint64) uint64 {
 // count it exactly once). Keeping the miss accounting in one place is what
 // lets FastSign/FastAuth below stay bit-identical to Sign/Auth.
 func (u *Unit) probe(canonical uint64, k KeyID, modifier uint64) (uint64, bool) {
-	e := &u.cache[pacHash(canonical, k, modifier)&(1<<pacCacheBits-1)]
+	idx := pacHash(canonical, k, modifier) & (1<<pacCacheBits - 1)
+	sh := &u.shards[idx>>pacEntryBits]
+	e := &sh.entries[idx&(1<<pacEntryBits-1)]
 	if e.used && e.ptr == canonical && e.mod == modifier && e.key == uint8(k) {
-		u.hits++
+		sh.hits++
 		return e.pac, true
 	}
 	return 0, false
 }
 
 // CacheStats reports the PAC memoization cache's hit and miss counts since
-// construction.
-func (u *Unit) CacheStats() (hits, misses uint64) { return u.hits, u.misses }
+// construction, summed across shards. The sharded split is a bijection of
+// the flat table's index space, so these totals are bit-identical to what
+// the unsharded layout counted.
+func (u *Unit) CacheStats() (hits, misses uint64) {
+	for i := range u.shards {
+		hits += u.shards[i].hits
+		misses += u.shards[i].misses
+	}
+	return hits, misses
+}
 
 // Sign computes the PAC for ptr under key k and the 64-bit modifier, and
 // returns ptr with the PAC inserted in its top bits (the pac* instruction).

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsRuntimeBlock checks /v1/metrics carries the host-runtime
+// block: live heap, GC counters and goroutine count, present from the
+// first scrape and sane after real runs.
+func TestMetricsRuntimeBlock(t *testing.T) {
+	ts, _ := startServer(t)
+
+	var run runResponse
+	if code := post(t, ts.URL+"/v1/run",
+		runRequest{Source: victimSrc, Mechanism: "rsti-stc"}, &run); code != 200 {
+		t.Fatalf("run: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Runtime struct {
+			HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+			TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+			NumGC           uint32 `json:"num_gc"`
+			GCPauseP99Ns    uint64 `json:"gc_pause_p99_ns"`
+			Goroutines      int    `json:"goroutines"`
+		} `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	rt := m.Runtime
+	if rt.HeapAllocBytes == 0 || rt.TotalAllocBytes < rt.HeapAllocBytes {
+		t.Errorf("implausible heap accounting: %+v", rt)
+	}
+	if rt.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", rt.Goroutines)
+	}
+	if rt.NumGC == 0 && rt.GCPauseP99Ns != 0 {
+		t.Errorf("pause %d ns reported with zero collections", rt.GCPauseP99Ns)
+	}
+}
+
+// TestPprofHandler checks the opt-in profiler handler rstid mounts on its
+// -pprof listener: the index and the named profiles answer, and the
+// handler carries only debug routes (the API surface stays on the main
+// mux).
+func TestPprofHandler(t *testing.T) {
+	ts := httptest.NewServer(PprofHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") || !strings.Contains(string(body), "heap") {
+		t.Errorf("pprof index does not list the standard profiles:\n%s", body)
+	}
+
+	for _, name := range []string{"heap", "goroutine", "allocs"} {
+		r, err := http.Get(ts.URL + "/debug/pprof/" + name + "?debug=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != 200 {
+			t.Errorf("profile %q: status %d", name, r.StatusCode)
+		}
+	}
+
+	// No API route leaks onto the profiler listener.
+	r, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode == 200 {
+		t.Error("/v1/metrics answered on the pprof listener; API routes must stay off it")
+	}
+}

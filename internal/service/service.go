@@ -770,6 +770,11 @@ type metricsResponse struct {
 	// with this counter unchanged — the observable for the zero-
 	// instrumentation cold-start contract.
 	Instrumentations int64 `json:"instrumentations"`
+	// Runtime is the host process itself: live heap, GC pauses, goroutine
+	// count. The steady-state serving path allocates nothing per executed
+	// instruction, so an operator watching this block should see a flat
+	// heap and a quiet GC under load.
+	Runtime runtimeMetrics `json:"runtime"`
 }
 
 // securityMetrics is the latest security-trajectory datapoint condensed
@@ -836,6 +841,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Tier:             tier,
 		Security:         s.securitySnapshot(),
 		Instrumentations: rsti.InstrumentCount(),
+		Runtime:          readRuntimeMetrics(),
 	}
 	if s.router != nil {
 		cs := s.router.Stats()

@@ -1,0 +1,333 @@
+package vm
+
+import (
+	"testing"
+
+	"rsti/internal/cminor"
+	"rsti/internal/lower"
+	"rsti/internal/mir"
+	"rsti/internal/rsti"
+	"rsti/internal/sti"
+)
+
+// allocBenchSrc is a pointer-chasing workload chosen for what it does NOT
+// do on the host side: no printf (the formatting builtins allocate) and no
+// exit() (the exit sentinel allocates). It still exercises everything the
+// zero-allocation contract covers — struct field traffic through
+// authenticated pointers (the fused superinstructions and their
+// monomorphic site caches), bump allocation, calls deep enough to cycle
+// the frame pool.
+const allocBenchSrc = `
+struct node { int v; struct node *next; };
+
+int sum(struct node *p) {
+	int s = 0;
+	while (p != 0) {
+		s = s + p->v;
+		p = p->next;
+	}
+	return s;
+}
+
+int main(void) {
+	struct node *head = 0;
+	int i = 0;
+	while (i < 64) {
+		struct node *n = (struct node *)malloc(16);
+		n->v = i;
+		n->next = head;
+		head = n;
+		i = i + 1;
+	}
+	int r = 0;
+	int k = 0;
+	while (k < 200) {
+		r = r + sum(head);
+		k = k + 1;
+	}
+	return r & 255;
+}
+`
+
+// allocBenchProg lowers and STC-instruments the allocation workload, so
+// the measured run path includes pac/aut traffic and fused groups, not
+// just plain arithmetic.
+func allocBenchProg(t *testing.T) *mir.Program {
+	t.Helper()
+	f, err := cminor.Frontend(allocBenchSrc)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	prog, err := lower.Lower(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	inst, _, err := rsti.Instrument(prog, sti.Analyze(prog), sti.STC)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	return inst
+}
+
+// residentMachine builds a machine the way a steady-state engine worker
+// holds one: shared image, worker state, then one warmup run so every
+// pool (frames, arg scratch, tier bodies) reaches capacity.
+func residentMachine(t *testing.T, prog *mir.Program, tier bool) *Machine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Image = NewImage(prog)
+	opts.Tier = tier
+	opts.TierThreshold = testTierThreshold
+	m := New(prog, opts)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("warmup run: %v", err)
+	}
+	return m
+}
+
+// measureAllocs reports the average heap allocations of one steady-state
+// Reset+Run cycle and asserts every measured run reproduces the warmup
+// run's exit value and modelled stats bit-for-bit.
+func measureAllocs(t *testing.T, m *Machine) float64 {
+	t.Helper()
+	wantExit, wantStats := int64(-1), Stats{}
+	m.Reset()
+	if exit, err := m.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	} else {
+		wantExit, wantStats = exit, modelled(m.Stats)
+	}
+	return testing.AllocsPerRun(10, func() {
+		m.Reset()
+		exit, err := m.Run()
+		if err != nil {
+			t.Fatalf("measured run: %v", err)
+		}
+		if exit != wantExit {
+			t.Fatalf("measured run exit = %d, want %d", exit, wantExit)
+		}
+		if got := modelled(m.Stats); got != wantStats {
+			t.Fatalf("measured run modelled stats diverged:\n got %+v\nwant %+v", got, wantStats)
+		}
+	})
+}
+
+// TestAllocBudgetInterpreter pins the tentpole contract on the switch
+// interpreter: a steady-state Reset+Run of an instrumented workload
+// performs zero heap allocations.
+func TestAllocBudgetInterpreter(t *testing.T) {
+	m := residentMachine(t, allocBenchProg(t), false)
+	if n := measureAllocs(t, m); n != 0 {
+		t.Fatalf("interpreter steady-state Run allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestAllocBudgetTier pins the same contract on the direct-threaded tier:
+// after the warmup run promotes the hot functions, executing the compiled
+// closure chains allocates nothing.
+func TestAllocBudgetTier(t *testing.T) {
+	m := residentMachine(t, allocBenchProg(t), true)
+	if ts := m.img.TierStats(); ts.Promotions == 0 {
+		t.Fatalf("tier never promoted during warmup (threshold %d)", testTierThreshold)
+	}
+	if n := measureAllocs(t, m); n != 0 {
+		t.Fatalf("tier steady-state Run allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestAllocBudgetWorkerReuse pins the serving-side entry point: a
+// WorkerState that keeps getting the same (program, options) shape hands
+// back its resident machine, and the Reset+Run cycle it performs through
+// MachineFor allocates nothing once warm.
+func TestAllocBudgetWorkerReuse(t *testing.T) {
+	prog := allocBenchProg(t)
+	opts := DefaultOptions()
+	opts.Image = NewImage(prog)
+	ws := NewWorkerState()
+
+	m := ws.MachineFor(prog, opts)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("warmup run: %v", err)
+	}
+	if again := ws.MachineFor(prog, opts); again != m {
+		t.Fatalf("MachineFor rebuilt instead of reusing the resident machine")
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("second warmup run: %v", err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		mm := ws.MachineFor(prog, opts)
+		if _, err := mm.Run(); err != nil {
+			t.Fatalf("measured run: %v", err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("worker-reuse steady-state MachineFor+Run allocates %.1f times per run, want 0", n)
+	}
+
+	// A different shape must NOT reuse: the resident slot is keyed on
+	// everything that shapes a machine.
+	bigger := opts
+	bigger.HeapSize *= 2
+	if other := ws.MachineFor(prog, bigger); other == m {
+		t.Fatalf("MachineFor reused the resident machine across a config change")
+	}
+}
+
+// poisonByte is the sentinel the recycling tests smear over released
+// state. 0xA5 survives neither a correct zeroing nor a correct overwrite,
+// so any byte of it visible after re-acquisition is a leak.
+const poisonByte = 0xA5
+
+const poisonWord = 0xA5A5A5A5A5A5A5A5
+
+// TestFramePoisoning poisons every pooled frame between runs — registers,
+// vars scratch, stack watermark — and requires the next run to be
+// bit-identical to an unpoisoned one: frame recycling must never leak one
+// run's register contents into the next (multi-tenant isolation).
+func TestFramePoisoning(t *testing.T) {
+	prog := allocBenchProg(t)
+	m := residentMachine(t, prog, false)
+
+	m.Reset()
+	wantExit, err := m.Run()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	wantStats := modelled(m.Stats)
+
+	for round := 0; round < 3; round++ {
+		for _, fr := range m.ws.frames {
+			regs := fr.regs[:cap(fr.regs)]
+			for i := range regs {
+				regs[i] = poisonWord
+			}
+			vars := fr.vars[:cap(fr.vars)]
+			for i := range vars {
+				vars[i] = varSlot{vid: -1, addr: poisonWord}
+			}
+			fr.mark = poisonWord
+			fr.fn = nil
+		}
+		m.Reset()
+		exit, err := m.Run()
+		if err != nil {
+			t.Fatalf("round %d: run after frame poisoning: %v", round, err)
+		}
+		if exit != wantExit {
+			t.Fatalf("round %d: exit = %d, want %d — poisoned frame state leaked", round, exit, wantExit)
+		}
+		if got := modelled(m.Stats); got != wantStats {
+			t.Fatalf("round %d: modelled stats diverged after poisoning:\n got %+v\nwant %+v", round, got, wantStats)
+		}
+	}
+}
+
+// TestResetWipesPoisonedMemory models the nastiest tenant: an attack hook
+// with an arbitrary-write primitive pokes sentinel bytes far outside the
+// program's own allocations, then the machine is reset for the next run.
+// Every poisoned byte must be gone — heap, stack and globals read back
+// zero, string constants read back pristine — and the next run must be
+// bit-identical to a clean one.
+func TestResetWipesPoisonedMemory(t *testing.T) {
+	prog := allocBenchProg(t)
+	m := residentMachine(t, prog, false)
+
+	m.Reset()
+	wantExit, err := m.Run()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	wantStats := modelled(m.Stats)
+
+	// Poison through the attacker's own funnel (Poke routes through
+	// Store, so the write watermark sees it), at addresses far past
+	// anything the program touched.
+	m.Reset()
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("victim run: %v", err)
+	}
+	for _, addr := range []uint64{
+		HeapBase + uint64(len(m.Mem.segs[2].data)) - 8, // last heap word
+		StackBase + uint64(len(m.Mem.segs[3].data)) - 8,
+		GlobalsBase,
+	} {
+		if err := m.Mem.Poke(addr, poisonWord, 8); err != nil {
+			t.Fatalf("poke %#x: %v", addr, err)
+		}
+	}
+
+	m.Reset()
+	for si := range m.Mem.segs {
+		s := &m.Mem.segs[si]
+		if s.name == "strings" {
+			continue // checked against the constants below
+		}
+		for off, b := range s.data {
+			if b != 0 {
+				t.Fatalf("segment %s byte %#x = %#x after Reset, want 0", s.name, s.base+uint64(off), b)
+			}
+		}
+	}
+	for i, str := range prog.Strings {
+		b, err := m.Mem.Bytes(m.img.stringAddr[i], len(str)+1)
+		if err != nil {
+			t.Fatalf("string %d: %v", i, err)
+		}
+		if string(b[:len(str)]) != str || b[len(str)] != 0 {
+			t.Fatalf("string constant %d corrupted after Reset: %q", i, b)
+		}
+	}
+
+	exit, err := m.Run()
+	if err != nil {
+		t.Fatalf("run after poisoned Reset: %v", err)
+	}
+	if exit != wantExit {
+		t.Fatalf("exit = %d, want %d — poisoned memory leaked across Reset", exit, wantExit)
+	}
+	if got := modelled(m.Stats); got != wantStats {
+		t.Fatalf("modelled stats diverged after poisoned Reset:\n got %+v\nwant %+v", got, wantStats)
+	}
+}
+
+// BenchmarkSteadyStateRun is the -benchmem face of the allocation budget:
+// allocs/op must read 0 in the bench-smoke CI leg.
+func BenchmarkSteadyStateRun(b *testing.B) {
+	f, err := cminor.Frontend(allocBenchSrc)
+	if err != nil {
+		b.Fatalf("frontend: %v", err)
+	}
+	lowered, err := lower.Lower(f)
+	if err != nil {
+		b.Fatalf("lower: %v", err)
+	}
+	prog, _, err := rsti.Instrument(lowered, sti.Analyze(lowered), sti.STC)
+	if err != nil {
+		b.Fatalf("instrument: %v", err)
+	}
+	for _, tier := range []bool{false, true} {
+		name := "interp"
+		if tier {
+			name = "tier"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Image = NewImage(prog)
+			opts.Tier = tier
+			opts.TierThreshold = testTierThreshold
+			m := New(prog, opts)
+			if _, err := m.Run(); err != nil {
+				b.Fatalf("warmup: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				if _, err := m.Run(); err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,19 @@ var predecodeCount atomic.Int64
 // PredecodeCount returns the number of program images built so far.
 func PredecodeCount() int64 { return predecodeCount.Load() }
 
+// funcDec is one function's view into the image's flat predecode arena:
+// ops is the function's contiguous decInstr run, off its per-block offset
+// index (block i occupies ops[off[i]:off[i+1]], with len(Blocks)+1
+// entries). Both alias image-wide arenas — a funcDec is two slice
+// headers, nothing is copied per function or per block.
+type funcDec struct {
+	ops []decInstr
+	off []int32
+}
+
+// block returns block i's decoded instructions.
+func (fd funcDec) block(i int) []decInstr { return fd.ops[fd.off[i]:fd.off[i+1]] }
+
 // Image is the immutable execution image of one (post-optimization)
 // program: predecoded instruction metadata — including superinstruction
 // fusion marks — function entry tokens, and the static data layout.
@@ -27,14 +40,35 @@ func PredecodeCount() int64 { return predecodeCount.Load() }
 // the Image (behind internal atomics), so promotion happens once per
 // program no matter how many machines execute it concurrently.
 type Image struct {
-	prog       *mir.Program
-	dec        map[*mir.Func][][]decInstr
+	prog *mir.Program
+
+	// arena holds every non-extern function's predecoded instruction
+	// metadata in one contiguous allocation, blockOff the matching flat
+	// per-block offset index: one allocation each per image instead of
+	// one slice per block, so both execution tiers walk a single
+	// cache-friendly run of 16-byte records. dec maps a function to its
+	// view of the two arenas.
+	arena    []decInstr
+	blockOff []int32
+	dec      map[*mir.Func]funcDec
+
 	funcTok    map[string]uint64
 	tokFunc    map[uint64]*mir.Func
 	globalAddr []uint64
 	stringAddr []uint64
 	gsize      int
 	ssize      int
+
+	// maxRegs is the widest register file any function of the program
+	// needs — the frame pool's sizing watermark: register slices are
+	// allocated at this capacity once, so re-preparing a pooled frame for
+	// any callee never reallocates.
+	maxRegs int
+
+	// sites is the number of monomorphic access-cache slots predecode
+	// assigned (one per fused aut+…+access group); each Machine carries a
+	// sites-long table of last-resolved memory segments.
+	sites uint32
 
 	fused FuseCounts // static superinstruction groups marked by predecode
 
@@ -52,7 +86,7 @@ func NewImage(prog *mir.Program) *Image {
 		prog:    prog,
 		funcTok: make(map[string]uint64, len(prog.Funcs)),
 		tokFunc: make(map[uint64]*mir.Func, len(prog.Funcs)),
-		dec:     make(map[*mir.Func][][]decInstr, len(prog.Funcs)),
+		dec:     make(map[*mir.Func]funcDec, len(prog.Funcs)),
 	}
 
 	for _, g := range prog.Globals {
@@ -66,21 +100,54 @@ func NewImage(prog *mir.Program) *Image {
 		img.ssize += len(s) + 1
 	}
 
+	// Pass 1: size the flat arenas and the register watermark.
+	nInstr, nOff := 0, 0
+	for _, f := range prog.Funcs {
+		if f.NumRegs > img.maxRegs {
+			img.maxRegs = f.NumRegs
+		}
+		if f.Extern {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			nInstr += len(blk.Instrs)
+		}
+		nOff += len(f.Blocks) + 1
+	}
+	img.arena = make([]decInstr, nInstr)
+	img.blockOff = make([]int32, nOff)
+
+	// Pass 2: predecode each function into its contiguous slice.
+	iBase, oBase := 0, 0
 	for i, f := range prog.Funcs {
 		tok := uint64(FuncBase) + uint64(i)*FuncStride
 		img.funcTok[f.Name] = tok
 		img.tokFunc[tok] = f
-		if !f.Extern {
-			d, fc := predecode(f)
-			img.dec[f] = d
-			img.fused.add(fc)
+		if f.Extern {
+			continue
 		}
+		n := 0
+		for _, blk := range f.Blocks {
+			n += len(blk.Instrs)
+		}
+		fd := funcDec{
+			ops: img.arena[iBase : iBase+n : iBase+n],
+			off: img.blockOff[oBase : oBase+len(f.Blocks)+1 : oBase+len(f.Blocks)+1],
+		}
+		fc := predecodeInto(f, fd.ops, fd.off, &img.sites)
+		img.dec[f] = fd
+		img.fused.add(fc)
+		iBase += n
+		oBase += len(f.Blocks) + 1
 	}
 	return img
 }
 
 // Prog returns the program the image was built from.
 func (img *Image) Prog() *mir.Program { return img.prog }
+
+// MaxRegs returns the register-file watermark frame pools size from.
+func (img *Image) MaxRegs() int { return img.maxRegs }
 
 // FusedPairs reports the static number of adjacent aut+load and pac+store
 // pairs predecode marked for fused dispatch (the original two-instruction

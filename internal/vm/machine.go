@@ -118,6 +118,16 @@ type Machine struct {
 	ws  *WorkerState
 	img *Image
 
+	// sites is the inline monomorphic cache for the fused
+	// aut+(addr)+access superinstructions: one last-resolved memory
+	// segment per static fused access (slot assigned by predecode). A
+	// field access that keeps resolving into the same segment — the
+	// steady state of every pointer-chasing loop — skips the chunk-table
+	// walk and bounds-checks against the cached segment directly; a miss
+	// falls back to the full resolver and re-trains the slot. Per-machine
+	// mutable state sized by the image, allocated once at construction.
+	sites []*segment
+
 	// ctx, when non-nil, is polled at cancellation checkpoints in the
 	// step loop (every ctxCheckInterval steps).
 	ctx context.Context
@@ -226,27 +236,35 @@ func (c FuseCounts) Total() int {
 
 // decInstr is the predecoded per-instruction metadata: everything the
 // interpreter would otherwise recompute from *ctypes.Type on every
-// execution of the instruction.
+// execution of the instruction. Fits in 16 bytes so the image arena packs
+// four records per cache line.
 type decInstr struct {
 	aux  uint64   // Alloca: 8-byte-aligned slot size
+	site uint32   // fused access: monomorphic segment-cache slot (on the load/store)
 	size uint8    // Load/Store: access width in bytes
 	ext  extKind  // Load: extension mode; Store: extF32 marks a float32 narrow
 	fuse fuseKind // superinstruction mark on the pair's first instruction
 }
 
-// predecode builds the decInstr tables for every block of f and marks
-// superinstruction groups (fusion never crosses a block boundary:
-// adjacency is within one Instrs slice). Beyond the original aut+load /
-// pac+store pairs it matches the sequences instrumentation actually
-// emits on struct- and array-heavy code — the authenticated pointer is
-// usually offset by a fieldaddr/indexaddr before the access, so the
-// dominant shapes are aut;addr;load and aut;addr;store triples. Fusion
-// changes host dispatch only — every modelled number (steps, cycles,
-// per-op counts, trap attribution) is bit-identical to unfused execution.
-func predecode(f *mir.Func) (blocks [][]decInstr, counts FuseCounts) {
-	blocks = make([][]decInstr, len(f.Blocks))
+// predecodeInto fills f's slice of the image arena (ops, one contiguous
+// decInstr per instruction) and its block offset index (off,
+// len(Blocks)+1 entries) and marks superinstruction groups (fusion never
+// crosses a block boundary: adjacency is within one Instrs slice). Beyond
+// the original aut+load / pac+store pairs it matches the sequences
+// instrumentation actually emits on struct- and array-heavy code — the
+// authenticated pointer is usually offset by a fieldaddr/indexaddr before
+// the access, so the dominant shapes are aut;addr;load and aut;addr;store
+// triples. Each fused group's memory access is additionally assigned a
+// monomorphic segment-cache slot from *sites (on the access instruction's
+// decInstr). Fusion changes host dispatch only — every modelled number
+// (steps, cycles, per-op counts, trap attribution) is bit-identical to
+// unfused execution.
+func predecodeInto(f *mir.Func, ops []decInstr, off []int32, sites *uint32) (counts FuseCounts) {
+	pos := int32(0)
 	for bi, blk := range f.Blocks {
-		ds := make([]decInstr, len(blk.Instrs))
+		off[bi] = pos
+		ds := ops[pos : pos+int32(len(blk.Instrs))]
+		pos += int32(len(blk.Instrs))
 		for ii := range blk.Instrs {
 			in := &blk.Instrs[ii]
 			d := &ds[ii]
@@ -263,15 +281,21 @@ func predecode(f *mir.Func) (blocks [][]decInstr, counts FuseCounts) {
 				d.aux = uint64((in.Ty.Size() + 7) &^ 7)
 			}
 		}
+		site := func(ii int) {
+			ds[ii].site = *sites
+			*sites++
+		}
 		for ii := 0; ii+1 < len(blk.Instrs); ii++ {
 			in, next := &blk.Instrs[ii], &blk.Instrs[ii+1]
 			switch {
 			case in.Op == mir.PacAuth && next.Op == mir.Load && next.A == in.Dst:
 				ds[ii].fuse = fuseAuthLoad
 				counts.AuthLoads++
+				site(ii + 1)
 			case in.Op == mir.PacAuth && next.Op == mir.Store && next.A == in.Dst:
 				ds[ii].fuse = fuseAuthStore
 				counts.AuthStores++
+				site(ii + 1)
 			case in.Op == mir.PacAuth && (next.Op == mir.FieldAddr || next.Op == mir.IndexAddr) &&
 				next.A == in.Dst && ii+2 < len(blk.Instrs):
 				third := &blk.Instrs[ii+2]
@@ -279,18 +303,41 @@ func predecode(f *mir.Func) (blocks [][]decInstr, counts FuseCounts) {
 				case third.Op == mir.Load && third.A == next.Dst:
 					ds[ii].fuse = fuseAuthAddrLoad
 					counts.AuthAddrLoads++
+					site(ii + 2)
 					ii++ // the addr instruction is claimed by this group
 				case third.Op == mir.Store && third.A == next.Dst:
 					ds[ii].fuse = fuseAuthAddrStore
 					counts.AuthAddrStores++
+					site(ii + 2)
 					ii++
 				}
 			case in.Op == mir.PacSign && next.Op == mir.Store && next.B == in.Dst:
 				ds[ii].fuse = fuseSignStore
 				counts.SignStores++
+				site(ii + 1)
 			}
 		}
-		blocks[bi] = ds
+	}
+	off[len(f.Blocks)] = pos
+	return counts
+}
+
+// predecode builds a standalone per-block view of f's decoded
+// instructions. Image construction predecodes into the shared flat arena
+// via predecodeInto; this wrapper keeps the historical per-block shape
+// for tests that inspect a single function's marks.
+func predecode(f *mir.Func) (blocks [][]decInstr, counts FuseCounts) {
+	n := 0
+	for _, blk := range f.Blocks {
+		n += len(blk.Instrs)
+	}
+	ops := make([]decInstr, n)
+	off := make([]int32, len(f.Blocks)+1)
+	var sites uint32
+	counts = predecodeInto(f, ops, off, &sites)
+	blocks = make([][]decInstr, len(f.Blocks))
+	for bi := range f.Blocks {
+		blocks[bi] = ops[off[bi]:off[bi+1]]
 	}
 	return blocks, counts
 }
@@ -345,6 +392,9 @@ func New(prog *mir.Program, opts Options) *Machine {
 	m.pacHits0, m.pacMisses0 = m.Unit.CacheStats()
 	m.cycles = m.cost.cycleTable()
 	m.initClassPtrs()
+	if img.sites > 0 {
+		m.sites = make([]*segment, img.sites)
+	}
 	if opts.Tier {
 		m.tier = img.tierFor(opts.Cost)
 		m.tierThreshold = opts.TierThreshold
@@ -380,14 +430,117 @@ func (m *Machine) SetContext(ctx context.Context) {
 	m.ctx = ctx
 }
 
+// SetOutput redirects program output (nil restores the discard sink).
+// Reused machines get a fresh per-run writer this way instead of being
+// rebuilt around one.
+func (m *Machine) SetOutput(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	m.out = w
+}
+
+// Reset returns the machine to its just-constructed state without
+// allocating, so one machine can serve run after run of the same build:
+// every memory byte the previous run wrote is zeroed (segments track a
+// write watermark, so the wipe is proportional to what was actually
+// dirtied, and an attack hook's far poke is wiped as surely as a bump
+// allocation), string constants are restored, and all per-run counters,
+// hooks, externs and scratch state are cleared — a recycled arena never
+// leaks one run's register or memory contents into the next. The PA
+// unit's memo cache is deliberately kept warm (it can only skip
+// recomputing a PAC, never change one) and Stats re-bases on its
+// counters, so the next run still reports per-run deltas. The fused
+// superinstructions' monomorphic segment caches survive too: the memory
+// layout is identical across runs of one machine, so a trained site stays
+// correct. See WorkerState.MachineFor for the serving-side entry point
+// and the AllocBudget tests for the zero-allocation contract.
+func (m *Machine) Reset() {
+	for i := range m.Mem.segs {
+		s := &m.Mem.segs[i]
+		if s.hi > 0 {
+			clear(s.data[:s.hi])
+			s.hi = 0
+		}
+	}
+	for i, str := range m.Prog.Strings {
+		b, err := m.Mem.Bytes(m.img.stringAddr[i], len(str)+1)
+		if err != nil {
+			panic(err)
+		}
+		copy(b, str)
+		b[len(str)] = 0
+	}
+	m.Stats = Stats{}
+	m.steps = 0
+	m.scratchCount = 0
+	m.heapNext = HeapBase
+	m.stackNext = StackBase
+	m.frames = m.frames[:0]
+	m.exitCode = nil
+	m.tErr, m.tRet, m.segBatched = nil, 0, false
+	m.ctx = nil
+	clear(m.hooks)
+	clear(m.externs)
+	clear(m.ppMods)
+	m.pacHits0, m.pacMisses0 = m.Unit.CacheStats()
+}
+
+// monoLoad is the load half of the fused superinstructions' inline
+// monomorphic site cache (see Machine.sites): a trained site answers with
+// one bounds check against its cached segment; a miss resolves through
+// the chunk table and re-trains. Values and error text are exactly
+// Memory.Load's.
+func (m *Machine) monoLoad(site uint32, addr uint64, n int) (uint64, error) {
+	if s := m.sites[site]; s != nil && addr >= s.base && addr+uint64(n) <= s.base+uint64(len(s.data)) {
+		return loadLE(s.data[addr-s.base:], n), nil
+	}
+	s, off, err := m.Mem.find(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	m.sites[site] = s
+	return loadLE(s.data[off:], n), nil
+}
+
+// monoStore is monoLoad's store half; it also advances the segment's
+// write watermark the way Memory.Store does, so Reset wipes the write.
+func (m *Machine) monoStore(site uint32, addr uint64, v uint64, n int) error {
+	if s := m.sites[site]; s != nil && addr >= s.base && addr+uint64(n) <= s.base+uint64(len(s.data)) {
+		off := int(addr - s.base)
+		if end := off + n; end > s.hi {
+			s.hi = end
+		}
+		storeLE(s.data[off:], v, n)
+		return nil
+	}
+	s, off, err := m.Mem.find(addr, n)
+	if err != nil {
+		return err
+	}
+	m.sites[site] = s
+	if end := off + n; end > s.hi {
+		s.hi = end
+	}
+	storeLE(s.data[off:], v, n)
+	return nil
+}
+
 // getFrame takes a frame from the pool (or allocates one) and prepares it
 // for f: registers zeroed and sized, local-variable map emptied.
+//
+// Register files are sized from the image's max-regs watermark, not the
+// callee's NumRegs: one frame allocation covers every function of the
+// program, so steady-state frame reuse never reallocates regardless of
+// which callee draws the frame. The watermark check still guards the
+// pooled path — a WorkerState outlives one machine and may carry frames
+// sized by a smaller program's image.
 func (m *Machine) getFrame(f *mir.Func) *frame {
 	if n := len(m.ws.frames); n > 0 {
 		fr := m.ws.frames[n-1]
 		m.ws.frames = m.ws.frames[:n-1]
 		if cap(fr.regs) < f.NumRegs {
-			fr.regs = make([]uint64, f.NumRegs)
+			fr.regs = make([]uint64, m.regWatermark(f))[:f.NumRegs]
 		} else {
 			fr.regs = fr.regs[:f.NumRegs]
 			for i := range fr.regs {
@@ -401,9 +554,19 @@ func (m *Machine) getFrame(f *mir.Func) *frame {
 	}
 	return &frame{
 		fn:   f,
-		regs: make([]uint64, f.NumRegs),
+		regs: make([]uint64, m.regWatermark(f))[:f.NumRegs],
 		mark: m.stackNext,
 	}
+}
+
+// regWatermark returns the register-file capacity a new frame is built
+// with: the image watermark, floored by the immediate callee in case a
+// stale image ever under-reports.
+func (m *Machine) regWatermark(f *mir.Func) int {
+	if m.img.maxRegs >= f.NumRegs {
+		return m.img.maxRegs
+	}
+	return f.NumRegs
 }
 
 // RegisterHook installs an attack callback for __hook(id).
@@ -469,8 +632,16 @@ func (m *Machine) Run() (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("vm: program has no main")
 	}
-	args := make([]uint64, len(mainFn.Params))
-	ret, err := m.exec(mainFn, args)
+	// main's (zeroed) argument registers come off the shared scratch
+	// stack: the callee copies them into its frame before anything else
+	// pushes, so the watermark discipline holds and a steady-state run
+	// stays allocation-free.
+	base := len(m.ws.argScratch)
+	for range mainFn.Params {
+		m.ws.argScratch = append(m.ws.argScratch, 0)
+	}
+	ret, err := m.exec(mainFn, m.ws.argScratch[base:])
+	m.ws.argScratch = m.ws.argScratch[:base]
 	if m.exitCode != nil {
 		return *m.exitCode, nil
 	}
@@ -569,7 +740,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 
 	decoded := m.img.dec[f]
 	blk := f.Blocks[0]
-	dblk := decoded[0]
+	dblk := decoded.block(0)
 	if prof != nil {
 		if tf := m.noteBlock(prof, f, blk); tf != nil {
 			return m.runThreaded(tf, fr, 0)
@@ -712,7 +883,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 
 		case mir.Jmp:
 			blk = f.Blocks[in.Targets[0]]
-			dblk = decoded[blk.Index]
+			dblk = decoded.block(blk.Index)
 			if prof != nil {
 				if tf := m.noteBlock(prof, f, blk); tf != nil {
 					return m.runThreaded(tf, fr, blk.Index)
@@ -727,7 +898,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 			} else {
 				blk = f.Blocks[in.Targets[1]]
 			}
-			dblk = decoded[blk.Index]
+			dblk = decoded.block(blk.Index)
 			if prof != nil {
 				if tf := m.noteBlock(prof, f, blk); tf != nil {
 					return m.runThreaded(tf, fr, blk.Index)
@@ -761,7 +932,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				if d.ext == extF32 {
 					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
 				}
-				if err := m.Mem.Store(addr, sv, int(d.size)); err != nil {
+				if err := m.monoStore(d.site, addr, sv, int(d.size)); err != nil {
 					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 				}
 			}
@@ -792,7 +963,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 					return 0, err
 				}
 				d := &dblk[ip]
-				lv, err := m.Mem.Load(addr, int(d.size))
+				lv, err := m.monoLoad(d.site, addr, int(d.size))
 				if err != nil {
 					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 				}
@@ -815,7 +986,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				if d.ext == extF32 {
 					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
 				}
-				if err := m.Mem.Store(addr, sv, int(d.size)); err != nil {
+				if err := m.monoStore(d.site, addr, sv, int(d.size)); err != nil {
 					return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 				}
 			case fuseAuthAddrLoad, fuseAuthAddrStore:
@@ -847,7 +1018,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 				d := &dblk[ip]
 				if kind == fuseAuthAddrLoad {
 					m.Stats.FusedAuthAddrLoads++
-					lv, err := m.Mem.Load(addr, int(d.size))
+					lv, err := m.monoLoad(d.site, addr, int(d.size))
 					if err != nil {
 						return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 					}
@@ -858,7 +1029,7 @@ func (m *Machine) exec(f *mir.Func, args []uint64) (uint64, error) {
 					if d.ext == extF32 {
 						sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
 					}
-					if err := m.Mem.Store(addr, sv, int(d.size)); err != nil {
+					if err := m.monoStore(d.site, addr, sv, int(d.size)); err != nil {
 						return 0, m.trap(TrapOutOfBounds, f, in, "%v", err)
 					}
 				}

@@ -40,15 +40,22 @@ type segment struct {
 	name string
 	base uint64
 	data []byte
+	// hi is the write watermark: one past the highest offset any Store or
+	// Bytes view has touched since the last Reset. Store and Bytes are the
+	// only mutation funnels (Poke routes through Store; attack hooks and
+	// builtins use Bytes), so wiping data[:hi] on Machine.Reset restores a
+	// provably pristine segment at cost proportional to the bytes actually
+	// dirtied, not the segment size.
+	hi int
 }
 
 // NewMemory builds the standard segment layout.
 func NewMemory(globalsSize, stringsSize, heapSize, stackSize int) *Memory {
 	m := &Memory{segs: []segment{
-		{"globals", GlobalsBase, make([]byte, globalsSize)},
-		{"strings", StringsBase, make([]byte, stringsSize)},
-		{"heap", HeapBase, make([]byte, heapSize)},
-		{"stack", StackBase, make([]byte, stackSize)},
+		{name: "globals", base: GlobalsBase, data: make([]byte, globalsSize)},
+		{name: "strings", base: StringsBase, data: make([]byte, stringsSize)},
+		{name: "heap", base: HeapBase, data: make([]byte, heapSize)},
+		{name: "stack", base: StackBase, data: make([]byte, stackSize)},
 	}}
 	var top uint64
 	for _, s := range m.segs {
@@ -84,31 +91,30 @@ func (m *Memory) Load(addr uint64, n int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	b := s.data[off:]
+	return loadLE(s.data[off:], n), nil
+}
+
+// loadLE reads n little-endian bytes from b (bounds already checked).
+func loadLE(b []byte, n int) uint64 {
 	switch n {
 	case 8:
-		return binary.LittleEndian.Uint64(b), nil
+		return binary.LittleEndian.Uint64(b)
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(b)), nil
+		return uint64(binary.LittleEndian.Uint32(b))
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(b)), nil
+		return uint64(binary.LittleEndian.Uint16(b))
 	case 1:
-		return uint64(b[0]), nil
+		return uint64(b[0])
 	}
 	var v uint64
 	for i := n - 1; i >= 0; i-- {
 		v = v<<8 | uint64(b[i])
 	}
-	return v, nil
+	return v
 }
 
-// Store writes n bytes little-endian.
-func (m *Memory) Store(addr uint64, v uint64, n int) error {
-	s, off, err := m.find(addr, n)
-	if err != nil {
-		return err
-	}
-	b := s.data[off:]
+// storeLE writes n little-endian bytes of v into b (bounds already checked).
+func storeLE(b []byte, v uint64, n int) {
 	switch n {
 	case 8:
 		binary.LittleEndian.PutUint64(b, v)
@@ -123,6 +129,18 @@ func (m *Memory) Store(addr uint64, v uint64, n int) error {
 			b[i] = byte(v >> (8 * i))
 		}
 	}
+}
+
+// Store writes n bytes little-endian.
+func (m *Memory) Store(addr uint64, v uint64, n int) error {
+	s, off, err := m.find(addr, n)
+	if err != nil {
+		return err
+	}
+	if end := off + n; end > s.hi {
+		s.hi = end
+	}
+	storeLE(s.data[off:], v, n)
 	return nil
 }
 
@@ -131,6 +149,9 @@ func (m *Memory) Bytes(addr uint64, n int) ([]byte, error) {
 	s, off, err := m.find(addr, n)
 	if err != nil {
 		return nil, err
+	}
+	if end := off + n; end > s.hi {
+		s.hi = end
 	}
 	return s.data[off : off+n], nil
 }

@@ -284,7 +284,7 @@ func compileThreaded(ts *tierState, img *Image, f *mir.Func, p *funcProfile) *th
 	decoded := img.dec[f]
 	for bi, blk := range f.Blocks {
 		hot := p.blockHot[bi].Load() >= fusedBlockFloor
-		entry := c.compileBlock(blk, decoded[bi], hot)
+		entry := c.compileBlock(blk, decoded.block(bi), hot)
 		if entry == nil {
 			return nil
 		}
@@ -723,7 +723,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 		sIn := &seg.instrs[i+1]
 		sd := &dec[i+1]
 		a, b, dst, key, smod := aut.A, aut.B, aut.Dst, pa.KeyID(aut.Key), aut.Mod
-		sa, sb, ssize, sext := sIn.A, sIn.B, int(sd.size), sd.ext
+		sa, sb, ssize, sext, ssite := sIn.A, sIn.B, int(sd.size), sd.ext, sd.site
 		restStore := seg.instrs[i+2:]
 		return func(m *Machine, fr *frame) tOp {
 			regs := fr.regs
@@ -748,7 +748,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 			if sext == extF32 {
 				v = uint64(math.Float32bits(float32(math.Float64frombits(v))))
 			}
-			if err := m.Mem.Store(addr, v, ssize); err != nil {
+			if err := m.monoStore(ssite, addr, v, ssize); err != nil {
 				m.refundRest(restStore)
 				m.tErr = m.trap(TrapOutOfBounds, f, sIn, "%v", err)
 				return nil
@@ -763,7 +763,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 		restAut := seg.instrs[i+1:]
 		restAcc := seg.instrs[i+2:]
 		isLoad := kind == fuseAuthLoad
-		aa, ab, adst, asize, aext := accIn.A, accIn.B, accIn.Dst, int(ad.size), ad.ext
+		aa, ab, adst, asize, aext, asite := accIn.A, accIn.B, accIn.Dst, int(ad.size), ad.ext, ad.site
 		return func(m *Machine, fr *frame) tOp {
 			regs := fr.regs
 			mod := smod
@@ -793,7 +793,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 				return nil
 			}
 			if isLoad {
-				lv, err := m.Mem.Load(addr, asize)
+				lv, err := m.monoLoad(asite, addr, asize)
 				if err != nil {
 					m.refundRest(restAcc)
 					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
@@ -805,7 +805,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 				if aext == extF32 {
 					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
 				}
-				if err := m.Mem.Store(addr, sv, asize); err != nil {
+				if err := m.monoStore(asite, addr, sv, asize); err != nil {
 					m.refundRest(restAcc)
 					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
 					return nil
@@ -824,7 +824,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 		isField := addrIn.Op == mir.FieldAddr
 		xa, xb, xdst, xoff := addrIn.A, addrIn.B, addrIn.Dst, addrIn.Imm
 		isLoad := kind == fuseAuthAddrLoad
-		aa, ab, adst, asize, aext := accIn.A, accIn.B, accIn.Dst, int(ad.size), ad.ext
+		aa, ab, adst, asize, aext, asite := accIn.A, accIn.B, accIn.Dst, int(ad.size), ad.ext, ad.site
 		return func(m *Machine, fr *frame) tOp {
 			regs := fr.regs
 			mod := smod
@@ -859,7 +859,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 				return nil
 			}
 			if isLoad {
-				lv, err := m.Mem.Load(addr, asize)
+				lv, err := m.monoLoad(asite, addr, asize)
 				if err != nil {
 					m.refundRest(restAcc)
 					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
@@ -871,7 +871,7 @@ func (c *tcomp) compileFused(seg *tSeg, dec []decInstr, i, g int, next tOp) tOp 
 				if aext == extF32 {
 					sv = uint64(math.Float32bits(float32(math.Float64frombits(sv))))
 				}
-				if err := m.Mem.Store(addr, sv, asize); err != nil {
+				if err := m.monoStore(asite, addr, sv, asize); err != nil {
 					m.refundRest(restAcc)
 					m.tErr = m.trap(TrapOutOfBounds, f, accIn, "%v", err)
 					return nil

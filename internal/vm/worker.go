@@ -1,13 +1,17 @@
 package vm
 
-import "rsti/internal/pa"
+import (
+	"rsti/internal/mir"
+	"rsti/internal/pa"
+)
 
 // WorkerState is the per-worker reusable hot-path state of a long-lived
-// execution service: the call-frame pool and the keyed PA units with their
-// warm PAC memoization caches. A Machine normally owns this state itself
-// and discards it when the run ends; an engine worker that executes many
-// runs back to back hands the same WorkerState to every Machine it builds,
-// so steady-state serving allocates no frames and keeps the PAC cache warm
+// execution service: the call-frame pool, the keyed PA units with their
+// warm PAC memoization caches, a resident machine slot, and a reusable
+// output buffer. A Machine normally owns this state itself and discards
+// it when the run ends; an engine worker that executes many runs back to
+// back hands the same WorkerState to every Machine it builds, so
+// steady-state serving allocates no frames and keeps the PAC cache warm
 // across runs.
 //
 // A WorkerState is NOT safe for concurrent use: it must be owned by
@@ -19,6 +23,34 @@ type WorkerState struct {
 	frames     []*frame
 	argScratch []uint64
 	units      map[unitKey]*pa.Unit
+
+	// mach is the worker's resident machine: the last machine MachineFor
+	// built, kept for Reset-based reuse when the next run wants the same
+	// (image, config) shape. One slot, not a keyed cache — a machine pins
+	// its full Memory (megabytes), and real serving traffic is either
+	// monomorphic per worker or cheap to rebuild, exactly as cheap as the
+	// per-run vm.New it replaces.
+	mach    *Machine
+	machKey machineKey
+
+	// outBuf is the reusable output capture buffer, loaned out via
+	// OutputBuffer and returned (possibly grown) via StowOutputBuffer.
+	outBuf []byte
+}
+
+// machineKey is everything about an Options that shapes a constructed
+// Machine and cannot be re-pointed on an existing one. MaxSteps, MaxDepth
+// and Output are deliberately absent: they are plain per-run settings
+// MachineFor re-applies on reuse.
+type machineKey struct {
+	img   *Image
+	cfg   pa.Config
+	seed  uint64
+	heap  int
+	stack int
+	cost  CostModel
+	tier  bool
+	thr   int64
 }
 
 // unitKey identifies a PA unit by everything that determines its keys and
@@ -45,3 +77,56 @@ func (ws *WorkerState) unit(cfg pa.Config, seed uint64) *pa.Unit {
 	ws.units[k] = u
 	return u
 }
+
+// MachineFor returns a machine prepared to run prog under opts, reusing
+// the worker's resident machine when the run shape matches: same shared
+// image, PA config, key seed, memory sizes, cost model and tier setting.
+// A match costs one Reset (no allocation — see Machine.Reset for the
+// isolation argument); a mismatch builds a fresh machine exactly as
+// vm.New would and installs it as the new resident. Requires opts.Image
+// to be the shared image for prog — without one there is nothing to key
+// reuse on and MachineFor just builds privately.
+func (ws *WorkerState) MachineFor(prog *mir.Program, opts Options) *Machine {
+	img := opts.Image
+	if img == nil || img.prog != prog {
+		opts.Worker = ws
+		return New(prog, opts)
+	}
+	thr := opts.TierThreshold
+	if opts.Tier && thr <= 0 {
+		thr = DefaultTierThreshold
+	}
+	if !opts.Tier {
+		thr = 0
+	}
+	k := machineKey{
+		img:   img,
+		cfg:   opts.PAConfig,
+		seed:  opts.KeySeed,
+		heap:  opts.HeapSize,
+		stack: opts.StackSize,
+		cost:  opts.Cost,
+		tier:  opts.Tier,
+		thr:   thr,
+	}
+	if m := ws.mach; m != nil && ws.machKey == k {
+		m.maxSteps = opts.MaxSteps
+		m.maxDepth = opts.MaxDepth
+		m.SetOutput(opts.Output)
+		m.Reset()
+		return m
+	}
+	opts.Worker = ws
+	m := New(prog, opts)
+	ws.mach, ws.machKey = m, k
+	return m
+}
+
+// OutputBuffer loans out the worker's reusable output buffer (length 0,
+// warm capacity). Pair with StowOutputBuffer when the run's output has
+// been consumed.
+func (ws *WorkerState) OutputBuffer() []byte { return ws.outBuf[:0] }
+
+// StowOutputBuffer returns a buffer obtained from OutputBuffer (possibly
+// reallocated by appends) to the worker for the next run.
+func (ws *WorkerState) StowOutputBuffer(b []byte) { ws.outBuf = b }
